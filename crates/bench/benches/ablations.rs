@@ -1,0 +1,82 @@
+//! Ablation benchmarks for the design choices DESIGN.md calls out:
+//! best-response damping, the localization grid size, solver tolerance,
+//! and the extension substrates (duopoly inner equilibrium, continuum
+//! quadrature).
+
+use std::time::Duration;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use subcomp_bench::market_of;
+use subcomp_core::best_response::BrConfig;
+use subcomp_core::duopoly::Duopoly;
+use subcomp_core::game::SubsidyGame;
+use subcomp_core::nash::NashSolver;
+use subcomp_model::continuum::ContinuumMarket;
+
+fn bench_damping(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation/damping");
+    g.sample_size(10);
+    let game = SubsidyGame::new(market_of(8), 0.6, 0.8).unwrap();
+    for omega in [1.0f64, 0.7, 0.4] {
+        g.bench_with_input(BenchmarkId::from_parameter(omega), &omega, |b, &omega| {
+            let solver = NashSolver::default().with_damping(omega).with_tol(1e-7);
+            b.iter(|| solver.solve(std::hint::black_box(&game)).unwrap())
+        });
+    }
+    g.finish();
+}
+
+fn bench_br_grid(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation/br_grid");
+    g.sample_size(10);
+    let game = SubsidyGame::new(market_of(8), 0.6, 0.8).unwrap();
+    for grid in [8usize, 24, 64] {
+        g.bench_with_input(BenchmarkId::from_parameter(grid), &grid, |b, &grid| {
+            let mut solver = NashSolver::default().with_tol(1e-7);
+            solver.br = BrConfig { grid, ..BrConfig::default() };
+            b.iter(|| solver.solve(std::hint::black_box(&game)).unwrap())
+        });
+    }
+    g.finish();
+}
+
+fn bench_tolerance(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation/solver_tol");
+    g.sample_size(10);
+    let game = SubsidyGame::new(market_of(8), 0.6, 0.8).unwrap();
+    for tol in [1e-5f64, 1e-7, 1e-9] {
+        g.bench_with_input(BenchmarkId::from_parameter(tol), &tol, |b, &tol| {
+            let solver = NashSolver::default().with_tol(tol);
+            b.iter(|| solver.solve(std::hint::black_box(&game)).unwrap())
+        });
+    }
+    g.finish();
+}
+
+fn bench_extensions(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation/extensions");
+    g.sample_size(10);
+    let duo = Duopoly::new(&market_of(2), 0.5, 0.5, 6.0, 0.5).unwrap();
+    g.bench_function("duopoly_subsidy_equilibrium", |b| {
+        b.iter(|| duo.subsidy_equilibrium(std::hint::black_box(0.6), 0.6).unwrap())
+    });
+    let market = ContinuumMarket::new(
+        1.0,
+        (0.0, 1.0),
+        |_| 1.0,
+        |w| 1.0 + 4.0 * w,
+        |w| 5.0 - 4.0 * w,
+        |w| 0.5 + 0.5 * w,
+    )
+    .unwrap();
+    g.bench_function("continuum_fixed_point", |b| {
+        b.iter(|| market.utilization(std::hint::black_box(0.5)).unwrap())
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().warm_up_time(Duration::from_millis(400)).measurement_time(Duration::from_secs(2));
+    targets = bench_damping, bench_br_grid, bench_tolerance, bench_extensions
+}
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Benchmarks the Definition 1 congestion fixed point: solver cost vs
+//! market size and vs utilization family.
+
+use std::time::Duration;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use subcomp_bench::market_of;
+use subcomp_model::aggregation::{build_system, ExpCpSpec};
+use subcomp_model::system::System;
+use subcomp_model::utilization::{PowerUtilization, QueueUtilization};
+
+fn bench_scaling(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fixed_point/market_size");
+    for n in [3usize, 9, 27, 81] {
+        let sys = market_of(n);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &sys, |b, sys| {
+            b.iter(|| sys.state_at_uniform_price(std::hint::black_box(0.5)).unwrap())
+        });
+    }
+    g.finish();
+}
+
+fn bench_families(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fixed_point/utilization_family");
+    let specs: Vec<ExpCpSpec> = (0..9)
+        .map(|i| ExpCpSpec::unit(1.0 + (i % 3) as f64, 1.0 + (i / 3) as f64, 1.0))
+        .collect();
+    let linear = build_system(&specs, 1.0).unwrap();
+    g.bench_function("linear", |b| {
+        b.iter(|| linear.state_at_uniform_price(std::hint::black_box(0.5)).unwrap())
+    });
+    let cps: Vec<_> = linear.cps().to_vec();
+    let power = System::new(cps.clone(), 1.0, PowerUtilization::new(1.5).unwrap()).unwrap();
+    g.bench_function("power", |b| {
+        b.iter(|| power.state_at_uniform_price(std::hint::black_box(0.5)).unwrap())
+    });
+    let queue = System::new(cps, 1.0, QueueUtilization).unwrap();
+    g.bench_function("queue", |b| {
+        b.iter(|| queue.state_at_uniform_price(std::hint::black_box(0.5)).unwrap())
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30).warm_up_time(Duration::from_millis(400)).measurement_time(Duration::from_secs(2));
+    targets = bench_scaling, bench_families
+}
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! Benchmarks the dense linear-algebra primitives behind Theorem 6
+//! (LU solve/inverse) and Theorem 4 (P-matrix certification).
+
+use std::time::Duration;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use subcomp_num::linalg::lu::LuDecomposition;
+use subcomp_num::linalg::structure::{is_m_matrix, is_p_matrix};
+use subcomp_num::linalg::Matrix;
+
+/// A well-conditioned M-matrix-style test matrix of size n.
+fn test_matrix(n: usize) -> Matrix {
+    Matrix::from_fn(n, n, |i, j| {
+        if i == j {
+            2.0 + (i as f64) * 0.01
+        } else {
+            -1.0 / (n as f64 + (i + j) as f64)
+        }
+    })
+}
+
+fn bench_lu(c: &mut Criterion) {
+    let mut g = c.benchmark_group("linalg/lu");
+    for n in [4usize, 8, 16, 32] {
+        let a = test_matrix(n);
+        let b_vec = vec![1.0; n];
+        g.bench_with_input(BenchmarkId::new("solve", n), &a, |b, a| {
+            b.iter(|| LuDecomposition::new(a).unwrap().solve(&b_vec).unwrap())
+        });
+        g.bench_with_input(BenchmarkId::new("inverse", n), &a, |b, a| {
+            b.iter(|| LuDecomposition::new(a).unwrap().inverse().unwrap())
+        });
+    }
+    g.finish();
+}
+
+fn bench_structure(c: &mut Criterion) {
+    let mut g = c.benchmark_group("linalg/structure");
+    g.sample_size(20);
+    for n in [4usize, 8, 12] {
+        let a = test_matrix(n);
+        g.bench_with_input(BenchmarkId::new("p_matrix", n), &a, |b, a| {
+            b.iter(|| is_p_matrix(a, 1e-12).unwrap())
+        });
+        g.bench_with_input(BenchmarkId::new("m_matrix", n), &a, |b, a| {
+            b.iter(|| is_m_matrix(a, 1e-12).unwrap())
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().warm_up_time(Duration::from_millis(400)).measurement_time(Duration::from_secs(2));
+    targets = bench_lu, bench_structure
+}
+criterion_main!(benches);

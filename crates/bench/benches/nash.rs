@@ -1,0 +1,67 @@
+//! Benchmarks Nash equilibrium solvers: best-response (Gauss–Seidel,
+//! Jacobi) and variational-inequality methods, and scaling in the number
+//! of provider types.
+
+use std::time::Duration;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use subcomp_bench::market_of;
+use subcomp_core::game::SubsidyGame;
+use subcomp_core::nash::NashSolver;
+use subcomp_core::vi::{extragradient_solve, projection_solve, ViConfig};
+
+fn bench_solvers(c: &mut Criterion) {
+    let mut g = c.benchmark_group("nash/solver");
+    g.sample_size(10);
+    let game = SubsidyGame::new(market_of(8), 0.6, 0.8).unwrap();
+    g.bench_function("gauss_seidel", |b| {
+        let solver = NashSolver::default().with_tol(1e-8);
+        b.iter(|| solver.solve(std::hint::black_box(&game)).unwrap())
+    });
+    g.bench_function("jacobi_damped", |b| {
+        let solver = NashSolver::default().jacobi().with_damping(0.7).with_tol(1e-8);
+        b.iter(|| solver.solve(std::hint::black_box(&game)).unwrap())
+    });
+    g.bench_function("vi_projection", |b| {
+        let cfg = ViConfig { tol: 1e-7, ..Default::default() };
+        b.iter(|| projection_solve(std::hint::black_box(&game), &vec![0.0; 8], &cfg).unwrap())
+    });
+    g.bench_function("vi_extragradient", |b| {
+        let cfg = ViConfig { tol: 1e-7, ..Default::default() };
+        b.iter(|| extragradient_solve(std::hint::black_box(&game), &vec![0.0; 8], &cfg).unwrap())
+    });
+    g.finish();
+}
+
+fn bench_scaling(c: &mut Criterion) {
+    let mut g = c.benchmark_group("nash/market_size");
+    g.sample_size(10);
+    for n in [2usize, 4, 8, 16] {
+        let game = SubsidyGame::new(market_of(n), 0.6, 0.8).unwrap();
+        g.bench_with_input(BenchmarkId::from_parameter(n), &game, |b, game| {
+            let solver = NashSolver::default().with_tol(1e-7);
+            b.iter(|| solver.solve(game).unwrap())
+        });
+    }
+    g.finish();
+}
+
+fn bench_warm_start(c: &mut Criterion) {
+    let mut g = c.benchmark_group("nash/warm_start");
+    g.sample_size(10);
+    let game = SubsidyGame::new(market_of(8), 0.6, 0.8).unwrap();
+    let solver = NashSolver::default().with_tol(1e-8);
+    let eq = solver.solve(&game).unwrap();
+    let nearby = SubsidyGame::new(market_of(8), 0.62, 0.8).unwrap();
+    g.bench_function("cold", |b| b.iter(|| solver.solve(&nearby).unwrap()));
+    g.bench_function("warm", |b| {
+        b.iter(|| solver.solve_from(&nearby, std::hint::black_box(&eq.subsidies)).unwrap())
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().warm_up_time(Duration::from_millis(400)).measurement_time(Duration::from_secs(2));
+    targets = bench_solvers, bench_scaling, bench_warm_start
+}
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! Benchmarks the simulators: flow-level ticks and market days per
+//! second, plus the measurement pipeline.
+
+use std::time::Duration;
+use criterion::{criterion_group, criterion_main, Criterion};
+use subcomp_core::game::SubsidyGame;
+use subcomp_model::aggregation::{build_system, ExpCpSpec};
+use subcomp_sim::flow::{FlowSim, FlowSimConfig, SharingMode};
+use subcomp_sim::market::{MarketSim, MarketSimConfig};
+
+fn bench_flow(c: &mut Criterion) {
+    let mut g = c.benchmark_group("simulator/flow");
+    g.sample_size(10);
+    let sys = build_system(
+        &[
+            ExpCpSpec::unit(2.0, 2.0, 1.0),
+            ExpCpSpec::unit(5.0, 5.0, 0.5),
+            ExpCpSpec::unit(3.0, 1.0, 1.0),
+        ],
+        1.0,
+    )
+    .unwrap();
+    let cfg = FlowSimConfig { ticks: 1000, warmup: 200, ..Default::default() };
+    g.bench_function("adaptive_1000_ticks", |b| {
+        b.iter(|| FlowSim::new(&sys, vec![0.5; 3], cfg).unwrap().run().unwrap())
+    });
+    let ps = FlowSimConfig { mode: SharingMode::ProcessorSharing, ..cfg };
+    g.bench_function("processor_sharing_1000_ticks", |b| {
+        b.iter(|| FlowSim::new(&sys, vec![0.5; 3], ps).unwrap().run().unwrap())
+    });
+    g.finish();
+}
+
+fn bench_market(c: &mut Criterion) {
+    let mut g = c.benchmark_group("simulator/market");
+    g.sample_size(10);
+    let sys = build_system(
+        &[ExpCpSpec::unit(5.0, 2.0, 1.0), ExpCpSpec::unit(2.0, 4.0, 0.4)],
+        1.0,
+    )
+    .unwrap();
+    let game = SubsidyGame::new(sys, 0.7, 1.0).unwrap();
+    let cfg = MarketSimConfig { days: 500, ..Default::default() };
+    g.bench_function("market_500_days", |b| {
+        b.iter(|| MarketSim::new(&game, cfg).unwrap().run().unwrap())
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().warm_up_time(Duration::from_millis(400)).measurement_time(Duration::from_secs(2));
+    targets = bench_flow, bench_market
+}
+criterion_main!(benches);

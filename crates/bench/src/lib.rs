@@ -1,0 +1,42 @@
+//! # `subcomp-bench` — benchmark support
+//!
+//! The benchmarks live in `benches/`; this library only hosts the shared
+//! scenario constructors so each bench file stays minimal.
+//!
+//! Run everything with `cargo bench -p subcomp-bench`. Benches are tuned
+//! (small sample counts, reduced grids) so the full suite completes in a
+//! few minutes while still producing meaningful relative numbers.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use subcomp_model::aggregation::{build_system, ExpCpSpec};
+use subcomp_model::system::System;
+
+/// A market of `n` synthetic exponential CP types with deterministic
+/// parameters spread over the paper's ranges.
+pub fn market_of(n: usize) -> System {
+    let specs: Vec<ExpCpSpec> = (0..n)
+        .map(|i| {
+            let alpha = 1.0 + (i % 5) as f64;
+            let beta = 1.0 + ((i * 2) % 5) as f64;
+            let v = 0.4 + 0.1 * ((i % 7) as f64);
+            ExpCpSpec::unit(alpha, beta, v)
+        })
+        .collect();
+    build_system(&specs, 1.0).expect("static specs are valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn market_scales() {
+        for n in [2, 9, 40] {
+            let m = market_of(n);
+            assert_eq!(m.n(), n);
+            assert!(m.state_at_uniform_price(0.5).unwrap().phi > 0.0);
+        }
+    }
+}

@@ -1,0 +1,209 @@
+//! Single-provider best responses.
+//!
+//! Provider `i`'s best response solves `max_{s_i ∈ [0, q]} U_i(s_i; s_{-i})`
+//! — the inner problem of Definition 3. Because `U_i < 0 = U_i(v_i)` for
+//! `s_i > v_i` (a subsidy above the per-unit profit burns money on every
+//! byte), the search interval shrinks to `[0, min(q, v_i)]` without loss.
+//!
+//! Each utility evaluation requires re-solving the congestion fixed point;
+//! a coarse grid scan localizes the maximum (corner solutions at both ends
+//! are *expected* equilibria per Theorem 3), then Brent polishing refines
+//! interior candidates.
+
+use crate::game::SubsidyGame;
+use subcomp_num::optimize::maximize_scalar;
+use subcomp_num::{NumResult, Tolerance};
+
+/// Outcome of a best-response computation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BestResponse {
+    /// The maximizing subsidy.
+    pub s: f64,
+    /// The utility achieved.
+    pub utility: f64,
+    /// Objective evaluations spent (each solves a fixed point).
+    pub evaluations: usize,
+}
+
+/// Configuration for best-response searches.
+#[derive(Debug, Clone, Copy)]
+pub struct BrConfig {
+    /// Grid points for the localization scan.
+    pub grid: usize,
+    /// Polish tolerance.
+    pub tol: Tolerance,
+}
+
+impl Default for BrConfig {
+    fn default() -> Self {
+        BrConfig { grid: 24, tol: Tolerance::new(1e-11, 1e-11).with_max_iter(120) }
+    }
+}
+
+/// Computes provider `i`'s best response to the profile `s` (the value of
+/// `s[i]` itself is ignored).
+pub fn best_response(
+    game: &SubsidyGame,
+    i: usize,
+    s: &[f64],
+    cfg: &BrConfig,
+) -> NumResult<BestResponse> {
+    let hi = game.effective_cap(i);
+    let f = |si: f64| {
+        let mut prof = s.to_vec();
+        prof[i] = si;
+        game.utility(i, &prof).unwrap_or(f64::NEG_INFINITY)
+    };
+    let m = maximize_scalar(&f, 0.0, hi, cfg.grid, cfg.tol)?;
+    // Value-comparison maximization locates the argmax only to ~sqrt(eps).
+    // Interior maximizers are stationary points of the *analytic* marginal
+    // utility, so polish them by root-finding u_i(s_i) = 0 — this buys the
+    // ~1e-12 accuracy the sensitivity analysis (Theorem 6) needs.
+    let mut best = BestResponse { s: m.x, utility: m.value, evaluations: m.evaluations };
+    let interior_margin = 1e-5 * (1.0 + hi);
+    if m.x > interior_margin && m.x < hi - interior_margin {
+        let u_of = |si: f64| {
+            let mut prof = s.to_vec();
+            prof[i] = si;
+            game.marginal_utility(i, &prof).unwrap_or(f64::NAN)
+        };
+        // Bracket the stationary point around the coarse argmax; u is
+        // locally decreasing through a maximum (positive left, negative
+        // right).
+        let mut delta = 16.0 * interior_margin;
+        let mut bracket = None;
+        for _ in 0..8 {
+            let a = (m.x - delta).max(0.0);
+            let b = (m.x + delta).min(hi);
+            let (ua, ub) = (u_of(a), u_of(b));
+            if ua.is_finite() && ub.is_finite() && ua >= 0.0 && ub <= 0.0 {
+                bracket = Some(subcomp_num::roots::Bracket::new(a, b));
+                break;
+            }
+            delta *= 2.0;
+        }
+        if let Some(br) = bracket {
+            if let Ok(root) = subcomp_num::roots::brent(
+                &|si| u_of(si),
+                br,
+                subcomp_num::Tolerance::new(1e-13, 1e-13).with_max_iter(120),
+            ) {
+                let refined = root.x.clamp(0.0, hi);
+                let val = f(refined);
+                if val.is_finite() && val >= best.utility - 1e-12 {
+                    best = BestResponse { s: refined, utility: val, evaluations: best.evaluations + root.evaluations };
+                }
+            }
+        }
+    }
+    Ok(best)
+}
+
+/// The maximum utility any provider can gain by unilaterally deviating
+/// from `s` — the *deviation gap*, zero exactly at a Nash equilibrium.
+/// Returns `(gap, argmax_provider)`.
+pub fn deviation_gap(game: &SubsidyGame, s: &[f64], cfg: &BrConfig) -> NumResult<(f64, usize)> {
+    game.validate(s)?;
+    let us = game.utilities(s)?;
+    let mut worst = (0.0f64, 0usize);
+    for i in 0..game.n() {
+        let br = best_response(game, i, s, cfg)?;
+        let gain = br.utility - us[i];
+        if gain > worst.0 {
+            worst = (gain, i);
+        }
+    }
+    Ok(worst)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use subcomp_model::aggregation::{build_system, ExpCpSpec};
+
+    fn single_cp_game(alpha: f64, v: f64, p: f64, q: f64) -> SubsidyGame {
+        let sys = build_system(&[ExpCpSpec::unit(alpha, 2.0, v)], 1.0).unwrap();
+        SubsidyGame::new(sys, p, q).unwrap()
+    }
+
+    #[test]
+    fn monopolist_interior_best_response() {
+        // With one CP and weak congestion feedback, the optimum is near the
+        // no-feedback solution s* = v - 1/alpha (from d/ds[(v-s)e^{alpha s}]).
+        let g = single_cp_game(8.0, 1.0, 1.0, 2.0);
+        let br = best_response(&g, 0, &[0.0], &BrConfig::default()).unwrap();
+        let no_feedback = 1.0 - 1.0 / 8.0;
+        assert!(br.s > 0.5 && br.s <= no_feedback + 1e-6, "br = {}", br.s);
+        // Must be a stationary point: u_i ~ 0 there.
+        let u = g.marginal_utility(0, &[br.s]).unwrap();
+        assert!(u.abs() < 1e-4, "marginal utility at BR = {u}");
+    }
+
+    #[test]
+    fn unprofitable_cp_does_not_subsidize() {
+        // alpha small, v small: margin loss dominates, corner at 0.
+        let g = single_cp_game(0.5, 0.3, 0.5, 1.0);
+        let br = best_response(&g, 0, &[0.0], &BrConfig::default()).unwrap();
+        assert_eq!(br.s, 0.0);
+        // Theorem 3's corner condition: u_i <= 0 at s_i = 0.
+        assert!(g.marginal_utility(0, &[0.0]).unwrap() <= 1e-10);
+    }
+
+    #[test]
+    fn tight_cap_binds() {
+        // Strong demand response, low cap: corner at q.
+        let g = single_cp_game(8.0, 1.0, 1.0, 0.2);
+        let br = best_response(&g, 0, &[0.0], &BrConfig::default()).unwrap();
+        assert!((br.s - 0.2).abs() < 1e-9, "br = {}", br.s);
+        assert!(g.marginal_utility(0, &[0.2]).unwrap() >= -1e-10);
+    }
+
+    #[test]
+    fn best_response_never_exceeds_profitability() {
+        let g = single_cp_game(10.0, 0.4, 1.0, 2.0);
+        let br = best_response(&g, 0, &[0.0], &BrConfig::default()).unwrap();
+        assert!(br.s <= 0.4 + 1e-12);
+    }
+
+    #[test]
+    fn best_response_beats_grid() {
+        let g = single_cp_game(5.0, 1.0, 0.8, 1.0);
+        let br = best_response(&g, 0, &[0.0], &BrConfig::default()).unwrap();
+        for k in 0..=50 {
+            let s = k as f64 * 0.02;
+            let u = g.utility(0, &[s]).unwrap();
+            assert!(br.utility >= u - 1e-9, "grid point {s} beats BR");
+        }
+    }
+
+    #[test]
+    fn deviation_gap_zero_at_br_fixed_point() {
+        let g = single_cp_game(5.0, 1.0, 0.8, 1.0);
+        let br = best_response(&g, 0, &[0.0], &BrConfig::default()).unwrap();
+        let (gap, _) = deviation_gap(&g, &[br.s], &BrConfig::default()).unwrap();
+        assert!(gap < 1e-8, "gap = {gap}");
+    }
+
+    #[test]
+    fn deviation_gap_positive_off_equilibrium() {
+        let g = single_cp_game(8.0, 1.0, 1.0, 2.0);
+        let (gap, who) = deviation_gap(&g, &[0.0], &BrConfig::default()).unwrap();
+        assert!(gap > 1e-3, "gap = {gap}");
+        assert_eq!(who, 0);
+    }
+
+    #[test]
+    fn two_player_responses_interact() {
+        // CP 1's best response shrinks when CP 0 floods the system
+        // (congestion externality, Lemma 3).
+        let sys = build_system(
+            &[ExpCpSpec::unit(6.0, 1.0, 1.0), ExpCpSpec::unit(6.0, 8.0, 1.0)],
+            1.0,
+        )
+        .unwrap();
+        let g = SubsidyGame::new(sys, 0.8, 1.0).unwrap();
+        let br_alone = best_response(&g, 1, &[0.0, 0.0], &BrConfig::default()).unwrap();
+        let br_crowded = best_response(&g, 1, &[0.9, 0.0], &BrConfig::default()).unwrap();
+        assert!(br_crowded.utility < br_alone.utility);
+    }
+}

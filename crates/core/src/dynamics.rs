@@ -1,0 +1,209 @@
+//! Off-equilibrium dynamics (the §6 limitation, made computable).
+//!
+//! The paper's analysis is static; its §6 notes it "might not be able to
+//! capture short-term off-equilibrium types of system dynamics". This
+//! module implements two standard adjustment processes whose rest points
+//! are exactly the Nash equilibria:
+//!
+//! * **discrete best-response dynamics** — every period, a (rotating or
+//!   simultaneous) subset of providers re-optimizes; the trajectory is the
+//!   paper's tâtonnement story and converges under the same P-function
+//!   stability that gives uniqueness;
+//! * **continuous gradient dynamics** — the projected system
+//!   `ṡ_i = [u_i(s)]` clipped at the box boundary, integrated with RK4;
+//!   Lyapunov-style decrease of the natural residual is observable in the
+//!   trajectories.
+
+use crate::best_response::{best_response, BrConfig};
+use crate::game::SubsidyGame;
+use subcomp_num::ode::rk4;
+use subcomp_num::{NumError, NumResult};
+
+/// One step of a recorded adjustment trajectory.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrajectoryPoint {
+    /// Time (periods for discrete, model time for continuous).
+    pub t: f64,
+    /// Strategy profile at this time.
+    pub s: Vec<f64>,
+    /// Sup-norm distance moved since the previous point.
+    pub step: f64,
+}
+
+/// Discrete best-response dynamics: `rounds` full sweeps from `s0`,
+/// recording the profile after every sweep. Simultaneous (Jacobi) updates.
+pub fn best_response_trajectory(
+    game: &SubsidyGame,
+    s0: &[f64],
+    rounds: usize,
+    cfg: &BrConfig,
+) -> NumResult<Vec<TrajectoryPoint>> {
+    game.validate(s0)?;
+    let n = game.n();
+    let mut s = s0.to_vec();
+    let mut out = vec![TrajectoryPoint { t: 0.0, s: s.clone(), step: 0.0 }];
+    for round in 0..rounds {
+        let snapshot = s.clone();
+        let mut next = vec![0.0; n];
+        for i in 0..n {
+            next[i] = best_response(game, i, &snapshot, cfg)?.s;
+        }
+        let step = next
+            .iter()
+            .zip(&s)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0f64, f64::max);
+        s = next;
+        out.push(TrajectoryPoint { t: (round + 1) as f64, s: s.clone(), step });
+    }
+    Ok(out)
+}
+
+/// Continuous projected gradient dynamics `ṡ = Π'(u(s))` integrated with
+/// RK4 over `[0, horizon]` in `steps` steps.
+///
+/// The projection is implemented as a boundary clip of the vector field:
+/// at `s_i = 0` upward-only, at the effective cap downward-only — the
+/// standard projected-dynamical-systems construction on a box.
+pub fn gradient_flow(
+    game: &SubsidyGame,
+    s0: &[f64],
+    horizon: f64,
+    steps: usize,
+) -> NumResult<Vec<TrajectoryPoint>> {
+    game.validate(s0)?;
+    if !(horizon > 0.0) {
+        return Err(NumError::Domain { what: "horizon must be positive", value: horizon });
+    }
+    let n = game.n();
+    let caps: Vec<f64> = (0..n).map(|i| game.effective_cap(i)).collect();
+    let field = |_t: f64, y: &[f64], dy: &mut [f64]| {
+        // Clamp the state into the box before evaluating: RK4 stages may
+        // probe slightly outside.
+        let yy: Vec<f64> = y
+            .iter()
+            .zip(&caps)
+            .map(|(v, c)| v.clamp(0.0, *c))
+            .collect();
+        match game.marginal_utilities(&yy) {
+            Ok(u) => {
+                for i in 0..n {
+                    let mut d = u[i];
+                    if yy[i] <= 0.0 && d < 0.0 {
+                        d = 0.0;
+                    }
+                    if yy[i] >= caps[i] && d > 0.0 {
+                        d = 0.0;
+                    }
+                    dy[i] = d;
+                }
+            }
+            Err(_) => dy.iter_mut().for_each(|d| *d = 0.0),
+        }
+    };
+    let traj = rk4(&field, 0.0, horizon, s0, steps)?;
+    let mut out = Vec::with_capacity(traj.len());
+    let mut prev: Option<Vec<f64>> = None;
+    for pt in traj {
+        let s: Vec<f64> = pt
+            .y
+            .iter()
+            .zip(&caps)
+            .map(|(v, c)| v.clamp(0.0, *c))
+            .collect();
+        let step = prev
+            .as_ref()
+            .map(|p| s.iter().zip(p).map(|(a, b)| (a - b).abs()).fold(0.0f64, f64::max))
+            .unwrap_or(0.0);
+        prev = Some(s.clone());
+        out.push(TrajectoryPoint { t: pt.t, s, step });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nash::NashSolver;
+    use subcomp_model::aggregation::{build_system, ExpCpSpec};
+
+    fn two_cp_game() -> SubsidyGame {
+        let specs = [ExpCpSpec::unit(5.0, 2.0, 1.0), ExpCpSpec::unit(3.0, 4.0, 0.8)];
+        SubsidyGame::new(build_system(&specs, 1.0).unwrap(), 0.7, 1.0).unwrap()
+    }
+
+    #[test]
+    fn br_dynamics_converge_to_nash() {
+        let game = two_cp_game();
+        let nash = NashSolver::default().solve(&game).unwrap();
+        let traj = best_response_trajectory(&game, &[0.0, 0.0], 30, &BrConfig::default()).unwrap();
+        let last = traj.last().unwrap();
+        for i in 0..2 {
+            assert!(
+                (last.s[i] - nash.subsidies[i]).abs() < 1e-5,
+                "CP {i}: dyn {} vs nash {}",
+                last.s[i],
+                nash.subsidies[i]
+            );
+        }
+        // Steps shrink along the trajectory (stability).
+        assert!(traj[traj.len() - 1].step < traj[2].step + 1e-12);
+    }
+
+    #[test]
+    fn br_dynamics_from_above_converge_too() {
+        // Global pull: starting at the cap lands on the same equilibrium
+        // (uniqueness, Theorem 4).
+        let game = two_cp_game();
+        let from_zero = best_response_trajectory(&game, &[0.0, 0.0], 30, &BrConfig::default()).unwrap();
+        let from_cap = best_response_trajectory(&game, &[1.0, 0.8], 30, &BrConfig::default()).unwrap();
+        let a = &from_zero.last().unwrap().s;
+        let b = &from_cap.last().unwrap().s;
+        for i in 0..2 {
+            assert!((a[i] - b[i]).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn gradient_flow_settles_at_nash() {
+        let game = two_cp_game();
+        let nash = NashSolver::default().solve(&game).unwrap();
+        let traj = gradient_flow(&game, &[0.0, 0.0], 60.0, 600).unwrap();
+        let last = traj.last().unwrap();
+        for i in 0..2 {
+            assert!(
+                (last.s[i] - nash.subsidies[i]).abs() < 1e-3,
+                "CP {i}: flow {} vs nash {}",
+                last.s[i],
+                nash.subsidies[i]
+            );
+        }
+    }
+
+    #[test]
+    fn gradient_flow_respects_box() {
+        let game = two_cp_game();
+        let traj = gradient_flow(&game, &[1.0, 0.8], 20.0, 200).unwrap();
+        for pt in &traj {
+            for (i, &si) in pt.s.iter().enumerate() {
+                assert!(si >= -1e-12 && si <= game.effective_cap(i) + 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn trajectory_records_time_and_steps() {
+        let game = two_cp_game();
+        let traj = best_response_trajectory(&game, &[0.0, 0.0], 5, &BrConfig::default()).unwrap();
+        assert_eq!(traj.len(), 6);
+        assert_eq!(traj[0].t, 0.0);
+        assert_eq!(traj[5].t, 5.0);
+        assert!(traj[1].step > 0.0);
+    }
+
+    #[test]
+    fn bad_horizon_rejected() {
+        let game = two_cp_game();
+        assert!(gradient_flow(&game, &[0.0, 0.0], 0.0, 10).is_err());
+    }
+}

@@ -1,0 +1,224 @@
+//! Equilibrium characterization and verification (Theorem 3).
+//!
+//! Theorem 3: a profile `s` is a Nash equilibrium only if every provider
+//! sits at its threshold, `s_i = min{τ_i(s), q}`, where
+//!
+//! ```text
+//! τ_i(s) = (v_i − s_i) · ε^{m_i}_{s_i} · (1 + ε^{λ_i}_φ ε^φ_{m_i})
+//!        = (v_i − s_i) · ε^{θ_i}_{s_i},
+//! ```
+//!
+//! and, at the `s_i = 0` corner, `v_i ≤ (∂θ_i/∂s_i)^{-1} θ_i`. These are
+//! exactly the KKT conditions of each provider's box-constrained problem,
+//! so this module verifies candidate equilibria two independent ways:
+//! through the *threshold residuals* `|s_i − min{τ_i, q}|` and through the
+//! *KKT residuals* on the analytic marginal utilities. (A third,
+//! optimization-based certificate — the deviation gap — lives in
+//! [`crate::best_response::deviation_gap`].)
+
+use crate::game::SubsidyGame;
+use subcomp_num::NumResult;
+
+/// Verification report for a candidate equilibrium.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EquilibriumReport {
+    /// Theorem 3 thresholds `τ_i(s)`.
+    pub tau: Vec<f64>,
+    /// Residuals `|s_i − min{τ_i(s), q}|`.
+    pub threshold_residuals: Vec<f64>,
+    /// KKT residuals on `u_i(s)` (see [`kkt_residual`]).
+    pub kkt_residuals: Vec<f64>,
+    /// Maximum threshold residual.
+    pub max_threshold_residual: f64,
+    /// Maximum KKT residual.
+    pub max_kkt_residual: f64,
+}
+
+impl EquilibriumReport {
+    /// Whether both certificates pass at tolerance `tol`.
+    pub fn is_equilibrium(&self, tol: f64) -> bool {
+        self.max_threshold_residual <= tol && self.max_kkt_residual <= tol
+    }
+}
+
+/// Boundary-pinning tolerance: a subsidy within this distance of `0` or
+/// `q` is treated as a corner for KKT classification.
+pub const PIN_TOL: f64 = 1e-7;
+
+/// The KKT residual of provider `i` at profile `s` given the marginal
+/// utility `u_i`: `max(0, u_i)` at the lower corner, `max(0, −u_i)` at the
+/// upper corner, `|u_i|` in the interior.
+pub fn kkt_residual(si: f64, q: f64, u_i: f64) -> f64 {
+    if si <= PIN_TOL {
+        u_i.max(0.0)
+    } else if si >= q - PIN_TOL {
+        (-u_i).max(0.0)
+    } else {
+        u_i.abs()
+    }
+}
+
+/// Computes Theorem 3's threshold `τ_i(s)` for every provider.
+///
+/// Uses the elasticity form of Equation (9); the identity
+/// `τ_i = (v_i − s_i) s_i (∂θ_i/∂s_i)/θ_i` makes the implementation a
+/// two-liner on top of the game's closed-form `∂θ_i/∂s_i`.
+pub fn thresholds(game: &SubsidyGame, s: &[f64]) -> NumResult<Vec<f64>> {
+    game.validate(s)?;
+    let state = game.state(s)?;
+    let mut tau = Vec::with_capacity(game.n());
+    for i in 0..game.n() {
+        let theta_i = state.theta_i[i];
+        if theta_i == 0.0 {
+            tau.push(0.0);
+            continue;
+        }
+        let dtheta = game.dtheta_dsi_at_state(i, s, &state);
+        tau.push((game.profitability(i) - s[i]) * s[i] * dtheta / theta_i);
+    }
+    Ok(tau)
+}
+
+/// Verifies a candidate equilibrium per Theorem 3 (thresholds + KKT).
+pub fn verify_equilibrium(game: &SubsidyGame, s: &[f64]) -> NumResult<EquilibriumReport> {
+    game.validate(s)?;
+    let tau = thresholds(game, s)?;
+    let u = game.marginal_utilities(s)?;
+    let q = game.cap();
+    let n = game.n();
+    let mut threshold_residuals = Vec::with_capacity(n);
+    let mut kkt_residuals = Vec::with_capacity(n);
+    for i in 0..n {
+        threshold_residuals.push((s[i] - tau[i].min(q)).abs());
+        kkt_residuals.push(kkt_residual(s[i], q, u[i]));
+    }
+    let max_threshold_residual = threshold_residuals.iter().fold(0.0f64, |m, &r| m.max(r));
+    let max_kkt_residual = kkt_residuals.iter().fold(0.0f64, |m, &r| m.max(r));
+    Ok(EquilibriumReport {
+        tau,
+        threshold_residuals,
+        kkt_residuals,
+        max_threshold_residual,
+        max_kkt_residual,
+    })
+}
+
+/// Theorem 3's corner statement: at `s_i = 0`, equilibrium requires
+/// `v_i ≤ (∂θ_i/∂s_i)^{-1} θ_i`. Returns the providers violating it.
+pub fn zero_corner_violations(game: &SubsidyGame, s: &[f64]) -> NumResult<Vec<usize>> {
+    game.validate(s)?;
+    let state = game.state(s)?;
+    let mut out = Vec::new();
+    for i in 0..game.n() {
+        if s[i] <= PIN_TOL {
+            let dtheta = game.dtheta_dsi_at_state(i, s, &state);
+            if dtheta > 0.0 && game.profitability(i) > state.theta_i[i] / dtheta + 1e-9 {
+                out.push(i);
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nash::NashSolver;
+    use subcomp_model::aggregation::{build_system, ExpCpSpec};
+
+    fn paper_game(p: f64, q: f64) -> SubsidyGame {
+        let mut specs = Vec::new();
+        for &v in &[0.5, 1.0] {
+            for &alpha in &[2.0, 5.0] {
+                for &beta in &[2.0, 5.0] {
+                    specs.push(ExpCpSpec::unit(alpha, beta, v));
+                }
+            }
+        }
+        SubsidyGame::new(build_system(&specs, 1.0).unwrap(), p, q).unwrap()
+    }
+
+    #[test]
+    fn solved_equilibrium_passes_verification() {
+        let game = paper_game(0.5, 1.0);
+        let eq = NashSolver::default().solve(&game).unwrap();
+        let report = verify_equilibrium(&game, &eq.subsidies).unwrap();
+        assert!(
+            report.is_equilibrium(1e-5),
+            "threshold {:.2e}, kkt {:.2e}",
+            report.max_threshold_residual,
+            report.max_kkt_residual
+        );
+        assert!(zero_corner_violations(&game, &eq.subsidies).unwrap().is_empty());
+    }
+
+    #[test]
+    fn non_equilibrium_fails_verification() {
+        let game = paper_game(0.5, 1.0);
+        // All-zero is not an equilibrium here: profitable CPs want in.
+        let report = verify_equilibrium(&game, &vec![0.0; 8]).unwrap();
+        assert!(!report.is_equilibrium(1e-5));
+        assert!(!zero_corner_violations(&game, &vec![0.0; 8]).unwrap().is_empty());
+    }
+
+    #[test]
+    fn threshold_zero_at_zero_subsidy() {
+        // tau contains a factor s_i, so tau = 0 at s = 0 and the threshold
+        // condition s = min(tau, q) holds trivially there.
+        let game = paper_game(0.5, 1.0);
+        let tau = thresholds(&game, &vec![0.0; 8]).unwrap();
+        assert!(tau.iter().all(|&t| t == 0.0));
+    }
+
+    #[test]
+    fn interior_equilibrium_sits_on_threshold() {
+        // Pick (p, q) where several subsidies are interior and check
+        // s_i = tau_i there specifically.
+        let game = paper_game(0.9, 1.0);
+        let eq = NashSolver::default().solve(&game).unwrap();
+        let tau = thresholds(&game, &eq.subsidies).unwrap();
+        let mut checked_interior = 0;
+        for i in 0..8 {
+            let si = eq.subsidies[i];
+            if si > 1e-4 && si < game.cap() - 1e-4 {
+                assert!((si - tau[i]).abs() < 1e-5, "CP {i}: s = {si}, tau = {}", tau[i]);
+                checked_interior += 1;
+            }
+        }
+        assert!(checked_interior > 0, "test needs at least one interior subsidy");
+    }
+
+    #[test]
+    fn capped_equilibrium_exceeds_threshold_cap() {
+        // Small p and q: thresholds exceed q, subsidies pinned at q.
+        let game = paper_game(0.2, 0.1);
+        let eq = NashSolver::default().solve(&game).unwrap();
+        let report = verify_equilibrium(&game, &eq.subsidies).unwrap();
+        assert!(report.is_equilibrium(1e-5));
+        let pinned = eq.subsidies.iter().filter(|&&s| (s - 0.1).abs() < 1e-6).count();
+        assert!(pinned >= 4, "expected most CPs at the cap, got {pinned}");
+        for i in 0..8 {
+            if (eq.subsidies[i] - 0.1).abs() < 1e-6 {
+                assert!(report.tau[i] >= 0.1 - 1e-4, "pinned CP {i} must have tau >= q");
+            }
+        }
+    }
+
+    #[test]
+    fn kkt_residual_cases() {
+        assert_eq!(kkt_residual(0.0, 1.0, -0.5), 0.0); // lower corner, u <= 0: fine
+        assert_eq!(kkt_residual(0.0, 1.0, 0.5), 0.5); // lower corner, wants up: violation
+        assert_eq!(kkt_residual(1.0, 1.0, 0.5), 0.0); // upper corner, u >= 0: fine
+        assert_eq!(kkt_residual(1.0, 1.0, -0.5), 0.5); // upper corner, wants down
+        assert_eq!(kkt_residual(0.5, 1.0, 0.2), 0.2); // interior: |u|
+    }
+
+    #[test]
+    fn report_shapes() {
+        let game = paper_game(0.5, 1.0);
+        let r = verify_equilibrium(&game, &vec![0.0; 8]).unwrap();
+        assert_eq!(r.tau.len(), 8);
+        assert_eq!(r.threshold_residuals.len(), 8);
+        assert_eq!(r.kkt_residuals.len(), 8);
+    }
+}

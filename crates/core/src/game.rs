@@ -1,0 +1,390 @@
+//! The subsidization game in strategic form (Definition 3).
+//!
+//! Given the ISP's uniform price `p` and the regulator's cap `q`, each CP
+//! `i` chooses a per-unit subsidy `s_i ∈ [0, q]`. Users of CP `i` face the
+//! effective price `t_i = p − s_i`, populations respond (`m_i(t_i)`,
+//! Assumption 2), the network re-equilibrates (Definition 1), and CP `i`
+//! earns `U_i(s) = (v_i − s_i) θ_i(s)`.
+//!
+//! The marginal utility
+//!
+//! ```text
+//! u_i(s) = ∂U_i/∂s_i = −θ_i + (v_i − s_i) ∂θ_i/∂s_i,
+//! ∂θ_i/∂s_i = (∂m_i/∂s_i) λ_i + m_i λ_i'(φ) ∂φ/∂s_i,
+//! ∂φ/∂s_i = (dg/dφ)^{-1} λ_i (∂m_i/∂s_i),      ∂m_i/∂s_i = −m_i'(t_i) ≥ 0
+//! ```
+//!
+//! is computed in closed form from the model primitives (and cross-checked
+//! against finite differences in tests); everything in [`equilibrium`],
+//! [`sensitivity`] and [`vi`] builds on it.
+//!
+//! [`equilibrium`]: crate::equilibrium
+//! [`sensitivity`]: crate::sensitivity
+//! [`vi`]: crate::vi
+
+use subcomp_model::system::{System, SystemState};
+use subcomp_num::{NumError, NumResult};
+
+/// The subsidization game: a system plus `(p, q)` and pricing conventions.
+#[derive(Debug, Clone)]
+pub struct SubsidyGame {
+    system: System,
+    price: f64,
+    cap: f64,
+    clamp_effective_price: bool,
+}
+
+impl SubsidyGame {
+    /// Creates a game with ISP price `p ≥ 0` and policy cap `q ≥ 0`.
+    pub fn new(system: System, price: f64, cap: f64) -> NumResult<Self> {
+        if !(price >= 0.0) || !price.is_finite() {
+            return Err(NumError::Domain { what: "price must be non-negative and finite", value: price });
+        }
+        if !(cap >= 0.0) || !cap.is_finite() {
+            return Err(NumError::Domain { what: "policy cap must be non-negative and finite", value: cap });
+        }
+        Ok(SubsidyGame { system, price, cap, clamp_effective_price: false })
+    }
+
+    /// When enabled, the effective price is clamped at zero
+    /// (`t_i = max(0, p − s_i)`): users are never *paid* to consume.
+    /// The paper does not clamp; the default follows the paper.
+    pub fn with_clamped_price(mut self, clamp: bool) -> Self {
+        self.clamp_effective_price = clamp;
+        self
+    }
+
+    /// Returns a copy at a different ISP price (same cap and system).
+    pub fn with_price(&self, price: f64) -> NumResult<SubsidyGame> {
+        SubsidyGame::new(self.system.clone(), price, self.cap)
+            .map(|g| g.with_clamped_price(self.clamp_effective_price))
+    }
+
+    /// Returns a copy under a different policy cap.
+    pub fn with_cap(&self, cap: f64) -> NumResult<SubsidyGame> {
+        SubsidyGame::new(self.system.clone(), self.price, cap)
+            .map(|g| g.with_clamped_price(self.clamp_effective_price))
+    }
+
+    /// Returns a copy with provider `i`'s profitability replaced — the
+    /// Theorem 5 experiment knob.
+    pub fn with_profitability(&self, i: usize, v: f64) -> NumResult<SubsidyGame> {
+        if i >= self.n() {
+            return Err(NumError::DimensionMismatch { expected: self.n(), actual: i });
+        }
+        let mut cps: Vec<_> = self.system.cps().to_vec();
+        cps[i] = cps[i].with_profitability(v);
+        let system = System::new(
+            cps,
+            self.system.mu(),
+            self.system.utilization_fn().boxed_clone(),
+        )?;
+        Ok(SubsidyGame {
+            system,
+            price: self.price,
+            cap: self.cap,
+            clamp_effective_price: self.clamp_effective_price,
+        })
+    }
+
+    /// The underlying physical system.
+    pub fn system(&self) -> &System {
+        &self.system
+    }
+
+    /// Number of providers.
+    pub fn n(&self) -> usize {
+        self.system.n()
+    }
+
+    /// The ISP's uniform price `p`.
+    pub fn price(&self) -> f64 {
+        self.price
+    }
+
+    /// The regulatory cap `q`.
+    pub fn cap(&self) -> f64 {
+        self.cap
+    }
+
+    /// Provider `i`'s profitability `v_i`.
+    pub fn profitability(&self, i: usize) -> f64 {
+        self.system.cp(i).profitability()
+    }
+
+    /// The per-provider strategy upper bound actually binding in practice:
+    /// `min(q, v_i)`. A subsidy above `v_i` yields strictly negative
+    /// utility whenever the provider carries traffic, so best responses
+    /// never exceed it (Theorem 3's `v_i ≤ (∂θ_i/∂s_i)^{-1} θ_i` corner
+    /// logic); solvers restrict their search accordingly.
+    pub fn effective_cap(&self, i: usize) -> f64 {
+        self.cap.min(self.profitability(i))
+    }
+
+    /// Validates a strategy profile against the box `[0, q]^N`.
+    pub fn validate(&self, s: &[f64]) -> NumResult<()> {
+        if s.len() != self.n() {
+            return Err(NumError::DimensionMismatch { expected: self.n(), actual: s.len() });
+        }
+        for &si in s {
+            if !si.is_finite() || si < -1e-12 || si > self.cap + 1e-12 {
+                return Err(NumError::Domain { what: "subsidy outside [0, q]", value: si });
+            }
+        }
+        Ok(())
+    }
+
+    /// Effective prices `t_i = p − s_i` (clamped at zero if configured).
+    pub fn effective_prices(&self, s: &[f64]) -> Vec<f64> {
+        s.iter()
+            .map(|&si| {
+                let t = self.price - si;
+                if self.clamp_effective_price {
+                    t.max(0.0)
+                } else {
+                    t
+                }
+            })
+            .collect()
+    }
+
+    /// Solves the congestion fixed point induced by the profile `s`.
+    pub fn state(&self, s: &[f64]) -> NumResult<SystemState> {
+        self.validate(s)?;
+        self.system.state_at_prices(&self.effective_prices(s))
+    }
+
+    /// Utility `U_i(s) = (v_i − s_i) θ_i(s)` for one provider, given the
+    /// already-solved state (avoids re-solving inside tight loops).
+    pub fn utility_at_state(&self, i: usize, s: &[f64], state: &SystemState) -> f64 {
+        (self.profitability(i) - s[i]) * state.theta_i[i]
+    }
+
+    /// All utilities at a profile.
+    pub fn utilities(&self, s: &[f64]) -> NumResult<Vec<f64>> {
+        let state = self.state(s)?;
+        Ok((0..self.n()).map(|i| self.utility_at_state(i, s, &state)).collect())
+    }
+
+    /// Utility of provider `i` at profile `s` (solves the fixed point).
+    pub fn utility(&self, i: usize, s: &[f64]) -> NumResult<f64> {
+        let state = self.state(s)?;
+        Ok(self.utility_at_state(i, s, &state))
+    }
+
+    /// Analytic marginal utility `u_i(s) = ∂U_i/∂s_i` (module docs).
+    pub fn marginal_utility(&self, i: usize, s: &[f64]) -> NumResult<f64> {
+        let state = self.state(s)?;
+        Ok(self.marginal_utility_at_state(i, s, &state))
+    }
+
+    /// Analytic marginal utility given the already-solved state.
+    pub fn marginal_utility_at_state(&self, i: usize, s: &[f64], state: &SystemState) -> f64 {
+        let cp = self.system.cp(i);
+        let t_i = self.price - s[i];
+        if self.clamp_effective_price && t_i < 0.0 {
+            // Clamped region: m_i no longer responds to s_i; only the
+            // direct margin loss remains.
+            return -state.theta_i[i];
+        }
+        let dm_dsi = -cp.demand().dm_dt(t_i); // >= 0
+        let dphi_dsi = state.lambda[i] * dm_dsi / state.dg_dphi;
+        let dlambda = cp.throughput().dlambda_dphi(state.phi);
+        let dtheta_dsi = dm_dsi * state.lambda[i] + state.m[i] * dlambda * dphi_dsi;
+        -state.theta_i[i] + (cp.profitability() - s[i]) * dtheta_dsi
+    }
+
+    /// All marginal utilities `u(s)` at a profile (one fixed-point solve).
+    pub fn marginal_utilities(&self, s: &[f64]) -> NumResult<Vec<f64>> {
+        let state = self.state(s)?;
+        Ok((0..self.n())
+            .map(|i| self.marginal_utility_at_state(i, s, &state))
+            .collect())
+    }
+
+    /// `∂θ_i/∂s_i` at a solved state (used by Theorem 3's corner test).
+    pub fn dtheta_dsi_at_state(&self, i: usize, s: &[f64], state: &SystemState) -> f64 {
+        let cp = self.system.cp(i);
+        let t_i = self.price - s[i];
+        let dm_dsi = if self.clamp_effective_price && t_i < 0.0 {
+            0.0
+        } else {
+            -cp.demand().dm_dt(t_i)
+        };
+        let dphi_dsi = state.lambda[i] * dm_dsi / state.dg_dphi;
+        let dlambda = cp.throughput().dlambda_dphi(state.phi);
+        dm_dsi * state.lambda[i] + state.m[i] * dlambda * dphi_dsi
+    }
+
+    /// ISP revenue at a profile: `R = p · θ(s)` (the ISP keeps charging
+    /// the full price `p`; subsidies flow from CPs to users).
+    pub fn isp_revenue(&self, s: &[f64]) -> NumResult<f64> {
+        Ok(self.price * self.state(s)?.theta())
+    }
+
+    /// Total subsidy outlay `Σ_i s_i θ_i(s)` — the transfer from CPs to
+    /// users (and onward to the ISP through usage fees).
+    pub fn subsidy_outlay(&self, s: &[f64]) -> NumResult<f64> {
+        let state = self.state(s)?;
+        Ok(s.iter().zip(&state.theta_i).map(|(si, th)| si * th).sum())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use subcomp_model::aggregation::{build_system, ExpCpSpec};
+    use subcomp_num::diff::derivative;
+
+    /// The paper's §5 setting: 8 types, alpha/beta in {2,5}, v in {0.5, 1}.
+    pub(crate) fn paper_section5_game(p: f64, q: f64) -> SubsidyGame {
+        let mut specs = Vec::new();
+        for &v in &[0.5, 1.0] {
+            for &alpha in &[2.0, 5.0] {
+                for &beta in &[2.0, 5.0] {
+                    specs.push(ExpCpSpec::unit(alpha, beta, v));
+                }
+            }
+        }
+        SubsidyGame::new(build_system(&specs, 1.0).unwrap(), p, q).unwrap()
+    }
+
+    #[test]
+    fn constructor_validates() {
+        let sys = build_system(&[ExpCpSpec::unit(2.0, 2.0, 1.0)], 1.0).unwrap();
+        assert!(SubsidyGame::new(sys.clone(), -0.1, 1.0).is_err());
+        assert!(SubsidyGame::new(sys.clone(), 1.0, -0.5).is_err());
+        assert!(SubsidyGame::new(sys, 1.0, 0.0).is_ok());
+    }
+
+    #[test]
+    fn validate_profile() {
+        let g = paper_section5_game(0.5, 1.0);
+        assert!(g.validate(&[0.0; 8]).is_ok());
+        assert!(g.validate(&[0.5; 8]).is_ok());
+        assert!(g.validate(&[1.5; 8]).is_err());
+        assert!(g.validate(&[-0.2; 8]).is_err());
+        assert!(g.validate(&[0.0; 3]).is_err());
+    }
+
+    #[test]
+    fn effective_prices_unclamped_and_clamped() {
+        let g = paper_section5_game(0.3, 1.0);
+        let s = vec![0.5; 8];
+        assert!((g.effective_prices(&s)[0] + 0.2).abs() < 1e-15);
+        let gc = g.clone().with_clamped_price(true);
+        assert_eq!(gc.effective_prices(&s)[0], 0.0);
+    }
+
+    #[test]
+    fn subsidy_raises_own_population_and_utilization() {
+        // Lemma 3 direction, end to end.
+        let g = paper_section5_game(0.8, 1.0);
+        let s0 = vec![0.0; 8];
+        let mut s1 = s0.clone();
+        s1[7] = 0.5;
+        let st0 = g.state(&s0).unwrap();
+        let st1 = g.state(&s1).unwrap();
+        assert!(st1.phi > st0.phi);
+        assert!(st1.theta_i[7] > st0.theta_i[7]);
+        for j in 0..7 {
+            assert!(st1.theta_i[j] < st0.theta_i[j], "CP {j} must lose throughput");
+        }
+    }
+
+    #[test]
+    fn marginal_utility_matches_finite_difference() {
+        let g = paper_section5_game(0.6, 1.0);
+        // Interior profile: the finite-difference stencil must stay in the box.
+        let s = vec![0.1, 0.07, 0.3, 0.2, 0.4, 0.15, 0.25, 0.05];
+        for i in 0..8 {
+            let fd = derivative(&|si| {
+                let mut ss = s.clone();
+                ss[i] = si;
+                g.utility(i, &ss).unwrap()
+            }, s[i])
+            .unwrap();
+            let an = g.marginal_utility(i, &s).unwrap();
+            assert!((an - fd).abs() < 1e-6, "CP {i}: analytic {an} vs fd {fd}");
+        }
+    }
+
+    #[test]
+    fn marginal_utility_under_clamping() {
+        let g = paper_section5_game(0.2, 1.0).with_clamped_price(true);
+        let mut s = vec![0.0; 8];
+        s[3] = 0.6; // t_3 = -0.4 -> clamped to 0
+        let state = g.state(&s).unwrap();
+        let u = g.marginal_utility_at_state(3, &s, &state);
+        assert!((u + state.theta_i[3]).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dtheta_dsi_positive() {
+        // Lemma 3: own throughput increases in own subsidy.
+        let g = paper_section5_game(0.7, 1.0);
+        let s = vec![0.2; 8];
+        let state = g.state(&s).unwrap();
+        for i in 0..8 {
+            assert!(g.dtheta_dsi_at_state(i, &s, &state) > 0.0);
+        }
+    }
+
+    #[test]
+    fn utilities_structure() {
+        let g = paper_section5_game(0.5, 1.0);
+        let s = vec![0.25; 8];
+        let us = g.utilities(&s).unwrap();
+        let state = g.state(&s).unwrap();
+        for i in 0..8 {
+            let expect = (g.profitability(i) - 0.25) * state.theta_i[i];
+            assert!((us[i] - expect).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn effective_cap_min_of_q_and_v() {
+        let g = paper_section5_game(0.5, 0.7);
+        assert_eq!(g.effective_cap(0), 0.5); // v = 0.5 < q
+        assert_eq!(g.effective_cap(7), 0.7); // v = 1.0 > q
+    }
+
+    #[test]
+    fn with_price_and_cap_roundtrip() {
+        let g = paper_section5_game(0.5, 1.0);
+        let g2 = g.with_price(0.9).unwrap();
+        assert_eq!(g2.price(), 0.9);
+        assert_eq!(g2.cap(), 1.0);
+        let g3 = g.with_cap(0.3).unwrap();
+        assert_eq!(g3.cap(), 0.3);
+        assert_eq!(g3.price(), 0.5);
+    }
+
+    #[test]
+    fn with_profitability_changes_only_v() {
+        let g = paper_section5_game(0.5, 1.0);
+        let g2 = g.with_profitability(0, 2.0).unwrap();
+        assert_eq!(g2.profitability(0), 2.0);
+        assert_eq!(g2.profitability(1), g.profitability(1));
+        assert!(g.with_profitability(99, 1.0).is_err());
+    }
+
+    #[test]
+    fn revenue_and_outlay() {
+        let g = paper_section5_game(0.5, 1.0);
+        let s = vec![0.2; 8];
+        let state = g.state(&s).unwrap();
+        let r = g.isp_revenue(&s).unwrap();
+        assert!((r - 0.5 * state.theta()).abs() < 1e-12);
+        let outlay = g.subsidy_outlay(&s).unwrap();
+        assert!((outlay - 0.2 * state.theta()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_cap_forces_baseline() {
+        // q = 0 is the paper's regulated baseline: only s = 0 is feasible.
+        let g = paper_section5_game(0.5, 0.0);
+        assert!(g.validate(&vec![0.0; 8]).is_ok());
+        assert!(g.validate(&vec![0.1; 8]).is_err());
+    }
+}

@@ -1,0 +1,80 @@
+//! # `subcomp-core` — subsidization competition (paper §4–5)
+//!
+//! The primary contribution of *Subsidization Competition: Vitalizing the
+//! Neutral Internet* (Ma, CoNEXT 2014): content providers (CPs) voluntarily
+//! subsidize the usage-based fee of their own traffic, `s_i ∈ [0, q]`,
+//! under a regulatory cap `q`, competing through the congestion and demand
+//! externalities of the shared access network.
+//!
+//! Layered on `subcomp-model` (the physical system of §3):
+//!
+//! * [`game`] — the strategic form: effective prices `t_i = p − s_i`,
+//!   utilities `U_i = (v_i − s_i) θ_i(s)` and analytic marginal utilities;
+//! * [`best_response`], [`nash`] — Gauss–Seidel/Jacobi best-response
+//!   solvers for the Nash equilibrium of Definition 3;
+//! * [`vi`] — the same equilibrium as a box-constrained variational
+//!   inequality `VI(−u, [0,q]^N)` with projection and extragradient
+//!   solvers (the formulation behind Theorems 4 and 6);
+//! * [`equilibrium`] — Theorem 3's threshold characterization
+//!   `s_i = min{τ_i(s), q}` and KKT/deviation verification;
+//! * [`structure`] — Theorem 4's P-function uniqueness condition and
+//!   Corollary 1's off-diagonal monotonicity / M-matrix structure;
+//! * [`sensitivity`] — Theorem 6's equilibrium dynamics `∂s/∂p`, `∂s/∂q`
+//!   via the inverse Jacobian `Ψ = (∇_s̃ ũ)^{-1}`;
+//! * [`dynamics`] — discrete and continuous best-response dynamics
+//!   (off-equilibrium behaviour, §6);
+//! * [`revenue`] — ISP revenue under equilibrium response and Theorem 7's
+//!   marginal revenue with the `Υ` factor;
+//! * [`pricing`] — the ISP's revenue-maximizing price `p*(q)`;
+//! * [`welfare`] — system welfare `W = Σ v_i θ_i`, Corollary 2;
+//! * [`policy`] — Theorem 8's policy effect with endogenous `p(q)` and
+//!   regulator tooling;
+//! * [`capacity`] — the §6 capacity-planning extension.
+//!
+//! ## Example: a two-provider subsidy war
+//!
+//! ```
+//! use subcomp_model::aggregation::{build_system, ExpCpSpec};
+//! use subcomp_core::game::SubsidyGame;
+//! use subcomp_core::nash::NashSolver;
+//!
+//! // A profitable video CP and a startup, price 0.6, cap 0.8.
+//! let sys = build_system(&[
+//!     ExpCpSpec::unit(4.0, 2.0, 1.0),   // price-elastic users, v = 1
+//!     ExpCpSpec::unit(2.0, 5.0, 0.2),   // congestion-sensitive, poor
+//! ], 1.0).unwrap();
+//! let game = SubsidyGame::new(sys, 0.6, 0.8).unwrap();
+//! let eq = NashSolver::default().solve(&game).unwrap();
+//! assert!(eq.converged);
+//! // The profitable CP subsidizes; the startup cannot afford to.
+//! assert!(eq.subsidies[0] > 0.1);
+//! assert!(eq.subsidies[1] < 0.05);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod best_response;
+pub mod capacity;
+pub mod duopoly;
+pub mod dynamics;
+pub mod equilibrium;
+pub mod game;
+pub mod nash;
+pub mod policy;
+pub mod pricing;
+pub mod revenue;
+pub mod sensitivity;
+pub mod structure;
+pub mod vi;
+pub mod welfare;
+
+/// One-stop imports for game-layer usage.
+pub mod prelude {
+    pub use crate::equilibrium::{verify_equilibrium, EquilibriumReport};
+    pub use crate::game::SubsidyGame;
+    pub use crate::nash::{NashSolution, NashSolver, SweepMode};
+    pub use crate::pricing::optimal_price;
+    pub use crate::sensitivity::{ActiveSet, Sensitivity};
+    pub use crate::welfare::{welfare, WelfareBreakdown};
+}

@@ -1,0 +1,304 @@
+//! Nash equilibrium solvers (Definition 3) by iterated best response.
+//!
+//! The primary solver sweeps providers **Gauss–Seidel** style (each best
+//! response immediately visible to the next provider), optionally damped;
+//! a **Jacobi** sweep (simultaneous responses) is available as an
+//! independent cross-check and for studying the paper's stability story —
+//! under Theorem 4's P-function condition both settle on the same unique
+//! equilibrium.
+//!
+//! Convergence is declared on the sup-norm of the sweep update; the
+//! returned [`NashSolution`] carries the full solved state and diagnostics,
+//! and [`crate::equilibrium::verify_equilibrium`] can be used post-hoc for
+//! an independent KKT/deviation certificate.
+
+use crate::best_response::{best_response, BrConfig};
+use crate::game::SubsidyGame;
+use subcomp_model::system::SystemState;
+use subcomp_num::seq::ConvergenceTracker;
+use subcomp_num::{NumError, NumResult};
+
+/// Sweep order for the best-response iteration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SweepMode {
+    /// Sequential sweeps: provider `i` reacts to the freshest profile.
+    GaussSeidel,
+    /// Simultaneous sweeps: all providers react to the previous profile.
+    Jacobi,
+}
+
+/// A solved equilibrium (or the best iterate when not converged).
+#[derive(Debug, Clone, PartialEq)]
+pub struct NashSolution {
+    /// Equilibrium subsidies `s*`.
+    pub subsidies: Vec<f64>,
+    /// Solved system state at `s*`.
+    pub state: SystemState,
+    /// Utilities `U_i(s*)`.
+    pub utilities: Vec<f64>,
+    /// Best-response sweeps performed.
+    pub iterations: usize,
+    /// Sup-norm of the final sweep update.
+    pub residual: f64,
+    /// Whether the residual met the tolerance within the budget.
+    pub converged: bool,
+}
+
+impl NashSolution {
+    /// ISP revenue `p · θ(s*)` at this equilibrium (price from `game`).
+    pub fn isp_revenue(&self, game: &SubsidyGame) -> f64 {
+        game.price() * self.state.theta()
+    }
+
+    /// System welfare `W = Σ v_i θ_i` at this equilibrium.
+    pub fn welfare(&self, game: &SubsidyGame) -> f64 {
+        (0..game.n())
+            .map(|i| game.profitability(i) * self.state.theta_i[i])
+            .sum()
+    }
+}
+
+/// Iterated best-response Nash solver.
+#[derive(Debug, Clone, Copy)]
+pub struct NashSolver {
+    /// Sweep order.
+    pub mode: SweepMode,
+    /// Damping `ω ∈ (0, 1]`: `s ← (1−ω) s + ω BR(s)`.
+    pub damping: f64,
+    /// Convergence threshold on the sup-norm sweep update.
+    pub tol: f64,
+    /// Maximum sweeps.
+    pub max_sweeps: usize,
+    /// Inner best-response configuration.
+    pub br: BrConfig,
+}
+
+impl Default for NashSolver {
+    fn default() -> Self {
+        NashSolver {
+            mode: SweepMode::GaussSeidel,
+            damping: 1.0,
+            tol: 1e-9,
+            max_sweeps: 600,
+            br: BrConfig::default(),
+        }
+    }
+}
+
+impl NashSolver {
+    /// Returns a copy using Jacobi sweeps.
+    pub fn jacobi(mut self) -> Self {
+        self.mode = SweepMode::Jacobi;
+        self
+    }
+
+    /// Returns a copy with damping `ω ∈ (0, 1]`.
+    pub fn with_damping(mut self, omega: f64) -> Self {
+        self.damping = omega.clamp(f64::MIN_POSITIVE, 1.0);
+        self
+    }
+
+    /// Returns a copy with a different convergence threshold.
+    pub fn with_tol(mut self, tol: f64) -> Self {
+        self.tol = tol.max(0.0);
+        self
+    }
+
+    /// Returns a copy with a different sweep budget.
+    pub fn with_max_sweeps(mut self, n: usize) -> Self {
+        self.max_sweeps = n.max(1);
+        self
+    }
+
+    /// Solves from the no-subsidy profile `s = 0` (the paper's baseline).
+    pub fn solve(&self, game: &SubsidyGame) -> NumResult<NashSolution> {
+        self.solve_from(game, &vec![0.0; game.n()])
+    }
+
+    /// Solves from an explicit starting profile — warm starts make the
+    /// `p`/`q` sweeps of Figures 7–11 fast and continuous.
+    pub fn solve_from(&self, game: &SubsidyGame, s0: &[f64]) -> NumResult<NashSolution> {
+        game.validate(s0)?;
+        let n = game.n();
+        if n == 0 {
+            let state = game.state(&[])?;
+            return Ok(NashSolution {
+                subsidies: vec![],
+                state,
+                utilities: vec![],
+                iterations: 0,
+                residual: 0.0,
+                converged: true,
+            });
+        }
+        // Clamp the start into the effective box [0, min(q, v_i)].
+        let mut s: Vec<f64> = (0..n).map(|i| s0[i].clamp(0.0, game.effective_cap(i))).collect();
+        let mut tracker = ConvergenceTracker::new(6);
+        tracker.push(&s);
+        let mut residual = f64::INFINITY;
+        for sweep in 0..self.max_sweeps {
+            let reference = s.clone(); // Jacobi responds to this snapshot
+            let mut next = s.clone();
+            for i in 0..n {
+                let basis = match self.mode {
+                    SweepMode::GaussSeidel => &next,
+                    SweepMode::Jacobi => &reference,
+                };
+                let br = best_response(game, i, basis, &self.br)?;
+                next[i] = (1.0 - self.damping) * s[i] + self.damping * br.s;
+            }
+            residual = tracker.push(&next).unwrap_or(f64::INFINITY);
+            s = next;
+            if residual <= self.tol {
+                let state = game.state(&s)?;
+                let utilities = (0..n).map(|i| game.utility_at_state(i, &s, &state)).collect();
+                return Ok(NashSolution {
+                    subsidies: s,
+                    state,
+                    utilities,
+                    iterations: sweep + 1,
+                    residual,
+                    converged: true,
+                });
+            }
+        }
+        Err(NumError::MaxIterations { max_iter: self.max_sweeps, residual })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use subcomp_model::aggregation::{build_system, ExpCpSpec};
+
+    fn paper_game(p: f64, q: f64) -> SubsidyGame {
+        let mut specs = Vec::new();
+        for &v in &[0.5, 1.0] {
+            for &alpha in &[2.0, 5.0] {
+                for &beta in &[2.0, 5.0] {
+                    specs.push(ExpCpSpec::unit(alpha, beta, v));
+                }
+            }
+        }
+        SubsidyGame::new(build_system(&specs, 1.0).unwrap(), p, q).unwrap()
+    }
+
+    #[test]
+    fn solves_paper_section5_game() {
+        let game = paper_game(0.5, 1.0);
+        let eq = NashSolver::default().solve(&game).unwrap();
+        assert!(eq.converged);
+        assert!(eq.residual <= 1e-9);
+        // All subsidies feasible.
+        for (i, &si) in eq.subsidies.iter().enumerate() {
+            assert!(si >= 0.0 && si <= game.effective_cap(i) + 1e-12);
+        }
+    }
+
+    #[test]
+    fn gauss_seidel_and_jacobi_agree() {
+        // Theorem 4 uniqueness: independent solvers land on the same point.
+        let game = paper_game(0.7, 0.6);
+        let gs = NashSolver::default().solve(&game).unwrap();
+        let jc = NashSolver::default().jacobi().with_damping(0.7).solve(&game).unwrap();
+        for i in 0..8 {
+            assert!(
+                (gs.subsidies[i] - jc.subsidies[i]).abs() < 1e-6,
+                "CP {i}: GS {} vs Jacobi {}",
+                gs.subsidies[i],
+                jc.subsidies[i]
+            );
+        }
+    }
+
+    #[test]
+    fn warm_start_agrees_with_cold_start() {
+        let game = paper_game(0.9, 1.0);
+        let cold = NashSolver::default().solve(&game).unwrap();
+        let warm = NashSolver::default()
+            .solve_from(&game, &vec![0.3; 8])
+            .unwrap();
+        for i in 0..8 {
+            assert!((cold.subsidies[i] - warm.subsidies[i]).abs() < 1e-6);
+        }
+        assert!(warm.iterations <= cold.iterations + 5);
+    }
+
+    #[test]
+    fn zero_cap_yields_zero_subsidies() {
+        let game = paper_game(0.5, 0.0);
+        let eq = NashSolver::default().solve(&game).unwrap();
+        assert!(eq.subsidies.iter().all(|&s| s == 0.0));
+        assert!(eq.converged);
+        assert_eq!(eq.iterations, 1);
+    }
+
+    #[test]
+    fn profitable_cps_subsidize_more() {
+        // Figure 8's headline pattern: v = 1 types out-subsidize v = 0.5
+        // types with the same (alpha, beta).
+        let game = paper_game(0.5, 1.0);
+        let eq = NashSolver::default().solve(&game).unwrap();
+        // Spec order: v=0.5 block (0..4), v=1.0 block (4..8), same
+        // (alpha, beta) order within each block.
+        for k in 0..4 {
+            assert!(
+                eq.subsidies[4 + k] >= eq.subsidies[k] - 1e-9,
+                "type {k}: v=1 subsidy {} < v=0.5 subsidy {}",
+                eq.subsidies[4 + k],
+                eq.subsidies[k]
+            );
+        }
+    }
+
+    #[test]
+    fn high_alpha_cps_subsidize_more() {
+        // Figure 8: demand-elastic types (alpha = 5) subsidize more than
+        // alpha = 2 types at the same (beta, v).
+        let game = paper_game(0.5, 1.0);
+        let eq = NashSolver::default().solve(&game).unwrap();
+        // Within each v block: indices 0,1 are alpha=2; 2,3 are alpha=5.
+        for blk in [0usize, 4] {
+            for b in 0..2 {
+                assert!(
+                    eq.subsidies[blk + 2 + b] >= eq.subsidies[blk + b] - 1e-9,
+                    "block {blk} beta-index {b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn empty_game() {
+        let sys = build_system(&[], 1.0).unwrap();
+        let game = SubsidyGame::new(sys, 0.5, 1.0).unwrap();
+        let eq = NashSolver::default().solve(&game).unwrap();
+        assert!(eq.converged);
+        assert!(eq.subsidies.is_empty());
+    }
+
+    #[test]
+    fn solution_accessors() {
+        let game = paper_game(0.5, 1.0);
+        let eq = NashSolver::default().solve(&game).unwrap();
+        assert!((eq.isp_revenue(&game) - 0.5 * eq.state.theta()).abs() < 1e-12);
+        let w: f64 = (0..8).map(|i| game.profitability(i) * eq.state.theta_i[i]).sum();
+        assert!((eq.welfare(&game) - w).abs() < 1e-12);
+    }
+
+    #[test]
+    fn equilibrium_continuous_in_price() {
+        // s(p) should move smoothly (Theorem 6 differentiability): small
+        // price perturbations move the equilibrium by O(dp).
+        let a = NashSolver::default().solve(&paper_game(0.50, 1.0)).unwrap();
+        let b = NashSolver::default().solve(&paper_game(0.52, 1.0)).unwrap();
+        for i in 0..8 {
+            assert!(
+                (a.subsidies[i] - b.subsidies[i]).abs() < 0.1,
+                "CP {i} jumped: {} -> {}",
+                a.subsidies[i],
+                b.subsidies[i]
+            );
+        }
+    }
+}

@@ -1,0 +1,173 @@
+//! ISP revenue under equilibrium response (Theorem 7).
+//!
+//! With subsidies at their Nash response `s(p)`, the ISP's revenue is
+//! `R(p) = p Σ_i m_i(p − s_i(p)) λ_i(φ(s(p)))` and its marginal revenue
+//! decomposes as
+//!
+//! ```text
+//! dR/dp = Σ_i θ_i + Υ Σ_i ε^{m_i}_p θ_i,
+//! Υ = 1 + Σ_j ε^{λ_j}_{m_j},      ε^{m_i}_p = (p/m_i) m_i'(t_i) (1 − ∂s_i/∂p),
+//! ```
+//!
+//! isolating the subsidization feedback in the `∂s_i/∂p` terms (one-sided
+//! pricing is the special case `∂s_i/∂p = 0`). The `Υ` factor is the
+//! physical-layer attenuation of Equation (14).
+
+use crate::game::SubsidyGame;
+use crate::nash::{NashSolution, NashSolver};
+use crate::sensitivity::Sensitivity;
+use subcomp_num::NumResult;
+
+/// Revenue and its Theorem 7 decomposition at one price.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MarginalRevenue {
+    /// The price at which everything is evaluated.
+    pub p: f64,
+    /// Revenue `R(p)` at the equilibrium response.
+    pub revenue: f64,
+    /// The volume term `Σ_i θ_i` of Theorem 7.
+    pub volume_term: f64,
+    /// The elasticity term `Υ Σ_i ε^{m_i}_p θ_i` of Theorem 7.
+    pub elasticity_term: f64,
+    /// `Υ` itself.
+    pub upsilon: f64,
+    /// Marginal revenue `dR/dp` (sum of the two terms).
+    pub dr_dp: f64,
+}
+
+/// Solves the equilibrium at `(p, q)` and evaluates Theorem 7's marginal
+/// revenue formula there. Uses [`Sensitivity`] for the `∂s_i/∂p` feedback.
+pub fn marginal_revenue(game: &SubsidyGame, solver: &NashSolver) -> NumResult<MarginalRevenue> {
+    let eq = solver.solve(game)?;
+    marginal_revenue_at(game, &eq)
+}
+
+/// Theorem 7 evaluated at an already-solved equilibrium.
+pub fn marginal_revenue_at(game: &SubsidyGame, eq: &NashSolution) -> NumResult<MarginalRevenue> {
+    let p = game.price();
+    let s = &eq.subsidies;
+    let state = &eq.state;
+    let sens = Sensitivity::compute(game, s)?;
+    let n = game.n();
+    // Υ = 1 + Σ_j ε^{λ_j}_{m_j} = 1 + Σ_j m_j λ_j'(φ) / (dg/dφ)  (Eq. 14).
+    let upsilon = 1.0
+        + (0..n)
+            .map(|j| state.m[j] * game.system().cp(j).throughput().dlambda_dphi(state.phi))
+            .sum::<f64>()
+            / state.dg_dphi;
+    let volume_term = state.theta();
+    let mut elasticity_sum = 0.0;
+    for i in 0..n {
+        if state.m[i] == 0.0 {
+            continue;
+        }
+        let t_i = p - s[i];
+        let eps_m_p = p / state.m[i]
+            * game.system().cp(i).demand().dm_dt(t_i)
+            * (1.0 - sens.ds_dp[i]);
+        elasticity_sum += eps_m_p * state.theta_i[i];
+    }
+    let elasticity_term = upsilon * elasticity_sum;
+    Ok(MarginalRevenue {
+        p,
+        revenue: p * state.theta(),
+        volume_term,
+        elasticity_term,
+        upsilon,
+        dr_dp: volume_term + elasticity_term,
+    })
+}
+
+/// Revenue at a single `(p, q)` with equilibrium response, convenience
+/// wrapper returning `(R, equilibrium)`.
+pub fn revenue_with_response(
+    game: &SubsidyGame,
+    solver: &NashSolver,
+) -> NumResult<(f64, NashSolution)> {
+    let eq = solver.solve(game)?;
+    Ok((eq.isp_revenue(game), eq))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use subcomp_model::aggregation::{build_system, ExpCpSpec};
+
+    fn paper_game(p: f64, q: f64) -> SubsidyGame {
+        let mut specs = Vec::new();
+        for &v in &[0.5, 1.0] {
+            for &alpha in &[2.0, 5.0] {
+                for &beta in &[2.0, 5.0] {
+                    specs.push(ExpCpSpec::unit(alpha, beta, v));
+                }
+            }
+        }
+        SubsidyGame::new(build_system(&specs, 1.0).unwrap(), p, q).unwrap()
+    }
+
+    fn numeric_dr_dp(q: f64, p: f64, h: f64) -> f64 {
+        let solver = NashSolver::default().with_tol(1e-10);
+        let hi = revenue_with_response(&paper_game(p + h, q), &solver).unwrap().0;
+        let lo = revenue_with_response(&paper_game(p - h, q), &solver).unwrap().0;
+        (hi - lo) / (2.0 * h)
+    }
+
+    #[test]
+    fn marginal_revenue_matches_finite_difference_interior() {
+        // q large enough that subsidies are interior: the ∂s/∂p feedback
+        // matters and Theorem 7 must still match.
+        let (p, q) = (0.9, 1.0);
+        let game = paper_game(p, q);
+        let mr = marginal_revenue(&game, &NashSolver::default().with_tol(1e-10)).unwrap();
+        let fd = numeric_dr_dp(q, p, 1e-4);
+        assert!(
+            (mr.dr_dp - fd).abs() < 2e-2 * (1.0 + fd.abs()),
+            "theorem {} vs fd {fd}",
+            mr.dr_dp
+        );
+    }
+
+    #[test]
+    fn marginal_revenue_matches_finite_difference_pinned() {
+        // Small q: most subsidies pinned at the cap, ds/dp = 0 there.
+        let (p, q) = (0.5, 0.15);
+        let game = paper_game(p, q);
+        let mr = marginal_revenue(&game, &NashSolver::default().with_tol(1e-10)).unwrap();
+        let fd = numeric_dr_dp(q, p, 1e-4);
+        assert!(
+            (mr.dr_dp - fd).abs() < 2e-2 * (1.0 + fd.abs()),
+            "theorem {} vs fd {fd}",
+            mr.dr_dp
+        );
+    }
+
+    #[test]
+    fn one_sided_special_case_matches_model_crate() {
+        // q = 0 collapses Theorem 7 to the one-sided marginal revenue; the
+        // model crate computes the same quantity through Theorem 2.
+        let (p, q) = (0.7, 0.0);
+        let game = paper_game(p, q);
+        let mr = marginal_revenue(&game, &NashSolver::default()).unwrap();
+        let fd = numeric_dr_dp(q, p, 1e-5);
+        assert!((mr.dr_dp - fd).abs() < 1e-3 * (1.0 + fd.abs()), "{} vs {fd}", mr.dr_dp);
+    }
+
+    #[test]
+    fn upsilon_in_unit_interval() {
+        // Υ = 1 + Σ ε^{λ}_{m} with the sum in (-1, 0) under Lemma 1.
+        for (p, q) in [(0.3, 0.5), (0.8, 1.0), (1.5, 2.0)] {
+            let game = paper_game(p, q);
+            let mr = marginal_revenue(&game, &NashSolver::default()).unwrap();
+            assert!(mr.upsilon > 0.0 && mr.upsilon < 1.0, "upsilon = {}", mr.upsilon);
+        }
+    }
+
+    #[test]
+    fn volume_and_elasticity_terms_have_expected_signs() {
+        let game = paper_game(0.8, 0.5);
+        let mr = marginal_revenue(&game, &NashSolver::default()).unwrap();
+        assert!(mr.volume_term > 0.0);
+        assert!(mr.elasticity_term < 0.0, "demand response must drag revenue");
+        assert!((mr.dr_dp - (mr.volume_term + mr.elasticity_term)).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,269 @@
+//! Equilibrium sensitivity analysis (Theorem 6).
+//!
+//! Near a regular equilibrium, `s(p, q)` is differentiable with
+//!
+//! ```text
+//! ∂s_i/∂q = 0                                  i ∈ N⁻ (pinned at 0)
+//! ∂s_i/∂q = 1                                  i ∈ N⁺ (pinned at q)
+//! ∂s_i/∂q = −Σ_k ψ_{ik} Σ_{j∈N⁺} ∂u_k/∂s_j     i ∈ Ñ  (interior)
+//!
+//! ∂s_i/∂p = 0                                  i ∉ Ñ
+//! ∂s_i/∂p = −Σ_k ψ_{ik} ∂u_k/∂p                i ∈ Ñ
+//! ```
+//!
+//! with `Ψ = (∇_s̃ ũ)^{-1}`, the inverse Jacobian of interior marginal
+//! utilities. This module classifies the active sets, assembles the
+//! Jacobian (central differences of the *analytic* `u`), inverts it by LU,
+//! and reports both derivative vectors. Degenerate equilibria (a pinned
+//! provider with `u_i = 0`, violating strict complementarity) are flagged
+//! rather than silently differentiated.
+
+use crate::equilibrium::PIN_TOL;
+use crate::game::SubsidyGame;
+use crate::structure::marginal_utility_jacobian;
+use subcomp_num::linalg::lu::LuDecomposition;
+use subcomp_num::{NumError, NumResult};
+
+/// The boundary classification `N⁻ / Ñ / N⁺` of an equilibrium profile.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ActiveSet {
+    /// Providers pinned at `s_i = 0`.
+    pub lower: Vec<usize>,
+    /// Interior providers (`0 < s_i < q`).
+    pub interior: Vec<usize>,
+    /// Providers pinned at `s_i = q`.
+    pub upper: Vec<usize>,
+}
+
+impl ActiveSet {
+    /// Classifies a profile against the box `[0, q]` with tolerance
+    /// [`PIN_TOL`].
+    pub fn classify(s: &[f64], q: f64) -> ActiveSet {
+        let mut lower = Vec::new();
+        let mut interior = Vec::new();
+        let mut upper = Vec::new();
+        for (i, &si) in s.iter().enumerate() {
+            if si <= PIN_TOL {
+                lower.push(i);
+            } else if si >= q - PIN_TOL {
+                upper.push(i);
+            } else {
+                interior.push(i);
+            }
+        }
+        ActiveSet { lower, interior, upper }
+    }
+}
+
+/// Theorem 6 sensitivities at an equilibrium.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sensitivity {
+    /// Active-set partition used.
+    pub active: ActiveSet,
+    /// `∂s_i/∂q` per provider.
+    pub ds_dq: Vec<f64>,
+    /// `∂s_i/∂p` per provider.
+    pub ds_dp: Vec<f64>,
+    /// Whether strict complementarity held (no pinned provider with
+    /// `u_i ≈ 0`); when false the derivatives are one-sided at best.
+    pub regular: bool,
+}
+
+impl Sensitivity {
+    /// Computes Theorem 6's formulas at the (solved) equilibrium `s`.
+    pub fn compute(game: &SubsidyGame, s: &[f64]) -> NumResult<Sensitivity> {
+        game.validate(s)?;
+        let n = game.n();
+        let q = game.cap();
+        let active = ActiveSet::classify(s, q);
+        let u = game.marginal_utilities(s)?;
+
+        // Regularity (strict complementarity): pinned providers must have
+        // strictly one-sided marginal utility.
+        let mut regular = true;
+        for &i in &active.lower {
+            if u[i].abs() <= 1e-6 {
+                regular = false;
+            }
+        }
+        for &i in &active.upper {
+            if u[i].abs() <= 1e-6 {
+                regular = false;
+            }
+        }
+
+        let mut ds_dq = vec![0.0; n];
+        let mut ds_dp = vec![0.0; n];
+        for &i in &active.upper {
+            ds_dq[i] = 1.0;
+        }
+        if !active.interior.is_empty() {
+            let jac = marginal_utility_jacobian(game, s)?;
+            let sub = jac.submatrix(&active.interior)?;
+            let lu = LuDecomposition::new(&sub).map_err(|e| match e {
+                NumError::SingularMatrix { pivot, magnitude } => {
+                    NumError::SingularMatrix { pivot, magnitude }
+                }
+                other => other,
+            })?;
+
+            // ∂s̃/∂q = −Ψ · (Σ_{j∈N⁺} ∂u_k/∂s_j)_k  — solve instead of invert.
+            if !active.upper.is_empty() {
+                let rhs: Vec<f64> = active
+                    .interior
+                    .iter()
+                    .map(|&k| active.upper.iter().map(|&j| jac[(k, j)]).sum::<f64>())
+                    .collect();
+                let sol = lu.solve(&rhs)?;
+                for (slot, &i) in active.interior.iter().enumerate() {
+                    ds_dq[i] = -sol[slot];
+                }
+            }
+
+            // ∂s̃/∂p = −Ψ ∂ũ/∂p with ∂u/∂p by central difference.
+            let h = 1e-6 * (1.0 + game.price());
+            let up = game.with_price(game.price() + h)?.marginal_utilities(s)?;
+            let low_price = (game.price() - h).max(0.0);
+            let um = game.with_price(low_price)?.marginal_utilities(s)?;
+            let denom = game.price() + h - low_price;
+            let rhs: Vec<f64> = active
+                .interior
+                .iter()
+                .map(|&k| (up[k] - um[k]) / denom)
+                .collect();
+            let sol = lu.solve(&rhs)?;
+            for (slot, &i) in active.interior.iter().enumerate() {
+                ds_dp[i] = -sol[slot];
+            }
+        }
+        Ok(Sensitivity { active, ds_dq, ds_dp, regular })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nash::NashSolver;
+    use subcomp_model::aggregation::{build_system, ExpCpSpec};
+
+    fn paper_game(p: f64, q: f64) -> SubsidyGame {
+        let mut specs = Vec::new();
+        for &v in &[0.5, 1.0] {
+            for &alpha in &[2.0, 5.0] {
+                for &beta in &[2.0, 5.0] {
+                    specs.push(ExpCpSpec::unit(alpha, beta, v));
+                }
+            }
+        }
+        SubsidyGame::new(build_system(&specs, 1.0).unwrap(), p, q).unwrap()
+    }
+
+    fn solve(game: &SubsidyGame) -> Vec<f64> {
+        NashSolver::default().with_tol(1e-10).solve(game).unwrap().subsidies
+    }
+
+    #[test]
+    fn active_set_classification() {
+        let a = ActiveSet::classify(&[0.0, 0.5, 1.0, 1e-9, 1.0 - 1e-9], 1.0);
+        assert_eq!(a.lower, vec![0, 3]);
+        assert_eq!(a.interior, vec![1]);
+        assert_eq!(a.upper, vec![2, 4]);
+    }
+
+    #[test]
+    fn ds_dq_matches_finite_difference_of_equilibria() {
+        // A setting with all three sets populated: moderate price, cap
+        // binding for the most aggressive CPs.
+        let q = 0.35;
+        let game = paper_game(0.6, q);
+        let s = solve(&game);
+        let sens = Sensitivity::compute(&game, &s).unwrap();
+        let h = 1e-4;
+        let s_hi = solve(&game.with_cap(q + h).unwrap());
+        let s_lo = solve(&game.with_cap(q - h).unwrap());
+        for i in 0..8 {
+            let fd = (s_hi[i] - s_lo[i]) / (2.0 * h);
+            assert!(
+                (sens.ds_dq[i] - fd).abs() < 2e-2 * (1.0 + fd.abs()),
+                "CP {i}: theorem {} vs fd {fd} (active: {:?})",
+                sens.ds_dq[i],
+                sens.active
+            );
+        }
+    }
+
+    #[test]
+    fn ds_dp_matches_finite_difference_of_equilibria() {
+        let p = 0.9;
+        let game = paper_game(p, 1.0);
+        let s = solve(&game);
+        let sens = Sensitivity::compute(&game, &s).unwrap();
+        let h = 1e-4;
+        let s_hi = solve(&game.with_price(p + h).unwrap());
+        let s_lo = solve(&game.with_price(p - h).unwrap());
+        for i in 0..8 {
+            let fd = (s_hi[i] - s_lo[i]) / (2.0 * h);
+            assert!(
+                (sens.ds_dp[i] - fd).abs() < 2e-2 * (1.0 + fd.abs()),
+                "CP {i}: theorem {} vs fd {fd}",
+                sens.ds_dp[i]
+            );
+        }
+    }
+
+    #[test]
+    fn pinned_at_cap_moves_one_for_one_with_q() {
+        // Small p, small q: everyone profitable is pinned; Theorem 6 says
+        // ds/dq = 1 for them.
+        let game = paper_game(0.2, 0.1);
+        let s = solve(&game);
+        let sens = Sensitivity::compute(&game, &s).unwrap();
+        assert!(!sens.active.upper.is_empty());
+        for &i in &sens.active.upper {
+            assert_eq!(sens.ds_dq[i], 1.0);
+        }
+        for &i in &sens.active.lower {
+            assert_eq!(sens.ds_dq[i], 0.0);
+            assert_eq!(sens.ds_dp[i], 0.0);
+        }
+    }
+
+    #[test]
+    fn corollary1_nonnegative_ds_dq() {
+        // Under off-diagonal monotonicity (checked in structure tests for
+        // this game), Corollary 1 gives ds/dq >= 0 for every provider.
+        for (p, q) in [(0.4, 0.3), (0.6, 0.35), (0.8, 0.5)] {
+            let game = paper_game(p, q);
+            let s = solve(&game);
+            let sens = Sensitivity::compute(&game, &s).unwrap();
+            for i in 0..8 {
+                assert!(
+                    sens.ds_dq[i] >= -1e-8,
+                    "(p={p}, q={q}) CP {i}: ds/dq = {}",
+                    sens.ds_dq[i]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn regularity_flag_on_clean_equilibrium() {
+        let game = paper_game(0.6, 0.35);
+        let s = solve(&game);
+        let sens = Sensitivity::compute(&game, &s).unwrap();
+        assert!(sens.regular, "paper equilibrium should satisfy strict complementarity");
+    }
+
+    #[test]
+    fn all_interior_case_has_zero_dq_except_psi_terms() {
+        // Large cap: nobody pinned at q; N+ empty makes ds/dq = 0 for
+        // interior providers (Theorem 6 with empty sum).
+        let game = paper_game(0.9, 2.0);
+        let s = solve(&game);
+        let sens = Sensitivity::compute(&game, &s).unwrap();
+        assert!(sens.active.upper.is_empty());
+        for &i in &sens.active.interior {
+            assert!(sens.ds_dq[i].abs() < 1e-9);
+        }
+    }
+}

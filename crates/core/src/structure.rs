@@ -1,0 +1,343 @@
+//! Structural conditions behind uniqueness and stability (Theorem 4,
+//! Corollary 1).
+//!
+//! * **Theorem 4 (uniqueness)**: if for every distinct pair of profiles
+//!   some provider satisfies `(s'_i − s_i)(u_i(s') − u_i(s)) < 0` — i.e.
+//!   `−u` is a *P-function* (Moré–Rheinboldt) — the Nash equilibrium is
+//!   unique. [`p_function_evidence`] tests the condition on deterministic
+//!   pseudo-random profile pairs and reports any counterexample.
+//! * **Corollary 1 (stability/deregulation)**: if `u` is *off-diagonally
+//!   monotone* (`∂u_i/∂s_j ≥ 0` for `j ≠ i`), `∇(−ũ)` is a Leontief
+//!   M-matrix and `∂s/∂q ≥ 0`, `∂φ/∂q ≥ 0`, `∂R/∂q ≥ 0`.
+//!   [`offdiagonal_monotone`] and [`neg_jacobian_is_m_matrix`] verify both
+//!   halves numerically.
+//!
+//! The Jacobian `∇u` is computed by central differences *of the analytic*
+//! marginal utilities, so its cost is `O(n²)` fixed-point solves.
+
+use crate::game::SubsidyGame;
+use subcomp_num::linalg::{is_m_matrix, is_p_matrix, Matrix};
+use subcomp_num::{NumError, NumResult};
+
+/// Minimal deterministic RNG (SplitMix64) for sampling strategy profiles.
+///
+/// Kept dependency-free on purpose: the sampled uniqueness check needs
+/// *reproducible* profiles, not statistical quality.
+#[derive(Debug, Clone)]
+pub struct SplitMix64(u64);
+
+impl SplitMix64 {
+    /// Seeds the generator.
+    pub fn new(seed: u64) -> Self {
+        SplitMix64(seed)
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform sample in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Outcome of the sampled P-function test.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PFunctionEvidence {
+    /// Profile pairs tested.
+    pub pairs_tested: usize,
+    /// A counterexample `(s, s')` violating condition (10), if found.
+    pub counterexample: Option<(Vec<f64>, Vec<f64>)>,
+}
+
+impl PFunctionEvidence {
+    /// Whether no counterexample was found.
+    pub fn holds(&self) -> bool {
+        self.counterexample.is_none()
+    }
+}
+
+/// Samples profile pairs in the effective box and checks Theorem 4's
+/// condition (10): for each pair, some `i` must satisfy
+/// `(s'_i − s_i)(u_i(s') − u_i(s)) < 0`.
+pub fn p_function_evidence(
+    game: &SubsidyGame,
+    pairs: usize,
+    seed: u64,
+) -> NumResult<PFunctionEvidence> {
+    let n = game.n();
+    let mut rng = SplitMix64::new(seed);
+    let caps: Vec<f64> = (0..n).map(|i| game.effective_cap(i)).collect();
+    let sample = |rng: &mut SplitMix64| -> Vec<f64> {
+        (0..n).map(|i| rng.next_f64() * caps[i]).collect()
+    };
+    for _ in 0..pairs {
+        let s = sample(&mut rng);
+        let sp = sample(&mut rng);
+        if s == sp {
+            continue;
+        }
+        let u = game.marginal_utilities(&s)?;
+        let up = game.marginal_utilities(&sp)?;
+        let ok = (0..n).any(|i| (sp[i] - s[i]) * (up[i] - u[i]) < 0.0);
+        if !ok {
+            return Ok(PFunctionEvidence { pairs_tested: pairs, counterexample: Some((s, sp)) });
+        }
+    }
+    Ok(PFunctionEvidence { pairs_tested: pairs, counterexample: None })
+}
+
+/// Central-difference Jacobian of the marginal utilities, `(∇u)_{ij} =
+/// ∂u_i/∂s_j`, at profile `s`. Steps shrink automatically near the box
+/// boundary (one-sided there).
+pub fn marginal_utility_jacobian(game: &SubsidyGame, s: &[f64]) -> NumResult<Matrix> {
+    game.validate(s)?;
+    let n = game.n();
+    let q = game.cap();
+    let h0 = 1e-6 * (1.0 + q);
+    let mut jac = Matrix::zeros(n, n);
+    let mut sp = s.to_vec();
+    for j in 0..n {
+        // Respect the box: central where possible, one-sided at corners.
+        let hj_up = (q - s[j]).min(h0);
+        let hj_dn = s[j].min(h0);
+        let (a, b) = if hj_up > 0.0 && hj_dn > 0.0 {
+            (s[j] - hj_dn, s[j] + hj_up)
+        } else if hj_up > 0.0 {
+            (s[j], s[j] + hj_up)
+        } else if hj_dn > 0.0 {
+            (s[j] - hj_dn, s[j])
+        } else {
+            // Degenerate box (q = 0): derivative is moot.
+            continue;
+        };
+        sp[j] = b;
+        let ub = game.marginal_utilities(&sp)?;
+        sp[j] = a;
+        let ua = game.marginal_utilities(&sp)?;
+        sp[j] = s[j];
+        for i in 0..n {
+            jac[(i, j)] = (ub[i] - ua[i]) / (b - a);
+        }
+    }
+    Ok(jac)
+}
+
+/// Checks Corollary 1's off-diagonal monotonicity (`∂u_i/∂s_j ≥ −tol`,
+/// `j ≠ i`) at a profile, restricted to the rows in `idx` (pass all
+/// indices for the global condition). Returns the most negative
+/// off-diagonal entry found.
+///
+/// Note: for the paper's own exponential parameterization the *global*
+/// condition can fail at rows pinned to the cap — Corollary 1 states it
+/// as a sufficient assumption, not a property of the example. What the
+/// deregulation result actually needs is the condition on the interior
+/// block that enters `Ψ`, which is what the sensitivity tests check.
+pub fn offdiagonal_monotone(
+    game: &SubsidyGame,
+    s: &[f64],
+    idx: &[usize],
+    tol: f64,
+) -> NumResult<(bool, f64)> {
+    check_indices(game.n(), idx)?;
+    let jac = marginal_utility_jacobian(game, s)?;
+    let mut worst = f64::INFINITY;
+    for &i in idx {
+        for &j in idx {
+            if i != j {
+                worst = worst.min(jac[(i, j)]);
+            }
+        }
+    }
+    if idx.len() < 2 {
+        worst = 0.0;
+    }
+    Ok((worst >= -tol, worst))
+}
+
+/// Whether `∇(−u)` restricted to `idx` is a P-matrix at `s` — the local
+/// certificate behind Theorem 6's invertibility of `∇_s̃ ũ`.
+pub fn neg_jacobian_is_p_matrix(game: &SubsidyGame, s: &[f64], idx: &[usize]) -> NumResult<bool> {
+    let jac = marginal_utility_jacobian(game, s)?;
+    let sub = jac.submatrix(idx)?;
+    is_p_matrix(&sub.scale(-1.0), 1e-12)
+}
+
+/// Whether `∇(−u)` restricted to `idx` is an M-matrix at `s` — Corollary
+/// 1's Leontief structure (entrywise-nonnegative inverse ⇒ `∂s/∂q ≥ 0`).
+pub fn neg_jacobian_is_m_matrix(game: &SubsidyGame, s: &[f64], idx: &[usize]) -> NumResult<bool> {
+    let jac = marginal_utility_jacobian(game, s)?;
+    let sub = jac.submatrix(idx)?;
+    is_m_matrix(&sub.scale(-1.0), 1e-12)
+}
+
+/// Dimension guard shared by callers that restrict to interior sets.
+pub fn check_indices(n: usize, idx: &[usize]) -> NumResult<()> {
+    for &i in idx {
+        if i >= n {
+            return Err(NumError::DimensionMismatch { expected: n, actual: i });
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nash::NashSolver;
+    use subcomp_model::aggregation::{build_system, ExpCpSpec};
+
+    fn paper_game(p: f64, q: f64) -> SubsidyGame {
+        let mut specs = Vec::new();
+        for &v in &[0.5, 1.0] {
+            for &alpha in &[2.0, 5.0] {
+                for &beta in &[2.0, 5.0] {
+                    specs.push(ExpCpSpec::unit(alpha, beta, v));
+                }
+            }
+        }
+        SubsidyGame::new(build_system(&specs, 1.0).unwrap(), p, q).unwrap()
+    }
+
+    fn small_game(p: f64, q: f64) -> SubsidyGame {
+        let specs = [ExpCpSpec::unit(4.0, 2.0, 1.0), ExpCpSpec::unit(2.0, 5.0, 0.6)];
+        SubsidyGame::new(build_system(&specs, 1.0).unwrap(), p, q).unwrap()
+    }
+
+    #[test]
+    fn splitmix_deterministic_and_uniformish() {
+        let mut a = SplitMix64::new(42);
+        let mut b = SplitMix64::new(42);
+        let mut sum = 0.0;
+        for _ in 0..1000 {
+            let x = a.next_f64();
+            assert_eq!(x, b.next_f64());
+            assert!((0.0..1.0).contains(&x));
+            sum += x;
+        }
+        assert!((sum / 1000.0 - 0.5).abs() < 0.05);
+    }
+
+    #[test]
+    fn p_function_holds_on_paper_game() {
+        // Theorem 4's condition on sampled pairs for the paper's setting.
+        let game = paper_game(0.6, 1.0);
+        let ev = p_function_evidence(&game, 60, 7).unwrap();
+        assert!(ev.holds(), "counterexample: {:?}", ev.counterexample);
+        assert_eq!(ev.pairs_tested, 60);
+    }
+
+    #[test]
+    fn jacobian_diagonal_negative_at_equilibrium() {
+        // Own-subsidy marginal utility decreases through a maximum: the
+        // diagonal is negative *at the equilibrium* (second-order
+        // condition). Away from stationary points the utility can be
+        // locally convex — e^{αs} growth — so this is deliberately tested
+        // at the solved equilibrium, not an arbitrary profile.
+        let game = small_game(0.8, 1.0);
+        let eq = NashSolver::default().solve(&game).unwrap();
+        let jac = marginal_utility_jacobian(&game, &eq.subsidies).unwrap();
+        assert!(jac[(0, 0)] < 0.0);
+        assert!(jac[(1, 1)] < 0.0);
+    }
+
+    #[test]
+    fn jacobian_matches_direct_difference() {
+        let game = small_game(0.7, 1.0);
+        let s = vec![0.25, 0.15];
+        let jac = marginal_utility_jacobian(&game, &s).unwrap();
+        let h = 1e-6;
+        for (i, j) in [(0usize, 0usize), (0, 1), (1, 0), (1, 1)] {
+            let mut sp = s.clone();
+            sp[j] += h;
+            let up = game.marginal_utility(i, &sp).unwrap();
+            sp[j] -= 2.0 * h;
+            let um = game.marginal_utility(i, &sp).unwrap();
+            let fd = (up - um) / (2.0 * h);
+            assert!((jac[(i, j)] - fd).abs() < 1e-3 * (1.0 + fd.abs()), "entry ({i},{j})");
+        }
+    }
+
+    #[test]
+    fn neg_jacobian_p_matrix_on_interior_block() {
+        // Theorem 6 needs ∇_s̃(-ũ) on the *interior* block to be a
+        // P-matrix (hence invertible); that is what we certify.
+        let game = paper_game(0.7, 0.6);
+        let eq = NashSolver::default().solve(&game).unwrap();
+        let interior: Vec<usize> = eq
+            .subsidies
+            .iter()
+            .enumerate()
+            .filter(|(i, &s)| s > 1e-6 && s < game.effective_cap(*i) - 1e-6)
+            .map(|(i, _)| i)
+            .collect();
+        assert!(interior.len() >= 2);
+        assert!(neg_jacobian_is_p_matrix(&game, &eq.subsidies, &interior).unwrap());
+    }
+
+    #[test]
+    fn offdiagonal_monotonicity_on_interior_block() {
+        // Corollary 1's stability condition, checked where it matters:
+        // the interior (non-pinned) block that enters Ψ in Theorem 6.
+        let game = paper_game(0.7, 0.6);
+        let eq = NashSolver::default().solve(&game).unwrap();
+        let interior: Vec<usize> = eq
+            .subsidies
+            .iter()
+            .enumerate()
+            .filter(|(i, &s)| s > 1e-6 && s < game.effective_cap(*i) - 1e-6)
+            .map(|(i, _)| i)
+            .collect();
+        assert!(interior.len() >= 2, "need an interior block, got {interior:?}");
+        let (ok, worst) = offdiagonal_monotone(&game, &eq.subsidies, &interior, 1e-6).unwrap();
+        assert!(ok, "worst interior off-diagonal entry {worst}");
+    }
+
+    #[test]
+    fn global_offdiagonal_monotonicity_can_fail() {
+        // Documented behaviour: rows pinned at the cap can violate the
+        // global condition in the paper's own parameterization — the
+        // corollary's hypothesis is sufficient, not automatic.
+        let game = paper_game(0.7, 0.6);
+        let eq = NashSolver::default().solve(&game).unwrap();
+        let all: Vec<usize> = (0..8).collect();
+        let (_, worst) = offdiagonal_monotone(&game, &eq.subsidies, &all, 1e-6).unwrap();
+        // We don't assert failure (it is parameter-dependent); we assert
+        // the check runs and reports a finite answer.
+        assert!(worst.is_finite());
+    }
+
+    #[test]
+    fn m_matrix_on_interior_block_at_equilibrium() {
+        let game = paper_game(0.7, 0.6);
+        let eq = NashSolver::default().solve(&game).unwrap();
+        let interior: Vec<usize> = eq
+            .subsidies
+            .iter()
+            .enumerate()
+            .filter(|(i, &s)| s > 1e-6 && s < game.effective_cap(*i) - 1e-6)
+            .map(|(i, _)| i)
+            .collect();
+        assert!(interior.len() >= 2);
+        assert!(neg_jacobian_is_m_matrix(&game, &eq.subsidies, &interior).unwrap());
+    }
+
+    #[test]
+    fn degenerate_box_jacobian_is_zero() {
+        let game = small_game(0.5, 0.0);
+        let jac = marginal_utility_jacobian(&game, &[0.0, 0.0]).unwrap();
+        assert_eq!(jac.norm_max(), 0.0);
+    }
+
+    #[test]
+    fn check_indices_guards() {
+        assert!(check_indices(3, &[0, 2]).is_ok());
+        assert!(check_indices(3, &[3]).is_err());
+    }
+}

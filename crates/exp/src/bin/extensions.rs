@@ -1,0 +1,23 @@
+//! Runs the extension experiments E1–E5
+//! (run: `cargo run -p subcomp-exp --bin extensions`).
+use subcomp_core::nash::NashSolver;
+use subcomp_exp::extensions;
+
+fn main() {
+    let solver = NashSolver::default().with_tol(1e-7).with_max_sweeps(150);
+
+    let e1 = extensions::endogenous_pricing(&[0.0, 0.5, 1.0, 1.5, 2.0], &solver).expect("E1");
+    println!("{}", e1.render());
+
+    let e2 = extensions::capacity_study(&[0.0, 0.5, 1.0], 0.08, &solver).expect("E2");
+    println!("{}", e2.render());
+
+    let e3 = extensions::sim_vs_theory(42).expect("E3");
+    println!("{}", e3.render());
+
+    let e4 = extensions::duopoly_study(0.5).expect("E4");
+    println!("{}", e4.render());
+
+    let e5 = extensions::continuum_study(0.5).expect("E5");
+    println!("{}", e5.render());
+}

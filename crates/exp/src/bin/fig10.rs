@@ -1,0 +1,22 @@
+//! Regenerates paper Figure 10 (run: `cargo run -p subcomp-exp --bin fig10`).
+use subcomp_exp::figures::{fig10, panel};
+use subcomp_exp::report::results_dir;
+
+fn main() {
+    let panel = panel::compute(41, 5).expect("panel computes");
+    let fig = fig10::compute(&panel);
+    println!("{}", fig.render());
+    match fig10::check_shape(&fig, 0).expect("check runs") {
+        Ok(()) => println!("shape check: OK (beta=2 out-carries beta=5; high-v types gain vs q=0)"),
+        Err(e) => println!("shape check: FAILED — {e}"),
+    }
+    let qi_last = fig.qs.len() - 1;
+    let exceptions = fig10::exception_prices(&fig, 0, qi_last);
+    println!(
+        "paper's (2,5,1) exception (loses vs baseline) observed at prices: {:?}",
+        &exceptions[..exceptions.len().min(8)]
+    );
+    let path = results_dir().join("fig10.csv");
+    fig.write_csv(&path).expect("write csv");
+    println!("csv written to {}", path.display());
+}

@@ -1,0 +1,16 @@
+//! Regenerates paper Figure 11 (run: `cargo run -p subcomp-exp --bin fig11`).
+use subcomp_exp::figures::{fig11, panel};
+use subcomp_exp::report::results_dir;
+
+fn main() {
+    let panel = panel::compute(41, 5).expect("panel computes");
+    let fig = fig11::compute(&panel);
+    println!("{}", fig.render());
+    match fig11::check_shape(&fig, 0, fig.qs.len() - 1).expect("check runs") {
+        Ok(()) => println!("shape check: OK (alpha=5,v=1 gain; alpha=2,beta=5 lose)"),
+        Err(e) => println!("shape check: FAILED — {e}"),
+    }
+    let path = results_dir().join("fig11.csv");
+    fig.write_csv(&path).expect("write csv");
+    println!("csv written to {}", path.display());
+}

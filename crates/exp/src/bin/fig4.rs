@@ -1,0 +1,15 @@
+//! Regenerates paper Figure 4 (run: `cargo run -p subcomp-exp --bin fig4`).
+use subcomp_exp::figures::fig4;
+use subcomp_exp::report::results_dir;
+
+fn main() {
+    let fig = fig4::compute(&fig4::default_prices(51)).expect("figure 4 computes");
+    println!("{}", fig.render());
+    match fig.check_shape() {
+        Ok(()) => println!("shape check: OK (theta decreasing, revenue single-peaked)"),
+        Err(e) => println!("shape check: FAILED — {e}"),
+    }
+    let path = results_dir().join("fig4.csv");
+    fig.write_csv(&path).expect("write csv");
+    println!("csv written to {}", path.display());
+}

@@ -1,0 +1,15 @@
+//! Regenerates paper Figure 5 (run: `cargo run -p subcomp-exp --bin fig5`).
+use subcomp_exp::figures::{fig4, fig5};
+use subcomp_exp::report::results_dir;
+
+fn main() {
+    let fig = fig5::compute(&fig4::default_prices(51)).expect("figure 5 computes");
+    println!("{}", fig.render());
+    match fig.check_shape() {
+        Ok(()) => println!("shape check: OK (all theta_i single-peaked; low-alpha/beta rise first)"),
+        Err(e) => println!("shape check: FAILED — {e}"),
+    }
+    let path = results_dir().join("fig5.csv");
+    fig.write_csv(&path).expect("write csv");
+    println!("csv written to {}", path.display());
+}

@@ -1,0 +1,18 @@
+//! Regenerates paper Figure 7 (run: `cargo run -p subcomp-exp --bin fig7`).
+use subcomp_exp::figures::{fig7, panel};
+use subcomp_exp::report::results_dir;
+
+fn main() {
+    let panel = panel::compute(41, 5).expect("panel computes");
+    let fig = fig7::compute(&panel);
+    println!("{}", fig.render());
+    match fig.check_shape() {
+        Ok(()) => println!("shape check: OK (R, W rise with q; W falls with p; R single-peaked)"),
+        Err(e) => println!("shape check: FAILED — {e}"),
+    }
+    let (p_star, r_star) = fig.revenue_peak(fig.qs.len() - 1);
+    println!("revenue peak at q = {}: p = {p_star:.3}, R = {r_star:.4}", fig.qs[fig.qs.len() - 1]);
+    let path = results_dir().join("fig7.csv");
+    fig.write_csv(&path).expect("write csv");
+    println!("csv written to {}", path.display());
+}

@@ -1,0 +1,16 @@
+//! Regenerates paper Figure 8 (run: `cargo run -p subcomp-exp --bin fig8`).
+use subcomp_exp::figures::{fig8, panel};
+use subcomp_exp::report::results_dir;
+
+fn main() {
+    let panel = panel::compute(41, 5).expect("panel computes");
+    let fig = fig8::compute(&panel);
+    println!("{}", fig.render());
+    match fig8::check_shape(&fig).expect("check runs") {
+        Ok(()) => println!("shape check: OK (rich/elastic types subsidize more; caps bind at small p)"),
+        Err(e) => println!("shape check: FAILED — {e}"),
+    }
+    let path = results_dir().join("fig8.csv");
+    fig.write_csv(&path).expect("write csv");
+    println!("csv written to {}", path.display());
+}

@@ -1,0 +1,16 @@
+//! Regenerates paper Figure 9 (run: `cargo run -p subcomp-exp --bin fig9`).
+use subcomp_exp::figures::{fig9, panel};
+use subcomp_exp::report::results_dir;
+
+fn main() {
+    let panel = panel::compute(41, 5).expect("panel computes");
+    let fig = fig9::compute(&panel);
+    println!("{}", fig.render());
+    match fig9::check_shape(&fig).expect("check runs") {
+        Ok(()) => println!("shape check: OK (m falls with p, grows with q; rich types retain users)"),
+        Err(e) => println!("shape check: FAILED — {e}"),
+    }
+    let path = results_dir().join("fig9.csv");
+    fig.write_csv(&path).expect("write csv");
+    println!("csv written to {}", path.display());
+}

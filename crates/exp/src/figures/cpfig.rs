@@ -1,0 +1,150 @@
+//! Shared machinery for the per-CP panel figures (Figures 8–11).
+//!
+//! Figures 8, 9, 10 and 11 are the same plot with a different quantity on
+//! the y-axis: eight CP panels, one curve per policy cap, price on the
+//! x-axis. [`CpFigure`] extracts such a figure from the shared
+//! [`Panel`](super::panel::Panel) and owns the rendering/CSV plumbing; the
+//! per-figure modules add only their quantity extractor and the paper's
+//! shape checks.
+
+use super::panel::{EqPoint, Panel};
+use crate::report::{sparkline, write_csv, Table};
+use std::path::Path;
+
+/// A per-CP, per-cap, per-price figure.
+#[derive(Debug, Clone)]
+pub struct CpFigure {
+    /// Figure title for rendering.
+    pub title: String,
+    /// Short name of the plotted quantity (CSV column prefix).
+    pub quantity: String,
+    /// Policy caps.
+    pub qs: Vec<f64>,
+    /// Price grid.
+    pub prices: Vec<f64>,
+    /// CP labels.
+    pub labels: Vec<String>,
+    /// `values[qi][cp][pi]`.
+    pub values: Vec<Vec<Vec<f64>>>,
+}
+
+impl CpFigure {
+    /// Extracts a figure from the panel with a per-point quantity.
+    pub fn from_panel(
+        panel: &Panel,
+        title: impl Into<String>,
+        quantity: impl Into<String>,
+        f: impl Fn(&EqPoint, usize) -> f64,
+    ) -> CpFigure {
+        let n = panel.n_cps();
+        let values = (0..panel.qs.len())
+            .map(|qi| (0..n).map(|i| panel.cp_series(qi, i, &f)).collect())
+            .collect();
+        CpFigure {
+            title: title.into(),
+            quantity: quantity.into(),
+            qs: panel.qs.clone(),
+            prices: panel.prices.clone(),
+            labels: panel.labels.clone(),
+            values,
+        }
+    }
+
+    /// The series for `(cap index, cp index)`.
+    pub fn series(&self, qi: usize, cp: usize) -> &[f64] {
+        &self.values[qi][cp]
+    }
+
+    /// Renders sparkline panels plus the full table at the largest cap.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&self.title);
+        out.push_str("\n\n");
+        for (i, label) in self.labels.iter().enumerate() {
+            out.push_str(&format!("  {label:>10}:"));
+            for (qi, &q) in self.qs.iter().enumerate() {
+                out.push_str(&format!("  q={q}: {}", sparkline(&self.values[qi][i])));
+            }
+            out.push('\n');
+        }
+        let qi_last = self.qs.len() - 1;
+        out.push_str(&format!(
+            "\n  full table at q = {} (CSV has all caps):\n",
+            self.qs[qi_last]
+        ));
+        let mut header: Vec<&str> = vec!["p"];
+        for l in &self.labels {
+            header.push(l.as_str());
+        }
+        let mut t = Table::new(&header);
+        for (pi, &p) in self.prices.iter().enumerate() {
+            let mut row = vec![p];
+            for i in 0..self.labels.len() {
+                row.push(self.values[qi_last][i][pi]);
+            }
+            t.row(&row);
+        }
+        out.push_str(&t.render());
+        out
+    }
+
+    /// Writes the CSV: one column per `(cp, q)` pair.
+    pub fn write_csv(&self, path: &Path) -> std::io::Result<()> {
+        let mut names: Vec<String> = Vec::new();
+        for label in &self.labels {
+            for &q in &self.qs {
+                names.push(format!("{}_{}_q{}", self.quantity, label, q));
+            }
+        }
+        let mut cols: Vec<(&str, &[f64])> = vec![("p", &self.prices)];
+        let mut k = 0;
+        for (i, _) in self.labels.iter().enumerate() {
+            for (qi, _) in self.qs.iter().enumerate() {
+                cols.push((names[k].as_str(), &self.values[qi][i]));
+                k += 1;
+            }
+        }
+        write_csv(path, &cols)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::panel;
+    use super::*;
+
+    fn tiny() -> CpFigure {
+        let p = panel::compute_on(&[0.0, 1.0], &[0.3, 0.9], 2).unwrap();
+        CpFigure::from_panel(&p, "Test figure", "theta", |pt, i| pt.theta[i])
+    }
+
+    #[test]
+    fn extraction_dimensions() {
+        let f = tiny();
+        assert_eq!(f.values.len(), 2);
+        assert_eq!(f.values[0].len(), 8);
+        assert_eq!(f.values[0][0].len(), 2);
+        assert_eq!(f.series(1, 3).len(), 2);
+    }
+
+    #[test]
+    fn render_contains_panels() {
+        let f = tiny();
+        let s = f.render();
+        assert!(s.contains("Test figure"));
+        assert!(s.contains("a5-b5-v1"));
+        assert!(s.contains("full table at q = 1"));
+    }
+
+    #[test]
+    fn csv_column_layout() {
+        let f = tiny();
+        let dir = std::env::temp_dir().join("subcomp_cpfig_test");
+        f.write_csv(&dir.join("x.csv")).unwrap();
+        let content = std::fs::read_to_string(dir.join("x.csv")).unwrap();
+        let header = content.lines().next().unwrap();
+        assert_eq!(header.split(',').count(), 1 + 8 * 2);
+        assert!(header.contains("theta_a2-b2-v0.5_q0"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

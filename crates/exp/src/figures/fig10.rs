@@ -1,0 +1,131 @@
+//! Figure 10: equilibrium throughput `θ_i(p; q)`, eight CP panels.
+//!
+//! Paper shape: high-profitability (`v = 1`) and congestion-tolerant
+//! (`β = 2`) types achieve the higher throughput; against the `q = 0`
+//! baseline the high-`v` types gain — with the documented exception of
+//! the `(α, β, v) = (2, 5, 1)` type at small prices, which loses to the
+//! congestion externality despite its own subsidy.
+
+use super::cpfig::CpFigure;
+use super::panel::Panel;
+use subcomp_num::NumResult;
+
+/// Extracts Figure 10 from the panel.
+pub fn compute(panel: &Panel) -> CpFigure {
+    CpFigure::from_panel(
+        panel,
+        "Figure 10 — equilibrium throughput theta_i vs price, per policy cap",
+        "theta",
+        |pt, i| pt.theta[i],
+    )
+}
+
+/// The paper's qualitative claims for this figure. `q_base` must be the
+/// index of the `q = 0` baseline.
+pub fn check_shape(fig: &CpFigure, q_base: usize) -> NumResult<Result<(), String>> {
+    let nq = fig.qs.len();
+    let np = fig.prices.len();
+    // (1) Within each (alpha, v) pair, the beta = 2 type out-carries the
+    //     beta = 5 type: indices (0 vs 1), (2 vs 3), (4 vs 5), (6 vs 7).
+    for qi in 0..nq {
+        for pair in [(0usize, 1usize), (2, 3), (4, 5), (6, 7)] {
+            for pi in 0..np {
+                if fig.values[qi][pair.0][pi] < fig.values[qi][pair.1][pi] - 1e-9 {
+                    return Ok(Err(format!(
+                        "beta=2 type {} must out-carry beta=5 type {} (q={}, p={})",
+                        pair.0, pair.1, fig.qs[qi], fig.prices[pi]
+                    )));
+                }
+            }
+        }
+    }
+    // (2) The demand-elastic high-v types (alpha = 5, v = 1; indices 6
+    //     and 7) gain vs the q = 0 baseline at every *positive* price —
+    //     they are the unambiguous winners of deregulation. The exact
+    //     p = 0 corner is excluded: with free access there is no fee to
+    //     subsidize, and the unclamped model's negative effective prices
+    //     only pile on congestion there.
+    for qi in 0..nq {
+        if qi == q_base {
+            continue;
+        }
+        for i in [6usize, 7] {
+            for pi in 0..np {
+                if fig.prices[pi] <= 0.0 {
+                    continue;
+                }
+                if fig.values[qi][i][pi] < fig.values[q_base][i][pi] - 1e-6 {
+                    return Ok(Err(format!(
+                        "high-v elastic type {i} must gain vs baseline at q={}, p={}",
+                        fig.qs[qi], fig.prices[pi]
+                    )));
+                }
+            }
+        }
+        // (3) The inelastic high-v types (alpha = 2) gain once the price
+        //     is high enough that congestion is mild (p >= 1.2 on the
+        //     paper grid). At small p the (2,5,1) type loses — the
+        //     paper's documented exception — and our reproduction finds
+        //     the (2,2,1) type dips slightly below baseline there too
+        //     (recorded as a deviation in EXPERIMENTS.md).
+        for i in [4usize, 5] {
+            for pi in 0..np {
+                if fig.prices[pi] < 1.2 {
+                    continue;
+                }
+                if fig.values[qi][i][pi] < fig.values[q_base][i][pi] - 1e-6 {
+                    return Ok(Err(format!(
+                        "inelastic high-v type {i} must gain vs baseline at q={}, p={}",
+                        fig.qs[qi], fig.prices[pi]
+                    )));
+                }
+            }
+        }
+    }
+    Ok(Ok(()))
+}
+
+/// The paper's documented exception: the `(2, 5, 1)` type (index 5) loses
+/// throughput vs baseline at small prices under deregulation. Returns the
+/// set of grid prices at which it happens for cap index `qi`.
+pub fn exception_prices(fig: &CpFigure, q_base: usize, qi: usize) -> Vec<f64> {
+    fig.prices
+        .iter()
+        .enumerate()
+        .filter(|(pi, _)| fig.values[qi][5][*pi] < fig.values[q_base][5][*pi] - 1e-9)
+        .map(|(_, &p)| p)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::panel;
+    use super::*;
+
+    #[test]
+    fn shape_matches_paper() {
+        let p = panel::compute_on(&[0.0, 0.5, 1.0], &[0.1, 0.4, 0.8, 1.3, 1.9], 3).unwrap();
+        let fig = compute(&p);
+        check_shape(&fig, 0).unwrap().unwrap();
+    }
+
+    #[test]
+    fn congestion_sensitive_rich_type_loses_at_small_p() {
+        // The paper's explicit exception for (alpha, beta, v) = (2, 5, 1).
+        let p = panel::compute_on(&[0.0, 1.0], &[0.05, 0.1, 0.2, 0.8], 2).unwrap();
+        let fig = compute(&p);
+        let losses = exception_prices(&fig, 0, 1);
+        assert!(
+            losses.iter().any(|&p| p <= 0.2),
+            "(2,5,1) should lose somewhere at small p; losses at {losses:?}"
+        );
+    }
+
+    #[test]
+    fn labels_identify_types() {
+        let p = panel::compute_on(&[0.0], &[0.5], 1).unwrap();
+        let fig = compute(&p);
+        assert_eq!(fig.labels[5], "a2-b5-v1");
+        assert_eq!(fig.labels[4], "a2-b2-v1");
+    }
+}

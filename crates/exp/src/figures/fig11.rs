@@ -1,0 +1,101 @@
+//! Figure 11: equilibrium utilities `U_i(p; q) = (v_i − s_i) θ_i`, eight
+//! CP panels.
+//!
+//! Paper shape: each `U_i` tracks `θ_i` scaled by the margin `v_i − s_i`.
+//! As `q` grows, the demand-elastic high-value types (`α = 5, v = 1`)
+//! gain utility through subsidization, while the inelastic,
+//! congestion-sensitive `(α = 2, β = 5)` types lose; the rest are
+//! roughly unchanged.
+
+use super::cpfig::CpFigure;
+use super::panel::Panel;
+use subcomp_num::NumResult;
+
+/// Extracts Figure 11 from the panel.
+pub fn compute(panel: &Panel) -> CpFigure {
+    CpFigure::from_panel(
+        panel,
+        "Figure 11 — equilibrium utilities U_i vs price, per policy cap",
+        "U",
+        |pt, i| pt.utilities[i],
+    )
+}
+
+/// The paper's qualitative claims for this figure. `q_base` is the
+/// `q = 0` baseline index, `q_loose` a deregulated index to compare.
+pub fn check_shape(fig: &CpFigure, q_base: usize, q_loose: usize) -> NumResult<Result<(), String>> {
+    let np = fig.prices.len();
+    // Compare average utility across the price grid, baseline vs loose.
+    let avg = |qi: usize, i: usize| -> f64 {
+        fig.values[qi][i].iter().sum::<f64>() / np as f64
+    };
+    // (1) The (alpha=5, v=1) types — indices 6 and 7 — gain.
+    for i in [6usize, 7] {
+        if avg(q_loose, i) < avg(q_base, i) - 1e-9 {
+            return Ok(Err(format!(
+                "type {} ({}) should gain utility under deregulation",
+                i, fig.labels[i]
+            )));
+        }
+    }
+    // (2) The (alpha=2, beta=5) types — indices 1 and 5 — lose.
+    for i in [1usize, 5] {
+        if avg(q_loose, i) > avg(q_base, i) + 1e-9 {
+            return Ok(Err(format!(
+                "type {} ({}) should lose utility under deregulation",
+                i, fig.labels[i]
+            )));
+        }
+    }
+    // (3) Utilities are non-negative (a CP can always bid s = 0; the
+    //     equilibrium margin v - s stays non-negative).
+    for qi in 0..fig.qs.len() {
+        for i in 0..fig.labels.len() {
+            for pi in 0..np {
+                if fig.values[qi][i][pi] < -1e-9 {
+                    return Ok(Err(format!(
+                        "negative utility for {} at q={}, p={}",
+                        fig.labels[i], fig.qs[qi], fig.prices[pi]
+                    )));
+                }
+            }
+        }
+    }
+    Ok(Ok(()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::panel;
+    use super::*;
+
+    #[test]
+    fn shape_matches_paper() {
+        let p = panel::compute_on(&[0.0, 1.0], &[0.2, 0.5, 0.9, 1.4], 2).unwrap();
+        let fig = compute(&p);
+        check_shape(&fig, 0, 1).unwrap().unwrap();
+    }
+
+    #[test]
+    fn utility_is_margin_times_throughput() {
+        let p = panel::compute_on(&[0.5], &[0.6], 1).unwrap();
+        let u_fig = compute(&p);
+        let pt = &p.grid[0][0];
+        for i in 0..8 {
+            let v = if i < 4 { 0.5 } else { 1.0 };
+            let expect = (v - pt.subsidies[i]) * pt.theta[i];
+            assert!((u_fig.values[0][i][0] - expect).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn baseline_utility_equals_v_theta() {
+        let p = panel::compute_on(&[0.0], &[0.7], 1).unwrap();
+        let u_fig = compute(&p);
+        let t_fig = super::super::fig10::compute(&p);
+        for i in 0..8 {
+            let v = if i < 4 { 0.5 } else { 1.0 };
+            assert!((u_fig.values[0][i][0] - v * t_fig.values[0][i][0]).abs() < 1e-10);
+        }
+    }
+}

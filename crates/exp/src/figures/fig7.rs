@@ -1,0 +1,167 @@
+//! Figure 7: ISP revenue `R(p; q)` and system welfare `W(p; q)` at the
+//! CPs' subsidization equilibrium (§5 setting).
+//!
+//! Paper shape: at any fixed price both `R` and `W` increase with the
+//! policy cap `q`; `W` decreases with `p` at any fixed `q`; the `q = 2`
+//! revenue curve peaks a bit below `p = 1`.
+
+use super::panel::Panel;
+use crate::report::{sparkline, write_csv, Table};
+use std::path::Path;
+
+/// The data behind Figure 7.
+#[derive(Debug, Clone)]
+pub struct Fig7 {
+    /// Policy caps.
+    pub qs: Vec<f64>,
+    /// Price grid.
+    pub prices: Vec<f64>,
+    /// `revenue[qi][pi]`.
+    pub revenue: Vec<Vec<f64>>,
+    /// `welfare[qi][pi]`.
+    pub welfare: Vec<Vec<f64>>,
+}
+
+/// Extracts the figure from a computed panel.
+pub fn compute(panel: &Panel) -> Fig7 {
+    let revenue = (0..panel.qs.len()).map(|qi| panel.series(qi, |pt| pt.revenue)).collect();
+    let welfare = (0..panel.qs.len()).map(|qi| panel.series(qi, |pt| pt.welfare)).collect();
+    Fig7 { qs: panel.qs.clone(), prices: panel.prices.clone(), revenue, welfare }
+}
+
+impl Fig7 {
+    /// Renders the printed report.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str("Figure 7 — ISP revenue R and system welfare W vs price, per policy cap q\n\n");
+        for (qi, &q) in self.qs.iter().enumerate() {
+            out.push_str(&format!("  q = {q:<4}  R: {}\n", sparkline(&self.revenue[qi])));
+            out.push_str(&format!("            W: {}\n", sparkline(&self.welfare[qi])));
+        }
+        out.push('\n');
+        let mut header: Vec<String> = vec!["p".into()];
+        for &q in &self.qs {
+            header.push(format!("R(q={q})"));
+        }
+        for &q in &self.qs {
+            header.push(format!("W(q={q})"));
+        }
+        let hrefs: Vec<&str> = header.iter().map(String::as_str).collect();
+        let mut t = Table::new(&hrefs);
+        for (pi, &p) in self.prices.iter().enumerate() {
+            let mut row = vec![p];
+            for qi in 0..self.qs.len() {
+                row.push(self.revenue[qi][pi]);
+            }
+            for qi in 0..self.qs.len() {
+                row.push(self.welfare[qi][pi]);
+            }
+            t.row(&row);
+        }
+        out.push_str(&t.render());
+        out
+    }
+
+    /// Writes the CSV.
+    pub fn write_csv(&self, path: &Path) -> std::io::Result<()> {
+        let mut names: Vec<String> = Vec::new();
+        for &q in &self.qs {
+            names.push(format!("revenue_q{q}"));
+        }
+        for &q in &self.qs {
+            names.push(format!("welfare_q{q}"));
+        }
+        let mut cols: Vec<(&str, &[f64])> = vec![("p", &self.prices)];
+        for (qi, name) in names.iter().take(self.qs.len()).enumerate() {
+            cols.push((name.as_str(), &self.revenue[qi]));
+        }
+        for (qi, name) in names.iter().skip(self.qs.len()).enumerate() {
+            cols.push((name.as_str(), &self.welfare[qi]));
+        }
+        write_csv(path, &cols)
+    }
+
+    /// The paper's qualitative claims for this figure.
+    pub fn check_shape(&self) -> Result<(), String> {
+        use super::shapes;
+        let nq = self.qs.len();
+        // Monotone in q at fixed p.
+        for pi in 0..self.prices.len() {
+            for qi in 1..nq {
+                if self.revenue[qi][pi] < self.revenue[qi - 1][pi] - 1e-8 {
+                    return Err(format!("revenue not monotone in q at p = {}", self.prices[pi]));
+                }
+                if self.welfare[qi][pi] < self.welfare[qi - 1][pi] - 1e-8 {
+                    return Err(format!("welfare not monotone in q at p = {}", self.prices[pi]));
+                }
+            }
+        }
+        // Welfare decreases with price at fixed q (skip the p = 0 corner,
+        // where subsidized demand can still be rearranging).
+        for qi in 0..nq {
+            let tail: Vec<f64> = self.welfare[qi]
+                .iter()
+                .zip(&self.prices)
+                .filter(|(_, &p)| p >= 0.1)
+                .map(|(w, _)| *w)
+                .collect();
+            if !shapes::is_decreasing(&tail, 1e-8) {
+                return Err(format!("welfare must fall with p at q = {}", self.qs[qi]));
+            }
+        }
+        // Revenue single-peaked per cap with an interior peak.
+        for qi in 0..nq {
+            if !shapes::is_single_peaked(&self.revenue[qi], 1e-8) {
+                return Err(format!("revenue not single-peaked at q = {}", self.qs[qi]));
+            }
+            if !shapes::has_interior_peak(&self.revenue[qi]) {
+                return Err(format!("revenue peak not interior at q = {}", self.qs[qi]));
+            }
+        }
+        Ok(())
+    }
+
+    /// Location of the revenue peak for cap index `qi`.
+    pub fn revenue_peak(&self, qi: usize) -> (f64, f64) {
+        let k = super::shapes::argmax(&self.revenue[qi]);
+        (self.prices[k], self.revenue[qi][k])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::panel;
+    use super::*;
+
+    fn test_panel() -> Panel {
+        panel::compute_on(&[0.0, 0.5, 2.0], &(0..=10).map(|k| k as f64 * 0.2).collect::<Vec<_>>(), 3)
+            .unwrap()
+    }
+
+    #[test]
+    fn shape_matches_paper() {
+        let fig = compute(&test_panel());
+        fig.check_shape().unwrap();
+    }
+
+    #[test]
+    fn q2_peak_a_bit_below_one() {
+        // The paper: with q = 2 the revenue peak sits a bit below p = 1.
+        let fig = compute(&test_panel());
+        let (p_star, _) = fig.revenue_peak(2);
+        assert!(p_star >= 0.4 && p_star <= 1.0, "peak at {p_star}");
+    }
+
+    #[test]
+    fn render_and_csv() {
+        let fig = compute(&test_panel());
+        let s = fig.render();
+        assert!(s.contains("Figure 7"));
+        assert!(s.contains("W(q=2)"));
+        let dir = std::env::temp_dir().join("subcomp_fig7_test");
+        fig.write_csv(&dir.join("fig7.csv")).unwrap();
+        let head = std::fs::read_to_string(dir.join("fig7.csv")).unwrap();
+        assert!(head.lines().next().unwrap().contains("revenue_q0.5"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,126 @@
+//! Figure 8: equilibrium subsidies `s_i(p; q)`, eight CP panels.
+//!
+//! Paper shape: higher-profitability (`v = 1`) and higher-demand-
+//! elasticity (`α = 5`) types subsidize more than their counterparts; at
+//! small `p` most CPs are pinned at the cap (except the `α = 2, v = 0.5`
+//! types); as `p` grows subsidies flatten and eventually decline with the
+//! shrinking profit margin.
+
+use super::cpfig::CpFigure;
+use super::panel::Panel;
+use crate::scenarios::section5_specs;
+use subcomp_num::NumResult;
+
+/// Extracts Figure 8 from the panel.
+pub fn compute(panel: &Panel) -> CpFigure {
+    CpFigure::from_panel(
+        panel,
+        "Figure 8 — equilibrium subsidies s_i vs price, per policy cap",
+        "s",
+        |pt, i| pt.subsidies[i],
+    )
+}
+
+/// The paper's qualitative claims for this figure.
+pub fn check_shape(fig: &CpFigure) -> NumResult<Result<(), String>> {
+    let specs = section5_specs();
+    let nq = fig.qs.len();
+    // (1) v = 1 types subsidize at least as much as their v = 0.5 twins.
+    for qi in 0..nq {
+        for k in 0..4 {
+            for pi in 0..fig.prices.len() {
+                let poor = fig.values[qi][k][pi];
+                let rich = fig.values[qi][k + 4][pi];
+                if rich < poor - 1e-6 {
+                    return Ok(Err(format!(
+                        "v=1 type {k} subsidizes less than v=0.5 twin at q={}, p={}",
+                        fig.qs[qi], fig.prices[pi]
+                    )));
+                }
+            }
+        }
+    }
+    // (2) alpha = 5 types subsidize at least as much as alpha = 2 twins
+    //     (same beta, same v). Spec order within a v-block: (2,2), (2,5),
+    //     (5,2), (5,5).
+    for qi in 0..nq {
+        for blk in [0usize, 4] {
+            for b in 0..2 {
+                for pi in 0..fig.prices.len() {
+                    let lo_alpha = fig.values[qi][blk + b][pi];
+                    let hi_alpha = fig.values[qi][blk + 2 + b][pi];
+                    if hi_alpha < lo_alpha - 1e-6 {
+                        return Ok(Err(format!(
+                            "alpha=5 type subsidizes less than alpha=2 twin at q={}, p={}",
+                            fig.qs[qi], fig.prices[pi]
+                        )));
+                    }
+                }
+            }
+        }
+    }
+    // (3) At a small positive price and a modest cap, the aggressive types
+    //     are pinned at the cap while the (alpha=2, v=0.5) types are not.
+    if let Some(qi) = fig.qs.iter().position(|&q| (q - 0.5).abs() < 1e-9) {
+        if let Some(pi) = fig.prices.iter().position(|&p| p >= 0.15) {
+            for i in [6usize, 7] {
+                // a5-*-v1
+                if fig.values[qi][i][pi] < fig.qs[qi] - 1e-6 {
+                    return Ok(Err(format!(
+                        "aggressive type {i} not at cap at small p (s = {})",
+                        fig.values[qi][i][pi]
+                    )));
+                }
+            }
+            let _ = specs;
+        }
+    }
+    // (4) Subsidies are feasible everywhere.
+    for qi in 0..nq {
+        for i in 0..fig.labels.len() {
+            for pi in 0..fig.prices.len() {
+                let s = fig.values[qi][i][pi];
+                if !(s >= -1e-12 && s <= fig.qs[qi] + 1e-9) {
+                    return Ok(Err(format!("infeasible subsidy {s} at q={}", fig.qs[qi])));
+                }
+            }
+        }
+    }
+    Ok(Ok(()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::panel;
+    use super::*;
+
+    #[test]
+    fn shape_matches_paper() {
+        let p = panel::compute_on(
+            &[0.0, 0.5, 1.0],
+            &[0.2, 0.5, 0.9, 1.4, 2.0],
+            3,
+        )
+        .unwrap();
+        let fig = compute(&p);
+        check_shape(&fig).unwrap().unwrap();
+    }
+
+    #[test]
+    fn zero_cap_means_zero_subsidy() {
+        let p = panel::compute_on(&[0.0], &[0.5, 1.0], 1).unwrap();
+        let fig = compute(&p);
+        assert!(fig.values[0].iter().all(|cp| cp.iter().all(|&s| s == 0.0)));
+    }
+
+    #[test]
+    fn poor_inelastic_types_never_subsidize_much() {
+        // The paper: the (alpha=2, v=0.5) types are the holdouts.
+        let p = panel::compute_on(&[1.0], &[0.3, 0.7, 1.2], 1).unwrap();
+        let fig = compute(&p);
+        for pi in 0..3 {
+            assert!(fig.values[0][0][pi] < 0.2, "a2-b2-v0.5 subsidy too high");
+            assert!(fig.values[0][1][pi] < 0.2, "a2-b5-v0.5 subsidy too high");
+        }
+    }
+}

@@ -1,0 +1,106 @@
+//! Figure 9: equilibrium user populations `m_i(p; q)`, eight CP panels.
+//!
+//! Paper shape: populations fall with price, steeper for the
+//! demand-elastic (`α = 5`) types; a looser cap gives (weakly) larger
+//! populations everywhere; high-`v` types retain users better because
+//! they subsidize harder.
+
+use super::cpfig::CpFigure;
+use super::panel::Panel;
+use super::shapes;
+use subcomp_num::NumResult;
+
+/// Extracts Figure 9 from the panel.
+pub fn compute(panel: &Panel) -> CpFigure {
+    CpFigure::from_panel(
+        panel,
+        "Figure 9 — equilibrium user populations m_i vs price, per policy cap",
+        "m",
+        |pt, i| pt.m[i],
+    )
+}
+
+/// The paper's qualitative claims for this figure.
+pub fn check_shape(fig: &CpFigure) -> NumResult<Result<(), String>> {
+    let nq = fig.qs.len();
+    let n = fig.labels.len();
+    // (1) Populations fall with price once subsidies stop absorbing the
+    //     increase (check from the first price >= 0.2 onward).
+    let start = fig.prices.iter().position(|&p| p >= 0.2).unwrap_or(0);
+    for qi in 0..nq {
+        for i in 0..n {
+            let tail = &fig.values[qi][i][start..];
+            if !shapes::is_decreasing(tail, 1e-6) {
+                return Ok(Err(format!(
+                    "population of {} must fall with p at q={}",
+                    fig.labels[i], fig.qs[qi]
+                )));
+            }
+        }
+    }
+    // (2) Looser cap => pointwise (weakly) larger populations.
+    for qi in 1..nq {
+        for i in 0..n {
+            if !shapes::dominates(&fig.values[qi][i], &fig.values[qi - 1][i], 1e-6) {
+                return Ok(Err(format!(
+                    "population of {} must grow with q (q={} vs q={})",
+                    fig.labels[i],
+                    fig.qs[qi],
+                    fig.qs[qi - 1]
+                )));
+            }
+        }
+    }
+    // (3) High-v types retain more users than their poor twins once any
+    //     subsidizing is allowed (q > 0).
+    for qi in 0..nq {
+        if fig.qs[qi] == 0.0 {
+            continue;
+        }
+        for k in 0..4 {
+            if !shapes::dominates(&fig.values[qi][k + 4], &fig.values[qi][k], 1e-6) {
+                return Ok(Err(format!(
+                    "v=1 twin of type {k} must retain at least the v=0.5 population at q={}",
+                    fig.qs[qi]
+                )));
+            }
+        }
+    }
+    Ok(Ok(()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::panel;
+    use super::*;
+
+    #[test]
+    fn shape_matches_paper() {
+        let p = panel::compute_on(&[0.0, 0.5, 1.5], &[0.2, 0.6, 1.0, 1.5, 2.0], 3).unwrap();
+        let fig = compute(&p);
+        check_shape(&fig).unwrap().unwrap();
+    }
+
+    #[test]
+    fn elastic_types_fall_steeper() {
+        // Relative decline between p = 0.2 and p = 1.0 is stronger for
+        // alpha = 5 than alpha = 2 at q = 0 (pure demand effect).
+        let p = panel::compute_on(&[0.0], &[0.2, 1.0], 1).unwrap();
+        let fig = compute(&p);
+        let drop = |i: usize| fig.values[0][i][1] / fig.values[0][i][0];
+        // Same (beta, v): indices 0 (a2-b2-v.5) vs 2 (a5-b2-v.5).
+        assert!(drop(2) < drop(0), "alpha=5 must lose users faster");
+        // And 4 vs 6 in the v = 1 block.
+        assert!(drop(6) < drop(4));
+    }
+
+    #[test]
+    fn q0_populations_equal_uniform_demand() {
+        // Without subsidies populations are just m(p), identical across
+        // equal-alpha types.
+        let p = panel::compute_on(&[0.0], &[0.5], 1).unwrap();
+        let fig = compute(&p);
+        assert!((fig.values[0][0][0] - fig.values[0][1][0]).abs() < 1e-12);
+        assert!((fig.values[0][4][0] - fig.values[0][0][0]).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,18 @@
+//! Figure-by-figure data generators.
+//!
+//! Each submodule computes the data behind one paper figure, renders the
+//! ASCII report the binary prints, and writes the CSV. The `shapes`
+//! module holds the qualitative-shape predicates shared between the
+//! generators' self-checks and the integration tests — so "the test
+//! passed" and "the printed figure matches the paper" are the same fact.
+
+pub mod cpfig;
+pub mod fig4;
+pub mod fig5;
+pub mod fig7;
+pub mod fig8;
+pub mod fig9;
+pub mod fig10;
+pub mod fig11;
+pub mod panel;
+pub mod shapes;

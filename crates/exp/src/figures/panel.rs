@@ -1,0 +1,176 @@
+//! The shared §5 equilibrium sweep behind Figures 7–11.
+//!
+//! All five figures plot quantities of the *same* family of equilibria:
+//! the 8-type market solved over `p ∈ [0, 2]` for each policy cap
+//! `q ∈ {0, 0.5, 1, 1.5, 2}`. This module computes that grid once
+//! (parallel across caps, warm-started along prices) and the per-figure
+//! modules extract their series from it.
+
+use crate::scenarios::{paper_policy_grid, paper_price_grid, section5_specs, section5_system, spec_label};
+use crate::sweep::{equilibrium_price_sweep, parallel_map};
+use subcomp_core::game::SubsidyGame;
+use subcomp_core::nash::NashSolver;
+use subcomp_core::welfare::welfare;
+use subcomp_num::{NumError, NumResult};
+
+/// One equilibrium point of the panel grid.
+#[derive(Debug, Clone)]
+pub struct EqPoint {
+    /// Policy cap.
+    pub q: f64,
+    /// ISP price.
+    pub p: f64,
+    /// Equilibrium subsidies per CP.
+    pub subsidies: Vec<f64>,
+    /// Equilibrium populations per CP.
+    pub m: Vec<f64>,
+    /// Equilibrium throughput per CP.
+    pub theta: Vec<f64>,
+    /// Equilibrium utilities per CP.
+    pub utilities: Vec<f64>,
+    /// System utilization.
+    pub phi: f64,
+    /// ISP revenue.
+    pub revenue: f64,
+    /// System welfare `W = Σ v_i θ_i`.
+    pub welfare: f64,
+}
+
+/// The full Figures 7–11 grid.
+#[derive(Debug, Clone)]
+pub struct Panel {
+    /// Policy caps (outer axis).
+    pub qs: Vec<f64>,
+    /// Price grid (inner axis).
+    pub prices: Vec<f64>,
+    /// CP labels in spec order.
+    pub labels: Vec<String>,
+    /// `grid[qi][pi]` is the equilibrium at `(qs[qi], prices[pi])`.
+    pub grid: Vec<Vec<EqPoint>>,
+}
+
+/// Computes the paper's panel: `q ∈ {0, …, 2}`, `p ∈ [0, 2]` with
+/// `points` samples, parallel across caps.
+pub fn compute(points: usize, threads: usize) -> NumResult<Panel> {
+    compute_on(&paper_policy_grid(), &paper_price_grid(points), threads)
+}
+
+/// Computes the panel on explicit grids.
+pub fn compute_on(qs: &[f64], prices: &[f64], threads: usize) -> NumResult<Panel> {
+    let system = section5_system();
+    let solver = NashSolver::default().with_tol(1e-8);
+    let results: Vec<NumResult<Vec<EqPoint>>> = parallel_map(qs, threads, |&q| {
+        let sweep = equilibrium_price_sweep(&system, q, prices, &solver)?;
+        let game0 = SubsidyGame::new(system.clone(), 0.0, q)?;
+        let mut points = Vec::with_capacity(sweep.len());
+        for pt in sweep {
+            let game = game0.with_price(pt.p)?;
+            let eq = pt.equilibrium;
+            points.push(EqPoint {
+                q,
+                p: pt.p,
+                phi: eq.state.phi,
+                revenue: eq.isp_revenue(&game),
+                welfare: welfare(&game, &eq.state),
+                m: eq.state.m.clone(),
+                theta: eq.state.theta_i.clone(),
+                utilities: eq.utilities.clone(),
+                subsidies: eq.subsidies,
+            });
+        }
+        Ok(points)
+    });
+    let mut grid = Vec::with_capacity(qs.len());
+    for r in results {
+        grid.push(r?);
+    }
+    Ok(Panel {
+        qs: qs.to_vec(),
+        prices: prices.to_vec(),
+        labels: section5_specs().iter().map(spec_label).collect(),
+        grid,
+    })
+}
+
+impl Panel {
+    /// Number of CP types.
+    pub fn n_cps(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Extracts the series of a scalar quantity vs price at cap index
+    /// `qi` — e.g. `|pt| pt.revenue`.
+    pub fn series(&self, qi: usize, f: impl Fn(&EqPoint) -> f64) -> Vec<f64> {
+        self.grid[qi].iter().map(f).collect()
+    }
+
+    /// Extracts a per-CP quantity vs price at cap index `qi` for CP `i`.
+    pub fn cp_series(&self, qi: usize, i: usize, f: impl Fn(&EqPoint, usize) -> f64) -> Vec<f64> {
+        self.grid[qi].iter().map(|pt| f(pt, i)).collect()
+    }
+
+    /// Index of a cap value in the grid.
+    pub fn q_index(&self, q: f64) -> NumResult<usize> {
+        self.qs
+            .iter()
+            .position(|&x| (x - q).abs() < 1e-12)
+            .ok_or(NumError::Domain { what: "cap not in panel grid", value: q })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A small panel reused by the figure tests (computing the full
+    /// 41-point panel in every unit test would be wasteful).
+    pub(crate) fn small_panel() -> Panel {
+        compute_on(&[0.0, 1.0], &[0.2, 0.6, 1.0, 1.6], 2).unwrap()
+    }
+
+    #[test]
+    fn grid_dimensions() {
+        let p = small_panel();
+        assert_eq!(p.grid.len(), 2);
+        assert_eq!(p.grid[0].len(), 4);
+        assert_eq!(p.n_cps(), 8);
+        assert_eq!(p.q_index(1.0).unwrap(), 1);
+        assert!(p.q_index(0.7).is_err());
+    }
+
+    #[test]
+    fn baseline_q0_has_zero_subsidies() {
+        let p = small_panel();
+        for pt in &p.grid[0] {
+            assert!(pt.subsidies.iter().all(|&s| s == 0.0));
+        }
+    }
+
+    #[test]
+    fn revenue_and_welfare_rise_with_q_at_fixed_price() {
+        // Figure 7's headline: at any fixed p, larger q gives larger R
+        // and W.
+        let p = small_panel();
+        for pi in 0..p.prices.len() {
+            assert!(
+                p.grid[1][pi].revenue >= p.grid[0][pi].revenue - 1e-9,
+                "revenue at p = {}",
+                p.prices[pi]
+            );
+            assert!(
+                p.grid[1][pi].welfare >= p.grid[0][pi].welfare - 1e-9,
+                "welfare at p = {}",
+                p.prices[pi]
+            );
+        }
+    }
+
+    #[test]
+    fn series_extraction() {
+        let p = small_panel();
+        let rev = p.series(1, |pt| pt.revenue);
+        assert_eq!(rev.len(), 4);
+        let s6 = p.cp_series(1, 6, |pt, i| pt.subsidies[i]);
+        assert!(s6.iter().any(|&s| s > 0.0), "the a5-b2-v1 type must subsidize somewhere");
+    }
+}

@@ -1,0 +1,108 @@
+//! Qualitative-shape predicates for figure validation.
+//!
+//! The paper's claims about its figures are qualitative ("θ decreases with
+//! p", "R is single-peaked", "high-v CPs subsidize more"); these helpers
+//! make those claims executable.
+
+/// Strictly decreasing within tolerance (each step must drop by more than
+/// `-tol`).
+pub fn is_decreasing(xs: &[f64], tol: f64) -> bool {
+    xs.windows(2).all(|w| w[1] < w[0] + tol)
+}
+
+/// Non-decreasing within tolerance.
+pub fn is_nondecreasing(xs: &[f64], tol: f64) -> bool {
+    xs.windows(2).all(|w| w[1] >= w[0] - tol)
+}
+
+/// Single-peaked: rises (weakly) to an interior or boundary peak, then
+/// falls (weakly); `tol` forgives solver noise.
+pub fn is_single_peaked(xs: &[f64], tol: f64) -> bool {
+    if xs.len() < 3 {
+        return true;
+    }
+    let peak = argmax(xs);
+    xs[..=peak].windows(2).all(|w| w[1] >= w[0] - tol)
+        && xs[peak..].windows(2).all(|w| w[1] <= w[0] + tol)
+}
+
+/// Peak is strictly interior (not at either end of the grid).
+pub fn has_interior_peak(xs: &[f64]) -> bool {
+    let peak = argmax(xs);
+    peak > 0 && peak + 1 < xs.len()
+}
+
+/// Index of the maximum (first on ties).
+pub fn argmax(xs: &[f64]) -> usize {
+    let mut best = 0;
+    for (i, &x) in xs.iter().enumerate() {
+        if x > xs[best] {
+            best = i;
+        }
+    }
+    best
+}
+
+/// Pointwise dominance: `a_i >= b_i - tol` for all `i`.
+pub fn dominates(a: &[f64], b: &[f64], tol: f64) -> bool {
+    a.len() == b.len() && a.iter().zip(b).all(|(x, y)| x >= &(y - tol))
+}
+
+/// Initial rise: the series increases somewhere before its maximum,
+/// starting from index 0 (used for Figure 5's low-α/β CPs).
+pub fn rises_initially(xs: &[f64], tol: f64) -> bool {
+    xs.len() >= 2 && xs[1] > xs[0] + tol
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decreasing() {
+        assert!(is_decreasing(&[3.0, 2.0, 1.0], 1e-12));
+        assert!(!is_decreasing(&[3.0, 2.0, 2.5], 1e-12));
+        assert!(is_decreasing(&[3.0, 3.0], 1e-6)); // within tolerance
+        assert!(is_decreasing(&[], 0.0));
+    }
+
+    #[test]
+    fn nondecreasing() {
+        assert!(is_nondecreasing(&[1.0, 1.0, 2.0], 0.0));
+        assert!(!is_nondecreasing(&[1.0, 0.5], 1e-9));
+    }
+
+    #[test]
+    fn single_peak() {
+        assert!(is_single_peaked(&[1.0, 3.0, 2.0], 1e-12));
+        assert!(is_single_peaked(&[3.0, 2.0, 1.0], 1e-12)); // peak at boundary
+        assert!(is_single_peaked(&[1.0, 2.0, 3.0], 1e-12));
+        assert!(!is_single_peaked(&[1.0, 3.0, 1.0, 3.0, 1.0], 1e-12));
+    }
+
+    #[test]
+    fn interior_peak() {
+        assert!(has_interior_peak(&[1.0, 3.0, 2.0]));
+        assert!(!has_interior_peak(&[3.0, 2.0, 1.0]));
+        assert!(!has_interior_peak(&[1.0, 2.0, 3.0]));
+    }
+
+    #[test]
+    fn argmax_first_tie() {
+        assert_eq!(argmax(&[1.0, 5.0, 5.0]), 1);
+        assert_eq!(argmax(&[2.0]), 0);
+    }
+
+    #[test]
+    fn dominance() {
+        assert!(dominates(&[2.0, 3.0], &[1.0, 3.0], 1e-9));
+        assert!(!dominates(&[2.0, 2.0], &[1.0, 3.0], 1e-9));
+        assert!(!dominates(&[2.0], &[1.0, 1.0], 1e-9));
+    }
+
+    #[test]
+    fn initial_rise() {
+        assert!(rises_initially(&[1.0, 1.5, 0.5], 1e-9));
+        assert!(!rises_initially(&[1.0, 0.9], 1e-9));
+    }
+}

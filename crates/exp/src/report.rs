@@ -1,0 +1,211 @@
+//! Plain-text reporting: aligned tables, CSV files, sparklines.
+//!
+//! The experiment binaries print the same series the paper plots; a
+//! terminal can't render MATLAB figures, so each figure becomes (a) an
+//! aligned numeric table, (b) a unicode sparkline per series for shape
+//! recognition at a glance, and (c) a CSV under `results/` for external
+//! plotting.
+
+use std::fmt::Write as _;
+use std::io;
+use std::path::Path;
+
+/// An aligned ASCII table builder.
+#[derive(Debug, Clone)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+    precision: usize,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new(header: &[&str]) -> Self {
+        Table {
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+            precision: 4,
+        }
+    }
+
+    /// Sets the numeric precision (decimal places) for [`Table::row`].
+    pub fn with_precision(mut self, p: usize) -> Self {
+        self.precision = p;
+        self
+    }
+
+    /// Adds a numeric row.
+    pub fn row(&mut self, values: &[f64]) -> &mut Self {
+        let p = self.precision;
+        self.rows.push(values.iter().map(|v| format!("{v:.p$}")).collect());
+        self
+    }
+
+    /// Adds a row of preformatted cells.
+    pub fn row_strings(&mut self, values: &[String]) -> &mut Self {
+        self.rows.push(values.to_vec());
+        self
+    }
+
+    /// Renders the table with aligned columns.
+    pub fn render(&self) -> String {
+        let cols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (j, cell) in row.iter().enumerate().take(cols) {
+                widths[j] = widths[j].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let sep_row = |out: &mut String| {
+            for (j, w) in widths.iter().enumerate() {
+                let _ = write!(out, "{}{}", "-".repeat(w + 2), if j + 1 < cols { "+" } else { "" });
+            }
+            out.push('\n');
+        };
+        for (j, h) in self.header.iter().enumerate() {
+            let _ = write!(out, " {h:>w$} {}", if j + 1 < cols { "|" } else { "" }, w = widths[j]);
+        }
+        out.push('\n');
+        sep_row(&mut out);
+        for row in &self.rows {
+            for j in 0..cols {
+                let cell = row.get(j).map(String::as_str).unwrap_or("");
+                let _ = write!(out, " {cell:>w$} {}", if j + 1 < cols { "|" } else { "" }, w = widths[j]);
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Renders a unicode sparkline of a series (8 levels).
+pub fn sparkline(values: &[f64]) -> String {
+    const TICKS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    if values.is_empty() {
+        return String::new();
+    }
+    let finite: Vec<f64> = values.iter().copied().filter(|v| v.is_finite()).collect();
+    if finite.is_empty() {
+        return "·".repeat(values.len());
+    }
+    let lo = finite.iter().copied().fold(f64::INFINITY, f64::min);
+    let hi = finite.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let span = (hi - lo).max(1e-300);
+    values
+        .iter()
+        .map(|v| {
+            if !v.is_finite() {
+                '·'
+            } else {
+                let idx = (((v - lo) / span) * 7.0).round() as usize;
+                TICKS[idx.min(7)]
+            }
+        })
+        .collect()
+}
+
+/// Writes a CSV file with a header row and column-major data.
+///
+/// `columns` pairs a name with its values; all columns must have equal
+/// length. Creates parent directories as needed.
+pub fn write_csv(path: &Path, columns: &[(&str, &[f64])]) -> io::Result<()> {
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent)?;
+    }
+    let rows = columns.first().map(|(_, v)| v.len()).unwrap_or(0);
+    for (name, v) in columns {
+        if v.len() != rows {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!("column {name} has {} rows, expected {rows}", v.len()),
+            ));
+        }
+    }
+    let mut out = String::new();
+    let header: Vec<&str> = columns.iter().map(|(n, _)| *n).collect();
+    out.push_str(&header.join(","));
+    out.push('\n');
+    for r in 0..rows {
+        let row: Vec<String> = columns.iter().map(|(_, v)| format!("{:.10e}", v[r])).collect();
+        out.push_str(&row.join(","));
+        out.push('\n');
+    }
+    std::fs::write(path, out)
+}
+
+/// The default results directory (`results/` under the workspace root, or
+/// the current directory when run elsewhere).
+pub fn results_dir() -> std::path::PathBuf {
+    std::path::PathBuf::from("results")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_alignment() {
+        let mut t = Table::new(&["p", "theta"]).with_precision(2);
+        t.row(&[0.5, 1.25]);
+        t.row(&[10.0, 0.01]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("p"));
+        assert!(lines[2].contains("0.50"));
+        assert!(lines[3].contains("10.00"));
+        // All data lines share the same width.
+        assert_eq!(lines[2].len(), lines[3].len());
+    }
+
+    #[test]
+    fn table_string_rows() {
+        let mut t = Table::new(&["cp", "note"]);
+        t.row_strings(&["a2-b5".into(), "pinned".into()]);
+        assert!(t.render().contains("pinned"));
+    }
+
+    #[test]
+    fn sparkline_shape() {
+        let s = sparkline(&[0.0, 0.5, 1.0]);
+        assert_eq!(s.chars().count(), 3);
+        assert!(s.starts_with('▁'));
+        assert!(s.ends_with('█'));
+    }
+
+    #[test]
+    fn sparkline_flat_and_empty() {
+        assert_eq!(sparkline(&[]), "");
+        let flat = sparkline(&[2.0, 2.0, 2.0]);
+        assert_eq!(flat.chars().count(), 3);
+    }
+
+    #[test]
+    fn sparkline_handles_nan() {
+        let s = sparkline(&[0.0, f64::NAN, 1.0]);
+        assert_eq!(s.chars().nth(1), Some('·'));
+    }
+
+    #[test]
+    fn csv_roundtrip() {
+        let dir = std::env::temp_dir().join("subcomp_csv_test");
+        let path = dir.join("t.csv");
+        write_csv(&path, &[("x", &[1.0, 2.0]), ("y", &[3.0, 4.0])]).unwrap();
+        let content = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = content.lines().collect();
+        assert_eq!(lines[0], "x,y");
+        assert_eq!(lines.len(), 3);
+        assert!(lines[1].starts_with("1.0"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn csv_rejects_ragged_columns() {
+        let dir = std::env::temp_dir().join("subcomp_csv_test2");
+        let path = dir.join("t.csv");
+        let e = write_csv(&path, &[("x", &[1.0, 2.0]), ("y", &[3.0])]);
+        assert!(e.is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

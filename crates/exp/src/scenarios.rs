@@ -1,0 +1,147 @@
+//! The paper's pinned parameterizations and randomized variants.
+
+use subcomp_core::structure::SplitMix64;
+use subcomp_model::aggregation::{build_system, ExpCpSpec};
+use subcomp_model::system::System;
+
+/// §3.2 numerical example: 9 CP types, `(α, β) ∈ {1,3,5}²`, `µ = 1`,
+/// `Φ = θ/µ`, `λ = e^{-βφ}`, `m = e^{-αp}` (Figures 4 and 5).
+///
+/// Ordering: row-major in `(α, β)` — index `3a + b` where `a, b` index
+/// into `{1, 3, 5}`.
+pub fn section3_specs() -> Vec<ExpCpSpec> {
+    let mut specs = Vec::with_capacity(9);
+    for &alpha in &[1.0, 3.0, 5.0] {
+        for &beta in &[1.0, 3.0, 5.0] {
+            specs.push(ExpCpSpec::unit(alpha, beta, 1.0));
+        }
+    }
+    specs
+}
+
+/// The §3.2 system (capacity 1, linear utilization).
+pub fn section3_system() -> System {
+    build_system(&section3_specs(), 1.0).expect("paper system is valid")
+}
+
+/// §5 numerical evaluation: 8 CP types, `α, β ∈ {2,5}`, `v ∈ {0.5, 1}`
+/// (Figures 7–11).
+///
+/// Ordering: `v` slow, then `α`, then `β` — so indices 0–3 are the
+/// `v = 0.5` block and 4–7 the `v = 1` block, each block ordered
+/// `(α, β) = (2,2), (2,5), (5,2), (5,5)`.
+pub fn section5_specs() -> Vec<ExpCpSpec> {
+    let mut specs = Vec::with_capacity(8);
+    for &v in &[0.5, 1.0] {
+        for &alpha in &[2.0, 5.0] {
+            for &beta in &[2.0, 5.0] {
+                specs.push(ExpCpSpec::unit(alpha, beta, v));
+            }
+        }
+    }
+    specs
+}
+
+/// The §5 system (capacity 1, linear utilization).
+pub fn section5_system() -> System {
+    build_system(&section5_specs(), 1.0).expect("paper system is valid")
+}
+
+/// Human-readable label of a spec, e.g. `a2-b5-v1`.
+pub fn spec_label(s: &ExpCpSpec) -> String {
+    format!("a{}-b{}-v{}", s.alpha, s.beta, s.v)
+}
+
+/// The policy grid of Figures 7–11.
+pub fn paper_policy_grid() -> Vec<f64> {
+    vec![0.0, 0.5, 1.0, 1.5, 2.0]
+}
+
+/// The price grid of Figures 7–11 (`p ∈ [0, 2]`).
+pub fn paper_price_grid(points: usize) -> Vec<f64> {
+    let n = points.max(2);
+    (0..n).map(|k| 2.0 * k as f64 / (n - 1) as f64).collect()
+}
+
+/// A randomized market for property tests and scaling benches: `n` CP
+/// types with `α, β ∈ [1, 6]`, `v ∈ [0.2, 1.2]`, deterministic per seed.
+pub fn random_specs(n: usize, seed: u64) -> Vec<ExpCpSpec> {
+    let mut rng = SplitMix64::new(seed);
+    (0..n)
+        .map(|_| {
+            ExpCpSpec::unit(
+                1.0 + 5.0 * rng.next_f64(),
+                1.0 + 5.0 * rng.next_f64(),
+                0.2 + rng.next_f64(),
+            )
+        })
+        .collect()
+}
+
+/// Builds a system from [`random_specs`] with the given capacity.
+pub fn random_system(n: usize, seed: u64, mu: f64) -> System {
+    build_system(&random_specs(n, seed), mu).expect("random specs are valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn section3_layout() {
+        let specs = section3_specs();
+        assert_eq!(specs.len(), 9);
+        // Row-major: index 3a + b.
+        assert_eq!(specs[0].alpha, 1.0);
+        assert_eq!(specs[0].beta, 1.0);
+        assert_eq!(specs[2].beta, 5.0);
+        assert_eq!(specs[6].alpha, 5.0);
+        assert!(specs.iter().all(|s| s.v == 1.0 && s.m0 == 1.0 && s.lambda0 == 1.0));
+    }
+
+    #[test]
+    fn section5_layout() {
+        let specs = section5_specs();
+        assert_eq!(specs.len(), 8);
+        assert!(specs[..4].iter().all(|s| s.v == 0.5));
+        assert!(specs[4..].iter().all(|s| s.v == 1.0));
+        assert_eq!((specs[1].alpha, specs[1].beta), (2.0, 5.0));
+        assert_eq!((specs[6].alpha, specs[6].beta), (5.0, 2.0));
+        assert_eq!(spec_label(&specs[6]), "a5-b2-v1");
+    }
+
+    #[test]
+    fn grids() {
+        assert_eq!(paper_policy_grid(), vec![0.0, 0.5, 1.0, 1.5, 2.0]);
+        let ps = paper_price_grid(41);
+        assert_eq!(ps.len(), 41);
+        assert_eq!(ps[0], 0.0);
+        assert_eq!(*ps.last().unwrap(), 2.0);
+        assert!((ps[1] - 0.05).abs() < 1e-12);
+    }
+
+    #[test]
+    fn random_specs_deterministic_and_in_range() {
+        let a = random_specs(5, 3);
+        let b = random_specs(5, 3);
+        assert_eq!(a.len(), 5);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.alpha, y.alpha);
+            assert!(x.alpha >= 1.0 && x.alpha <= 6.0);
+            assert!(x.v >= 0.2 && x.v <= 1.2);
+        }
+        let c = random_specs(5, 4);
+        assert_ne!(a[0].alpha, c[0].alpha);
+    }
+
+    #[test]
+    fn systems_build_and_solve() {
+        let s3 = section3_system();
+        assert_eq!(s3.n(), 9);
+        assert!(s3.state_at_uniform_price(0.5).unwrap().phi > 0.0);
+        let s5 = section5_system();
+        assert_eq!(s5.n(), 8);
+        let r = random_system(6, 1, 1.5);
+        assert_eq!(r.mu(), 1.5);
+    }
+}

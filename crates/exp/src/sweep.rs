@@ -1,0 +1,130 @@
+//! Parameter-sweep engine.
+//!
+//! Two workhorses: [`parallel_map`] fans independent work items across OS
+//! threads (`std::thread::scope`, no dependency), and
+//! [`equilibrium_price_sweep`] walks a price grid with warm-started Nash
+//! solves — consecutive equilibria are close (Theorem 6 differentiability),
+//! so warm starts cut sweep time by roughly the iteration count ratio.
+
+use subcomp_core::game::SubsidyGame;
+use subcomp_core::nash::{NashSolution, NashSolver};
+use subcomp_model::system::System;
+use subcomp_num::NumResult;
+
+/// Maps `f` over `items` on up to `threads` OS threads, preserving order.
+///
+/// Falls back to a sequential map when `threads <= 1` or there is a single
+/// item. `f` must be `Sync` (it is shared across threads by reference).
+pub fn parallel_map<T, U, F>(items: &[T], threads: usize, f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&T) -> U + Sync,
+{
+    let n = items.len();
+    if threads <= 1 || n <= 1 {
+        return items.iter().map(&f).collect();
+    }
+    let workers = threads.min(n);
+    let mut out: Vec<Option<U>> = (0..n).map(|_| None).collect();
+    let chunk = n.div_ceil(workers);
+    std::thread::scope(|scope| {
+        for (slab, slot) in items.chunks(chunk).zip(out.chunks_mut(chunk)) {
+            scope.spawn(|| {
+                for (item, cell) in slab.iter().zip(slot.iter_mut()) {
+                    *cell = Some(f(item));
+                }
+            });
+        }
+    });
+    out.into_iter().map(|c| c.expect("worker filled every slot")).collect()
+}
+
+/// One solved point of a price sweep.
+#[derive(Debug, Clone)]
+pub struct SweepPoint {
+    /// The price at this point.
+    pub p: f64,
+    /// The equilibrium solved at `(p, q)`.
+    pub equilibrium: NashSolution,
+}
+
+/// Sweeps a price grid at fixed cap `q`, warm-starting each solve from the
+/// previous equilibrium.
+pub fn equilibrium_price_sweep(
+    system: &System,
+    q: f64,
+    prices: &[f64],
+    solver: &NashSolver,
+) -> NumResult<Vec<SweepPoint>> {
+    let mut out = Vec::with_capacity(prices.len());
+    let mut warm: Option<Vec<f64>> = None;
+    for &p in prices {
+        let game = SubsidyGame::new(system.clone(), p, q)?;
+        let eq = match &warm {
+            Some(s0) => solver.solve_from(&game, s0)?,
+            None => solver.solve(&game)?,
+        };
+        warm = Some(eq.subsidies.clone());
+        out.push(SweepPoint { p, equilibrium: eq });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenarios::section5_system;
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        let items: Vec<i64> = (0..100).collect();
+        let seq = parallel_map(&items, 1, |x| x * x);
+        let par = parallel_map(&items, 8, |x| x * x);
+        assert_eq!(seq, par);
+        assert_eq!(par[7], 49);
+    }
+
+    #[test]
+    fn parallel_map_empty_and_single() {
+        let empty: Vec<i32> = vec![];
+        assert!(parallel_map(&empty, 4, |x| *x).is_empty());
+        assert_eq!(parallel_map(&[5], 4, |x| x + 1), vec![6]);
+    }
+
+    #[test]
+    fn parallel_map_more_threads_than_items() {
+        let items = [1, 2, 3];
+        assert_eq!(parallel_map(&items, 64, |x| x * 10), vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn warm_sweep_matches_cold_solves() {
+        let sys = section5_system();
+        let solver = NashSolver::default().with_tol(1e-8);
+        let prices = [0.3, 0.4, 0.5];
+        let sweep = equilibrium_price_sweep(&sys, 0.6, &prices, &solver).unwrap();
+        assert_eq!(sweep.len(), 3);
+        for pt in &sweep {
+            let game = SubsidyGame::new(sys.clone(), pt.p, 0.6).unwrap();
+            let cold = solver.solve(&game).unwrap();
+            for i in 0..8 {
+                assert!(
+                    (pt.equilibrium.subsidies[i] - cold.subsidies[i]).abs() < 1e-5,
+                    "p = {}, CP {i}",
+                    pt.p
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sweep_points_keep_prices() {
+        let sys = section5_system();
+        let solver = NashSolver::default().with_tol(1e-7);
+        let prices = [0.2, 0.9];
+        let sweep = equilibrium_price_sweep(&sys, 0.3, &prices, &solver).unwrap();
+        assert_eq!(sweep[0].p, 0.2);
+        assert_eq!(sweep[1].p, 0.9);
+    }
+}

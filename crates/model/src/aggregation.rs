@@ -1,0 +1,185 @@
+//! Provider aggregation and rescaling (Lemma 2).
+//!
+//! Lemma 2 states that a provider can be replaced by any rescaling that
+//! preserves the product `m_i λ_i(0)` and the φ-elasticity profile of
+//! `λ_i`, without changing the system utilization or anyone's throughput.
+//! Operationally this licenses the paper's numerics to model a *group* of
+//! similar CPs as one aggregate "type" — and licenses us to replace the
+//! per-CP primitives by simulator-measured aggregates.
+//!
+//! This module provides the exponential-family spec type used throughout
+//! the experiments (the paper's `(α, β, v)` types), the Lemma 2 rescaling,
+//! and aggregation of same-elasticity specs.
+
+use crate::cp::ContentProvider;
+use crate::demand::ExpDemand;
+use crate::system::System;
+use crate::throughput::ExpThroughput;
+use subcomp_num::{NumError, NumResult};
+
+/// A provider of the paper's exponential family:
+/// `m(t) = m₀ e^{-αt}`, `λ(φ) = λ₀ e^{-βφ}`, per-unit profitability `v`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ExpCpSpec {
+    /// Population scale `m₀`.
+    pub m0: f64,
+    /// Price sensitivity `α`.
+    pub alpha: f64,
+    /// Peak per-user throughput `λ₀`.
+    pub lambda0: f64,
+    /// Congestion sensitivity `β`.
+    pub beta: f64,
+    /// Per-unit traffic profit `v`.
+    pub v: f64,
+}
+
+impl ExpCpSpec {
+    /// The paper's canonical unit type: `m₀ = λ₀ = 1`.
+    pub fn unit(alpha: f64, beta: f64, v: f64) -> Self {
+        ExpCpSpec { m0: 1.0, alpha, lambda0: 1.0, beta, v }
+    }
+
+    /// Builds the [`ContentProvider`].
+    pub fn build(&self, name: impl Into<String>) -> ContentProvider {
+        ContentProvider::builder(name)
+            .demand(ExpDemand::new(self.m0, self.alpha))
+            .throughput(ExpThroughput::new(self.lambda0, self.beta))
+            .profitability(self.v)
+            .build()
+    }
+
+    /// The Lemma 2 rescaling: `m₀ ← m₀/κ`, `λ₀ ← κ λ₀`. The product
+    /// `m₀ λ₀` — and hence all system-level quantities — is invariant.
+    pub fn rescaled(&self, kappa: f64) -> NumResult<ExpCpSpec> {
+        if !(kappa > 0.0) || !kappa.is_finite() {
+            return Err(NumError::Domain { what: "rescaling factor must be positive", value: kappa });
+        }
+        Ok(ExpCpSpec { m0: self.m0 / kappa, lambda0: self.lambda0 * kappa, ..*self })
+    }
+
+    /// Whether two specs share demand and congestion elasticity profiles
+    /// (same `α` and `β`) and profitability, making them aggregable.
+    pub fn aggregable_with(&self, other: &ExpCpSpec, tol: f64) -> bool {
+        (self.alpha - other.alpha).abs() <= tol
+            && (self.beta - other.beta).abs() <= tol
+            && (self.v - other.v).abs() <= tol
+    }
+}
+
+/// Aggregates same-type specs into one (Lemma 2): the aggregate carries
+/// `m₀ λ₀ = Σ_i m₀_i λ₀_i` with `λ₀ = 1`. Errors if the specs disagree in
+/// `α`, `β` or `v` beyond `tol`, or if the list is empty.
+pub fn aggregate(specs: &[ExpCpSpec], tol: f64) -> NumResult<ExpCpSpec> {
+    let first = specs.first().ok_or(NumError::Empty { what: "aggregate" })?;
+    let mut mass = 0.0;
+    for s in specs {
+        if !s.aggregable_with(first, tol) {
+            return Err(NumError::Domain {
+                what: "aggregate requires identical (alpha, beta, v)",
+                value: (s.alpha - first.alpha).abs().max((s.beta - first.beta).abs()),
+            });
+        }
+        mass += s.m0 * s.lambda0;
+    }
+    Ok(ExpCpSpec { m0: mass, alpha: first.alpha, lambda0: 1.0, beta: first.beta, v: first.v })
+}
+
+/// Builds a [`System`] from exponential specs with the paper's `Φ = θ/µ`.
+pub fn build_system(specs: &[ExpCpSpec], mu: f64) -> NumResult<System> {
+    let cps = specs
+        .iter()
+        .enumerate()
+        .map(|(i, s)| s.build(format!("cp{i}-a{}-b{}-v{}", s.alpha, s.beta, s.v)))
+        .collect();
+    System::new(cps, mu, crate::utilization::LinearUtilization)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rescaling_preserves_utilization() {
+        // Lemma 2 end-to-end: replace CP 0 by its kappa-rescaling; the
+        // system utilization and every other CP's throughput are unchanged.
+        let specs = vec![
+            ExpCpSpec::unit(2.0, 3.0, 1.0),
+            ExpCpSpec::unit(4.0, 1.0, 0.5),
+        ];
+        let sys = build_system(&specs, 1.0).unwrap();
+        let base = sys.state_at_uniform_price(0.5).unwrap();
+
+        for kappa in [0.25, 2.0, 10.0] {
+            let mut specs2 = specs.clone();
+            specs2[0] = specs[0].rescaled(kappa).unwrap();
+            let sys2 = build_system(&specs2, 1.0).unwrap();
+            let st2 = sys2.state_at_uniform_price(0.5).unwrap();
+            assert!((st2.phi - base.phi).abs() < 1e-12, "kappa {kappa}");
+            assert!((st2.theta_i[1] - base.theta_i[1]).abs() < 1e-12);
+            // The rescaled CP's own aggregate throughput is invariant too.
+            assert!((st2.theta_i[0] - base.theta_i[0]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn single_big_user_equivalence() {
+        // The paper's remark: treat CP i as one big user m = 1 with peak
+        // m_i lambda_i(0).
+        let spec = ExpCpSpec { m0: 5.0, alpha: 2.0, lambda0: 0.2, beta: 3.0, v: 1.0 };
+        let one_user = spec.rescaled(spec.m0).unwrap();
+        assert!((one_user.m0 - 1.0).abs() < 1e-12);
+        assert!((one_user.m0 * one_user.lambda0 - spec.m0 * spec.lambda0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn aggregate_matches_explicit_group() {
+        // A group of same-type CPs behaves exactly like its aggregate.
+        let group = vec![
+            ExpCpSpec { m0: 0.5, alpha: 3.0, lambda0: 1.0, beta: 2.0, v: 1.0 },
+            ExpCpSpec { m0: 0.3, alpha: 3.0, lambda0: 2.0, beta: 2.0, v: 1.0 },
+            ExpCpSpec { m0: 0.2, alpha: 3.0, lambda0: 0.5, beta: 2.0, v: 1.0 },
+        ];
+        let other = ExpCpSpec::unit(1.0, 4.0, 0.5);
+        let agg = aggregate(&group, 1e-12).unwrap();
+
+        let mut full = group.clone();
+        full.push(other);
+        let sys_full = build_system(&full, 1.0).unwrap();
+        let sys_agg = build_system(&[agg, other], 1.0).unwrap();
+
+        for p in [0.1, 0.5, 1.2] {
+            let a = sys_full.state_at_uniform_price(p).unwrap();
+            let b = sys_agg.state_at_uniform_price(p).unwrap();
+            assert!((a.phi - b.phi).abs() < 1e-11, "p = {p}: {} vs {}", a.phi, b.phi);
+            // Group total throughput equals aggregate throughput.
+            let group_theta: f64 = a.theta_i[..3].iter().sum();
+            assert!((group_theta - b.theta_i[0]).abs() < 1e-11);
+            // The outsider is unaffected.
+            assert!((a.theta_i[3] - b.theta_i[1]).abs() < 1e-11);
+        }
+    }
+
+    #[test]
+    fn aggregate_rejects_mixed_types() {
+        let specs = vec![ExpCpSpec::unit(1.0, 2.0, 1.0), ExpCpSpec::unit(3.0, 2.0, 1.0)];
+        assert!(aggregate(&specs, 1e-9).is_err());
+    }
+
+    #[test]
+    fn aggregate_rejects_empty() {
+        assert!(matches!(aggregate(&[], 1e-9), Err(NumError::Empty { .. })));
+    }
+
+    #[test]
+    fn rescale_rejects_bad_kappa() {
+        let s = ExpCpSpec::unit(1.0, 1.0, 1.0);
+        assert!(s.rescaled(0.0).is_err());
+        assert!(s.rescaled(-2.0).is_err());
+    }
+
+    #[test]
+    fn build_names_are_informative() {
+        let sys = build_system(&[ExpCpSpec::unit(2.0, 5.0, 0.5)], 1.0).unwrap();
+        assert!(sys.cp(0).name().contains("a2-b5"));
+    }
+}

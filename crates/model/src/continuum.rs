@@ -1,0 +1,241 @@
+//! A continuum of provider types (extension of Lemma 2).
+//!
+//! Lemma 2 lets the paper collapse groups of similar CPs into discrete
+//! "types". Taken to its limit, a content market is a *continuum* of
+//! types: a density `w(ω)` over a type index `ω ∈ [lo, hi]` with smooth
+//! parameter profiles `α(ω)`, `β(ω)` for the paper's exponential family.
+//! The aggregate throughput demand at utilization `φ` and uniform price
+//! `p` becomes
+//!
+//! ```text
+//! D(φ, p) = ∫ w(ω) e^{−α(ω) p} e^{−β(ω) φ} dω
+//! ```
+//!
+//! evaluated by adaptive Simpson quadrature; Definition 1's fixed point
+//! and Lemma 1's uniqueness argument carry over verbatim because `D` is
+//! still strictly decreasing in `φ`. [`ContinuumMarket::discretize`]
+//! produces the midpoint-rule panel of [`ExpCpSpec`] types, and the tests
+//! show the discrete systems converge to the continuum as the panel
+//! refines — which justifies the paper's 8-type and 9-type panels as
+//! approximations of richer markets.
+
+use crate::aggregation::ExpCpSpec;
+use subcomp_num::quad::adaptive_simpson;
+use subcomp_num::roots::solve_increasing;
+use subcomp_num::{NumError, NumResult, Tolerance};
+
+/// Smooth profile of provider parameters over the type index.
+pub type Profile = Box<dyn Fn(f64) -> f64 + Send + Sync>;
+
+/// A market with a continuum of exponential-family provider types.
+pub struct ContinuumMarket {
+    mu: f64,
+    lo: f64,
+    hi: f64,
+    weight: Profile,
+    alpha: Profile,
+    beta: Profile,
+    profitability: Profile,
+    quad_tol: f64,
+}
+
+impl ContinuumMarket {
+    /// Creates a continuum market over `ω ∈ [lo, hi]` with capacity `µ`.
+    ///
+    /// `weight` is the type density (need not be normalized), `alpha`
+    /// and `beta` the demand/congestion sensitivity profiles, and
+    /// `profitability` the per-unit profit profile `v(ω)`.
+    pub fn new(
+        mu: f64,
+        (lo, hi): (f64, f64),
+        weight: impl Fn(f64) -> f64 + Send + Sync + 'static,
+        alpha: impl Fn(f64) -> f64 + Send + Sync + 'static,
+        beta: impl Fn(f64) -> f64 + Send + Sync + 'static,
+        profitability: impl Fn(f64) -> f64 + Send + Sync + 'static,
+    ) -> NumResult<Self> {
+        if !(mu > 0.0) {
+            return Err(NumError::Domain { what: "capacity must be positive", value: mu });
+        }
+        if !(hi > lo) {
+            return Err(NumError::Domain { what: "type interval must be non-degenerate", value: hi - lo });
+        }
+        Ok(ContinuumMarket {
+            mu,
+            lo,
+            hi,
+            weight: Box::new(weight),
+            alpha: Box::new(alpha),
+            beta: Box::new(beta),
+            profitability: Box::new(profitability),
+            quad_tol: 1e-11,
+        })
+    }
+
+    /// Capacity `µ`.
+    pub fn mu(&self) -> f64 {
+        self.mu
+    }
+
+    /// Aggregate throughput demand `D(φ, p)` by adaptive quadrature.
+    pub fn aggregate_demand(&self, phi: f64, p: f64) -> NumResult<f64> {
+        let f = |omega: f64| {
+            (self.weight)(omega)
+                * (-(self.alpha)(omega) * p).exp()
+                * (-(self.beta)(omega) * phi).exp()
+        };
+        adaptive_simpson(&f, self.lo, self.hi, self.quad_tol)
+    }
+
+    /// Solves the Definition 1 fixed point at uniform price `p` (linear
+    /// utilization `Φ = θ/µ`, as in the paper's numerics).
+    pub fn utilization(&self, p: f64) -> NumResult<f64> {
+        let g = |phi: f64| match self.aggregate_demand(phi, p) {
+            Ok(d) => phi * self.mu - d,
+            Err(_) => f64::NAN,
+        };
+        let demand0 = self.aggregate_demand(0.0, p)?;
+        if demand0 <= 0.0 {
+            return Ok(0.0);
+        }
+        let guess = demand0 / self.mu;
+        Ok(solve_increasing(&g, 0.0, guess.max(1e-6), Tolerance::new(1e-12, 1e-12).with_max_iter(300))?.x)
+    }
+
+    /// Aggregate welfare density `∫ w v θ_ω dω` at utilization `φ`,
+    /// price `p` (per-type throughput weighted by profitability).
+    pub fn welfare(&self, phi: f64, p: f64) -> NumResult<f64> {
+        let f = |omega: f64| {
+            (self.weight)(omega)
+                * (self.profitability)(omega)
+                * (-(self.alpha)(omega) * p).exp()
+                * (-(self.beta)(omega) * phi).exp()
+        };
+        adaptive_simpson(&f, self.lo, self.hi, self.quad_tol)
+    }
+
+    /// Midpoint-rule discretization into `n` exponential types, suitable
+    /// for the full game machinery of `subcomp-core`.
+    pub fn discretize(&self, n: usize) -> NumResult<Vec<ExpCpSpec>> {
+        if n == 0 {
+            return Err(NumError::Domain { what: "discretization needs n >= 1", value: 0.0 });
+        }
+        let h = (self.hi - self.lo) / n as f64;
+        Ok((0..n)
+            .map(|k| {
+                let omega = self.lo + h * (k as f64 + 0.5);
+                ExpCpSpec {
+                    m0: (self.weight)(omega) * h,
+                    alpha: (self.alpha)(omega),
+                    lambda0: 1.0,
+                    beta: (self.beta)(omega),
+                    v: (self.profitability)(omega),
+                }
+            })
+            .collect())
+    }
+}
+
+impl std::fmt::Debug for ContinuumMarket {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ContinuumMarket")
+            .field("mu", &self.mu)
+            .field("omega", &(self.lo, self.hi))
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::aggregation::build_system;
+
+    /// Types spread over alpha in [1, 5] with beta moving oppositely.
+    fn sample_market() -> ContinuumMarket {
+        ContinuumMarket::new(
+            1.0,
+            (0.0, 1.0),
+            |_| 1.0,
+            |w| 1.0 + 4.0 * w,
+            |w| 5.0 - 4.0 * w,
+            |w| 0.5 + 0.5 * w,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn fixed_point_exists_and_is_consistent() {
+        let m = sample_market();
+        let p = 0.4;
+        let phi = m.utilization(p).unwrap();
+        assert!(phi > 0.0);
+        // Definition 1: demand at phi equals supply phi * mu.
+        let d = m.aggregate_demand(phi, p).unwrap();
+        assert!((d - phi * m.mu()).abs() < 1e-9, "gap {}", d - phi);
+    }
+
+    #[test]
+    fn utilization_decreases_with_price() {
+        let m = sample_market();
+        let mut prev = f64::INFINITY;
+        for k in 0..6 {
+            let phi = m.utilization(0.3 * k as f64).unwrap();
+            assert!(phi < prev);
+            prev = phi;
+        }
+    }
+
+    #[test]
+    fn discretization_converges_to_continuum() {
+        let m = sample_market();
+        let p = 0.5;
+        let exact = m.utilization(p).unwrap();
+        let mut errs = Vec::new();
+        for n in [2usize, 8, 32] {
+            let specs = m.discretize(n).unwrap();
+            let sys = build_system(&specs, 1.0).unwrap();
+            let phi = sys.state_at_uniform_price(p).unwrap().phi;
+            errs.push((phi - exact).abs());
+        }
+        assert!(errs[1] < errs[0]);
+        assert!(errs[2] < errs[1]);
+        assert!(errs[2] < 1e-4, "32-type panel should be within 1e-4: {errs:?}");
+    }
+
+    #[test]
+    fn welfare_positive_and_decreasing_in_price() {
+        let m = sample_market();
+        let (p1, p2) = (0.3, 1.0);
+        let w1 = m.welfare(m.utilization(p1).unwrap(), p1).unwrap();
+        let w2 = m.welfare(m.utilization(p2).unwrap(), p2).unwrap();
+        assert!(w1 > w2);
+        assert!(w2 > 0.0);
+    }
+
+    #[test]
+    fn zero_weight_market_idles() {
+        let m = ContinuumMarket::new(1.0, (0.0, 1.0), |_| 0.0, |_| 2.0, |_| 2.0, |_| 1.0).unwrap();
+        assert_eq!(m.utilization(0.5).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn constructor_validation() {
+        assert!(ContinuumMarket::new(0.0, (0.0, 1.0), |_| 1.0, |_| 1.0, |_| 1.0, |_| 1.0).is_err());
+        assert!(ContinuumMarket::new(1.0, (1.0, 1.0), |_| 1.0, |_| 1.0, |_| 1.0, |_| 1.0).is_err());
+        let m = sample_market();
+        assert!(m.discretize(0).is_err());
+    }
+
+    #[test]
+    fn uniform_point_mass_matches_single_type() {
+        // A continuum concentrated on constant profiles equals one type
+        // with m0 = total weight.
+        let m = ContinuumMarket::new(1.0, (0.0, 1.0), |_| 0.7, |_| 3.0, |_| 2.0, |_| 1.0).unwrap();
+        let spec = ExpCpSpec { m0: 0.7, alpha: 3.0, lambda0: 1.0, beta: 2.0, v: 1.0 };
+        let sys = build_system(&[spec], 1.0).unwrap();
+        for p in [0.1, 0.5, 1.2] {
+            let a = m.utilization(p).unwrap();
+            let b = sys.state_at_uniform_price(p).unwrap().phi;
+            assert!((a - b).abs() < 1e-9, "p = {p}: {a} vs {b}");
+        }
+    }
+}

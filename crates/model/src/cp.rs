@@ -1,0 +1,225 @@
+//! Content providers.
+//!
+//! A [`ContentProvider`] bundles the per-CP primitives of the paper: a
+//! demand function `m_i(t_i)` (Assumption 2), a throughput function
+//! `λ_i(φ)` (Assumption 1), and the average per-unit traffic profitability
+//! `v_i` that drives the subsidization game (`U_i = (v_i − s_i) θ_i`). By
+//! Lemma 2, one `ContentProvider` can stand for a whole *class* of
+//! providers with similar traffic characteristics — which is exactly how
+//! the paper's numerical sections use 8–9 "types".
+
+use crate::demand::DemandFn;
+use crate::throughput::ThroughputFn;
+
+/// A content provider (or an aggregated provider class, per Lemma 2).
+#[derive(Clone)]
+pub struct ContentProvider {
+    name: String,
+    demand: Box<dyn DemandFn>,
+    throughput: Box<dyn ThroughputFn>,
+    profitability: f64,
+}
+
+impl ContentProvider {
+    /// Starts a builder; `name` identifies the provider in reports.
+    pub fn builder(name: impl Into<String>) -> CpBuilder {
+        CpBuilder { name: name.into(), demand: None, throughput: None, profitability: 0.0 }
+    }
+
+    /// Provider name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The demand function `m_i(·)`.
+    pub fn demand(&self) -> &dyn DemandFn {
+        self.demand.as_ref()
+    }
+
+    /// The throughput function `λ_i(·)`.
+    pub fn throughput(&self) -> &dyn ThroughputFn {
+        self.throughput.as_ref()
+    }
+
+    /// Average per-unit traffic profit `v_i ≥ 0`.
+    pub fn profitability(&self) -> f64 {
+        self.profitability
+    }
+
+    /// Population at effective price `t`.
+    pub fn population(&self, t: f64) -> f64 {
+        self.demand.m(t)
+    }
+
+    /// Per-user throughput at utilization `φ`.
+    pub fn lambda(&self, phi: f64) -> f64 {
+        self.throughput.lambda(phi)
+    }
+
+    /// Returns a Lemma 2 rescaling of this provider: population scale
+    /// multiplied by `1/κ`, peak throughput by `κ`. The product
+    /// `m_i λ_i(0)` — and hence the provider's effect on the system — is
+    /// invariant.
+    pub fn rescaled(&self, kappa: f64) -> ContentProvider {
+        ContentProvider {
+            name: format!("{} (×{kappa})", self.name),
+            demand: self.demand.scaled(1.0 / kappa),
+            throughput: self.throughput.scaled(kappa),
+            profitability: self.profitability,
+        }
+    }
+
+    /// Returns a copy with a different profitability — used by Theorem 5
+    /// (profitability effect) experiments.
+    pub fn with_profitability(&self, v: f64) -> ContentProvider {
+        assert!(v >= 0.0 && v.is_finite(), "profitability must be non-negative");
+        ContentProvider { profitability: v, ..self.clone() }
+    }
+}
+
+impl std::fmt::Debug for ContentProvider {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ContentProvider")
+            .field("name", &self.name)
+            .field("demand", &self.demand.name())
+            .field("throughput", &self.throughput.name())
+            .field("profitability", &self.profitability)
+            .finish()
+    }
+}
+
+/// Builder for [`ContentProvider`].
+pub struct CpBuilder {
+    name: String,
+    demand: Option<Box<dyn DemandFn>>,
+    throughput: Option<Box<dyn ThroughputFn>>,
+    profitability: f64,
+}
+
+impl CpBuilder {
+    /// Sets the demand function (required).
+    pub fn demand(mut self, d: impl DemandFn + 'static) -> Self {
+        self.demand = Some(Box::new(d));
+        self
+    }
+
+    /// Sets the demand function from an existing boxed object.
+    pub fn demand_boxed(mut self, d: Box<dyn DemandFn>) -> Self {
+        self.demand = Some(d);
+        self
+    }
+
+    /// Sets the throughput function (required).
+    pub fn throughput(mut self, t: impl ThroughputFn + 'static) -> Self {
+        self.throughput = Some(Box::new(t));
+        self
+    }
+
+    /// Sets the throughput function from an existing boxed object.
+    pub fn throughput_boxed(mut self, t: Box<dyn ThroughputFn>) -> Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Sets the per-unit profitability `v_i ≥ 0` (default 0: a provider
+    /// that cannot afford to subsidize).
+    pub fn profitability(mut self, v: f64) -> Self {
+        assert!(v >= 0.0 && v.is_finite(), "profitability must be non-negative");
+        self.profitability = v;
+        self
+    }
+
+    /// Finalizes the provider.
+    ///
+    /// # Panics
+    /// If the demand or throughput function was not set — these are
+    /// construction-time programming errors, not runtime conditions.
+    pub fn build(self) -> ContentProvider {
+        ContentProvider {
+            name: self.name,
+            demand: self.demand.expect("ContentProvider requires a demand function"),
+            throughput: self.throughput.expect("ContentProvider requires a throughput function"),
+            profitability: self.profitability,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::demand::ExpDemand;
+    use crate::throughput::ExpThroughput;
+
+    fn sample() -> ContentProvider {
+        ContentProvider::builder("video")
+            .demand(ExpDemand::new(1.0, 2.0))
+            .throughput(ExpThroughput::new(1.0, 5.0))
+            .profitability(0.8)
+            .build()
+    }
+
+    #[test]
+    fn builder_roundtrip() {
+        let cp = sample();
+        assert_eq!(cp.name(), "video");
+        assert_eq!(cp.profitability(), 0.8);
+        assert!((cp.population(0.5) - (-1.0f64).exp()).abs() < 1e-12);
+        assert!((cp.lambda(0.2) - (-1.0f64).exp()).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "requires a demand function")]
+    fn builder_missing_demand_panics() {
+        ContentProvider::builder("x")
+            .throughput(ExpThroughput::new(1.0, 1.0))
+            .build();
+    }
+
+    #[test]
+    #[should_panic(expected = "requires a throughput function")]
+    fn builder_missing_throughput_panics() {
+        ContentProvider::builder("x").demand(ExpDemand::new(1.0, 1.0)).build();
+    }
+
+    #[test]
+    fn rescaled_preserves_mass() {
+        // Lemma 2: m * lambda(0) invariant under the kappa rescaling.
+        let cp = sample();
+        let r = cp.rescaled(4.0);
+        for t in [0.0, 0.3, 1.0] {
+            let orig = cp.population(t) * cp.lambda(0.0);
+            let resc = r.population(t) * r.lambda(0.0);
+            assert!((orig - resc).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn with_profitability_replaces_v_only() {
+        let cp = sample();
+        let cp2 = cp.with_profitability(1.5);
+        assert_eq!(cp2.profitability(), 1.5);
+        assert_eq!(cp2.population(0.4), cp.population(0.4));
+        assert_eq!(cp2.name(), cp.name());
+    }
+
+    #[test]
+    #[should_panic(expected = "profitability must be non-negative")]
+    fn negative_profitability_rejected() {
+        sample().with_profitability(-1.0);
+    }
+
+    #[test]
+    fn clone_is_deep_enough() {
+        let cp = sample();
+        let c = cp.clone();
+        assert_eq!(cp.population(0.7), c.population(0.7));
+        assert_eq!(format!("{cp:?}"), format!("{c:?}"));
+    }
+
+    #[test]
+    fn debug_shows_family_names() {
+        let s = format!("{:?}", sample());
+        assert!(s.contains("exponential"));
+        assert!(s.contains("video"));
+    }
+}

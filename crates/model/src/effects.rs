@@ -1,0 +1,328 @@
+//! Comparative statics: Theorem 1 (capacity & user effects) and Theorem 2
+//! (price effect) in closed form.
+//!
+//! All formulas are evaluated at a solved [`SystemState`] and normalized by
+//! the gap slope `dg/dφ` of Equation (2), exactly as in the paper:
+//!
+//! * `∂φ/∂µ = −(dg/dφ)^{-1} ∂Θ/∂µ < 0`                      (Eq. 3)
+//! * `∂φ/∂m_i = (dg/dφ)^{-1} λ_i > 0`                        (Eq. 4)
+//! * `∂θ_i/∂µ = m_i λ_i' ∂φ/∂µ > 0`, `∂θ_i/∂m_i > 0`, `∂θ_j/∂m_i < 0`
+//! * `∂φ/∂p = (dg/dφ)^{-1} Σ_k m_k'(p) λ_k ≤ 0`              (Eq. 5)
+//! * `dθ/dp ≤ 0` (Eq. 6) and the per-CP sign condition (7).
+//!
+//! Every quantity has a finite-difference cross-check in the tests.
+
+use crate::system::{System, SystemState};
+use subcomp_num::{NumError, NumResult};
+
+/// Closed-form capacity and user effects (Theorem 1) at a state.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SystemEffects {
+    /// `∂φ/∂µ` (negative).
+    pub dphi_dmu: f64,
+    /// `∂φ/∂m_i` per provider (positive).
+    pub dphi_dm: Vec<f64>,
+    /// `∂θ_i/∂µ` per provider (positive).
+    pub dtheta_dmu: Vec<f64>,
+    /// `∂θ_j/∂m_i` as a row-major `n × n` table indexed `[j][i]`:
+    /// diagonal positive, off-diagonal negative.
+    pub dtheta_dm: Vec<Vec<f64>>,
+}
+
+impl SystemEffects {
+    /// Evaluates Theorem 1's formulas at a solved state.
+    pub fn compute(system: &System, state: &SystemState) -> NumResult<SystemEffects> {
+        let n = system.n();
+        if state.n() != n {
+            return Err(NumError::DimensionMismatch { expected: n, actual: state.n() });
+        }
+        let dg = state.dg_dphi;
+        if !(dg > 0.0) {
+            return Err(NumError::Domain { what: "gap slope must be positive (Lemma 1)", value: dg });
+        }
+        let u = system.utilization_fn();
+        let dphi_dmu = -u.dtheta_dmu(state.phi, system.mu()) / dg;
+        let dphi_dm: Vec<f64> = state.lambda.iter().map(|l| l / dg).collect();
+        let dlambda: Vec<f64> = system
+            .cps()
+            .iter()
+            .map(|cp| cp.throughput().dlambda_dphi(state.phi))
+            .collect();
+        let dtheta_dmu: Vec<f64> = (0..n)
+            .map(|i| state.m[i] * dlambda[i] * dphi_dmu)
+            .collect();
+        let mut dtheta_dm = vec![vec![0.0; n]; n];
+        for j in 0..n {
+            for i in 0..n {
+                // ∂θ_j/∂m_i = δ_{ij} λ_i + m_j λ_j' ∂φ/∂m_i.
+                let indirect = state.m[j] * dlambda[j] * dphi_dm[i];
+                dtheta_dm[j][i] = if i == j { state.lambda[i] + indirect } else { indirect };
+            }
+        }
+        Ok(SystemEffects { dphi_dmu, dphi_dm, dtheta_dmu, dtheta_dm })
+    }
+
+    /// Verifies the sign structure Theorem 1 asserts; returns the first
+    /// violated claim, if any (used by property tests).
+    pub fn check_signs(&self) -> Option<&'static str> {
+        if !(self.dphi_dmu < 0.0) {
+            return Some("dphi/dmu must be negative");
+        }
+        for &d in &self.dphi_dm {
+            if !(d > 0.0) {
+                return Some("dphi/dm_i must be positive");
+            }
+        }
+        for &d in &self.dtheta_dmu {
+            if !(d > 0.0) {
+                return Some("dtheta_i/dmu must be positive");
+            }
+        }
+        let n = self.dphi_dm.len();
+        for j in 0..n {
+            for i in 0..n {
+                let v = self.dtheta_dm[j][i];
+                if i == j && !(v > 0.0) {
+                    return Some("dtheta_i/dm_i must be positive");
+                }
+                if i != j && !(v < 0.0) {
+                    return Some("dtheta_j/dm_i must be negative");
+                }
+            }
+        }
+        None
+    }
+}
+
+/// Closed-form price effects (Theorem 2) under uniform one-sided pricing
+/// `t_i = p`, evaluated at the state solved for that price.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PriceEffects {
+    /// The uniform price at which the effects are evaluated.
+    pub p: f64,
+    /// `∂φ/∂p` (non-positive), Equation (5).
+    pub dphi_dp: f64,
+    /// `dθ_i/dp` per provider (sign depends on condition (7)).
+    pub dtheta_dp: Vec<f64>,
+    /// `dθ/dp` aggregate (non-positive), Equation (6).
+    pub dtheta_total_dp: f64,
+    /// Left-hand side of condition (7), `ε^m_p / ε^λ_φ`, per provider.
+    pub condition7_lhs: Vec<f64>,
+    /// Right-hand side of condition (7), `−ε^φ_p` (shared by all CPs).
+    pub condition7_rhs: f64,
+}
+
+impl PriceEffects {
+    /// Evaluates Theorem 2's formulas. `state` must be the solved state at
+    /// uniform price `p`.
+    pub fn compute(system: &System, state: &SystemState, p: f64) -> NumResult<PriceEffects> {
+        let n = system.n();
+        if state.n() != n {
+            return Err(NumError::DimensionMismatch { expected: n, actual: state.n() });
+        }
+        let dg = state.dg_dphi;
+        if !(dg > 0.0) {
+            return Err(NumError::Domain { what: "gap slope must be positive (Lemma 1)", value: dg });
+        }
+        let dm_dp: Vec<f64> = system.cps().iter().map(|cp| cp.demand().dm_dt(p)).collect();
+        let dphi_dp = dm_dp
+            .iter()
+            .zip(&state.lambda)
+            .map(|(dm, l)| dm * l)
+            .sum::<f64>()
+            / dg;
+        let mut dtheta_dp = Vec::with_capacity(n);
+        for i in 0..n {
+            let dlambda = system.cp(i).throughput().dlambda_dphi(state.phi);
+            dtheta_dp.push(dm_dp[i] * state.lambda[i] + state.m[i] * dlambda * dphi_dp);
+        }
+        let dtheta_total_dp = dtheta_dp.iter().sum();
+        // Condition (7): theta_i increases iff eps^m_p / eps^lambda_phi < -eps^phi_p.
+        let phi = state.phi;
+        let condition7_rhs = if phi > 0.0 { -dphi_dp * p / phi } else { 0.0 };
+        let mut condition7_lhs = Vec::with_capacity(n);
+        for i in 0..n {
+            let eps_m = if state.m[i] > 0.0 { dm_dp[i] * p / state.m[i] } else { 0.0 };
+            let eps_l = system.cp(i).throughput().elasticity(phi);
+            condition7_lhs.push(if eps_l != 0.0 { eps_m / eps_l } else { f64::INFINITY });
+        }
+        Ok(PriceEffects { p, dphi_dp, dtheta_dp, dtheta_total_dp, condition7_lhs, condition7_rhs })
+    }
+
+    /// Whether condition (7) predicts `θ_i` to be *increasing* in `p`.
+    pub fn throughput_increasing(&self, i: usize) -> bool {
+        self.condition7_lhs[i] < self.condition7_rhs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cp::ContentProvider;
+    use crate::demand::ExpDemand;
+    use crate::throughput::ExpThroughput;
+    use crate::utilization::LinearUtilization;
+    use subcomp_num::diff::derivative;
+
+    fn paper_system() -> System {
+        let mut cps = Vec::new();
+        for &alpha in &[1.0, 3.0, 5.0] {
+            for &beta in &[1.0, 3.0, 5.0] {
+                cps.push(
+                    ContentProvider::builder(format!("a{alpha}-b{beta}"))
+                        .demand(ExpDemand::new(1.0, alpha))
+                        .throughput(ExpThroughput::new(1.0, beta))
+                        .profitability(1.0)
+                        .build(),
+                );
+            }
+        }
+        System::new(cps, 1.0, LinearUtilization).unwrap()
+    }
+
+    #[test]
+    fn theorem1_signs_hold_on_paper_system() {
+        let sys = paper_system();
+        let state = sys.state_at_uniform_price(0.4).unwrap();
+        let eff = SystemEffects::compute(&sys, &state).unwrap();
+        assert_eq!(eff.check_signs(), None);
+    }
+
+    #[test]
+    fn dphi_dmu_matches_finite_difference() {
+        let sys = paper_system();
+        let m = sys.populations(&vec![0.5; 9]).unwrap();
+        let state = sys.solve_state(&m).unwrap();
+        let eff = SystemEffects::compute(&sys, &state).unwrap();
+        let fd = derivative(&|mu| {
+            sys.with_capacity(mu).unwrap().solve_state(&m).unwrap().phi
+        }, sys.mu())
+        .unwrap();
+        assert!((eff.dphi_dmu - fd).abs() < 1e-6, "{} vs {fd}", eff.dphi_dmu);
+    }
+
+    #[test]
+    fn dphi_dm_matches_finite_difference() {
+        let sys = paper_system();
+        let m = sys.populations(&vec![0.5; 9]).unwrap();
+        let state = sys.solve_state(&m).unwrap();
+        let eff = SystemEffects::compute(&sys, &state).unwrap();
+        for i in [0usize, 4, 8] {
+            let fd = derivative(&|mi| {
+                let mut mm = m.clone();
+                mm[i] = mi;
+                sys.solve_state(&mm).unwrap().phi
+            }, m[i])
+            .unwrap();
+            assert!((eff.dphi_dm[i] - fd).abs() < 1e-6, "CP {i}: {} vs {fd}", eff.dphi_dm[i]);
+        }
+    }
+
+    #[test]
+    fn dtheta_dm_matches_finite_difference() {
+        let sys = paper_system();
+        let m = sys.populations(&vec![0.6; 9]).unwrap();
+        let state = sys.solve_state(&m).unwrap();
+        let eff = SystemEffects::compute(&sys, &state).unwrap();
+        // Probe own and cross derivatives for a few pairs.
+        for (j, i) in [(0usize, 0usize), (1, 0), (5, 3), (8, 8)] {
+            let fd = derivative(&|mi| {
+                let mut mm = m.clone();
+                mm[i] = mi;
+                sys.solve_state(&mm).unwrap().theta_i[j]
+            }, m[i])
+            .unwrap();
+            assert!(
+                (eff.dtheta_dm[j][i] - fd).abs() < 1e-6,
+                "dtheta_{j}/dm_{i}: {} vs {fd}",
+                eff.dtheta_dm[j][i]
+            );
+        }
+    }
+
+    #[test]
+    fn dtheta_dmu_matches_finite_difference() {
+        let sys = paper_system();
+        let m = sys.populations(&vec![0.6; 9]).unwrap();
+        let state = sys.solve_state(&m).unwrap();
+        let eff = SystemEffects::compute(&sys, &state).unwrap();
+        for i in [0usize, 8] {
+            let fd = derivative(&|mu| {
+                sys.with_capacity(mu).unwrap().solve_state(&m).unwrap().theta_i[i]
+            }, sys.mu())
+            .unwrap();
+            assert!((eff.dtheta_dmu[i] - fd).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn theorem2_dphi_dp_matches_finite_difference() {
+        let sys = paper_system();
+        let p = 0.5;
+        let state = sys.state_at_uniform_price(p).unwrap();
+        let pe = PriceEffects::compute(&sys, &state, p).unwrap();
+        let fd = derivative(&|pp| sys.state_at_uniform_price(pp).unwrap().phi, p).unwrap();
+        assert!((pe.dphi_dp - fd).abs() < 1e-6, "{} vs {fd}", pe.dphi_dp);
+        assert!(pe.dphi_dp < 0.0);
+    }
+
+    #[test]
+    fn theorem2_aggregate_throughput_decreases() {
+        let sys = paper_system();
+        for p in [0.1, 0.5, 1.0, 1.8] {
+            let state = sys.state_at_uniform_price(p).unwrap();
+            let pe = PriceEffects::compute(&sys, &state, p).unwrap();
+            assert!(pe.dtheta_total_dp <= 0.0, "p = {p}");
+            let fd = derivative(&|pp| sys.state_at_uniform_price(pp).unwrap().theta(), p).unwrap();
+            assert!((pe.dtheta_total_dp - fd).abs() < 1e-5, "p = {p}: {} vs {fd}", pe.dtheta_total_dp);
+        }
+    }
+
+    #[test]
+    fn condition7_predicts_throughput_direction() {
+        // Paper Figure 5: at small p, CPs with small alpha/beta ratio have
+        // *increasing* throughput. CP (alpha=1, beta=5) is index 2 in our
+        // row-major (alpha, beta) ordering.
+        let sys = paper_system();
+        let p = 0.05;
+        let state = sys.state_at_uniform_price(p).unwrap();
+        let pe = PriceEffects::compute(&sys, &state, p).unwrap();
+        for i in 0..9 {
+            let fd = derivative(&|pp| sys.state_at_uniform_price(pp).unwrap().theta_i[i], p).unwrap();
+            assert_eq!(
+                pe.throughput_increasing(i),
+                fd > 0.0,
+                "condition (7) disagrees with finite difference for CP {i} (fd = {fd})"
+            );
+            assert!((pe.dtheta_dp[i] - fd).abs() < 1e-5);
+        }
+        // And the paper's qualitative claim: (1,5) increasing at small p.
+        assert!(pe.throughput_increasing(2), "low-alpha/high-beta CP should gain");
+        // (5,1) decreasing.
+        assert!(!pe.throughput_increasing(6), "high-alpha/low-beta CP should lose");
+    }
+
+    #[test]
+    fn paper_closed_form_dphi_dp() {
+        // For the exponential example, dphi/dp = -sum(alpha_i theta_i) /
+        // (mu + sum(beta_i theta_i)) (derivation before Eq. 8).
+        let sys = paper_system();
+        let p = 0.6;
+        let state = sys.state_at_uniform_price(p).unwrap();
+        let pe = PriceEffects::compute(&sys, &state, p).unwrap();
+        let alphas = [1.0, 1.0, 1.0, 3.0, 3.0, 3.0, 5.0, 5.0, 5.0];
+        let betas = [1.0, 3.0, 5.0, 1.0, 3.0, 5.0, 1.0, 3.0, 5.0];
+        let num: f64 = (0..9).map(|i| alphas[i] * state.theta_i[i]).sum();
+        let den: f64 = sys.mu() + (0..9).map(|i| betas[i] * state.theta_i[i]).sum::<f64>();
+        assert!((pe.dphi_dp + num / den).abs() < 1e-10);
+    }
+
+    #[test]
+    fn effects_reject_mismatched_state() {
+        let sys = paper_system();
+        let other = System::new(vec![], 1.0, LinearUtilization).unwrap();
+        let state = other.solve_state(&[]).unwrap();
+        assert!(SystemEffects::compute(&sys, &state).is_err());
+        assert!(PriceEffects::compute(&sys, &state, 0.5).is_err());
+    }
+}

@@ -1,0 +1,194 @@
+//! Elasticity machinery (Definition 2) and the Υ decomposition.
+//!
+//! Definition 2: the x-elasticity of y is `ε^y_x = (∂y/∂x)(x/y)` — the
+//! percentage response of `y` to a percentage change in `x`. The paper's
+//! equilibrium characterizations (Theorem 3's threshold `τ_i`, condition
+//! (7), Theorem 7's marginal revenue, Theorem 8's condition (17)) are all
+//! phrased in elasticities; this module computes them at a solved state.
+//!
+//! The decomposition of Equation (14),
+//! `ε^φ_{m_j} ε^{λ_j}_φ = m_j (dλ_j/dφ) (dg/dφ)^{-1}`,
+//! and the Theorem 7 factor `Υ = 1 + Σ_j ε^{λ_j}_{m_j}` live here too.
+
+use crate::system::{System, SystemState};
+use subcomp_num::{NumError, NumResult};
+
+/// Point elasticity `ε^y_x = (dy/dx) · (x/y)`; zero when `y = 0`.
+pub fn elasticity(dy_dx: f64, x: f64, y: f64) -> f64 {
+    if y == 0.0 {
+        0.0
+    } else {
+        dy_dx * x / y
+    }
+}
+
+/// All per-provider elasticities at a solved state under uniform price `p`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StateElasticities {
+    /// `ε^λ_φ` per provider (non-positive): congestion sensitivity.
+    pub lambda_phi: Vec<f64>,
+    /// `ε^m_p` per provider (non-positive): price sensitivity of demand.
+    pub m_p: Vec<f64>,
+    /// `ε^φ_{m_i}` per provider (non-negative): user impact on congestion.
+    pub phi_m: Vec<f64>,
+    /// `ε^{λ_i}_{m_i} = ε^φ_{m_i} ε^{λ_i}_φ` per provider (Equation 14).
+    pub lambda_m: Vec<f64>,
+}
+
+impl StateElasticities {
+    /// Computes every elasticity at the state solved for uniform price `p`.
+    pub fn compute(system: &System, state: &SystemState, p: f64) -> NumResult<StateElasticities> {
+        let n = system.n();
+        if state.n() != n {
+            return Err(NumError::DimensionMismatch { expected: n, actual: state.n() });
+        }
+        let dg = state.dg_dphi;
+        if !(dg > 0.0) {
+            return Err(NumError::Domain { what: "gap slope must be positive", value: dg });
+        }
+        let phi = state.phi;
+        let mut lambda_phi = Vec::with_capacity(n);
+        let mut m_p = Vec::with_capacity(n);
+        let mut phi_m = Vec::with_capacity(n);
+        let mut lambda_m = Vec::with_capacity(n);
+        for i in 0..n {
+            let cp = system.cp(i);
+            lambda_phi.push(cp.throughput().elasticity(phi));
+            m_p.push(elasticity(cp.demand().dm_dt(p), p, state.m[i]));
+            // ε^φ_{m_i} = (∂φ/∂m_i)(m_i/φ) = λ_i m_i / (dg/dφ · φ).
+            let pm = if phi > 0.0 { state.lambda[i] * state.m[i] / (dg * phi) } else { 0.0 };
+            phi_m.push(pm);
+            // Equation (14): ε^φ_{m_i} ε^{λ_i}_φ = m_i λ_i'(φ) / (dg/dφ).
+            lambda_m.push(state.m[i] * cp.throughput().dlambda_dphi(phi) / dg);
+        }
+        Ok(StateElasticities { lambda_phi, m_p, phi_m, lambda_m })
+    }
+
+    /// The Theorem 7 factor `Υ = 1 + Σ_j ε^{λ_j}_{m_j}`.
+    pub fn upsilon(&self) -> f64 {
+        1.0 + self.lambda_m.iter().sum::<f64>()
+    }
+}
+
+/// Verifies Equation (14) numerically: the product `ε^φ_{m_j} · ε^{λ_j}_φ`
+/// must equal the direct expression `m_j λ_j'(φ) / (dg/dφ)`. Returns the
+/// max discrepancy across providers.
+pub fn check_eq14(e: &StateElasticities) -> f64 {
+    e.phi_m
+        .iter()
+        .zip(&e.lambda_phi)
+        .zip(&e.lambda_m)
+        .map(|((pm, lp), lm)| (pm * lp - lm).abs())
+        .fold(0.0f64, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cp::ContentProvider;
+    use crate::demand::ExpDemand;
+    use crate::throughput::ExpThroughput;
+    use crate::utilization::LinearUtilization;
+
+    fn small_system() -> System {
+        let cps = vec![
+            ContentProvider::builder("a")
+                .demand(ExpDemand::new(1.0, 2.0))
+                .throughput(ExpThroughput::new(1.0, 3.0))
+                .profitability(1.0)
+                .build(),
+            ContentProvider::builder("b")
+                .demand(ExpDemand::new(0.8, 4.0))
+                .throughput(ExpThroughput::new(1.2, 1.5))
+                .profitability(0.5)
+                .build(),
+        ];
+        System::new(cps, 1.0, LinearUtilization).unwrap()
+    }
+
+    #[test]
+    fn point_elasticity_basics() {
+        use crate::demand::DemandFn;
+        assert_eq!(elasticity(2.0, 3.0, 6.0), 1.0);
+        assert_eq!(elasticity(5.0, 1.0, 0.0), 0.0);
+        // Exponential demand: elasticity -alpha*t.
+        let d = ExpDemand::new(1.0, 3.0);
+        let t = 0.4;
+        assert!((elasticity(d.dm_dt(t), t, d.m(t)) + 3.0 * t).abs() < 1e-12);
+    }
+
+    #[test]
+    fn exponential_closed_forms() {
+        let sys = small_system();
+        let p = 0.5;
+        let state = sys.state_at_uniform_price(p).unwrap();
+        let e = StateElasticities::compute(&sys, &state, p).unwrap();
+        // eps^lambda_phi = -beta*phi, eps^m_p = -alpha*p.
+        assert!((e.lambda_phi[0] + 3.0 * state.phi).abs() < 1e-12);
+        assert!((e.lambda_phi[1] + 1.5 * state.phi).abs() < 1e-12);
+        assert!((e.m_p[0] + 2.0 * p).abs() < 1e-12);
+        assert!((e.m_p[1] + 4.0 * p).abs() < 1e-12);
+    }
+
+    #[test]
+    fn equation14_holds() {
+        let sys = small_system();
+        let p = 0.3;
+        let state = sys.state_at_uniform_price(p).unwrap();
+        let e = StateElasticities::compute(&sys, &state, p).unwrap();
+        assert!(check_eq14(&e) < 1e-12);
+    }
+
+    #[test]
+    fn phi_m_matches_finite_difference_elasticity() {
+        let sys = small_system();
+        let p = 0.4;
+        let state = sys.state_at_uniform_price(p).unwrap();
+        let e = StateElasticities::compute(&sys, &state, p).unwrap();
+        for i in 0..2 {
+            let fd = subcomp_num::diff::derivative(&|mi| {
+                let mut m = state.m.clone();
+                m[i] = mi;
+                sys.solve_state(&m).unwrap().phi
+            }, state.m[i])
+            .unwrap();
+            let eps_fd = elasticity(fd, state.m[i], state.phi);
+            assert!((e.phi_m[i] - eps_fd).abs() < 1e-6, "CP {i}: {} vs {eps_fd}", e.phi_m[i]);
+        }
+    }
+
+    #[test]
+    fn upsilon_between_zero_and_one_for_light_load() {
+        // Upsilon = 1 + sum(eps^lambda_m) with eps^lambda_m in (-1, 0] under
+        // Lemma 1 (the demand-slope term is a fraction of dg/dphi).
+        let sys = small_system();
+        for p in [0.1, 0.5, 1.0, 2.0] {
+            let state = sys.state_at_uniform_price(p).unwrap();
+            let e = StateElasticities::compute(&sys, &state, p).unwrap();
+            let u = e.upsilon();
+            assert!(u > 0.0 && u <= 1.0, "p = {p}: upsilon = {u}");
+        }
+    }
+
+    #[test]
+    fn elasticities_signs() {
+        let sys = small_system();
+        let p = 0.7;
+        let state = sys.state_at_uniform_price(p).unwrap();
+        let e = StateElasticities::compute(&sys, &state, p).unwrap();
+        for i in 0..2 {
+            assert!(e.lambda_phi[i] < 0.0);
+            assert!(e.m_p[i] < 0.0);
+            assert!(e.phi_m[i] > 0.0);
+            assert!(e.lambda_m[i] < 0.0);
+        }
+    }
+
+    #[test]
+    fn dimension_mismatch_rejected() {
+        let sys = small_system();
+        let empty = System::new(vec![], 1.0, LinearUtilization).unwrap();
+        let state = empty.solve_state(&[]).unwrap();
+        assert!(StateElasticities::compute(&sys, &state, 0.5).is_err());
+    }
+}

@@ -1,0 +1,181 @@
+//! One-sided ISP pricing (§3.2): the status-quo market.
+//!
+//! The access ISP charges all traffic a uniform usage price `p`; providers
+//! cannot react (no subsidies yet). The market object wraps a [`System`]
+//! and exposes the price-indexed quantities of Figures 4 and 5: utilization
+//! `φ(p)`, per-CP and aggregate throughput `θ_i(p)`, `θ(p)`, ISP revenue
+//! `R(p) = p·θ(p)`, and CP utilities `U_i = v_i θ_i` — plus the
+//! revenue-maximizing price, which the paper's Figure 4 shows is interior
+//! (revenue is single-peaked).
+
+use crate::system::{System, SystemState};
+use subcomp_num::optimize::maximize_multistart;
+use subcomp_num::{NumResult, Tolerance};
+
+/// The §3.2 one-sided-pricing market over a system.
+#[derive(Debug, Clone, Copy)]
+pub struct OneSidedMarket<'a> {
+    system: &'a System,
+}
+
+/// A point on the one-sided market's price sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PricePoint {
+    /// The uniform price `p`.
+    pub p: f64,
+    /// The solved system state at `p`.
+    pub state: SystemState,
+    /// ISP revenue `R = p θ`.
+    pub revenue: f64,
+    /// CP utilities `U_i = v_i θ_i` (no subsidies in the one-sided model).
+    pub utilities: Vec<f64>,
+}
+
+impl<'a> OneSidedMarket<'a> {
+    /// Wraps a system.
+    pub fn new(system: &'a System) -> Self {
+        OneSidedMarket { system }
+    }
+
+    /// The underlying system.
+    pub fn system(&self) -> &System {
+        self.system
+    }
+
+    /// Solves the state at uniform price `p`.
+    pub fn state(&self, p: f64) -> NumResult<SystemState> {
+        self.system.state_at_uniform_price(p)
+    }
+
+    /// ISP revenue `R(p) = p · θ(p)`.
+    pub fn revenue(&self, p: f64) -> NumResult<f64> {
+        Ok(p * self.state(p)?.theta())
+    }
+
+    /// Full evaluation at one price.
+    pub fn evaluate(&self, p: f64) -> NumResult<PricePoint> {
+        let state = self.state(p)?;
+        let revenue = p * state.theta();
+        let utilities = self
+            .system
+            .cps()
+            .iter()
+            .zip(&state.theta_i)
+            .map(|(cp, &th)| cp.profitability() * th)
+            .collect();
+        Ok(PricePoint { p, state, revenue, utilities })
+    }
+
+    /// Sweeps a price grid (Figure 4/5 driver).
+    pub fn sweep(&self, prices: &[f64]) -> NumResult<Vec<PricePoint>> {
+        prices.iter().map(|&p| self.evaluate(p)).collect()
+    }
+
+    /// Finds the revenue-maximizing price on `[lo, hi]`.
+    ///
+    /// Figure 4 shows `R(p)` is single-peaked for the paper's family, but
+    /// we use a multi-start search so alternative families are safe too.
+    pub fn revenue_maximizing_price(&self, lo: f64, hi: f64) -> NumResult<(f64, f64)> {
+        let f = |p: f64| self.revenue(p).unwrap_or(f64::NEG_INFINITY);
+        let m = maximize_multistart(&f, lo, hi, 4, 32, Tolerance::new(1e-10, 1e-10))?;
+        Ok((m.x, m.value))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::aggregation::{build_system, ExpCpSpec};
+
+    fn paper_specs() -> Vec<ExpCpSpec> {
+        let mut specs = Vec::new();
+        for &alpha in &[1.0, 3.0, 5.0] {
+            for &beta in &[1.0, 3.0, 5.0] {
+                specs.push(ExpCpSpec::unit(alpha, beta, 1.0));
+            }
+        }
+        specs
+    }
+
+    #[test]
+    fn revenue_is_price_times_throughput() {
+        let sys = build_system(&paper_specs(), 1.0).unwrap();
+        let market = OneSidedMarket::new(&sys);
+        let pt = market.evaluate(0.8).unwrap();
+        assert!((pt.revenue - 0.8 * pt.state.theta()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn throughput_monotone_decreasing_in_price() {
+        // Figure 4 left panel / Theorem 2.
+        let sys = build_system(&paper_specs(), 1.0).unwrap();
+        let market = OneSidedMarket::new(&sys);
+        let prices: Vec<f64> = (0..=20).map(|i| i as f64 * 0.15).collect();
+        let sweep = market.sweep(&prices).unwrap();
+        for w in sweep.windows(2) {
+            assert!(w[1].state.theta() < w[0].state.theta());
+        }
+    }
+
+    #[test]
+    fn revenue_single_peaked_on_paper_family() {
+        // Figure 4 right panel: revenue rises then falls.
+        let sys = build_system(&paper_specs(), 1.0).unwrap();
+        let market = OneSidedMarket::new(&sys);
+        let prices: Vec<f64> = (1..=60).map(|i| i as f64 * 0.05).collect();
+        let rev: Vec<f64> = market.sweep(&prices).unwrap().iter().map(|pt| pt.revenue).collect();
+        // Identify the peak and check monotone up then monotone down.
+        let peak = rev
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap()
+            .0;
+        assert!(peak > 0 && peak < rev.len() - 1, "peak must be interior, at {peak}");
+        for i in 1..=peak {
+            assert!(rev[i] >= rev[i - 1] - 1e-12, "rising flank broken at {i}");
+        }
+        for i in peak + 1..rev.len() {
+            assert!(rev[i] <= rev[i - 1] + 1e-12, "falling flank broken at {i}");
+        }
+    }
+
+    #[test]
+    fn optimal_price_matches_grid_peak() {
+        let sys = build_system(&paper_specs(), 1.0).unwrap();
+        let market = OneSidedMarket::new(&sys);
+        let (p_star, r_star) = market.revenue_maximizing_price(0.0, 3.0).unwrap();
+        // Compare against a fine grid.
+        let grid: Vec<f64> = (0..=300).map(|i| i as f64 * 0.01).collect();
+        let best = market
+            .sweep(&grid)
+            .unwrap()
+            .into_iter()
+            .max_by(|a, b| a.revenue.partial_cmp(&b.revenue).unwrap())
+            .unwrap();
+        assert!((p_star - best.p).abs() < 0.02, "p* = {p_star} vs grid {}", best.p);
+        assert!(r_star >= best.revenue - 1e-9);
+    }
+
+    #[test]
+    fn utilities_scale_with_profitability() {
+        let mut specs = paper_specs();
+        specs[0].v = 2.0;
+        let sys = build_system(&specs, 1.0).unwrap();
+        let market = OneSidedMarket::new(&sys);
+        let pt = market.evaluate(0.5).unwrap();
+        assert!((pt.utilities[0] - 2.0 * pt.state.theta_i[0]).abs() < 1e-12);
+        assert!((pt.utilities[1] - pt.state.theta_i[1]).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_price_maximizes_throughput_not_revenue() {
+        let sys = build_system(&paper_specs(), 1.0).unwrap();
+        let market = OneSidedMarket::new(&sys);
+        let at0 = market.evaluate(0.0).unwrap();
+        let at_half = market.evaluate(0.5).unwrap();
+        assert!(at0.state.theta() > at_half.state.theta());
+        assert_eq!(at0.revenue, 0.0);
+        assert!(at_half.revenue > 0.0);
+    }
+}

@@ -1,0 +1,386 @@
+//! The system `(m, µ)` and its congestion fixed point (Definition 1).
+//!
+//! Given user populations `m` and capacity `µ`, the system settles at the
+//! unique utilization `φ` where supply meets demand:
+//!
+//! ```text
+//! φ = Φ( Σ_k m_k λ_k(φ), µ )      ⇔      g(φ) := Θ(φ, µ) − Σ_k m_k λ_k(φ) = 0
+//! ```
+//!
+//! Lemma 1 shows `g` is strictly increasing with a sign change, so the root
+//! is unique; [`System::solve_state`] brackets it by geometric expansion and
+//! polishes with Brent's method, returning a [`SystemState`] with every
+//! quantity downstream analysis needs (per-CP populations, throughputs, the
+//! gap slope `dg/dφ` of Equation (2)).
+
+use crate::cp::ContentProvider;
+use crate::utilization::UtilizationFn;
+use subcomp_num::roots::solve_increasing;
+use subcomp_num::{NumError, NumResult, Tolerance};
+
+/// An access network shared by a set of content providers.
+///
+/// Holds the CP population (with their demand/throughput primitives), the
+/// ISP capacity `µ`, and the utilization family `Φ`. The *state* of the
+/// system for specific populations or effective prices is computed by
+/// [`System::solve_state`] / [`System::state_at_prices`].
+#[derive(Clone)]
+pub struct System {
+    cps: Vec<ContentProvider>,
+    mu: f64,
+    utilization: Box<dyn UtilizationFn>,
+    tol: Tolerance,
+}
+
+impl System {
+    /// Creates a system; requires `µ > 0`.
+    pub fn new(
+        cps: Vec<ContentProvider>,
+        mu: f64,
+        utilization: impl UtilizationFn + 'static,
+    ) -> NumResult<Self> {
+        if !(mu > 0.0) || !mu.is_finite() {
+            return Err(NumError::Domain { what: "capacity must be positive and finite", value: mu });
+        }
+        Ok(System {
+            cps,
+            mu,
+            utilization: Box::new(utilization),
+            tol: Tolerance::new(1e-13, 1e-13).with_max_iter(300),
+        })
+    }
+
+    /// Number of providers.
+    pub fn n(&self) -> usize {
+        self.cps.len()
+    }
+
+    /// The providers.
+    pub fn cps(&self) -> &[ContentProvider] {
+        &self.cps
+    }
+
+    /// Provider `i`.
+    pub fn cp(&self, i: usize) -> &ContentProvider {
+        &self.cps[i]
+    }
+
+    /// Capacity `µ`.
+    pub fn mu(&self) -> f64 {
+        self.mu
+    }
+
+    /// The utilization family.
+    pub fn utilization_fn(&self) -> &dyn UtilizationFn {
+        self.utilization.as_ref()
+    }
+
+    /// Returns a copy with capacity `µ'` — Theorem 1 capacity sweeps and
+    /// the ISP's investment extension both use this.
+    pub fn with_capacity(&self, mu: f64) -> NumResult<System> {
+        if !(mu > 0.0) || !mu.is_finite() {
+            return Err(NumError::Domain { what: "capacity must be positive and finite", value: mu });
+        }
+        Ok(System { mu, ..self.clone() })
+    }
+
+    /// Returns a copy with the fixed-point solver tolerance replaced.
+    pub fn with_tolerance(&self, tol: Tolerance) -> System {
+        System { tol, ..self.clone() }
+    }
+
+    /// Populations induced by per-CP effective prices `t`.
+    pub fn populations(&self, t: &[f64]) -> NumResult<Vec<f64>> {
+        if t.len() != self.n() {
+            return Err(NumError::DimensionMismatch { expected: self.n(), actual: t.len() });
+        }
+        Ok(self.cps.iter().zip(t).map(|(cp, &ti)| cp.population(ti)).collect())
+    }
+
+    /// The gap function `g(φ) = Θ(φ, µ) − Σ_k m_k λ_k(φ)` of Lemma 1.
+    pub fn gap(&self, phi: f64, m: &[f64]) -> f64 {
+        let demand: f64 = self
+            .cps
+            .iter()
+            .zip(m)
+            .map(|(cp, &mi)| mi * cp.lambda(phi))
+            .sum();
+        self.utilization.theta(phi, self.mu) - demand
+    }
+
+    /// The gap slope `dg/dφ = ∂Θ/∂φ − Σ_k m_k dλ_k/dφ` (Equation (2));
+    /// strictly positive.
+    pub fn dgap_dphi(&self, phi: f64, m: &[f64]) -> f64 {
+        let demand_slope: f64 = self
+            .cps
+            .iter()
+            .zip(m)
+            .map(|(cp, &mi)| mi * cp.throughput().dlambda_dphi(phi))
+            .sum();
+        self.utilization.dtheta_dphi(phi, self.mu) - demand_slope
+    }
+
+    /// Solves the congestion fixed point of Definition 1 for populations
+    /// `m`, returning the full [`SystemState`].
+    pub fn solve_state(&self, m: &[f64]) -> NumResult<SystemState> {
+        if m.len() != self.n() {
+            return Err(NumError::DimensionMismatch { expected: self.n(), actual: m.len() });
+        }
+        for &mi in m {
+            if !(mi >= 0.0) || !mi.is_finite() {
+                return Err(NumError::Domain { what: "populations must be non-negative and finite", value: mi });
+            }
+        }
+        // Zero demand: phi = 0 exactly (limit case of Assumption 1).
+        let peak_demand: f64 = self
+            .cps
+            .iter()
+            .zip(m)
+            .map(|(cp, &mi)| mi * cp.throughput().peak())
+            .sum();
+        let phi = if peak_demand == 0.0 {
+            0.0
+        } else {
+            // Initial bracket guess: utilization if nobody slowed down.
+            let guess = self.utilization.phi(peak_demand, self.mu);
+            let step = if guess.is_finite() && guess > 0.0 { guess } else { 1.0 };
+            let g = |phi: f64| self.gap(phi, m);
+            solve_increasing(&g, 0.0, step, self.tol)?.x
+        };
+        self.state_at_phi(phi, m)
+    }
+
+    /// Assembles the state at a *given* utilization (no solving) — also
+    /// used by tests to probe off-equilibrium points.
+    pub fn state_at_phi(&self, phi: f64, m: &[f64]) -> NumResult<SystemState> {
+        if m.len() != self.n() {
+            return Err(NumError::DimensionMismatch { expected: self.n(), actual: m.len() });
+        }
+        let lambda: Vec<f64> = self.cps.iter().map(|cp| cp.lambda(phi)).collect();
+        let theta_i: Vec<f64> = lambda.iter().zip(m).map(|(l, &mi)| mi * l).collect();
+        let dg_dphi = self.dgap_dphi(phi, m);
+        Ok(SystemState { phi, m: m.to_vec(), lambda, theta_i, dg_dphi })
+    }
+
+    /// Solves the fixed point for the populations induced by effective
+    /// prices `t` (i.e. `m_i = m_i(t_i)` first, then Definition 1).
+    pub fn state_at_prices(&self, t: &[f64]) -> NumResult<SystemState> {
+        let m = self.populations(t)?;
+        self.solve_state(&m)
+    }
+
+    /// Solves the fixed point under a *uniform* effective price, the
+    /// one-sided-pricing case `t_i = p` of §3.2.
+    pub fn state_at_uniform_price(&self, p: f64) -> NumResult<SystemState> {
+        let t = vec![p; self.n()];
+        self.state_at_prices(&t)
+    }
+}
+
+impl std::fmt::Debug for System {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("System")
+            .field("n_cps", &self.n())
+            .field("mu", &self.mu)
+            .field("utilization", &self.utilization.name())
+            .finish()
+    }
+}
+
+/// A solved (or probed) system state: everything Definition 1 determines.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SystemState {
+    /// System utilization `φ`.
+    pub phi: f64,
+    /// Per-CP user populations `m_i`.
+    pub m: Vec<f64>,
+    /// Per-CP per-user throughput `λ_i(φ)`.
+    pub lambda: Vec<f64>,
+    /// Per-CP aggregate throughput `θ_i = m_i λ_i(φ)`.
+    pub theta_i: Vec<f64>,
+    /// Gap slope `dg/dφ` at `φ` (Equation (2)); positive by Lemma 1.
+    pub dg_dphi: f64,
+}
+
+impl SystemState {
+    /// Aggregate throughput `θ = Σ_i θ_i`.
+    pub fn theta(&self) -> f64 {
+        self.theta_i.iter().sum()
+    }
+
+    /// Number of providers.
+    pub fn n(&self) -> usize {
+        self.theta_i.len()
+    }
+
+    /// Residual of the Definition 1 fixed point under a given system —
+    /// `|g(φ)|`; small for solved states.
+    pub fn residual(&self, system: &System) -> f64 {
+        system.gap(self.phi, &self.m).abs()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::demand::ExpDemand;
+    use crate::throughput::ExpThroughput;
+    use crate::utilization::{LinearUtilization, QueueUtilization};
+
+    /// The paper's §3.2 example: 9 CPs, (alpha, beta) in {1,3,5}^2, mu = 1.
+    pub(crate) fn paper_section3_system() -> System {
+        let mut cps = Vec::new();
+        for &alpha in &[1.0, 3.0, 5.0] {
+            for &beta in &[1.0, 3.0, 5.0] {
+                cps.push(
+                    ContentProvider::builder(format!("a{alpha}-b{beta}"))
+                        .demand(ExpDemand::new(1.0, alpha))
+                        .throughput(ExpThroughput::new(1.0, beta))
+                        .profitability(1.0)
+                        .build(),
+                );
+            }
+        }
+        System::new(cps, 1.0, LinearUtilization).unwrap()
+    }
+
+    #[test]
+    fn fixed_point_satisfies_definition1() {
+        let sys = paper_section3_system();
+        let state = sys.state_at_uniform_price(0.5).unwrap();
+        // phi = Phi(theta, mu) must hold at the solution.
+        let lhs = state.phi;
+        let rhs = sys.utilization_fn().phi(state.theta(), sys.mu());
+        assert!((lhs - rhs).abs() < 1e-10, "{lhs} vs {rhs}");
+        assert!(state.residual(&sys) < 1e-10);
+    }
+
+    #[test]
+    fn gap_is_strictly_increasing() {
+        // Lemma 1.
+        let sys = paper_section3_system();
+        let m = sys.populations(&vec![0.4; 9]).unwrap();
+        let mut prev = f64::NEG_INFINITY;
+        for i in 0..50 {
+            let phi = i as f64 * 0.1;
+            let g = sys.gap(phi, &m);
+            assert!(g > prev, "gap not increasing at phi = {phi}");
+            prev = g;
+        }
+    }
+
+    #[test]
+    fn dgap_matches_finite_difference() {
+        let sys = paper_section3_system();
+        let m = sys.populations(&vec![0.3; 9]).unwrap();
+        for phi in [0.2, 0.8, 1.5] {
+            let fd = subcomp_num::diff::derivative(&|x| sys.gap(x, &m), phi).unwrap();
+            let an = sys.dgap_dphi(phi, &m);
+            assert!((fd - an).abs() < 1e-6, "phi {phi}: {fd} vs {an}");
+        }
+    }
+
+    #[test]
+    fn zero_population_zero_utilization() {
+        let sys = paper_section3_system();
+        let state = sys.solve_state(&vec![0.0; 9]).unwrap();
+        assert_eq!(state.phi, 0.0);
+        assert_eq!(state.theta(), 0.0);
+    }
+
+    #[test]
+    fn empty_system() {
+        let sys = System::new(vec![], 1.0, LinearUtilization).unwrap();
+        let state = sys.solve_state(&[]).unwrap();
+        assert_eq!(state.phi, 0.0);
+        assert_eq!(state.n(), 0);
+    }
+
+    #[test]
+    fn capacity_must_be_positive() {
+        assert!(System::new(vec![], 0.0, LinearUtilization).is_err());
+        assert!(System::new(vec![], -1.0, LinearUtilization).is_err());
+        let sys = paper_section3_system();
+        assert!(sys.with_capacity(0.0).is_err());
+    }
+
+    #[test]
+    fn populations_reject_wrong_arity() {
+        let sys = paper_section3_system();
+        assert!(sys.populations(&[0.5]).is_err());
+        assert!(sys.solve_state(&[0.5]).is_err());
+    }
+
+    #[test]
+    fn negative_population_rejected() {
+        let sys = paper_section3_system();
+        let mut m = vec![0.1; 9];
+        m[3] = -0.1;
+        assert!(sys.solve_state(&m).is_err());
+    }
+
+    #[test]
+    fn more_capacity_less_utilization() {
+        // Theorem 1 (capacity direction), verified end to end.
+        let sys = paper_section3_system();
+        let m = sys.populations(&vec![0.4; 9]).unwrap();
+        let s1 = sys.solve_state(&m).unwrap();
+        let s2 = sys.with_capacity(2.0).unwrap().solve_state(&m).unwrap();
+        assert!(s2.phi < s1.phi);
+        assert!(s2.theta() > s1.theta());
+    }
+
+    #[test]
+    fn more_users_more_utilization() {
+        // Theorem 1 (user direction).
+        let sys = paper_section3_system();
+        let m1 = vec![0.4; 9];
+        let mut m2 = m1.clone();
+        m2[0] += 0.2;
+        let s1 = sys.solve_state(&m1).unwrap();
+        let s2 = sys.solve_state(&m2).unwrap();
+        assert!(s2.phi > s1.phi);
+        // CP 0 gains throughput; all others lose.
+        assert!(s2.theta_i[0] > s1.theta_i[0]);
+        for j in 1..9 {
+            assert!(s2.theta_i[j] < s1.theta_i[j], "CP {j} should lose throughput");
+        }
+    }
+
+    #[test]
+    fn queue_family_stays_below_capacity() {
+        let cps = vec![ContentProvider::builder("heavy")
+            .demand(ExpDemand::new(5.0, 1.0))
+            .throughput(ExpThroughput::new(2.0, 1.0))
+            .profitability(1.0)
+            .build()];
+        let sys = System::new(cps, 1.0, QueueUtilization).unwrap();
+        let state = sys.state_at_uniform_price(0.1).unwrap();
+        assert!(state.theta() < 1.0, "theta {} must stay below mu", state.theta());
+        assert!(state.phi.is_finite());
+        assert!(state.residual(&sys) < 1e-9);
+    }
+
+    #[test]
+    fn uniform_price_equals_explicit_vector() {
+        let sys = paper_section3_system();
+        let a = sys.state_at_uniform_price(0.7).unwrap();
+        let b = sys.state_at_prices(&vec![0.7; 9]).unwrap();
+        assert!((a.phi - b.phi).abs() < 1e-14);
+    }
+
+    #[test]
+    fn heavier_demand_raises_utilization_price_lowers_it() {
+        let sys = paper_section3_system();
+        let hi = sys.state_at_uniform_price(0.1).unwrap();
+        let lo = sys.state_at_uniform_price(1.5).unwrap();
+        assert!(hi.phi > lo.phi);
+    }
+
+    #[test]
+    fn debug_format() {
+        let sys = paper_section3_system();
+        let s = format!("{sys:?}");
+        assert!(s.contains("n_cps: 9"));
+    }
+}

@@ -1,0 +1,174 @@
+//! Typed errors shared by every numerical routine in the workspace.
+//!
+//! Solvers in this crate never panic on bad input or non-convergence; they
+//! return a [`NumError`] carrying enough context (iteration counts, achieved
+//! residuals, offending values) for the caller to either recover — e.g. by
+//! widening a bracket or relaxing a tolerance — or to surface a precise
+//! diagnostic to the user.
+
+use std::fmt;
+
+/// Convenience alias used by every fallible routine in the crate.
+pub type NumResult<T> = Result<T, NumError>;
+
+/// The error type for numerical routines.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NumError {
+    /// A root-bracketing interval does not actually bracket a sign change.
+    NoBracket {
+        /// Left end of the attempted bracket.
+        a: f64,
+        /// Right end of the attempted bracket.
+        b: f64,
+        /// Function value at `a`.
+        fa: f64,
+        /// Function value at `b`.
+        fb: f64,
+    },
+    /// An iterative method exhausted its iteration budget.
+    MaxIterations {
+        /// The budget that was exhausted.
+        max_iter: usize,
+        /// Best residual (or step size) achieved before giving up.
+        residual: f64,
+    },
+    /// The input lies outside the mathematical domain of the routine.
+    Domain {
+        /// Human-readable description of the violated requirement.
+        what: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+    /// A matrix required to be invertible was (numerically) singular.
+    SingularMatrix {
+        /// Row/column index at which elimination broke down.
+        pivot: usize,
+        /// Magnitude of the offending pivot.
+        magnitude: f64,
+    },
+    /// Dimensions of two operands do not agree.
+    DimensionMismatch {
+        /// Expected dimension.
+        expected: usize,
+        /// Dimension actually provided.
+        actual: usize,
+    },
+    /// A function evaluation produced a non-finite value.
+    NonFinite {
+        /// Where the non-finite value appeared.
+        what: &'static str,
+        /// The input at which the evaluation failed.
+        at: f64,
+    },
+    /// An empty data set was provided where at least one element is needed.
+    Empty {
+        /// Which routine rejected the empty input.
+        what: &'static str,
+    },
+}
+
+impl fmt::Display for NumError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NumError::NoBracket { a, b, fa, fb } => write!(
+                f,
+                "no sign change on [{a}, {b}]: f(a) = {fa}, f(b) = {fb}"
+            ),
+            NumError::MaxIterations { max_iter, residual } => write!(
+                f,
+                "failed to converge within {max_iter} iterations (best residual {residual:.3e})"
+            ),
+            NumError::Domain { what, value } => {
+                write!(f, "domain error: {what} (got {value})")
+            }
+            NumError::SingularMatrix { pivot, magnitude } => write!(
+                f,
+                "singular matrix: pivot {pivot} has magnitude {magnitude:.3e}"
+            ),
+            NumError::DimensionMismatch { expected, actual } => {
+                write!(f, "dimension mismatch: expected {expected}, got {actual}")
+            }
+            NumError::NonFinite { what, at } => {
+                write!(f, "non-finite value encountered in {what} at input {at}")
+            }
+            NumError::Empty { what } => write!(f, "{what}: empty input"),
+        }
+    }
+}
+
+impl std::error::Error for NumError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_no_bracket() {
+        let e = NumError::NoBracket {
+            a: 0.0,
+            b: 1.0,
+            fa: 2.0,
+            fb: 3.0,
+        };
+        let s = e.to_string();
+        assert!(s.contains("no sign change"));
+        assert!(s.contains("[0, 1]"));
+    }
+
+    #[test]
+    fn display_max_iterations() {
+        let e = NumError::MaxIterations {
+            max_iter: 50,
+            residual: 1e-3,
+        };
+        assert!(e.to_string().contains("50 iterations"));
+    }
+
+    #[test]
+    fn display_domain() {
+        let e = NumError::Domain {
+            what: "capacity must be positive",
+            value: -1.0,
+        };
+        assert!(e.to_string().contains("capacity must be positive"));
+    }
+
+    #[test]
+    fn display_singular() {
+        let e = NumError::SingularMatrix {
+            pivot: 2,
+            magnitude: 0.0,
+        };
+        assert!(e.to_string().contains("pivot 2"));
+    }
+
+    #[test]
+    fn display_dimension_mismatch() {
+        let e = NumError::DimensionMismatch {
+            expected: 3,
+            actual: 4,
+        };
+        assert!(e.to_string().contains("expected 3, got 4"));
+    }
+
+    #[test]
+    fn display_non_finite_and_empty() {
+        assert!(NumError::NonFinite { what: "f", at: 1.0 }
+            .to_string()
+            .contains("non-finite"));
+        assert!(NumError::Empty { what: "mean" }.to_string().contains("empty"));
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        let a = NumError::Empty { what: "x" };
+        let b = NumError::Empty { what: "x" };
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn error_trait_object() {
+        let e: Box<dyn std::error::Error> = Box::new(NumError::Empty { what: "q" });
+        assert!(e.to_string().contains("q"));
+    }
+}

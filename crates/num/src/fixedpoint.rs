@@ -1,0 +1,207 @@
+//! Damped fixed-point (Picard) iteration with optional Aitken acceleration.
+//!
+//! The utilization equilibrium of Definition 1 is a fixed point
+//! `φ = Φ(Σ m_k λ_k(φ), µ)`; the model layer solves it by root finding on
+//! the gap function (Lemma 1), but this module provides the direct iteration
+//! both as an independent cross-check and for maps — like the Jacobi
+//! best-response dynamics of the game layer — that are naturally expressed
+//! as `x ← T(x)`.
+
+use crate::error::{NumError, NumResult};
+use crate::tol::Tolerance;
+
+/// Outcome of a scalar fixed-point iteration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FixedPoint {
+    /// The fixed point.
+    pub x: f64,
+    /// `|T(x) - x|` at the returned point.
+    pub residual: f64,
+    /// Iterations spent.
+    pub iterations: usize,
+}
+
+/// Damped Picard iteration `x ← (1-ω) x + ω T(x)` for scalar maps.
+///
+/// `omega ∈ (0, 1]` trades speed for stability: `1.0` is the raw iteration;
+/// values below one enforce convergence for maps whose derivative magnitude
+/// at the fixed point approaches (or slightly exceeds) one.
+pub fn picard(
+    t: &dyn Fn(f64) -> f64,
+    x0: f64,
+    omega: f64,
+    tol: Tolerance,
+) -> NumResult<FixedPoint> {
+    if !(omega > 0.0 && omega <= 1.0) {
+        return Err(NumError::Domain { what: "picard damping must lie in (0, 1]", value: omega });
+    }
+    let mut x = x0;
+    let mut residual = f64::INFINITY;
+    for iter in 0..tol.max_iter {
+        let tx = t(x);
+        if !tx.is_finite() {
+            return Err(NumError::NonFinite { what: "picard map", at: x });
+        }
+        residual = (tx - x).abs();
+        let next = (1.0 - omega) * x + omega * tx;
+        if tol.is_met(residual, x) {
+            return Ok(FixedPoint { x: next, residual, iterations: iter + 1 });
+        }
+        x = next;
+    }
+    Err(NumError::MaxIterations { max_iter: tol.max_iter, residual })
+}
+
+/// Aitken Δ²-accelerated Picard iteration (Steffensen-style) for scalar
+/// maps: quadratic convergence near the fixed point when `T` is smooth.
+pub fn aitken(t: &dyn Fn(f64) -> f64, x0: f64, tol: Tolerance) -> NumResult<FixedPoint> {
+    let mut x = x0;
+    let mut residual = f64::INFINITY;
+    for iter in 0..tol.max_iter {
+        let x1 = t(x);
+        let x2 = t(x1);
+        if !x1.is_finite() || !x2.is_finite() {
+            return Err(NumError::NonFinite { what: "aitken map", at: x });
+        }
+        residual = (x1 - x).abs();
+        if tol.is_met(residual, x) {
+            return Ok(FixedPoint { x: x1, residual, iterations: iter + 1 });
+        }
+        let denom = x2 - 2.0 * x1 + x;
+        let accel = if denom != 0.0 {
+            x - (x1 - x).powi(2) / denom
+        } else {
+            x2
+        };
+        x = if accel.is_finite() { accel } else { x2 };
+    }
+    Err(NumError::MaxIterations { max_iter: tol.max_iter, residual })
+}
+
+/// Outcome of a vector fixed-point iteration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VectorFixedPoint {
+    /// The fixed point.
+    pub x: Vec<f64>,
+    /// Sup-norm of `T(x) - x` at the returned point.
+    pub residual: f64,
+    /// Iterations spent.
+    pub iterations: usize,
+}
+
+/// Damped Picard iteration for vector maps `T: R^n → R^n`.
+///
+/// `t` must write `T(x)` into its second argument.
+pub fn picard_vec(
+    t: &dyn Fn(&[f64], &mut [f64]),
+    x0: &[f64],
+    omega: f64,
+    tol: Tolerance,
+) -> NumResult<VectorFixedPoint> {
+    if !(omega > 0.0 && omega <= 1.0) {
+        return Err(NumError::Domain { what: "picard damping must lie in (0, 1]", value: omega });
+    }
+    let n = x0.len();
+    let mut x = x0.to_vec();
+    let mut tx = vec![0.0; n];
+    let mut residual = f64::INFINITY;
+    for iter in 0..tol.max_iter {
+        t(&x, &mut tx);
+        residual = 0.0;
+        for i in 0..n {
+            if !tx[i].is_finite() {
+                return Err(NumError::NonFinite { what: "picard_vec map", at: x[i] });
+            }
+            residual = residual.max((tx[i] - x[i]).abs());
+        }
+        let scale = x.iter().fold(0.0f64, |m, v| m.max(v.abs()));
+        for i in 0..n {
+            x[i] = (1.0 - omega) * x[i] + omega * tx[i];
+        }
+        if tol.is_met(residual, scale) {
+            return Ok(VectorFixedPoint { x, residual, iterations: iter + 1 });
+        }
+    }
+    Err(NumError::MaxIterations { max_iter: tol.max_iter, residual })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn picard_cosine_fixed_point() {
+        // The Dottie number: cos(x) = x at ~0.739085.
+        let fp = picard(&|x: f64| x.cos(), 1.0, 1.0, Tolerance::new(1e-12, 0.0).with_max_iter(200)).unwrap();
+        assert!((fp.x - 0.739_085_133_215_160_6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn picard_damping_stabilizes_oscillation() {
+        // T(x) = -0.999 x + 1 has derivative near -1: raw iteration crawls,
+        // damped converges to the fixed point 1/1.999.
+        let t = |x: f64| -0.999 * x + 1.0;
+        let tol = Tolerance::new(1e-10, 0.0).with_max_iter(20_000);
+        let fp = picard(&t, 0.0, 0.5, tol).unwrap();
+        assert!((fp.x - 1.0 / 1.999).abs() < 1e-6);
+    }
+
+    #[test]
+    fn picard_rejects_bad_damping() {
+        assert!(picard(&|x| x, 0.0, 0.0, Tolerance::default()).is_err());
+        assert!(picard(&|x| x, 0.0, 1.5, Tolerance::default()).is_err());
+    }
+
+    #[test]
+    fn picard_divergent_map_errors() {
+        let t = |x: f64| 2.0 * x + 1.0;
+        let e = picard(&t, 1.0, 1.0, Tolerance::default().with_max_iter(50));
+        assert!(matches!(e, Err(NumError::MaxIterations { .. })));
+    }
+
+    #[test]
+    fn aitken_accelerates_slow_map() {
+        // T(x) = exp(-x): fixed point ~0.567143 (Omega constant).
+        let t = |x: f64| (-x).exp();
+        let tol = Tolerance::new(1e-13, 0.0).with_max_iter(100);
+        let fp = aitken(&t, 0.5, tol).unwrap();
+        assert!((fp.x - 0.567_143_290_409_783_8).abs() < 1e-10);
+        assert!(fp.iterations < 10, "iterations = {}", fp.iterations);
+    }
+
+    #[test]
+    fn picard_vec_linear_contraction() {
+        // T(x) = A x + b with ||A|| < 1 converges to (I - A)^{-1} b.
+        let t = |x: &[f64], out: &mut [f64]| {
+            out[0] = 0.3 * x[0] + 0.1 * x[1] + 1.0;
+            out[1] = 0.2 * x[0] + 0.4 * x[1] + 2.0;
+        };
+        let fp = picard_vec(&t, &[0.0, 0.0], 1.0, Tolerance::new(1e-12, 0.0).with_max_iter(500)).unwrap();
+        // Solve (I-A)x = b by hand: [0.7, -0.1; -0.2, 0.6] x = [1, 2].
+        let det = 0.7 * 0.6 - 0.02;
+        let x0 = (0.6 * 1.0 + 0.1 * 2.0) / det;
+        let x1 = (0.2 * 1.0 + 0.7 * 2.0) / det;
+        assert!((fp.x[0] - x0).abs() < 1e-8);
+        assert!((fp.x[1] - x1).abs() < 1e-8);
+    }
+
+    #[test]
+    fn picard_vec_empty() {
+        let t = |_: &[f64], _: &mut [f64]| {};
+        let fp = picard_vec(&t, &[], 1.0, Tolerance::default()).unwrap();
+        assert!(fp.x.is_empty());
+        assert_eq!(fp.residual, 0.0);
+    }
+
+    #[test]
+    fn utilization_fixed_point_matches_root_solve() {
+        // Definition 1 on the paper's exponential example: phi = (1/mu) sum m e^{-b phi}.
+        let mu = 1.0;
+        let cps = [(0.8f64, 1.0f64), (0.6, 3.0), (0.4, 5.0)];
+        let t = move |phi: f64| cps.iter().map(|(m, b)| m * (-b * phi).exp()).sum::<f64>() / mu;
+        let fp = picard(&t, 0.5, 0.7, Tolerance::new(1e-12, 0.0).with_max_iter(10_000)).unwrap();
+        let g = move |phi: f64| phi * mu - cps.iter().map(|(m, b)| m * (-b * phi).exp()).sum::<f64>();
+        let root = crate::roots::solve_increasing(&g, 0.0, 0.5, Tolerance::tight()).unwrap();
+        assert!((fp.x - root.x).abs() < 1e-8, "picard {} vs root {}", fp.x, root.x);
+    }
+}

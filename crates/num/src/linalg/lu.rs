@@ -1,0 +1,247 @@
+//! LU factorization with partial pivoting: solve, inverse, determinant.
+
+use super::matrix::Matrix;
+use crate::error::{NumError, NumResult};
+
+/// Alias kept for API clarity: LU failures are ordinary [`NumError`]s.
+pub type LuError = NumError;
+
+/// A partially pivoted LU factorization `P A = L U`.
+///
+/// `L` (unit lower) and `U` (upper) are stored packed in a single matrix;
+/// `perm` records row swaps; `sign` is the permutation parity, used by the
+/// determinant. Construction fails with [`NumError::SingularMatrix`] when a
+/// pivot underflows the singularity threshold.
+#[derive(Debug, Clone)]
+pub struct LuDecomposition {
+    lu: Matrix,
+    perm: Vec<usize>,
+    sign: f64,
+}
+
+/// Relative pivot threshold below which a matrix is declared singular.
+const PIVOT_RTOL: f64 = 1e-13;
+
+impl LuDecomposition {
+    /// Factorizes a square matrix.
+    pub fn new(a: &Matrix) -> NumResult<Self> {
+        if !a.is_square() {
+            return Err(NumError::DimensionMismatch { expected: a.rows(), actual: a.cols() });
+        }
+        let n = a.rows();
+        let mut lu = a.clone();
+        let mut perm: Vec<usize> = (0..n).collect();
+        let mut sign = 1.0;
+        let scale = lu.norm_max().max(f64::MIN_POSITIVE);
+        for k in 0..n {
+            // Partial pivoting: pick the largest magnitude in column k.
+            let mut pivot_row = k;
+            let mut pivot_val = lu[(k, k)].abs();
+            for i in (k + 1)..n {
+                let v = lu[(i, k)].abs();
+                if v > pivot_val {
+                    pivot_val = v;
+                    pivot_row = i;
+                }
+            }
+            if pivot_val <= PIVOT_RTOL * scale {
+                return Err(NumError::SingularMatrix { pivot: k, magnitude: pivot_val });
+            }
+            if pivot_row != k {
+                for j in 0..n {
+                    let tmp = lu[(k, j)];
+                    lu[(k, j)] = lu[(pivot_row, j)];
+                    lu[(pivot_row, j)] = tmp;
+                }
+                perm.swap(k, pivot_row);
+                sign = -sign;
+            }
+            let pivot = lu[(k, k)];
+            for i in (k + 1)..n {
+                let factor = lu[(i, k)] / pivot;
+                lu[(i, k)] = factor;
+                for j in (k + 1)..n {
+                    let ukj = lu[(k, j)];
+                    lu[(i, j)] -= factor * ukj;
+                }
+            }
+        }
+        Ok(LuDecomposition { lu, perm, sign })
+    }
+
+    /// Dimension of the factored matrix.
+    pub fn dim(&self) -> usize {
+        self.lu.rows()
+    }
+
+    /// Solves `A x = b`.
+    pub fn solve(&self, b: &[f64]) -> NumResult<Vec<f64>> {
+        let n = self.dim();
+        if b.len() != n {
+            return Err(NumError::DimensionMismatch { expected: n, actual: b.len() });
+        }
+        // Apply permutation, then forward/backward substitution.
+        let mut x: Vec<f64> = self.perm.iter().map(|&p| b[p]).collect();
+        for i in 1..n {
+            let mut acc = x[i];
+            for j in 0..i {
+                acc -= self.lu[(i, j)] * x[j];
+            }
+            x[i] = acc;
+        }
+        for i in (0..n).rev() {
+            let mut acc = x[i];
+            for j in (i + 1)..n {
+                acc -= self.lu[(i, j)] * x[j];
+            }
+            x[i] = acc / self.lu[(i, i)];
+        }
+        Ok(x)
+    }
+
+    /// Computes `A^{-1}` column by column.
+    pub fn inverse(&self) -> NumResult<Matrix> {
+        let n = self.dim();
+        let mut inv = Matrix::zeros(n, n);
+        let mut e = vec![0.0; n];
+        for j in 0..n {
+            e[j] = 1.0;
+            let col = self.solve(&e)?;
+            e[j] = 0.0;
+            for i in 0..n {
+                inv[(i, j)] = col[i];
+            }
+        }
+        Ok(inv)
+    }
+
+    /// Determinant of the original matrix (product of U's diagonal times
+    /// permutation parity).
+    pub fn determinant(&self) -> f64 {
+        let n = self.dim();
+        let mut det = self.sign;
+        for i in 0..n {
+            det *= self.lu[(i, i)];
+        }
+        det
+    }
+}
+
+/// One-shot convenience: solves `A x = b`.
+pub fn solve(a: &Matrix, b: &[f64]) -> NumResult<Vec<f64>> {
+    LuDecomposition::new(a)?.solve(b)
+}
+
+/// One-shot convenience: inverts `A`.
+pub fn inverse(a: &Matrix) -> NumResult<Matrix> {
+    LuDecomposition::new(a)?.inverse()
+}
+
+/// One-shot convenience: determinant of `A`.
+pub fn determinant(a: &Matrix) -> NumResult<f64> {
+    Ok(LuDecomposition::new(a)?.determinant())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn near(a: f64, b: f64, eps: f64) -> bool {
+        (a - b).abs() <= eps * (1.0 + a.abs().max(b.abs()))
+    }
+
+    #[test]
+    fn solve_known_system() {
+        // 2x + y = 5; x + 3y = 10  =>  x = 1, y = 3.
+        let a = Matrix::from_rows(&[&[2.0, 1.0], &[1.0, 3.0]]).unwrap();
+        let x = solve(&a, &[5.0, 10.0]).unwrap();
+        assert!(near(x[0], 1.0, 1e-14));
+        assert!(near(x[1], 3.0, 1e-14));
+    }
+
+    #[test]
+    fn solve_requires_pivoting() {
+        // Leading zero forces a row swap.
+        let a = Matrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]).unwrap();
+        let x = solve(&a, &[2.0, 3.0]).unwrap();
+        assert_eq!(x, vec![3.0, 2.0]);
+    }
+
+    #[test]
+    fn inverse_roundtrip() {
+        let a = Matrix::from_rows(&[
+            &[4.0, -2.0, 1.0],
+            &[-2.0, 4.0, -2.0],
+            &[1.0, -2.0, 4.0],
+        ])
+        .unwrap();
+        let inv = inverse(&a).unwrap();
+        let prod = a.matmul(&inv).unwrap();
+        let eye = Matrix::identity(3);
+        assert!((&prod - &eye).norm_max() < 1e-12);
+    }
+
+    #[test]
+    fn determinant_triangular() {
+        let a = Matrix::from_rows(&[&[2.0, 5.0], &[0.0, 3.0]]).unwrap();
+        assert!(near(determinant(&a).unwrap(), 6.0, 1e-14));
+    }
+
+    #[test]
+    fn determinant_permutation_parity() {
+        // A row swap of the identity has determinant -1.
+        let a = Matrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]).unwrap();
+        assert!(near(determinant(&a).unwrap(), -1.0, 1e-14));
+    }
+
+    #[test]
+    fn singular_detected() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0]]).unwrap();
+        assert!(matches!(LuDecomposition::new(&a), Err(NumError::SingularMatrix { .. })));
+    }
+
+    #[test]
+    fn non_square_rejected() {
+        let a = Matrix::zeros(2, 3);
+        assert!(matches!(LuDecomposition::new(&a), Err(NumError::DimensionMismatch { .. })));
+    }
+
+    #[test]
+    fn solve_dimension_mismatch() {
+        let a = Matrix::identity(3);
+        let lu = LuDecomposition::new(&a).unwrap();
+        assert!(lu.solve(&[1.0, 2.0]).is_err());
+    }
+
+    #[test]
+    fn solve_hilbert_like_small() {
+        // Moderately conditioned 4x4 Hilbert matrix: residual check.
+        let a = Matrix::from_fn(4, 4, |i, j| 1.0 / ((i + j + 1) as f64));
+        let b = vec![1.0, 0.0, -1.0, 2.0];
+        let x = solve(&a, &b).unwrap();
+        let r = a.matvec(&x).unwrap();
+        for i in 0..4 {
+            assert!(near(r[i], b[i], 1e-9), "residual row {i}: {} vs {}", r[i], b[i]);
+        }
+    }
+
+    #[test]
+    fn determinant_matches_cofactor_3x3() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[0.0, 4.0, 5.0], &[1.0, 0.0, 6.0]]).unwrap();
+        // det = 1*(24-0) - 2*(0-5) + 3*(0-4) = 24 + 10 - 12 = 22.
+        assert!(near(determinant(&a).unwrap(), 22.0, 1e-13));
+    }
+
+    #[test]
+    fn inverse_of_identity() {
+        let inv = inverse(&Matrix::identity(5)).unwrap();
+        assert!((&inv - &Matrix::identity(5)).norm_max() < 1e-15);
+    }
+
+    #[test]
+    fn one_by_one() {
+        let a = Matrix::from_rows(&[&[4.0]]).unwrap();
+        assert_eq!(solve(&a, &[8.0]).unwrap(), vec![2.0]);
+        assert!(near(determinant(&a).unwrap(), 4.0, 0.0));
+    }
+}

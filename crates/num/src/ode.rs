@@ -1,0 +1,239 @@
+//! Explicit ODE integration (RK4, adaptive RK45).
+//!
+//! Used by the game layer's *continuous best-response / gradient dynamics*:
+//! `ṡ = Π_{[0,q]}(s + u(s)) − s`, a projected dynamical system whose
+//! equilibria coincide with the Nash equilibria of the subsidization game.
+//! The paper analyzes equilibria statically; integrating the dynamics shows
+//! the off-equilibrium behaviour its Section 6 lists as a limitation.
+
+use crate::error::{NumError, NumResult};
+
+/// A single integration step record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OdeStep {
+    /// Time at the end of the step.
+    pub t: f64,
+    /// State at the end of the step.
+    pub y: Vec<f64>,
+}
+
+/// Fixed-step classical Runge–Kutta (RK4) from `t0` to `t1`.
+///
+/// `f(t, y, dy)` writes the derivative into `dy`. Returns the trajectory
+/// including the initial state; `steps >= 1`.
+pub fn rk4(
+    f: &dyn Fn(f64, &[f64], &mut [f64]),
+    t0: f64,
+    t1: f64,
+    y0: &[f64],
+    steps: usize,
+) -> NumResult<Vec<OdeStep>> {
+    if steps == 0 {
+        return Err(NumError::Domain { what: "rk4 requires steps >= 1", value: 0.0 });
+    }
+    if !(t1 > t0) {
+        return Err(NumError::Domain { what: "rk4 requires t1 > t0", value: t1 - t0 });
+    }
+    let n = y0.len();
+    let h = (t1 - t0) / steps as f64;
+    let mut traj = Vec::with_capacity(steps + 1);
+    let mut y = y0.to_vec();
+    traj.push(OdeStep { t: t0, y: y.clone() });
+    let mut k1 = vec![0.0; n];
+    let mut k2 = vec![0.0; n];
+    let mut k3 = vec![0.0; n];
+    let mut k4 = vec![0.0; n];
+    let mut tmp = vec![0.0; n];
+    for s in 0..steps {
+        let t = t0 + h * s as f64;
+        f(t, &y, &mut k1);
+        for i in 0..n {
+            tmp[i] = y[i] + 0.5 * h * k1[i];
+        }
+        f(t + 0.5 * h, &tmp, &mut k2);
+        for i in 0..n {
+            tmp[i] = y[i] + 0.5 * h * k2[i];
+        }
+        f(t + 0.5 * h, &tmp, &mut k3);
+        for i in 0..n {
+            tmp[i] = y[i] + h * k3[i];
+        }
+        f(t + h, &tmp, &mut k4);
+        for i in 0..n {
+            y[i] += h / 6.0 * (k1[i] + 2.0 * k2[i] + 2.0 * k3[i] + k4[i]);
+            if !y[i].is_finite() {
+                return Err(NumError::NonFinite { what: "rk4 state", at: t });
+            }
+        }
+        traj.push(OdeStep { t: t + h, y: y.clone() });
+    }
+    Ok(traj)
+}
+
+/// Adaptive Runge–Kutta–Fehlberg 4(5) from `t0` to `t1`.
+///
+/// Controls the local error against `abs_tol + rel_tol * |y|`; returns the
+/// accepted steps. `h0` is the initial step suggestion.
+#[allow(clippy::too_many_arguments)]
+pub fn rk45(
+    f: &dyn Fn(f64, &[f64], &mut [f64]),
+    t0: f64,
+    t1: f64,
+    y0: &[f64],
+    h0: f64,
+    abs_tol: f64,
+    rel_tol: f64,
+    max_steps: usize,
+) -> NumResult<Vec<OdeStep>> {
+    if !(t1 > t0) {
+        return Err(NumError::Domain { what: "rk45 requires t1 > t0", value: t1 - t0 });
+    }
+    if !(h0 > 0.0) {
+        return Err(NumError::Domain { what: "rk45 requires h0 > 0", value: h0 });
+    }
+    // Fehlberg coefficients.
+    const A: [[f64; 5]; 5] = [
+        [1.0 / 4.0, 0.0, 0.0, 0.0, 0.0],
+        [3.0 / 32.0, 9.0 / 32.0, 0.0, 0.0, 0.0],
+        [1932.0 / 2197.0, -7200.0 / 2197.0, 7296.0 / 2197.0, 0.0, 0.0],
+        [439.0 / 216.0, -8.0, 3680.0 / 513.0, -845.0 / 4104.0, 0.0],
+        [-8.0 / 27.0, 2.0, -3544.0 / 2565.0, 1859.0 / 4104.0, -11.0 / 40.0],
+    ];
+    const B5: [f64; 6] = [16.0 / 135.0, 0.0, 6656.0 / 12825.0, 28561.0 / 56430.0, -9.0 / 50.0, 2.0 / 55.0];
+    const B4: [f64; 6] = [25.0 / 216.0, 0.0, 1408.0 / 2565.0, 2197.0 / 4104.0, -1.0 / 5.0, 0.0];
+
+    let n = y0.len();
+    let mut t = t0;
+    let mut y = y0.to_vec();
+    let mut h = h0.min(t1 - t0);
+    let mut traj = vec![OdeStep { t, y: y.clone() }];
+    let mut k = vec![vec![0.0; n]; 6];
+    let mut tmp = vec![0.0; n];
+    for _ in 0..max_steps {
+        if t >= t1 {
+            return Ok(traj);
+        }
+        h = h.min(t1 - t);
+        f(t, &y, &mut k[0]);
+        for stage in 0..5 {
+            for i in 0..n {
+                let mut acc = 0.0;
+                for (j, kj) in k.iter().enumerate().take(stage + 1) {
+                    acc += A[stage][j] * kj[i];
+                }
+                tmp[i] = y[i] + h * acc;
+            }
+            let c = [0.25, 0.375, 12.0 / 13.0, 1.0, 0.5][stage];
+            let (head, tail) = k.split_at_mut(stage + 1);
+            let _ = head;
+            f(t + c * h, &tmp, &mut tail[0]);
+        }
+        // 5th and 4th order estimates and the local error.
+        let mut err = 0.0f64;
+        let mut y5 = vec![0.0; n];
+        for i in 0..n {
+            let mut acc5 = 0.0;
+            let mut acc4 = 0.0;
+            for j in 0..6 {
+                acc5 += B5[j] * k[j][i];
+                acc4 += B4[j] * k[j][i];
+            }
+            y5[i] = y[i] + h * acc5;
+            let scale = abs_tol + rel_tol * y[i].abs().max(y5[i].abs());
+            err = err.max((h * (acc5 - acc4)).abs() / scale);
+        }
+        if !err.is_finite() {
+            return Err(NumError::NonFinite { what: "rk45 error estimate", at: t });
+        }
+        if err <= 1.0 {
+            t += h;
+            y = y5;
+            traj.push(OdeStep { t, y: y.clone() });
+        }
+        // Standard step-size controller with safety factor.
+        let factor = if err > 0.0 { 0.9 * err.powf(-0.2) } else { 5.0 };
+        h *= factor.clamp(0.2, 5.0);
+        if h < 1e-14 * (t1 - t0) {
+            return Err(NumError::Domain { what: "rk45 step underflow", value: h });
+        }
+    }
+    Err(NumError::MaxIterations { max_iter: max_steps, residual: t1 - t })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rk4_exponential_decay() {
+        // y' = -y, y(0) = 1 => y(1) = e^{-1}.
+        let f = |_t: f64, y: &[f64], dy: &mut [f64]| dy[0] = -y[0];
+        let traj = rk4(&f, 0.0, 1.0, &[1.0], 100).unwrap();
+        let last = traj.last().unwrap();
+        assert!((last.y[0] - (-1.0f64).exp()).abs() < 1e-8);
+        assert_eq!(traj.len(), 101);
+    }
+
+    #[test]
+    fn rk4_harmonic_oscillator_energy() {
+        // y'' = -y as a system; energy conserved to O(h^4).
+        let f = |_t: f64, y: &[f64], dy: &mut [f64]| {
+            dy[0] = y[1];
+            dy[1] = -y[0];
+        };
+        let traj = rk4(&f, 0.0, 2.0 * std::f64::consts::PI, &[1.0, 0.0], 400).unwrap();
+        let last = traj.last().unwrap();
+        assert!((last.y[0] - 1.0).abs() < 1e-6);
+        assert!(last.y[1].abs() < 1e-6);
+    }
+
+    #[test]
+    fn rk4_rejects_bad_args() {
+        let f = |_: f64, _: &[f64], _: &mut [f64]| {};
+        assert!(rk4(&f, 0.0, 1.0, &[1.0], 0).is_err());
+        assert!(rk4(&f, 1.0, 0.0, &[1.0], 10).is_err());
+    }
+
+    #[test]
+    fn rk45_matches_rk4_on_smooth_problem() {
+        let f = |t: f64, y: &[f64], dy: &mut [f64]| dy[0] = t * y[0];
+        // Solution: y = exp(t^2 / 2).
+        let traj = rk45(&f, 0.0, 1.5, &[1.0], 0.1, 1e-10, 1e-10, 100_000).unwrap();
+        let last = traj.last().unwrap();
+        assert!((last.t - 1.5).abs() < 1e-12);
+        assert!((last.y[0] - (1.5f64.powi(2) / 2.0).exp()).abs() < 1e-7);
+    }
+
+    #[test]
+    fn rk45_adapts_step_count() {
+        // Stiff-ish decay needs smaller steps early on.
+        let f = |_t: f64, y: &[f64], dy: &mut [f64]| dy[0] = -50.0 * y[0];
+        let traj = rk45(&f, 0.0, 1.0, &[1.0], 0.5, 1e-8, 1e-8, 100_000).unwrap();
+        let last = traj.last().unwrap();
+        assert!((last.y[0] - (-50.0f64).exp()).abs() < 1e-6);
+        assert!(traj.len() > 10);
+    }
+
+    #[test]
+    fn rk45_bad_args() {
+        let f = |_: f64, _: &[f64], _: &mut [f64]| {};
+        assert!(rk45(&f, 0.0, -1.0, &[1.0], 0.1, 1e-8, 1e-8, 100).is_err());
+        assert!(rk45(&f, 0.0, 1.0, &[1.0], 0.0, 1e-8, 1e-8, 100).is_err());
+    }
+
+    #[test]
+    fn projected_best_response_dynamics_settle() {
+        // ds/dt = clamp(BR(s)) - s for a 2-player quadratic game; equilibrium
+        // of the dynamics = Nash equilibrium.
+        let br = |other: f64| (0.5 - 0.25 * other).clamp(0.0, 1.0);
+        let f = move |_t: f64, s: &[f64], ds: &mut [f64]| {
+            ds[0] = br(s[1]) - s[0];
+            ds[1] = br(s[0]) - s[1];
+        };
+        let traj = rk4(&f, 0.0, 40.0, &[0.0, 1.0], 4000).unwrap();
+        let last = traj.last().unwrap();
+        // Symmetric equilibrium: s = 0.5 - 0.25 s => s = 0.4.
+        assert!((last.y[0] - 0.4).abs() < 1e-6);
+        assert!((last.y[1] - 0.4).abs() < 1e-6);
+    }
+}

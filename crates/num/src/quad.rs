@@ -1,0 +1,164 @@
+//! Numerical quadrature.
+//!
+//! Used by the continuum-of-providers extension: Lemma 2 lets the model
+//! aggregate provider *types*; integrating a density of types `(α, β, v)`
+//! requires quadrature of smooth integrands, for which composite and
+//! adaptive Simpson rules are entirely adequate.
+
+use crate::error::{NumError, NumResult};
+
+/// Composite Simpson rule with `2n` subintervals.
+pub fn simpson(f: &dyn Fn(f64) -> f64, a: f64, b: f64, n: usize) -> NumResult<f64> {
+    if n == 0 {
+        return Err(NumError::Domain { what: "simpson requires n >= 1", value: 0.0 });
+    }
+    if a == b {
+        return Ok(0.0);
+    }
+    let m = 2 * n;
+    let h = (b - a) / m as f64;
+    let mut acc = f(a) + f(b);
+    for i in 1..m {
+        let x = a + h * i as f64;
+        let w = if i % 2 == 1 { 4.0 } else { 2.0 };
+        acc += w * f(x);
+    }
+    let v = acc * h / 3.0;
+    if v.is_finite() {
+        Ok(v)
+    } else {
+        Err(NumError::NonFinite { what: "simpson integrand", at: a })
+    }
+}
+
+/// Adaptive Simpson quadrature with absolute tolerance `tol`.
+pub fn adaptive_simpson(f: &dyn Fn(f64) -> f64, a: f64, b: f64, tol: f64) -> NumResult<f64> {
+    if !(tol > 0.0) {
+        return Err(NumError::Domain { what: "adaptive_simpson requires tol > 0", value: tol });
+    }
+    if a == b {
+        return Ok(0.0);
+    }
+    let fa = f(a);
+    let fb = f(b);
+    let m = 0.5 * (a + b);
+    let fm = f(m);
+    let whole = simpson_segment(a, b, fa, fm, fb);
+    let v = adapt(f, a, b, fa, fm, fb, whole, tol, 60)?;
+    if v.is_finite() {
+        Ok(v)
+    } else {
+        Err(NumError::NonFinite { what: "adaptive simpson", at: a })
+    }
+}
+
+fn simpson_segment(a: f64, b: f64, fa: f64, fm: f64, fb: f64) -> f64 {
+    (b - a) / 6.0 * (fa + 4.0 * fm + fb)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn adapt(
+    f: &dyn Fn(f64) -> f64,
+    a: f64,
+    b: f64,
+    fa: f64,
+    fm: f64,
+    fb: f64,
+    whole: f64,
+    tol: f64,
+    depth: usize,
+) -> NumResult<f64> {
+    let m = 0.5 * (a + b);
+    let lm = 0.5 * (a + m);
+    let rm = 0.5 * (m + b);
+    let flm = f(lm);
+    let frm = f(rm);
+    let left = simpson_segment(a, m, fa, flm, fm);
+    let right = simpson_segment(m, b, fm, frm, fb);
+    let delta = left + right - whole;
+    if depth == 0 {
+        return Err(NumError::MaxIterations { max_iter: 60, residual: delta.abs() });
+    }
+    if delta.abs() <= 15.0 * tol {
+        // Richardson correction term for Simpson's rule.
+        return Ok(left + right + delta / 15.0);
+    }
+    let lv = adapt(f, a, m, fa, flm, fm, left, tol / 2.0, depth - 1)?;
+    let rv = adapt(f, m, b, fm, frm, fb, right, tol / 2.0, depth - 1)?;
+    Ok(lv + rv)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simpson_polynomial_exact() {
+        // Simpson is exact for cubics.
+        let f = |x: f64| x * x * x - 2.0 * x + 1.0;
+        let v = simpson(&f, 0.0, 2.0, 1).unwrap();
+        // Integral: x^4/4 - x^2 + x from 0 to 2 = 4 - 4 + 2 = 2.
+        assert!((v - 2.0).abs() < 1e-13);
+    }
+
+    #[test]
+    fn simpson_exponential() {
+        let f = |x: f64| (-x).exp();
+        let v = simpson(&f, 0.0, 5.0, 200).unwrap();
+        // Composite Simpson error ~ (b-a) h^4 / 180 ~ 7e-10 at this n.
+        assert!((v - (1.0 - (-5.0f64).exp())).abs() < 5e-9);
+    }
+
+    #[test]
+    fn simpson_degenerate_interval() {
+        let f = |_: f64| 1.0;
+        assert_eq!(simpson(&f, 1.0, 1.0, 4).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn simpson_reversed_interval_signed() {
+        let f = |_: f64| 1.0;
+        let v = simpson(&f, 1.0, 0.0, 4).unwrap();
+        assert!((v + 1.0).abs() < 1e-14);
+    }
+
+    #[test]
+    fn adaptive_handles_peaked_integrand() {
+        // Narrow Gaussian: adaptive refinement concentrates where needed.
+        let f = |x: f64| (-(x - 0.5).powi(2) / 1e-4).exp();
+        let v = adaptive_simpson(&f, 0.0, 1.0, 1e-12).unwrap();
+        let exact = (std::f64::consts::PI * 1e-4).sqrt(); // erf ~ 1 over this range
+        assert!((v - exact).abs() < 1e-9, "v = {v}, exact = {exact}");
+    }
+
+    #[test]
+    fn adaptive_matches_composite() {
+        let f = |x: f64| (3.0 * x).sin() * (-x).exp();
+        let a = adaptive_simpson(&f, 0.0, 4.0, 1e-12).unwrap();
+        let c = simpson(&f, 0.0, 4.0, 4000).unwrap();
+        assert!((a - c).abs() < 1e-9);
+    }
+
+    #[test]
+    fn adaptive_bad_tol() {
+        let f = |x: f64| x;
+        assert!(adaptive_simpson(&f, 0.0, 1.0, 0.0).is_err());
+    }
+
+    #[test]
+    fn simpson_zero_subintervals_rejected() {
+        let f = |x: f64| x;
+        assert!(simpson(&f, 0.0, 1.0, 0).is_err());
+    }
+
+    #[test]
+    fn continuum_of_providers_aggregate_demand() {
+        // Aggregate demand of a continuum of types alpha ~ U[1, 5] at price
+        // p: integral of e^{-alpha p} / 4 d alpha over [1,5].
+        let p = 0.8;
+        let f = move |alpha: f64| (-alpha * p).exp() / 4.0;
+        let v = adaptive_simpson(&f, 1.0, 5.0, 1e-13).unwrap();
+        let exact = ((-1.0 * p).exp() - (-5.0 * p).exp()) / (4.0 * p);
+        assert!((v - exact).abs() < 1e-11);
+    }
+}

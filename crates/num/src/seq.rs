@@ -1,0 +1,173 @@
+//! Convergence tracking for iterative processes.
+//!
+//! Best-response dynamics, market simulations and damped fixed-point loops
+//! all need the same bookkeeping: record sup-norm deltas between successive
+//! iterates, detect convergence, and detect *stalls* (deltas that stop
+//! shrinking) so a solver can switch strategy instead of burning its budget.
+
+/// Tracks the convergence of a vector-valued iteration.
+#[derive(Debug, Clone)]
+pub struct ConvergenceTracker {
+    deltas: Vec<f64>,
+    last: Option<Vec<f64>>,
+    stall_window: usize,
+}
+
+impl ConvergenceTracker {
+    /// Creates a tracker; `stall_window` is the number of recent deltas
+    /// inspected by [`ConvergenceTracker::is_stalled`] (minimum 2).
+    pub fn new(stall_window: usize) -> Self {
+        ConvergenceTracker { deltas: Vec::new(), last: None, stall_window: stall_window.max(2) }
+    }
+
+    /// Records an iterate; returns the sup-norm delta to the previous one
+    /// (`None` for the first iterate).
+    pub fn push(&mut self, x: &[f64]) -> Option<f64> {
+        let delta = self.last.as_ref().map(|prev| {
+            debug_assert_eq!(prev.len(), x.len(), "iterate dimension changed");
+            prev.iter().zip(x).map(|(a, b)| (a - b).abs()).fold(0.0f64, f64::max)
+        });
+        if let Some(d) = delta {
+            self.deltas.push(d);
+        }
+        self.last = Some(x.to_vec());
+        delta
+    }
+
+    /// All recorded deltas, oldest first.
+    pub fn deltas(&self) -> &[f64] {
+        &self.deltas
+    }
+
+    /// Most recent delta, if any.
+    pub fn last_delta(&self) -> Option<f64> {
+        self.deltas.last().copied()
+    }
+
+    /// Number of deltas recorded (iterations after the first).
+    pub fn len(&self) -> usize {
+        self.deltas.len()
+    }
+
+    /// True when no deltas have been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.deltas.is_empty()
+    }
+
+    /// Whether the latest delta is below `threshold`.
+    pub fn converged(&self, threshold: f64) -> bool {
+        self.last_delta().is_some_and(|d| d <= threshold)
+    }
+
+    /// Whether the iteration has stalled: over the last `stall_window`
+    /// deltas, the best (smallest) delta failed to improve on the delta just
+    /// before the window by at least a factor of two.
+    pub fn is_stalled(&self) -> bool {
+        let w = self.stall_window;
+        if self.deltas.len() < w + 1 {
+            return false;
+        }
+        let before = self.deltas[self.deltas.len() - w - 1];
+        let best_in_window = self.deltas[self.deltas.len() - w..]
+            .iter()
+            .copied()
+            .fold(f64::INFINITY, f64::min);
+        best_in_window > 0.5 * before
+    }
+
+    /// Estimated geometric convergence rate from the last few deltas
+    /// (`None` if fewer than three deltas or rates are inconsistent).
+    pub fn estimated_rate(&self) -> Option<f64> {
+        let n = self.deltas.len();
+        if n < 3 {
+            return None;
+        }
+        let r1 = self.deltas[n - 1] / self.deltas[n - 2].max(f64::MIN_POSITIVE);
+        let r2 = self.deltas[n - 2] / self.deltas[n - 3].max(f64::MIN_POSITIVE);
+        if r1.is_finite() && r2.is_finite() && r1 > 0.0 && r2 > 0.0 {
+            Some((r1 * r2).sqrt())
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_push_has_no_delta() {
+        let mut t = ConvergenceTracker::new(4);
+        assert_eq!(t.push(&[1.0, 2.0]), None);
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn deltas_are_sup_norm() {
+        let mut t = ConvergenceTracker::new(4);
+        t.push(&[0.0, 0.0]);
+        let d = t.push(&[0.5, -1.5]).unwrap();
+        assert_eq!(d, 1.5);
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn convergence_detection() {
+        let mut t = ConvergenceTracker::new(4);
+        t.push(&[1.0]);
+        t.push(&[0.1]);
+        assert!(!t.converged(1e-3));
+        t.push(&[0.1000001]);
+        assert!(t.converged(1e-3));
+    }
+
+    #[test]
+    fn geometric_sequence_rate() {
+        let mut t = ConvergenceTracker::new(4);
+        let mut x = 1.0;
+        t.push(&[x]);
+        for _ in 0..6 {
+            x *= 0.5; // deltas shrink by factor 0.5
+            t.push(&[x]);
+        }
+        let rate = t.estimated_rate().unwrap();
+        assert!((rate - 0.5).abs() < 1e-9, "rate = {rate}");
+    }
+
+    #[test]
+    fn stall_detection() {
+        let mut t = ConvergenceTracker::new(3);
+        // Deltas: 1.0 then plateau at ~0.9.
+        t.push(&[0.0]);
+        t.push(&[1.0]);
+        t.push(&[1.9]);
+        t.push(&[2.8]);
+        t.push(&[3.7]);
+        t.push(&[4.6]);
+        assert!(t.is_stalled());
+    }
+
+    #[test]
+    fn healthy_convergence_not_stalled() {
+        let mut t = ConvergenceTracker::new(3);
+        let mut x = 0.0;
+        let mut step = 1.0;
+        t.push(&[x]);
+        for _ in 0..8 {
+            step *= 0.3;
+            x += step;
+            t.push(&[x]);
+        }
+        assert!(!t.is_stalled());
+    }
+
+    #[test]
+    fn too_few_deltas_never_stalled() {
+        let mut t = ConvergenceTracker::new(5);
+        t.push(&[0.0]);
+        t.push(&[1.0]);
+        assert!(!t.is_stalled());
+        assert_eq!(t.estimated_rate(), None);
+    }
+}

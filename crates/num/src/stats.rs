@@ -1,0 +1,241 @@
+//! Summary statistics for simulation output.
+//!
+//! The flow-level and market simulators in `subcomp-sim` emit sampled
+//! utilizations, throughputs and revenues; these helpers provide numerically
+//! stable accumulation (Welford) and the quantile/confidence summaries the
+//! sim-vs-theory experiments report.
+
+use crate::error::{NumError, NumResult};
+
+/// Numerically stable running mean/variance accumulator (Welford).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Running {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Running {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Running { n: 0, mean: 0.0, m2: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+    }
+
+    /// Adds one observation.
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Sample mean; zero when empty.
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Unbiased sample variance; zero for fewer than two observations.
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / (self.n - 1) as f64
+        }
+    }
+
+    /// Sample standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Minimum observation (`+inf` when empty).
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Maximum observation (`-inf` when empty).
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Half-width of an approximate 95% confidence interval for the mean
+    /// (normal approximation, `1.96 σ / √n`); zero for n < 2.
+    pub fn ci95_half_width(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            1.96 * self.std_dev() / (self.n as f64).sqrt()
+        }
+    }
+
+    /// Merges another accumulator into this one (parallel aggregation).
+    pub fn merge(&mut self, other: &Running) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = other.clone();
+            return;
+        }
+        let n1 = self.n as f64;
+        let n2 = other.n as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.mean += delta * n2 / total;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.n += other.n;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// Arithmetic mean of a slice.
+pub fn mean(xs: &[f64]) -> NumResult<f64> {
+    if xs.is_empty() {
+        return Err(NumError::Empty { what: "mean" });
+    }
+    Ok(xs.iter().sum::<f64>() / xs.len() as f64)
+}
+
+/// Linear-interpolated quantile `q ∈ [0, 1]` of a slice (copies + sorts).
+pub fn quantile(xs: &[f64], q: f64) -> NumResult<f64> {
+    if xs.is_empty() {
+        return Err(NumError::Empty { what: "quantile" });
+    }
+    if !(0.0..=1.0).contains(&q) {
+        return Err(NumError::Domain { what: "quantile must lie in [0, 1]", value: q });
+    }
+    let mut v = xs.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).expect("quantile: NaN in data"));
+    let pos = q * (v.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        Ok(v[lo])
+    } else {
+        Ok(v[lo] + (v[hi] - v[lo]) * (pos - lo as f64))
+    }
+}
+
+/// Relative error `|a - b| / max(|b|, floor)` — the sim-vs-theory metric.
+pub fn relative_error(a: f64, b: f64, floor: f64) -> f64 {
+    (a - b).abs() / b.abs().max(floor)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn running_mean_variance() {
+        let mut r = Running::new();
+        for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            r.push(x);
+        }
+        assert_eq!(r.count(), 8);
+        assert!((r.mean() - 5.0).abs() < 1e-14);
+        // Population variance is 4; sample variance = 4 * 8/7.
+        assert!((r.variance() - 32.0 / 7.0).abs() < 1e-12);
+        assert_eq!(r.min(), 2.0);
+        assert_eq!(r.max(), 9.0);
+    }
+
+    #[test]
+    fn running_empty_defaults() {
+        let r = Running::new();
+        assert_eq!(r.mean(), 0.0);
+        assert_eq!(r.variance(), 0.0);
+        assert_eq!(r.ci95_half_width(), 0.0);
+    }
+
+    #[test]
+    fn running_single_observation() {
+        let mut r = Running::new();
+        r.push(3.5);
+        assert_eq!(r.mean(), 3.5);
+        assert_eq!(r.variance(), 0.0);
+    }
+
+    #[test]
+    fn merge_equals_sequential() {
+        let data: Vec<f64> = (0..100).map(|i| (i as f64 * 0.37).sin() * 3.0 + 1.0).collect();
+        let mut whole = Running::new();
+        for &x in &data {
+            whole.push(x);
+        }
+        let mut a = Running::new();
+        let mut b = Running::new();
+        for &x in &data[..37] {
+            a.push(x);
+        }
+        for &x in &data[37..] {
+            b.push(x);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), whole.count());
+        assert!((a.mean() - whole.mean()).abs() < 1e-12);
+        assert!((a.variance() - whole.variance()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_with_empty() {
+        let mut a = Running::new();
+        a.push(1.0);
+        let b = Running::new();
+        let mut a2 = a.clone();
+        a2.merge(&b);
+        assert_eq!(a2, a);
+        let mut c = Running::new();
+        c.merge(&a);
+        assert_eq!(c.mean(), 1.0);
+    }
+
+    #[test]
+    fn mean_and_errors() {
+        assert_eq!(mean(&[1.0, 2.0, 3.0]).unwrap(), 2.0);
+        assert!(mean(&[]).is_err());
+    }
+
+    #[test]
+    fn quantile_interpolates() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(quantile(&xs, 0.0).unwrap(), 1.0);
+        assert_eq!(quantile(&xs, 1.0).unwrap(), 4.0);
+        assert_eq!(quantile(&xs, 0.5).unwrap(), 2.5);
+        assert!(quantile(&xs, 1.5).is_err());
+        assert!(quantile(&[], 0.5).is_err());
+    }
+
+    #[test]
+    fn ci_shrinks_with_samples() {
+        let mut small = Running::new();
+        let mut large = Running::new();
+        for i in 0..10 {
+            small.push((i % 3) as f64);
+        }
+        for i in 0..1000 {
+            large.push((i % 3) as f64);
+        }
+        assert!(large.ci95_half_width() < small.ci95_half_width());
+    }
+
+    #[test]
+    fn relative_error_with_floor() {
+        assert_eq!(relative_error(1.1, 1.0, 1e-9), 0.10000000000000009);
+        // Floor prevents blowup near zero.
+        assert!(relative_error(1e-12, 0.0, 1e-6) < 1e-5);
+    }
+}

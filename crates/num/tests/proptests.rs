@@ -1,0 +1,140 @@
+//! Property-based tests for the numerical substrate.
+
+use proptest::prelude::*;
+use subcomp_num::linalg::lu::{inverse, solve, LuDecomposition};
+use subcomp_num::linalg::Matrix;
+use subcomp_num::optimize::{golden_max, maximize_scalar};
+use subcomp_num::roots::{brent, expand_upward, solve_increasing, Bracket};
+use subcomp_num::stats::{quantile, Running};
+use subcomp_num::Tolerance;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn brent_finds_root_of_shifted_cubic(shift in -50.0f64..50.0) {
+        // x^3 + x - shift has a unique real root for all shifts.
+        let f = move |x: f64| x * x * x + x - shift;
+        let r = brent(&f, Bracket::new(-40.0, 40.0), Tolerance::tight()).unwrap();
+        prop_assert!(f(r.x).abs() < 1e-8, "residual {}", f(r.x));
+    }
+
+    #[test]
+    fn expand_upward_always_brackets_monotone(
+        slope in 0.01f64..100.0,
+        root in 0.0f64..1e6,
+    ) {
+        let f = move |x: f64| slope * (x - root) - 1e-9;
+        let br = expand_upward(&f, 0.0, 1.0, 128).unwrap();
+        prop_assert!(f(br.a) <= 0.0);
+        prop_assert!(f(br.b) >= 0.0);
+    }
+
+    #[test]
+    fn solve_increasing_gap_functions(
+        m1 in 0.01f64..5.0,
+        m2 in 0.01f64..5.0,
+        b1 in 0.2f64..6.0,
+        b2 in 0.2f64..6.0,
+        mu in 0.2f64..4.0,
+    ) {
+        // Lemma 1-style gap functions always solve.
+        let g = move |phi: f64| phi * mu - m1 * (-b1 * phi).exp() - m2 * (-b2 * phi).exp();
+        let r = solve_increasing(&g, 0.0, 1.0, Tolerance::tight()).unwrap();
+        prop_assert!(r.x > 0.0);
+        prop_assert!(g(r.x).abs() < 1e-9);
+    }
+
+    #[test]
+    fn golden_max_parabola(center in -10.0f64..10.0, height in -5.0f64..5.0) {
+        let f = move |x: f64| height - (x - center).powi(2);
+        let m = golden_max(&f, -12.0, 12.0, Tolerance::new(1e-10, 1e-10).with_max_iter(300)).unwrap();
+        prop_assert!((m.x - center).abs() < 1e-4);
+        prop_assert!((m.value - height).abs() < 1e-8);
+    }
+
+    #[test]
+    fn maximize_scalar_never_below_endpoints(
+        a in -5.0f64..0.0,
+        b in 0.1f64..5.0,
+        w1 in -3.0f64..3.0,
+        w2 in -3.0f64..3.0,
+    ) {
+        let f = move |x: f64| w1 * x + w2 * (x * 1.7).sin();
+        let m = maximize_scalar(&f, a, b, 24, Tolerance::default()).unwrap();
+        prop_assert!(m.value >= f(a) - 1e-9);
+        prop_assert!(m.value >= f(b) - 1e-9);
+        prop_assert!(m.x >= a && m.x <= b);
+    }
+
+    #[test]
+    fn lu_solve_residual_small(
+        entries in proptest::collection::vec(-3.0f64..3.0, 9),
+        rhs in proptest::collection::vec(-3.0f64..3.0, 3),
+    ) {
+        // Diagonally boost to avoid (near-)singular draws.
+        let mut a = Matrix::from_vec(3, 3, entries).unwrap();
+        for i in 0..3 {
+            let boost = 10.0 + a[(i, i)].abs();
+            a[(i, i)] += if a[(i, i)] >= 0.0 { boost } else { -boost };
+        }
+        let x = solve(&a, &rhs).unwrap();
+        let back = a.matvec(&x).unwrap();
+        for i in 0..3 {
+            prop_assert!((back[i] - rhs[i]).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn lu_inverse_roundtrip(entries in proptest::collection::vec(-2.0f64..2.0, 16)) {
+        let mut a = Matrix::from_vec(4, 4, entries).unwrap();
+        for i in 0..4 {
+            a[(i, i)] += 9.0;
+        }
+        let inv = inverse(&a).unwrap();
+        let prod = a.matmul(&inv).unwrap();
+        prop_assert!((&prod - &Matrix::identity(4)).norm_max() < 1e-9);
+    }
+
+    #[test]
+    fn determinant_multiplicative(
+        e1 in proptest::collection::vec(-2.0f64..2.0, 4),
+        e2 in proptest::collection::vec(-2.0f64..2.0, 4),
+    ) {
+        let mut a = Matrix::from_vec(2, 2, e1).unwrap();
+        let mut b = Matrix::from_vec(2, 2, e2).unwrap();
+        a[(0, 0)] += 5.0;
+        a[(1, 1)] += 5.0;
+        b[(0, 0)] += 5.0;
+        b[(1, 1)] += 5.0;
+        let det_ab = LuDecomposition::new(&a.matmul(&b).unwrap()).unwrap().determinant();
+        let det_a = LuDecomposition::new(&a).unwrap().determinant();
+        let det_b = LuDecomposition::new(&b).unwrap().determinant();
+        prop_assert!((det_ab - det_a * det_b).abs() < 1e-8 * det_ab.abs().max(1.0));
+    }
+
+    #[test]
+    fn running_stats_match_direct(xs in proptest::collection::vec(-100.0f64..100.0, 2..60)) {
+        let mut r = Running::new();
+        for &x in &xs {
+            r.push(x);
+        }
+        let n = xs.len() as f64;
+        let mean = xs.iter().sum::<f64>() / n;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1.0);
+        prop_assert!((r.mean() - mean).abs() < 1e-9 * (1.0 + mean.abs()));
+        prop_assert!((r.variance() - var).abs() < 1e-7 * (1.0 + var.abs()));
+    }
+
+    #[test]
+    fn quantiles_are_order_statistics(xs in proptest::collection::vec(-50.0f64..50.0, 1..40)) {
+        let lo = quantile(&xs, 0.0).unwrap();
+        let hi = quantile(&xs, 1.0).unwrap();
+        let min = xs.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = xs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert_eq!(lo, min);
+        prop_assert_eq!(hi, max);
+        let med = quantile(&xs, 0.5).unwrap();
+        prop_assert!(med >= min && med <= max);
+    }
+}

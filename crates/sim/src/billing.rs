@@ -1,0 +1,141 @@
+//! Usage metering and settlement.
+//!
+//! The subsidization mechanism is, operationally, an accounting scheme
+//! (paper §6: access ISPs can meter traffic toward their users; AT&T's
+//! sponsored-data plan is the `s_i = p` special case). This module meters
+//! per-CP traffic over a billing period and settles the three-way money
+//! flow: users pay the discounted rate `t_i = p − s_i`, CPs pay subsidies
+//! `s_i`, the ISP receives the full price `p` per unit — so the ISP's
+//! revenue is *invariant* to who pays, which is exactly why subsidization
+//! keeps the network neutral.
+
+use subcomp_num::{NumError, NumResult};
+
+/// Settled money flows for one billing period.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Ledger {
+    /// Traffic volume per CP over the period.
+    pub volume: Vec<f64>,
+    /// What users of each CP paid (`t_i × volume_i`).
+    pub user_payments: Vec<f64>,
+    /// What each CP paid in subsidies (`s_i × volume_i`).
+    pub cp_subsidies: Vec<f64>,
+    /// ISP revenue (`p × total volume`).
+    pub isp_revenue: f64,
+}
+
+impl Ledger {
+    /// Settles a billing period.
+    ///
+    /// `theta` are per-CP throughput rates, `duration` the period length,
+    /// `p` the ISP price, `s` the subsidies. Effective user price is
+    /// `p − s_i` (may be negative: the CP is paying users' entire bill and
+    /// then some — AT&T sponsored data is `s_i = p`, i.e. exactly zero).
+    pub fn settle(theta: &[f64], duration: f64, p: f64, s: &[f64]) -> NumResult<Ledger> {
+        if theta.len() != s.len() {
+            return Err(NumError::DimensionMismatch { expected: theta.len(), actual: s.len() });
+        }
+        if !(duration > 0.0) {
+            return Err(NumError::Domain { what: "billing duration must be positive", value: duration });
+        }
+        if !(p >= 0.0) {
+            return Err(NumError::Domain { what: "price must be non-negative", value: p });
+        }
+        let n = theta.len();
+        let mut volume = Vec::with_capacity(n);
+        let mut user_payments = Vec::with_capacity(n);
+        let mut cp_subsidies = Vec::with_capacity(n);
+        let mut total = 0.0;
+        for i in 0..n {
+            if !(theta[i] >= 0.0) {
+                return Err(NumError::Domain { what: "throughput must be non-negative", value: theta[i] });
+            }
+            let vol = theta[i] * duration;
+            volume.push(vol);
+            user_payments.push((p - s[i]) * vol);
+            cp_subsidies.push(s[i] * vol);
+            total += vol;
+        }
+        Ok(Ledger { volume, user_payments, cp_subsidies, isp_revenue: p * total })
+    }
+
+    /// Number of CPs in the ledger.
+    pub fn n(&self) -> usize {
+        self.volume.len()
+    }
+
+    /// Accounting identity: user payments + subsidies = ISP revenue.
+    pub fn conservation_error(&self) -> f64 {
+        let users: f64 = self.user_payments.iter().sum();
+        let cps: f64 = self.cp_subsidies.iter().sum();
+        (users + cps - self.isp_revenue).abs()
+    }
+
+    /// Merges another period into this one.
+    pub fn merge(&mut self, other: &Ledger) -> NumResult<()> {
+        if other.n() != self.n() {
+            return Err(NumError::DimensionMismatch { expected: self.n(), actual: other.n() });
+        }
+        for i in 0..self.n() {
+            self.volume[i] += other.volume[i];
+            self.user_payments[i] += other.user_payments[i];
+            self.cp_subsidies[i] += other.cp_subsidies[i];
+        }
+        self.isp_revenue += other.isp_revenue;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn settle_and_conserve() {
+        let ledger = Ledger::settle(&[2.0, 1.0], 10.0, 0.5, &[0.2, 0.0]).unwrap();
+        assert_eq!(ledger.volume, vec![20.0, 10.0]);
+        assert!((ledger.isp_revenue - 15.0).abs() < 1e-12);
+        assert!((ledger.user_payments[0] - 0.3 * 20.0).abs() < 1e-12);
+        assert!((ledger.cp_subsidies[0] - 0.2 * 20.0).abs() < 1e-12);
+        assert!(ledger.conservation_error() < 1e-12);
+    }
+
+    #[test]
+    fn sponsored_data_special_case() {
+        // s_i = p: users pay nothing (AT&T sponsored data); the CP's
+        // subsidy covers the ISP's entire revenue.
+        let ledger = Ledger::settle(&[3.0], 1.0, 0.4, &[0.4]).unwrap();
+        assert_eq!(ledger.user_payments[0], 0.0);
+        assert!((ledger.cp_subsidies[0] - ledger.isp_revenue).abs() < 1e-12);
+    }
+
+    #[test]
+    fn oversubsidized_users_get_paid() {
+        // s_i > p: negative user payment (the paper's unclamped regime).
+        let ledger = Ledger::settle(&[1.0], 1.0, 0.3, &[0.5]).unwrap();
+        assert!(ledger.user_payments[0] < 0.0);
+        assert!(ledger.conservation_error() < 1e-12);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = Ledger::settle(&[1.0, 1.0], 1.0, 0.5, &[0.1, 0.2]).unwrap();
+        let b = Ledger::settle(&[2.0, 0.5], 2.0, 0.5, &[0.1, 0.2]).unwrap();
+        let expected_rev = a.isp_revenue + b.isp_revenue;
+        a.merge(&b).unwrap();
+        assert!((a.isp_revenue - expected_rev).abs() < 1e-12);
+        assert_eq!(a.volume[0], 1.0 + 4.0);
+        assert!(a.conservation_error() < 1e-12);
+    }
+
+    #[test]
+    fn validation() {
+        assert!(Ledger::settle(&[1.0], 0.0, 0.5, &[0.0]).is_err());
+        assert!(Ledger::settle(&[1.0], 1.0, -0.5, &[0.0]).is_err());
+        assert!(Ledger::settle(&[-1.0], 1.0, 0.5, &[0.0]).is_err());
+        assert!(Ledger::settle(&[1.0, 2.0], 1.0, 0.5, &[0.0]).is_err());
+        let a = Ledger::settle(&[1.0], 1.0, 0.5, &[0.0]).unwrap();
+        let mut b = Ledger::settle(&[1.0, 2.0], 1.0, 0.5, &[0.0, 0.0]).unwrap();
+        assert!(b.merge(&a).is_err());
+    }
+}

@@ -1,0 +1,281 @@
+//! Agent-based market simulation.
+//!
+//! The paper's equilibrium analysis presumes rational, instantaneous
+//! adjustment; §6 concedes it cannot capture "short-term off-equilibrium
+//! types of system dynamics, where players' decisions are not rational or
+//! optimal". This simulator provides exactly that missing layer:
+//!
+//! * **Users** churn gradually: each day the population relaxes a fraction
+//!   `adjust_rate` of the way toward the demand level `m_i(t_i)`, with
+//!   multiplicative noise — nobody re-reads the price sheet daily.
+//! * **CPs** know neither the demand curves nor each other's strategies.
+//!   Each review period, one CP (round-robin) runs an A/B experiment on
+//!   its own subsidy: it perturbs `s_i` by `±step`, observes realized
+//!   profit `(v_i − s_i)·volume` over the next period, and keeps the
+//!   perturbation only if profit improved. Steps decay over time.
+//! * **Money** is settled daily by [`crate::billing::Ledger`].
+//!
+//! Despite all this myopia, the long-run subsidies land near the analytic
+//! Nash equilibrium — the strongest validation the repository offers that
+//! the paper's static solution concept describes where a decentralized
+//! market actually goes.
+
+use crate::billing::Ledger;
+use crate::rng::SimRng;
+use crate::trace::{Series, Trace};
+use subcomp_core::game::SubsidyGame;
+use subcomp_core::nash::NashSolver;
+use subcomp_num::{NumError, NumResult};
+
+/// Configuration for the market simulation.
+#[derive(Debug, Clone, Copy)]
+pub struct MarketSimConfig {
+    /// Days to simulate.
+    pub days: usize,
+    /// Daily population adjustment fraction in `(0, 1]`.
+    pub adjust_rate: f64,
+    /// Population noise amplitude (multiplicative, per day).
+    pub noise: f64,
+    /// Days between one CP's subsidy experiments.
+    pub review_period: usize,
+    /// Initial experiment step.
+    pub initial_step: f64,
+    /// Multiplicative step decay applied after each full CP rotation.
+    pub step_decay: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for MarketSimConfig {
+    fn default() -> Self {
+        MarketSimConfig {
+            days: 6000,
+            // High enough that populations mostly re-equilibrate within
+            // one review period, keeping A/B profit comparisons honest.
+            adjust_rate: 0.45,
+            noise: 0.0015,
+            review_period: 6,
+            initial_step: 0.1,
+            // Slow decay: the climb must be able to travel the full
+            // strategy box (sum of accepted steps ≈ initial/(1-decay)/2)
+            // before the step collapses.
+            step_decay: 0.99,
+            seed: 0xBEEF,
+        }
+    }
+}
+
+/// Result of a market simulation run.
+#[derive(Debug, Clone)]
+pub struct MarketSimReport {
+    /// Final subsidies after the last day.
+    pub final_subsidies: Vec<f64>,
+    /// The analytic Nash equilibrium for the same `(p, q)`.
+    pub nash_subsidies: Vec<f64>,
+    /// Sup-norm distance between the two.
+    pub distance_to_nash: f64,
+    /// Cumulative settled ledger over the whole run.
+    pub ledger: Ledger,
+    /// Day-indexed traces: utilization plus one subsidy series per CP.
+    pub trace: Trace,
+}
+
+/// The agent-based market simulator.
+#[derive(Debug, Clone)]
+pub struct MarketSim<'a> {
+    game: &'a SubsidyGame,
+    cfg: MarketSimConfig,
+}
+
+impl<'a> MarketSim<'a> {
+    /// Creates a simulator over a game (price and cap fixed for the run).
+    pub fn new(game: &'a SubsidyGame, cfg: MarketSimConfig) -> NumResult<Self> {
+        if !(cfg.adjust_rate > 0.0 && cfg.adjust_rate <= 1.0) {
+            return Err(NumError::Domain { what: "adjust_rate must lie in (0, 1]", value: cfg.adjust_rate });
+        }
+        if cfg.review_period == 0 || cfg.days == 0 {
+            return Err(NumError::Domain { what: "days and review_period must be positive", value: 0.0 });
+        }
+        Ok(MarketSim { game, cfg })
+    }
+
+    /// Runs the simulation and compares against the analytic equilibrium.
+    pub fn run(&self) -> NumResult<MarketSimReport> {
+        let game = self.game;
+        let cfg = &self.cfg;
+        let n = game.n();
+        let mut rng = SimRng::new(cfg.seed);
+
+        // Start at the no-subsidy baseline with populations at demand.
+        let mut s = vec![0.0; n];
+        let mut m = game.system().populations(&game.effective_prices(&s))?;
+        let mut step = cfg.initial_step;
+
+        let mut trace = Trace::new();
+        let phi_idx = trace.add(Series::new("phi", cfg.days / 4));
+        let s_idx: Vec<usize> = (0..n)
+            .map(|i| trace.add(Series::new(format!("s_{i}"), cfg.days / 4)))
+            .collect();
+
+        let mut ledger = Ledger::settle(&vec![0.0; n], 1.0, game.price(), &s)?;
+        // Experiment state: the CP currently mid-experiment, its baseline
+        // profit and pre-experiment subsidy.
+        let mut experiment: Option<(usize, f64, f64)> = None;
+        let mut rotation = 0usize;
+        let mut profit_window = vec![0.0; n];
+        let mut window_days = 0usize;
+
+        for day in 0..cfg.days {
+            // 1. Users churn toward the demand level (with noise).
+            let targets = game.system().populations(&game.effective_prices(&s))?;
+            for i in 0..n {
+                let noise = 1.0 + cfg.noise * rng.gaussian(0.0, 1.0);
+                m[i] += cfg.adjust_rate * (targets[i] - m[i]);
+                m[i] = (m[i] * noise).max(0.0);
+            }
+            // 2. The network settles within the day (fixed point at m).
+            let state = game.system().solve_state(&m)?;
+            // 3. Settle money and accumulate per-CP realized profits.
+            let daily = Ledger::settle(&state.theta_i, 1.0, game.price(), &s)?;
+            ledger.merge(&daily)?;
+            for i in 0..n {
+                profit_window[i] += (game.profitability(i) - s[i]) * state.theta_i[i];
+            }
+            window_days += 1;
+            // 4. Record.
+            trace.series_mut(phi_idx).push(state.phi);
+            for i in 0..n {
+                trace.series_mut(s_idx[i]).push(s[i]);
+            }
+            // 5. Subsidy experiments at review boundaries.
+            if (day + 1) % cfg.review_period == 0 {
+                let avg_profit: Vec<f64> =
+                    profit_window.iter().map(|p| p / window_days as f64).collect();
+                match experiment.take() {
+                    None => {
+                        // Start a new experiment for the next CP in rotation.
+                        let i = rotation % n;
+                        rotation += 1;
+                        if rotation % n == 0 {
+                            step *= cfg.step_decay;
+                        }
+                        let cap = game.effective_cap(i);
+                        if cap > 0.0 {
+                            let dir = if rng.bernoulli(0.5) { 1.0 } else { -1.0 };
+                            let trial = (s[i] + dir * step).clamp(0.0, cap);
+                            if (trial - s[i]).abs() > 1e-12 {
+                                experiment = Some((i, avg_profit[i], s[i]));
+                                s[i] = trial;
+                            }
+                        }
+                    }
+                    Some((i, baseline_profit, old_s)) => {
+                        // Judge the experiment on realized profit.
+                        if avg_profit[i] < baseline_profit {
+                            s[i] = old_s; // revert
+                        }
+                    }
+                }
+                profit_window.iter_mut().for_each(|p| *p = 0.0);
+                window_days = 0;
+            }
+        }
+
+        let nash = NashSolver::default().with_tol(1e-8).solve(game)?;
+        let distance_to_nash = s
+            .iter()
+            .zip(&nash.subsidies)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0f64, f64::max);
+        Ok(MarketSimReport {
+            final_subsidies: s,
+            nash_subsidies: nash.subsidies,
+            distance_to_nash,
+            ledger,
+            trace,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use subcomp_model::aggregation::{build_system, ExpCpSpec};
+
+    fn two_cp_game() -> SubsidyGame {
+        let specs = [ExpCpSpec::unit(5.0, 2.0, 1.0), ExpCpSpec::unit(2.0, 4.0, 0.4)];
+        SubsidyGame::new(build_system(&specs, 1.0).unwrap(), 0.7, 1.0).unwrap()
+    }
+
+    #[test]
+    fn market_converges_near_nash() {
+        let game = two_cp_game();
+        let report = MarketSim::new(&game, MarketSimConfig::default()).unwrap().run().unwrap();
+        assert!(
+            report.distance_to_nash < 0.1,
+            "final {:?} vs nash {:?} (dist {})",
+            report.final_subsidies,
+            report.nash_subsidies,
+            report.distance_to_nash
+        );
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let game = two_cp_game();
+        let a = MarketSim::new(&game, MarketSimConfig { days: 300, ..Default::default() })
+            .unwrap()
+            .run()
+            .unwrap();
+        let b = MarketSim::new(&game, MarketSimConfig { days: 300, ..Default::default() })
+            .unwrap()
+            .run()
+            .unwrap();
+        assert_eq!(a.final_subsidies, b.final_subsidies);
+    }
+
+    #[test]
+    fn ledger_conserves_money() {
+        let game = two_cp_game();
+        let report = MarketSim::new(&game, MarketSimConfig { days: 400, ..Default::default() })
+            .unwrap()
+            .run()
+            .unwrap();
+        assert!(report.ledger.conservation_error() < 1e-6 * report.ledger.isp_revenue.abs());
+        assert!(report.ledger.isp_revenue > 0.0);
+    }
+
+    #[test]
+    fn zero_cap_market_never_subsidizes() {
+        let specs = [ExpCpSpec::unit(5.0, 2.0, 1.0), ExpCpSpec::unit(2.0, 4.0, 0.4)];
+        let game = SubsidyGame::new(build_system(&specs, 1.0).unwrap(), 0.7, 0.0).unwrap();
+        let report = MarketSim::new(&game, MarketSimConfig { days: 300, ..Default::default() })
+            .unwrap()
+            .run()
+            .unwrap();
+        assert!(report.final_subsidies.iter().all(|&s| s == 0.0));
+        assert!(report.distance_to_nash < 1e-12);
+    }
+
+    #[test]
+    fn config_validation() {
+        let game = two_cp_game();
+        let bad1 = MarketSimConfig { adjust_rate: 0.0, ..Default::default() };
+        assert!(MarketSim::new(&game, bad1).is_err());
+        let bad2 = MarketSimConfig { review_period: 0, ..Default::default() };
+        assert!(MarketSim::new(&game, bad2).is_err());
+    }
+
+    #[test]
+    fn trace_has_expected_series() {
+        let game = two_cp_game();
+        let report = MarketSim::new(&game, MarketSimConfig { days: 100, ..Default::default() })
+            .unwrap()
+            .run()
+            .unwrap();
+        assert!(report.trace.by_name("phi").is_some());
+        assert!(report.trace.by_name("s_0").is_some());
+        assert!(report.trace.by_name("s_1").is_some());
+        assert_eq!(report.trace.by_name("phi").unwrap().samples().len(), 100);
+    }
+}

@@ -1,0 +1,157 @@
+//! Time-series capture for simulator runs.
+
+use subcomp_num::stats::Running;
+
+/// A named scalar time series with summary statistics over a measurement
+/// window (warm-up samples are recorded but excluded from the summary).
+#[derive(Debug, Clone)]
+pub struct Series {
+    name: String,
+    samples: Vec<f64>,
+    warmup: usize,
+    summary: Running,
+}
+
+impl Series {
+    /// Creates a series; the first `warmup` samples are excluded from the
+    /// summary statistics.
+    pub fn new(name: impl Into<String>, warmup: usize) -> Self {
+        Series { name: name.into(), samples: Vec::new(), warmup, summary: Running::new() }
+    }
+
+    /// Records one sample.
+    pub fn push(&mut self, x: f64) {
+        if self.samples.len() >= self.warmup {
+            self.summary.push(x);
+        }
+        self.samples.push(x);
+    }
+
+    /// Series name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// All samples including warm-up.
+    pub fn samples(&self) -> &[f64] {
+        &self.samples
+    }
+
+    /// Post-warm-up mean.
+    pub fn mean(&self) -> f64 {
+        self.summary.mean()
+    }
+
+    /// Post-warm-up standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.summary.std_dev()
+    }
+
+    /// Post-warm-up 95% CI half width.
+    pub fn ci95(&self) -> f64 {
+        self.summary.ci95_half_width()
+    }
+
+    /// Post-warm-up sample count.
+    pub fn measured_count(&self) -> u64 {
+        self.summary.count()
+    }
+
+    /// Last recorded value, if any.
+    pub fn last(&self) -> Option<f64> {
+        self.samples.last().copied()
+    }
+}
+
+/// A labelled collection of series sharing a time axis.
+#[derive(Debug, Clone, Default)]
+pub struct Trace {
+    series: Vec<Series>,
+}
+
+impl Trace {
+    /// Creates an empty trace.
+    pub fn new() -> Self {
+        Trace::default()
+    }
+
+    /// Adds a series and returns its index.
+    pub fn add(&mut self, series: Series) -> usize {
+        self.series.push(series);
+        self.series.len() - 1
+    }
+
+    /// The series at an index.
+    pub fn series(&self, idx: usize) -> &Series {
+        &self.series[idx]
+    }
+
+    /// Mutable access for recording.
+    pub fn series_mut(&mut self, idx: usize) -> &mut Series {
+        &mut self.series[idx]
+    }
+
+    /// Looks a series up by name.
+    pub fn by_name(&self, name: &str) -> Option<&Series> {
+        self.series.iter().find(|s| s.name() == name)
+    }
+
+    /// Number of series.
+    pub fn len(&self) -> usize {
+        self.series.len()
+    }
+
+    /// Whether the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.series.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn warmup_excluded_from_summary() {
+        let mut s = Series::new("phi", 2);
+        for x in [100.0, 100.0, 1.0, 2.0, 3.0] {
+            s.push(x);
+        }
+        assert_eq!(s.samples().len(), 5);
+        assert_eq!(s.measured_count(), 3);
+        assert!((s.mean() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_series() {
+        let s = Series::new("x", 0);
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.last(), None);
+    }
+
+    #[test]
+    fn trace_lookup() {
+        let mut t = Trace::new();
+        let i = t.add(Series::new("phi", 0));
+        let j = t.add(Series::new("theta", 0));
+        t.series_mut(i).push(0.5);
+        t.series_mut(j).push(1.5);
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+        assert_eq!(t.by_name("phi").unwrap().last(), Some(0.5));
+        assert!(t.by_name("nope").is_none());
+    }
+
+    #[test]
+    fn ci_shrinks() {
+        let mut s = Series::new("x", 0);
+        for i in 0..10 {
+            s.push((i % 2) as f64);
+        }
+        let early = s.ci95();
+        for i in 0..1000 {
+            s.push((i % 2) as f64);
+        }
+        assert!(s.ci95() < early);
+    }
+}

@@ -1,0 +1,85 @@
+//! Sponsored data (AT&T, 2014): *full* subsidization `s_i = p` as the
+//! special case the paper builds on — with the billing ledger showing
+//! users of a sponsoring CP pay exactly zero.
+//!
+//! The example contrasts three regimes for a video CP:
+//!   1. no subsidy allowed (q = 0),
+//!   2. the CP's *optimal* partial subsidy under a generous cap,
+//!   3. mandatory full sponsorship (s = p, the AT&T plan).
+//!
+//! Run with: `cargo run --example sponsored_data`
+
+use subcomp::game::game::SubsidyGame;
+use subcomp::game::nash::NashSolver;
+use subcomp::model::aggregation::{build_system, ExpCpSpec};
+use subcomp::sim::billing::Ledger;
+
+fn main() {
+    // A sponsoring video CP against a non-sponsoring competitor.
+    let specs = [
+        ExpCpSpec::unit(4.0, 3.0, 1.0), // "video" — the sponsor candidate
+        ExpCpSpec::unit(3.0, 3.0, 0.6), // "rival"
+    ];
+    let p = 0.5;
+    let system = build_system(&specs, 1.0).expect("valid market");
+
+    // Regime 1: subsidization banned.
+    let banned = SubsidyGame::new(system.clone(), p, 0.0).expect("game");
+    let eq_banned = NashSolver::default().solve(&banned).expect("equilibrium");
+
+    // Regime 2: generous cap, the CPs choose optimally.
+    let open = SubsidyGame::new(system.clone(), p, 1.0).expect("game");
+    let eq_open = NashSolver::default().solve(&open).expect("equilibrium");
+
+    // Regime 3: the video CP fully sponsors (s = p), rival plays its best
+    // response to that commitment.
+    let full = SubsidyGame::new(system, p, p).expect("game");
+    let mut s_full = eq_open.subsidies.clone();
+    s_full[0] = p; // sponsored data: user price for video drops to zero
+    s_full[1] = s_full[1].min(p);
+    let rival_br =
+        subcomp::game::best_response::best_response(&full, 1, &s_full, &Default::default())
+            .expect("rival best response");
+    s_full[1] = rival_br.s;
+    let state_full = full.state(&s_full).expect("state");
+
+    println!("regime comparison at p = {p} (video CP = CP 0):\n");
+    let rows = [
+        ("banned (q=0)", &eq_banned.subsidies, &eq_banned.state),
+        ("open (q=1, Nash)", &eq_open.subsidies, &eq_open.state),
+        ("full sponsorship", &s_full, &state_full),
+    ];
+    println!(
+        "{:>18} | {:>9} {:>9} | {:>9} {:>9} | {:>8} {:>9}",
+        "regime", "s_video", "s_rival", "m_video", "m_rival", "phi", "ISP rev"
+    );
+    for (name, s, state) in rows {
+        println!(
+            "{:>18} | {:>9.4} {:>9.4} | {:>9.4} {:>9.4} | {:>8.4} {:>9.4}",
+            name,
+            s[0],
+            s[1],
+            state.m[0],
+            state.m[1],
+            state.phi,
+            p * state.theta()
+        );
+    }
+
+    // Bill one day of traffic under full sponsorship: video users pay 0.
+    let ledger = Ledger::settle(&state_full.theta_i, 1.0, p, &s_full).expect("ledger");
+    println!("\none billing day under full sponsorship:");
+    println!("  video users pay  {:>8.4}  (sponsored: exactly zero)", ledger.user_payments[0]);
+    println!("  video CP pays    {:>8.4}", ledger.cp_subsidies[0]);
+    println!("  rival users pay  {:>8.4}", ledger.user_payments[1]);
+    println!("  ISP receives     {:>8.4}", ledger.isp_revenue);
+    println!("  conservation err {:>8.2e}", ledger.conservation_error());
+
+    // The paper's point: the CP would rather choose its own subsidy level.
+    let u_full = (1.0 - s_full[0]) * state_full.theta_i[0];
+    println!(
+        "\nvideo CP utility: banned {:.4} | open Nash {:.4} | full sponsorship {:.4}",
+        eq_banned.utilities[0], eq_open.utilities[0], u_full
+    );
+    println!("(voluntary partial subsidization dominates mandated full sponsorship)");
+}

@@ -1,0 +1,123 @@
+//! Failure injection and degenerate-input behaviour: the library must
+//! fail loudly and precisely, never hang or return garbage.
+
+use subcomp::game::game::SubsidyGame;
+use subcomp::game::nash::NashSolver;
+use subcomp::game::sensitivity::Sensitivity;
+use subcomp::model::aggregation::{build_system, ExpCpSpec};
+use subcomp::num::NumError;
+
+fn tiny_market() -> subcomp::model::system::System {
+    build_system(&[ExpCpSpec::unit(3.0, 2.0, 0.8)], 1.0).unwrap()
+}
+
+#[test]
+fn zero_profitability_market_is_inert() {
+    // Nobody can afford to subsidize: equilibrium is the baseline and the
+    // machinery reports it as such rather than failing.
+    let specs = [ExpCpSpec::unit(3.0, 2.0, 0.0), ExpCpSpec::unit(5.0, 4.0, 0.0)];
+    let game = SubsidyGame::new(build_system(&specs, 1.0).unwrap(), 0.5, 1.0).unwrap();
+    let eq = NashSolver::default().solve(&game).unwrap();
+    assert!(eq.subsidies.iter().all(|&s| s == 0.0));
+    assert!(eq.utilities.iter().all(|&u| u == 0.0));
+}
+
+#[test]
+fn absurd_price_still_solves() {
+    // At a price of 50 the market is effectively dead; the fixed point
+    // must still be found (phi -> 0), not diverge.
+    let game = SubsidyGame::new(tiny_market(), 50.0, 1.0).unwrap();
+    let eq = NashSolver::default().solve(&game).unwrap();
+    assert!(eq.state.phi < 1e-10);
+    assert!(eq.state.theta() < 1e-10);
+}
+
+#[test]
+fn tiny_capacity_heavy_load() {
+    // Capacity 1e-3 with unit demand: extreme congestion, still solvable.
+    let sys = build_system(&[ExpCpSpec::unit(1.0, 1.0, 1.0)], 1e-3).unwrap();
+    let state = sys.state_at_uniform_price(0.1).unwrap();
+    assert!(state.phi > 1.0, "must be heavily congested, phi = {}", state.phi);
+    assert!(state.residual(&sys) < 1e-8);
+}
+
+#[test]
+fn invalid_constructions_are_rejected_with_context() {
+    let sys = tiny_market();
+    match SubsidyGame::new(sys.clone(), -1.0, 1.0) {
+        Err(NumError::Domain { what, .. }) => assert!(what.contains("price")),
+        other => panic!("expected domain error, got {other:?}"),
+    }
+    match SubsidyGame::new(sys, 1.0, f64::NAN) {
+        Err(NumError::Domain { .. }) => {}
+        other => panic!("expected domain error, got {other:?}"),
+    }
+}
+
+#[test]
+fn wrong_arity_profiles_rejected_everywhere() {
+    let game = SubsidyGame::new(tiny_market(), 0.5, 1.0).unwrap();
+    assert!(matches!(game.state(&[0.1, 0.1]), Err(NumError::DimensionMismatch { .. })));
+    assert!(matches!(game.utilities(&[]), Err(NumError::DimensionMismatch { .. })));
+    assert!(matches!(
+        Sensitivity::compute(&game, &[0.1, 0.2]),
+        Err(NumError::DimensionMismatch { .. })
+    ));
+}
+
+#[test]
+fn out_of_box_profiles_rejected() {
+    let game = SubsidyGame::new(tiny_market(), 0.5, 0.3).unwrap();
+    assert!(game.state(&[0.4]).is_err(), "subsidy above cap must be rejected");
+    assert!(game.state(&[-0.1]).is_err(), "negative subsidy must be rejected");
+}
+
+#[test]
+fn starved_solver_reports_max_iterations() {
+    let specs = [ExpCpSpec::unit(4.0, 2.0, 1.0), ExpCpSpec::unit(5.0, 3.0, 1.0)];
+    let game = SubsidyGame::new(build_system(&specs, 1.0).unwrap(), 0.6, 1.0).unwrap();
+    let starved = NashSolver::default().with_tol(1e-12).with_max_sweeps(2);
+    match starved.solve(&game) {
+        Err(NumError::MaxIterations { max_iter, residual }) => {
+            assert_eq!(max_iter, 2);
+            assert!(residual.is_finite());
+        }
+        other => panic!("expected MaxIterations, got {other:?}"),
+    }
+}
+
+#[test]
+fn clamped_price_mode_keeps_effective_price_nonnegative() {
+    let game = SubsidyGame::new(tiny_market(), 0.2, 0.8)
+        .unwrap()
+        .with_clamped_price(true);
+    let t = game.effective_prices(&[0.7]);
+    assert_eq!(t[0], 0.0);
+    // And the game still solves.
+    let eq = NashSolver::default().solve(&game).unwrap();
+    assert!(eq.converged);
+}
+
+#[test]
+fn empty_market_end_to_end() {
+    let sys = build_system(&[], 1.0).unwrap();
+    let game = SubsidyGame::new(sys, 0.5, 1.0).unwrap();
+    let eq = NashSolver::default().solve(&game).unwrap();
+    assert!(eq.subsidies.is_empty());
+    assert_eq!(eq.state.phi, 0.0);
+    assert_eq!(eq.isp_revenue(&game), 0.0);
+    let sens = Sensitivity::compute(&game, &[]).unwrap();
+    assert!(sens.ds_dq.is_empty());
+}
+
+#[test]
+fn near_degenerate_cap_equals_zero_cap_limit() {
+    // q = 1e-12 behaves like q = 0 (no meaningful subsidies), with no
+    // numerical drama in the sensitivity partition.
+    let game = SubsidyGame::new(tiny_market(), 0.5, 1e-12).unwrap();
+    let eq = NashSolver::default().solve(&game).unwrap();
+    assert!(eq.subsidies[0] <= 1e-12);
+    let base = SubsidyGame::new(tiny_market(), 0.5, 0.0).unwrap();
+    let eq0 = NashSolver::default().solve(&base).unwrap();
+    assert!((eq.state.phi - eq0.state.phi).abs() < 1e-9);
+}

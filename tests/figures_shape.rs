@@ -1,0 +1,78 @@
+//! Integration tests asserting the paper's qualitative figure claims on
+//! the same data the figure binaries print (reduced grids for CI speed).
+
+use subcomp_exp::figures::{fig10, fig11, fig4, fig5, fig7, fig8, fig9, panel};
+
+fn shared_panel() -> panel::Panel {
+    // 3 caps x 9 prices keeps this test file under a minute while still
+    // exercising every claim.
+    let prices: Vec<f64> = (0..9).map(|k| 0.1 + k as f64 * 0.2375).collect();
+    panel::compute_on(&[0.0, 0.5, 2.0], &prices, 3).unwrap()
+}
+
+#[test]
+fn figure4_shape() {
+    let fig = fig4::compute(&fig4::default_prices(31)).unwrap();
+    fig.check_shape().unwrap();
+    // The revenue peak is interior and the peak revenue positive.
+    let k = subcomp_exp::figures::shapes::argmax(&fig.revenue);
+    assert!(k > 0 && k < fig.revenue.len() - 1);
+    assert!(fig.revenue[k] > 0.2, "peak revenue {}", fig.revenue[k]);
+}
+
+#[test]
+fn figure5_shape() {
+    let fig = fig5::compute(&fig4::default_prices(31)).unwrap();
+    fig.check_shape().unwrap();
+}
+
+#[test]
+fn figures_7_through_11_shapes() {
+    let panel = shared_panel();
+
+    let f7 = fig7::compute(&panel);
+    f7.check_shape().unwrap();
+
+    let f8 = fig8::compute(&panel);
+    fig8::check_shape(&f8).unwrap().unwrap();
+
+    let f9 = fig9::compute(&panel);
+    fig9::check_shape(&f9).unwrap().unwrap();
+
+    let f10 = fig10::compute(&panel);
+    fig10::check_shape(&f10, 0).unwrap().unwrap();
+
+    let f11 = fig11::compute(&panel);
+    fig11::check_shape(&f11, 0, f11.qs.len() - 1).unwrap().unwrap();
+}
+
+#[test]
+fn figure7_crossover_story() {
+    // The regulatory tension in one figure: deregulation (larger q) raises
+    // welfare at a fixed price, but a higher price erases the gain —
+    // W(q=2, p=1.5) is below W(q=0, p=0.35).
+    let panel = shared_panel();
+    let f7 = fig7::compute(&panel);
+    let w_dereg_highp = f7.welfare[2][6]; // q = 2, p ~ 1.5
+    let w_reg_lowp = f7.welfare[0][1]; // q = 0, p ~ 0.35
+    assert!(
+        w_dereg_highp < w_reg_lowp,
+        "high price should dominate the subsidization gain: {w_dereg_highp} vs {w_reg_lowp}"
+    );
+}
+
+#[test]
+fn figure10_winners_and_losers_are_the_papers() {
+    let panel = shared_panel();
+    let f10 = fig10::compute(&panel);
+    // Winners: a5-b2-v1 gains the most (relative) at moderate price.
+    let qi = 2; // q = 2
+    let pi = 2; // p ~ 0.575
+    let gain = |i: usize| f10.values[qi][i][pi] - f10.values[0][i][pi];
+    let gains: Vec<f64> = (0..8).map(gain).collect();
+    let best = subcomp_exp::figures::shapes::argmax(&gains);
+    assert_eq!(f10.labels[best], "a5-b2-v1", "gains: {gains:?}");
+    // Loser at small p: the congestion-sensitive types lose throughput.
+    let pi0 = 0; // p = 0.1
+    assert!(gain(1) < 0.0 || f10.values[qi][1][pi0] < f10.values[0][1][pi0]);
+}

@@ -1,0 +1,144 @@
+//! Property-based tests (proptest) on the core invariants: uniqueness of
+//! the congestion fixed point, Theorem 1/2 sign structure, Lemma 2
+//! invariance, equilibrium feasibility and KKT certificates across random
+//! markets, and elasticity identities.
+
+use proptest::prelude::*;
+use subcomp::game::equilibrium::verify_equilibrium;
+use subcomp::game::game::SubsidyGame;
+use subcomp::game::nash::NashSolver;
+use subcomp::model::aggregation::{aggregate, build_system, ExpCpSpec};
+use subcomp::model::effects::{PriceEffects, SystemEffects};
+use subcomp::model::elasticity::{check_eq14, StateElasticities};
+
+/// Strategy: a small market of 2–5 exponential CP types.
+fn market_strategy() -> impl Strategy<Value = Vec<ExpCpSpec>> {
+    proptest::collection::vec(
+        (0.5f64..6.0, 0.5f64..6.0, 0.1f64..1.2).prop_map(|(alpha, beta, v)| {
+            ExpCpSpec::unit(alpha, beta, v)
+        }),
+        2..=5,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn fixed_point_exists_and_gap_vanishes(
+        specs in market_strategy(),
+        mu in 0.3f64..3.0,
+        p in 0.0f64..2.0,
+    ) {
+        let sys = build_system(&specs, mu).unwrap();
+        let state = sys.state_at_uniform_price(p).unwrap();
+        prop_assert!(state.phi >= 0.0);
+        prop_assert!(state.residual(&sys) < 1e-8);
+        prop_assert!(state.dg_dphi > 0.0);
+    }
+
+    #[test]
+    fn theorem1_signs_hold_generically(
+        specs in market_strategy(),
+        mu in 0.3f64..3.0,
+        p in 0.05f64..1.5,
+    ) {
+        let sys = build_system(&specs, mu).unwrap();
+        let state = sys.state_at_uniform_price(p).unwrap();
+        let eff = SystemEffects::compute(&sys, &state).unwrap();
+        prop_assert_eq!(eff.check_signs(), None);
+    }
+
+    #[test]
+    fn theorem2_aggregate_throughput_never_rises_with_price(
+        specs in market_strategy(),
+        mu in 0.3f64..3.0,
+        p in 0.05f64..1.5,
+    ) {
+        let sys = build_system(&specs, mu).unwrap();
+        let state = sys.state_at_uniform_price(p).unwrap();
+        let pe = PriceEffects::compute(&sys, &state, p).unwrap();
+        prop_assert!(pe.dphi_dp <= 0.0);
+        prop_assert!(pe.dtheta_total_dp <= 1e-12);
+    }
+
+    #[test]
+    fn lemma2_rescaling_is_invisible(
+        specs in market_strategy(),
+        kappa in 0.2f64..5.0,
+        p in 0.0f64..1.5,
+    ) {
+        let sys = build_system(&specs, 1.0).unwrap();
+        let base = sys.state_at_uniform_price(p).unwrap();
+        let mut rescaled = specs.clone();
+        rescaled[0] = rescaled[0].rescaled(kappa).unwrap();
+        let sys2 = build_system(&rescaled, 1.0).unwrap();
+        let st2 = sys2.state_at_uniform_price(p).unwrap();
+        prop_assert!((base.phi - st2.phi).abs() < 1e-9);
+        prop_assert!((base.theta() - st2.theta()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn equation14_elasticity_identity(
+        specs in market_strategy(),
+        p in 0.05f64..1.5,
+    ) {
+        let sys = build_system(&specs, 1.0).unwrap();
+        let state = sys.state_at_uniform_price(p).unwrap();
+        let e = StateElasticities::compute(&sys, &state, p).unwrap();
+        prop_assert!(check_eq14(&e) < 1e-10);
+        let u = e.upsilon();
+        prop_assert!(u > 0.0 && u <= 1.0, "upsilon {}", u);
+    }
+
+    #[test]
+    fn equilibria_are_feasible_and_certified(
+        specs in market_strategy(),
+        p in 0.1f64..1.2,
+        q in 0.05f64..1.0,
+    ) {
+        let sys = build_system(&specs, 1.0).unwrap();
+        let game = SubsidyGame::new(sys, p, q).unwrap();
+        let eq = NashSolver::default().with_tol(1e-8).solve(&game).unwrap();
+        for (i, &s) in eq.subsidies.iter().enumerate() {
+            prop_assert!(s >= 0.0 && s <= game.effective_cap(i) + 1e-9);
+        }
+        let report = verify_equilibrium(&game, &eq.subsidies).unwrap();
+        prop_assert!(report.is_equilibrium(1e-4),
+            "kkt {:.2e} threshold {:.2e}", report.max_kkt_residual, report.max_threshold_residual);
+        // Utilities non-negative: any CP can always play s = 0.
+        for &u in &eq.utilities {
+            prop_assert!(u >= -1e-9);
+        }
+    }
+
+    #[test]
+    fn deregulation_never_hurts_isp_at_fixed_price(
+        specs in market_strategy(),
+        p in 0.1f64..1.2,
+        q in 0.05f64..0.9,
+    ) {
+        let sys = build_system(&specs, 1.0).unwrap();
+        let solver = NashSolver::default().with_tol(1e-8);
+        let tight = solver.solve(&SubsidyGame::new(sys.clone(), p, q).unwrap()).unwrap();
+        let loose = solver.solve(&SubsidyGame::new(sys, p, q + 0.1).unwrap()).unwrap();
+        prop_assert!(loose.state.phi >= tight.state.phi - 1e-7);
+        prop_assert!(loose.state.theta() >= tight.state.theta() - 1e-7);
+    }
+}
+
+#[test]
+fn aggregation_of_identical_types_is_exact() {
+    // Deterministic companion to the proptest: 3 identical types equal
+    // their aggregate.
+    let one = ExpCpSpec { m0: 0.4, alpha: 3.0, lambda0: 1.0, beta: 2.0, v: 1.0 };
+    let agg = aggregate(&[one, one, one], 1e-12).unwrap();
+    let sys_three = build_system(&[one, one, one], 1.0).unwrap();
+    let sys_one = build_system(&[agg], 1.0).unwrap();
+    for p in [0.1, 0.6, 1.3] {
+        let a = sys_three.state_at_uniform_price(p).unwrap();
+        let b = sys_one.state_at_uniform_price(p).unwrap();
+        assert!((a.phi - b.phi).abs() < 1e-10);
+        assert!((a.theta() - b.theta()).abs() < 1e-10);
+    }
+}

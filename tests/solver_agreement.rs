@@ -1,0 +1,102 @@
+//! Independent solver families must agree: best-response iteration
+//! (Gauss–Seidel, Jacobi), variational-inequality methods (projection,
+//! extragradient), continuous dynamics, and the KKT/threshold
+//! certificates — across randomized markets.
+
+use subcomp::game::best_response::{deviation_gap, BrConfig};
+use subcomp::game::dynamics::gradient_flow;
+use subcomp::game::equilibrium::verify_equilibrium;
+use subcomp::game::game::SubsidyGame;
+use subcomp::game::nash::NashSolver;
+use subcomp::game::vi::{extragradient_solve, natural_residual, projection_solve, ViConfig};
+use subcomp_exp::scenarios::random_system;
+
+fn game_for_seed(seed: u64) -> SubsidyGame {
+    let sys = random_system(5, seed, 1.0);
+    SubsidyGame::new(sys, 0.5 + 0.3 * ((seed % 3) as f64), 0.8).unwrap()
+}
+
+#[test]
+fn br_vi_and_certificates_agree_on_random_markets() {
+    for seed in [1u64, 2, 3, 4, 5] {
+        let game = game_for_seed(seed);
+        let br = NashSolver::default().with_tol(1e-9).solve(&game).unwrap();
+        let vi = projection_solve(&game, &vec![0.0; 5], &ViConfig::default()).unwrap();
+        for i in 0..5 {
+            assert!(
+                (br.subsidies[i] - vi.subsidies[i]).abs() < 1e-5,
+                "seed {seed} CP {i}: BR {} vs VI {}",
+                br.subsidies[i],
+                vi.subsidies[i]
+            );
+        }
+        // Certificates.
+        let report = verify_equilibrium(&game, &br.subsidies).unwrap();
+        assert!(report.is_equilibrium(1e-5), "seed {seed}");
+        let nr = natural_residual(&game, &br.subsidies).unwrap();
+        assert!(nr < 1e-6, "seed {seed}: natural residual {nr}");
+    }
+}
+
+#[test]
+fn extragradient_agrees_with_gauss_seidel() {
+    let game = game_for_seed(7);
+    let br = NashSolver::default().solve(&game).unwrap();
+    let eg = extragradient_solve(&game, &vec![0.2; 5], &ViConfig::default()).unwrap();
+    for i in 0..5 {
+        assert!((br.subsidies[i] - eg.subsidies[i]).abs() < 1e-5);
+    }
+}
+
+#[test]
+fn deviation_gap_vanishes_only_at_equilibrium() {
+    let game = game_for_seed(9);
+    let eq = NashSolver::default().solve(&game).unwrap();
+    let (gap_eq, _) = deviation_gap(&game, &eq.subsidies, &BrConfig::default()).unwrap();
+    assert!(gap_eq < 1e-7, "gap at equilibrium {gap_eq}");
+    let (gap_origin, _) = deviation_gap(&game, &vec![0.0; 5], &BrConfig::default()).unwrap();
+    assert!(gap_origin > gap_eq);
+}
+
+#[test]
+fn continuous_dynamics_settle_on_the_same_point() {
+    // The flow's time constant scales with 1/|∂u/∂s|, which is small for
+    // low-throughput providers — give the integrator a long horizon.
+    let game = game_for_seed(11);
+    let eq = NashSolver::default().solve(&game).unwrap();
+    let traj = gradient_flow(&game, &vec![0.0; 5], 600.0, 3000).unwrap();
+    let dist = |s: &[f64]| {
+        s.iter()
+            .zip(&eq.subsidies)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0f64, f64::max)
+    };
+    let d0 = dist(&traj[0].s);
+    let d_end = dist(&traj.last().unwrap().s);
+    assert!(
+        d_end < 2e-2,
+        "flow must approach the Nash point: {:?} vs {:?}",
+        traj.last().unwrap().s,
+        eq.subsidies
+    );
+    assert!(d_end < 0.05 * d0, "distance must shrink by 20x (was {d0}, now {d_end})");
+}
+
+#[test]
+fn warm_and_cold_starts_unique_equilibrium() {
+    // Theorem 4 in action on random markets: different starting profiles
+    // converge to the same equilibrium.
+    for seed in [21u64, 22, 23] {
+        let game = game_for_seed(seed);
+        let solver = NashSolver::default();
+        let a = solver.solve_from(&game, &vec![0.0; 5]).unwrap();
+        let caps: Vec<f64> = (0..5).map(|i| game.effective_cap(i)).collect();
+        let b = solver.solve_from(&game, &caps).unwrap();
+        for i in 0..5 {
+            assert!(
+                (a.subsidies[i] - b.subsidies[i]).abs() < 1e-6,
+                "seed {seed} CP {i}"
+            );
+        }
+    }
+}
