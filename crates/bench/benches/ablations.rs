@@ -3,8 +3,8 @@
 //! and the extension substrates (duopoly inner equilibrium, continuum
 //! quadrature).
 
-use std::time::Duration;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
 use subcomp_bench::market_of;
 use subcomp_core::best_response::BrConfig;
 use subcomp_core::duopoly::Duopoly;

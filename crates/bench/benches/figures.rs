@@ -5,8 +5,8 @@
 //! (via the embedded shape checks) every figure of the evaluation:
 //! Figures 4, 5 (Section 3.2) and Figures 7–11 (Section 5).
 
-use std::time::Duration;
 use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
 use subcomp_exp::figures::{fig10, fig11, fig4, fig5, fig7, fig8, fig9, panel};
 
 fn bench_section3_figures(c: &mut Criterion) {

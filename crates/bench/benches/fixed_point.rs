@@ -1,8 +1,8 @@
 //! Benchmarks the Definition 1 congestion fixed point: solver cost vs
 //! market size and vs utilization family.
 
-use std::time::Duration;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
 use subcomp_bench::market_of;
 use subcomp_model::aggregation::{build_system, ExpCpSpec};
 use subcomp_model::system::System;
@@ -21,9 +21,8 @@ fn bench_scaling(c: &mut Criterion) {
 
 fn bench_families(c: &mut Criterion) {
     let mut g = c.benchmark_group("fixed_point/utilization_family");
-    let specs: Vec<ExpCpSpec> = (0..9)
-        .map(|i| ExpCpSpec::unit(1.0 + (i % 3) as f64, 1.0 + (i / 3) as f64, 1.0))
-        .collect();
+    let specs: Vec<ExpCpSpec> =
+        (0..9).map(|i| ExpCpSpec::unit(1.0 + (i % 3) as f64, 1.0 + (i / 3) as f64, 1.0)).collect();
     let linear = build_system(&specs, 1.0).unwrap();
     g.bench_function("linear", |b| {
         b.iter(|| linear.state_at_uniform_price(std::hint::black_box(0.5)).unwrap())

@@ -1,8 +1,8 @@
 //! Benchmarks the dense linear-algebra primitives behind Theorem 6
 //! (LU solve/inverse) and Theorem 4 (P-matrix certification).
 
-use std::time::Duration;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
 use subcomp_num::linalg::lu::LuDecomposition;
 use subcomp_num::linalg::structure::{is_m_matrix, is_p_matrix};
 use subcomp_num::linalg::Matrix;

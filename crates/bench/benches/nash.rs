@@ -2,8 +2,8 @@
 //! Jacobi) and variational-inequality methods, and scaling in the number
 //! of provider types.
 
-use std::time::Duration;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
 use subcomp_bench::market_of;
 use subcomp_core::game::SubsidyGame;
 use subcomp_core::nash::NashSolver;
@@ -23,11 +23,11 @@ fn bench_solvers(c: &mut Criterion) {
     });
     g.bench_function("vi_projection", |b| {
         let cfg = ViConfig { tol: 1e-7, ..Default::default() };
-        b.iter(|| projection_solve(std::hint::black_box(&game), &vec![0.0; 8], &cfg).unwrap())
+        b.iter(|| projection_solve(std::hint::black_box(&game), &[0.0; 8], &cfg).unwrap())
     });
     g.bench_function("vi_extragradient", |b| {
         let cfg = ViConfig { tol: 1e-7, ..Default::default() };
-        b.iter(|| extragradient_solve(std::hint::black_box(&game), &vec![0.0; 8], &cfg).unwrap())
+        b.iter(|| extragradient_solve(std::hint::black_box(&game), &[0.0; 8], &cfg).unwrap())
     });
     g.finish();
 }

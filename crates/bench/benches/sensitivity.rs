@@ -1,8 +1,8 @@
 //! Benchmarks the Theorem 6 sensitivity analysis (active sets, marginal
 //! utility Jacobian, LU solve) and its Jacobian building block.
 
-use std::time::Duration;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
 use subcomp_bench::market_of;
 use subcomp_core::game::SubsidyGame;
 use subcomp_core::nash::NashSolver;

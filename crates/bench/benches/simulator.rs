@@ -1,8 +1,8 @@
 //! Benchmarks the simulators: flow-level ticks and market days per
 //! second, plus the measurement pipeline.
 
-use std::time::Duration;
 use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
 use subcomp_core::game::SubsidyGame;
 use subcomp_model::aggregation::{build_system, ExpCpSpec};
 use subcomp_sim::flow::{FlowSim, FlowSimConfig, SharingMode};
@@ -34,11 +34,8 @@ fn bench_flow(c: &mut Criterion) {
 fn bench_market(c: &mut Criterion) {
     let mut g = c.benchmark_group("simulator/market");
     g.sample_size(10);
-    let sys = build_system(
-        &[ExpCpSpec::unit(5.0, 2.0, 1.0), ExpCpSpec::unit(2.0, 4.0, 0.4)],
-        1.0,
-    )
-    .unwrap();
+    let sys = build_system(&[ExpCpSpec::unit(5.0, 2.0, 1.0), ExpCpSpec::unit(2.0, 4.0, 0.4)], 1.0)
+        .unwrap();
     let game = SubsidyGame::new(sys, 0.7, 1.0).unwrap();
     let cfg = MarketSimConfig { days: 500, ..Default::default() };
     g.bench_function("market_500_days", |b| {

@@ -1,0 +1,344 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build container has no registry access, so the real `criterion`
+//! cannot be fetched. This crate provides the API subset the workspace's
+//! bench suites use — `Criterion`, `benchmark_group`, `bench_function`,
+//! `bench_with_input`, `BenchmarkId`, `black_box`, and the
+//! `criterion_group!`/`criterion_main!` macros — backed by a simple
+//! wall-clock measurement loop instead of criterion's statistical engine.
+//!
+//! Reported numbers are medians over `sample_size` samples, each sample
+//! timing a batch of iterations sized to fill roughly
+//! `measurement_time / sample_size`. Good enough for the relative
+//! comparisons the suites are tuned for; not a replacement for real
+//! criterion when rigorous statistics are needed.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver, mirroring `criterion::Criterion`.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    filter: Option<String>,
+    list_only: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 20,
+            warm_up_time: Duration::from_millis(300),
+            measurement_time: Duration::from_secs(1),
+            filter: None,
+            list_only: false,
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timing samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Sets how long to warm up before measuring.
+    pub fn warm_up_time(mut self, t: Duration) -> Self {
+        self.warm_up_time = t;
+        self
+    }
+
+    /// Sets the target total measurement time per benchmark.
+    pub fn measurement_time(mut self, t: Duration) -> Self {
+        self.measurement_time = t;
+        self
+    }
+
+    /// Applies CLI arguments (`cargo bench -- <filter>`, `--list`).
+    ///
+    /// Recognized: an optional positional substring filter, `--list`, and
+    /// (ignored for compatibility) `--bench`/`--profile-time`-style flags.
+    pub fn configure_from_args(mut self) -> Self {
+        let mut args = std::env::args().skip(1);
+        while let Some(a) = args.next() {
+            match a.as_str() {
+                "--list" => self.list_only = true,
+                "--bench" | "--test" => {}
+                "--profile-time" | "--save-baseline" | "--baseline" | "--load-baseline" => {
+                    let _ = args.next();
+                }
+                s if s.starts_with("--") => {}
+                s => self.filter = Some(s.to_owned()),
+            }
+        }
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.into(), sample_size: None }
+    }
+
+    /// Benchmarks a single function outside any group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        run_one(self, None, &id.render(), f);
+        self
+    }
+
+    fn should_run(&self, full_name: &str) -> bool {
+        match &self.filter {
+            Some(f) => full_name.contains(f.as_str()),
+            None => true,
+        }
+    }
+}
+
+/// A named collection of benchmarks sharing configuration.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the sample count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Overrides the warm-up time for this group (applies globally in this
+    /// stand-in; fine for the workspace's per-suite configs).
+    pub fn warm_up_time(&mut self, t: Duration) -> &mut Self {
+        self.criterion.warm_up_time = t;
+        self
+    }
+
+    /// Overrides the measurement time for this group.
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        self.criterion.measurement_time = t;
+        self
+    }
+
+    /// Benchmarks `f` under `id` within this group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let name = format!("{}/{}", self.name, id.render());
+        run_one(self.criterion, self.sample_size, &name, f);
+        self
+    }
+
+    /// Benchmarks `f` under `id`, passing `input` through by reference.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        let name = format!("{}/{}", self.name, id.render());
+        run_one(self.criterion, self.sample_size, &name, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group. (No-op here; exists for API compatibility.)
+    pub fn finish(self) {}
+}
+
+/// Identifier for one benchmark, mirroring `criterion::BenchmarkId`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    function_name: Option<String>,
+    parameter: Option<String>,
+}
+
+impl BenchmarkId {
+    /// A `function_name/parameter` id.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            function_name: Some(function_name.into()),
+            parameter: Some(parameter.to_string()),
+        }
+    }
+
+    /// An id that is just a parameter value.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId { function_name: None, parameter: Some(parameter.to_string()) }
+    }
+
+    fn render(&self) -> String {
+        match (&self.function_name, &self.parameter) {
+            (Some(f), Some(p)) => format!("{f}/{p}"),
+            (Some(f), None) => f.clone(),
+            (None, Some(p)) => p.clone(),
+            (None, None) => String::from("bench"),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { function_name: Some(s.to_owned()), parameter: None }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { function_name: Some(s), parameter: None }
+    }
+}
+
+/// Timing loop handle passed to benchmark closures.
+#[derive(Debug)]
+pub struct Bencher {
+    iters_per_sample: u64,
+    n_samples: usize,
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    fn new(iters_per_sample: u64, n_samples: usize) -> Self {
+        Bencher { iters_per_sample, n_samples, samples: Vec::with_capacity(n_samples) }
+    }
+
+    /// Times `f`, recording one duration sample per configured batch.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        for _ in 0..self.n_samples {
+            let start = Instant::now();
+            for _ in 0..self.iters_per_sample {
+                black_box(f());
+            }
+            self.samples.push(start.elapsed());
+        }
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(
+    c: &Criterion,
+    group_samples: Option<usize>,
+    name: &str,
+    mut f: F,
+) {
+    if c.list_only {
+        println!("{name}: benchmark");
+        return;
+    }
+    if !c.should_run(name) {
+        return;
+    }
+    let sample_size = group_samples.unwrap_or(c.sample_size);
+
+    // Calibration pass: find how many iterations fit in one sample slot.
+    let mut probe = Bencher::new(1, 1);
+    let warm_start = Instant::now();
+    f(&mut probe);
+    let mut per_iter = probe.samples.first().copied().unwrap_or(Duration::from_nanos(1));
+    // Keep warming until the configured warm-up time has elapsed.
+    while warm_start.elapsed() < c.warm_up_time {
+        let mut w = Bencher::new(1, 1);
+        f(&mut w);
+        per_iter = (per_iter + w.samples.first().copied().unwrap_or(per_iter)) / 2;
+    }
+    let slot = c.measurement_time.div_f64(sample_size as f64);
+    let iters = (slot.as_nanos() / per_iter.as_nanos().max(1)).clamp(1, 1_000_000) as u64;
+
+    let mut b = Bencher::new(iters, sample_size);
+    f(&mut b);
+    if b.samples.is_empty() {
+        // The closure never called `b.iter` (e.g. it filtered itself out).
+        println!("{name:<48} time: [no samples]");
+        return;
+    }
+
+    let mut per_iter_ns: Vec<f64> =
+        b.samples.iter().map(|d| d.as_nanos() as f64 / iters as f64).collect();
+    per_iter_ns.sort_by(|a, b| a.total_cmp(b));
+    let median = per_iter_ns[per_iter_ns.len() / 2];
+    let lo = per_iter_ns.first().copied().unwrap_or(median);
+    let hi = per_iter_ns.last().copied().unwrap_or(median);
+    println!("{name:<48} time: [{} {} {}]", format_ns(lo), format_ns(median), format_ns(hi));
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.2} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.2} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Declares a group of benchmark functions, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config.configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the bench harness entry point, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn benchmark_id_rendering() {
+        assert_eq!(BenchmarkId::new("solve", 8).render(), "solve/8");
+        assert_eq!(BenchmarkId::from_parameter(16).render(), "16");
+        assert_eq!(BenchmarkId::from("plain").render(), "plain");
+    }
+
+    #[test]
+    fn bencher_records_samples() {
+        let mut c = Criterion::default()
+            .sample_size(2)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(2));
+        let mut ran = 0u32;
+        c.bench_function("smoke", |b| b.iter(|| ran += 1));
+        assert!(ran > 0);
+    }
+}

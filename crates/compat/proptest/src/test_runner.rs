@@ -1,0 +1,130 @@
+//! Deterministic case runner and configuration.
+
+use rand::rngs::StdRng;
+use rand::{Rng as _, SeedableRng as _};
+
+/// Runner configuration, mirroring `proptest::test_runner::Config`.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of successful cases required for the test to pass.
+    pub cases: u32,
+    /// Maximum number of rejected (assumed-away) cases tolerated before
+    /// the test errors out as under-constrained.
+    pub max_global_rejects: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` successful cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases, ..Default::default() }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256, max_global_rejects: 65_536 }
+    }
+}
+
+/// Why a single case did not pass.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// The case was discarded by `prop_assume!`; it does not count as a
+    /// success or a failure.
+    Reject(String),
+    /// The case failed a `prop_assert!`-family assertion.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// Builds a failure error.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+
+    /// Builds a rejection (discard) error.
+    pub fn reject(msg: impl Into<String>) -> Self {
+        TestCaseError::Reject(msg.into())
+    }
+}
+
+/// Per-case result type used by the generated test bodies.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// The RNG handed to strategies.
+///
+/// Derandomized: the seed derives from the test name, so a given test
+/// explores an identical case sequence on every run and on every machine.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    inner: StdRng,
+}
+
+impl TestRng {
+    fn from_name(name: &str) -> Self {
+        // FNV-1a over the test name, mixed with a fixed workspace salt.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        TestRng { inner: StdRng::seed_from_u64(h ^ 0x5ab5_1d12_7f41_c09d_u64.rotate_left(1)) }
+    }
+
+    /// Next raw 64 bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        self.inner.gen::<f64>()
+    }
+}
+
+/// Drives one property test to `config.cases` successes.
+#[derive(Debug)]
+pub struct TestRunner {
+    config: ProptestConfig,
+    rng: TestRng,
+    name: String,
+}
+
+impl TestRunner {
+    /// Creates a runner for the named test.
+    pub fn new_for(config: ProptestConfig, name: &str) -> Self {
+        TestRunner { config, rng: TestRng::from_name(name), name: name.to_owned() }
+    }
+
+    /// Runs `case` until `cases` successes accumulate, panicking on the
+    /// first failure with the generated inputs included in the message.
+    pub fn run<F>(&mut self, mut case: F)
+    where
+        F: FnMut(&mut TestRng) -> (String, TestCaseResult),
+    {
+        let mut successes = 0u32;
+        let mut rejects = 0u32;
+        while successes < self.config.cases {
+            let (inputs, outcome) = case(&mut self.rng);
+            match outcome {
+                Ok(()) => successes += 1,
+                Err(TestCaseError::Reject(_)) => {
+                    rejects += 1;
+                    assert!(
+                        rejects <= self.config.max_global_rejects,
+                        "proptest '{}': too many rejected cases ({} rejects for {} successes)",
+                        self.name,
+                        rejects,
+                        successes
+                    );
+                }
+                Err(TestCaseError::Fail(msg)) => {
+                    panic!(
+                        "proptest '{}' failed after {} passing case(s)\n  inputs: {}\n  {}",
+                        self.name, successes, inputs, msg
+                    );
+                }
+            }
+        }
+    }
+}

@@ -91,7 +91,11 @@ pub fn best_response(
                 let refined = root.x.clamp(0.0, hi);
                 let val = f(refined);
                 if val.is_finite() && val >= best.utility - 1e-12 {
-                    best = BestResponse { s: refined, utility: val, evaluations: best.evaluations + root.evaluations };
+                    best = BestResponse {
+                        s: refined,
+                        utility: val,
+                        evaluations: best.evaluations + root.evaluations,
+                    };
                 }
             }
         }
@@ -196,11 +200,9 @@ mod tests {
     fn two_player_responses_interact() {
         // CP 1's best response shrinks when CP 0 floods the system
         // (congestion externality, Lemma 3).
-        let sys = build_system(
-            &[ExpCpSpec::unit(6.0, 1.0, 1.0), ExpCpSpec::unit(6.0, 8.0, 1.0)],
-            1.0,
-        )
-        .unwrap();
+        let sys =
+            build_system(&[ExpCpSpec::unit(6.0, 1.0, 1.0), ExpCpSpec::unit(6.0, 8.0, 1.0)], 1.0)
+                .unwrap();
         let g = SubsidyGame::new(sys, 0.8, 1.0).unwrap();
         let br_alone = best_response(&g, 1, &[0.0, 0.0], &BrConfig::default()).unwrap();
         let br_crowded = best_response(&g, 1, &[0.9, 0.0], &BrConfig::default()).unwrap();

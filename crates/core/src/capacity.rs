@@ -35,7 +35,10 @@ impl CapacityPlanner {
     /// Creates a planner; cost must be positive, brackets ordered.
     pub fn new(unit_cost: f64, price_range: (f64, f64), mu_range: (f64, f64)) -> NumResult<Self> {
         if !(unit_cost > 0.0) {
-            return Err(NumError::Domain { what: "capacity cost must be positive", value: unit_cost });
+            return Err(NumError::Domain {
+                what: "capacity cost must be positive",
+                value: unit_cost,
+            });
         }
         if !(price_range.1 > price_range.0) || !(mu_range.1 > mu_range.0) || !(mu_range.0 > 0.0) {
             return Err(NumError::Domain { what: "invalid search brackets", value: mu_range.0 });

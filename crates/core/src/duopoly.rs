@@ -67,7 +67,10 @@ impl Duopoly {
     /// Creates a duopoly; both capacities positive, `κ > 0`, `q ≥ 0`.
     pub fn new(system: &System, mu_a: f64, mu_b: f64, kappa: f64, cap: f64) -> NumResult<Self> {
         if !(kappa > 0.0) {
-            return Err(NumError::Domain { what: "logit sensitivity must be positive", value: kappa });
+            return Err(NumError::Domain {
+                what: "logit sensitivity must be positive",
+                value: kappa,
+            });
         }
         if !(cap >= 0.0) {
             return Err(NumError::Domain { what: "cap must be non-negative", value: cap });
@@ -173,7 +176,10 @@ impl Duopoly {
                 return self.state_at(p_a, p_b, &s);
             }
         }
-        Err(NumError::MaxIterations { max_iter: 200, residual: tracker.last_delta().unwrap_or(f64::NAN) })
+        Err(NumError::MaxIterations {
+            max_iter: 200,
+            residual: tracker.last_delta().unwrap_or(f64::NAN),
+        })
     }
 
     /// ISP price best-response dynamics: alternate `p_A`, `p_B` revenue
@@ -189,9 +195,7 @@ impl Duopoly {
         let tol = Tolerance::new(1e-4, 1e-4).with_max_iter(40);
         for _ in 0..rounds {
             let rev_a = |p: f64| {
-                self.subsidy_equilibrium(p, p_b)
-                    .map(|st| st.revenue_a)
-                    .unwrap_or(f64::NEG_INFINITY)
+                self.subsidy_equilibrium(p, p_b).map(|st| st.revenue_a).unwrap_or(f64::NEG_INFINITY)
             };
             let new_a = maximize_scalar(&rev_a, p_range.0, p_range.1, 10, tol)?.x;
             let rev_b = |p: f64| {
@@ -246,11 +250,8 @@ mod tests {
     use subcomp_model::aggregation::{build_system, ExpCpSpec};
 
     fn market() -> System {
-        build_system(
-            &[ExpCpSpec::unit(4.0, 2.0, 1.0), ExpCpSpec::unit(2.0, 4.0, 0.5)],
-            1.0,
-        )
-        .unwrap()
+        build_system(&[ExpCpSpec::unit(4.0, 2.0, 1.0), ExpCpSpec::unit(2.0, 4.0, 0.5)], 1.0)
+            .unwrap()
     }
 
     #[test]

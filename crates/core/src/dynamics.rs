@@ -48,11 +48,7 @@ pub fn best_response_trajectory(
         for i in 0..n {
             next[i] = best_response(game, i, &snapshot, cfg)?.s;
         }
-        let step = next
-            .iter()
-            .zip(&s)
-            .map(|(a, b)| (a - b).abs())
-            .fold(0.0f64, f64::max);
+        let step = next.iter().zip(&s).map(|(a, b)| (a - b).abs()).fold(0.0f64, f64::max);
         s = next;
         out.push(TrajectoryPoint { t: (round + 1) as f64, s: s.clone(), step });
     }
@@ -80,11 +76,7 @@ pub fn gradient_flow(
     let field = |_t: f64, y: &[f64], dy: &mut [f64]| {
         // Clamp the state into the box before evaluating: RK4 stages may
         // probe slightly outside.
-        let yy: Vec<f64> = y
-            .iter()
-            .zip(&caps)
-            .map(|(v, c)| v.clamp(0.0, *c))
-            .collect();
+        let yy: Vec<f64> = y.iter().zip(&caps).map(|(v, c)| v.clamp(0.0, *c)).collect();
         match game.marginal_utilities(&yy) {
             Ok(u) => {
                 for i in 0..n {
@@ -105,12 +97,7 @@ pub fn gradient_flow(
     let mut out = Vec::with_capacity(traj.len());
     let mut prev: Option<Vec<f64>> = None;
     for pt in traj {
-        let s: Vec<f64> = pt
-            .y
-            .iter()
-            .zip(&caps)
-            .map(|(v, c)| v.clamp(0.0, *c))
-            .collect();
+        let s: Vec<f64> = pt.y.iter().zip(&caps).map(|(v, c)| v.clamp(0.0, *c)).collect();
         let step = prev
             .as_ref()
             .map(|p| s.iter().zip(p).map(|(a, b)| (a - b).abs()).fold(0.0f64, f64::max))
@@ -155,8 +142,10 @@ mod tests {
         // Global pull: starting at the cap lands on the same equilibrium
         // (uniqueness, Theorem 4).
         let game = two_cp_game();
-        let from_zero = best_response_trajectory(&game, &[0.0, 0.0], 30, &BrConfig::default()).unwrap();
-        let from_cap = best_response_trajectory(&game, &[1.0, 0.8], 30, &BrConfig::default()).unwrap();
+        let from_zero =
+            best_response_trajectory(&game, &[0.0, 0.0], 30, &BrConfig::default()).unwrap();
+        let from_cap =
+            best_response_trajectory(&game, &[1.0, 0.8], 30, &BrConfig::default()).unwrap();
         let a = &from_zero.last().unwrap().s;
         let b = &from_cap.last().unwrap().s;
         for i in 0..2 {

@@ -156,9 +156,9 @@ mod tests {
     fn non_equilibrium_fails_verification() {
         let game = paper_game(0.5, 1.0);
         // All-zero is not an equilibrium here: profitable CPs want in.
-        let report = verify_equilibrium(&game, &vec![0.0; 8]).unwrap();
+        let report = verify_equilibrium(&game, &[0.0; 8]).unwrap();
         assert!(!report.is_equilibrium(1e-5));
-        assert!(!zero_corner_violations(&game, &vec![0.0; 8]).unwrap().is_empty());
+        assert!(!zero_corner_violations(&game, &[0.0; 8]).unwrap().is_empty());
     }
 
     #[test]
@@ -166,7 +166,7 @@ mod tests {
         // tau contains a factor s_i, so tau = 0 at s = 0 and the threshold
         // condition s = min(tau, q) holds trivially there.
         let game = paper_game(0.5, 1.0);
-        let tau = thresholds(&game, &vec![0.0; 8]).unwrap();
+        let tau = thresholds(&game, &[0.0; 8]).unwrap();
         assert!(tau.iter().all(|&t| t == 0.0));
     }
 
@@ -216,7 +216,7 @@ mod tests {
     #[test]
     fn report_shapes() {
         let game = paper_game(0.5, 1.0);
-        let r = verify_equilibrium(&game, &vec![0.0; 8]).unwrap();
+        let r = verify_equilibrium(&game, &[0.0; 8]).unwrap();
         assert_eq!(r.tau.len(), 8);
         assert_eq!(r.threshold_residuals.len(), 8);
         assert_eq!(r.kkt_residuals.len(), 8);

@@ -38,10 +38,16 @@ impl SubsidyGame {
     /// Creates a game with ISP price `p ≥ 0` and policy cap `q ≥ 0`.
     pub fn new(system: System, price: f64, cap: f64) -> NumResult<Self> {
         if !(price >= 0.0) || !price.is_finite() {
-            return Err(NumError::Domain { what: "price must be non-negative and finite", value: price });
+            return Err(NumError::Domain {
+                what: "price must be non-negative and finite",
+                value: price,
+            });
         }
         if !(cap >= 0.0) || !cap.is_finite() {
-            return Err(NumError::Domain { what: "policy cap must be non-negative and finite", value: cap });
+            return Err(NumError::Domain {
+                what: "policy cap must be non-negative and finite",
+                value: cap,
+            });
         }
         Ok(SubsidyGame { system, price, cap, clamp_effective_price: false })
     }
@@ -74,11 +80,8 @@ impl SubsidyGame {
         }
         let mut cps: Vec<_> = self.system.cps().to_vec();
         cps[i] = cps[i].with_profitability(v);
-        let system = System::new(
-            cps,
-            self.system.mu(),
-            self.system.utilization_fn().boxed_clone(),
-        )?;
+        let system =
+            System::new(cps, self.system.mu(), self.system.utilization_fn().boxed_clone())?;
         Ok(SubsidyGame {
             system,
             price: self.price,
@@ -197,20 +200,15 @@ impl SubsidyGame {
     /// All marginal utilities `u(s)` at a profile (one fixed-point solve).
     pub fn marginal_utilities(&self, s: &[f64]) -> NumResult<Vec<f64>> {
         let state = self.state(s)?;
-        Ok((0..self.n())
-            .map(|i| self.marginal_utility_at_state(i, s, &state))
-            .collect())
+        Ok((0..self.n()).map(|i| self.marginal_utility_at_state(i, s, &state)).collect())
     }
 
     /// `∂θ_i/∂s_i` at a solved state (used by Theorem 3's corner test).
     pub fn dtheta_dsi_at_state(&self, i: usize, s: &[f64], state: &SystemState) -> f64 {
         let cp = self.system.cp(i);
         let t_i = self.price - s[i];
-        let dm_dsi = if self.clamp_effective_price && t_i < 0.0 {
-            0.0
-        } else {
-            -cp.demand().dm_dt(t_i)
-        };
+        let dm_dsi =
+            if self.clamp_effective_price && t_i < 0.0 { 0.0 } else { -cp.demand().dm_dt(t_i) };
         let dphi_dsi = state.lambda[i] * dm_dsi / state.dg_dphi;
         let dlambda = cp.throughput().dlambda_dphi(state.phi);
         dm_dsi * state.lambda[i] + state.m[i] * dlambda * dphi_dsi
@@ -298,11 +296,14 @@ mod tests {
         // Interior profile: the finite-difference stencil must stay in the box.
         let s = vec![0.1, 0.07, 0.3, 0.2, 0.4, 0.15, 0.25, 0.05];
         for i in 0..8 {
-            let fd = derivative(&|si| {
-                let mut ss = s.clone();
-                ss[i] = si;
-                g.utility(i, &ss).unwrap()
-            }, s[i])
+            let fd = derivative(
+                &|si| {
+                    let mut ss = s.clone();
+                    ss[i] = si;
+                    g.utility(i, &ss).unwrap()
+                },
+                s[i],
+            )
             .unwrap();
             let an = g.marginal_utility(i, &s).unwrap();
             assert!((an - fd).abs() < 1e-6, "CP {i}: analytic {an} vs fd {fd}");
@@ -384,7 +385,7 @@ mod tests {
     fn zero_cap_forces_baseline() {
         // q = 0 is the paper's regulated baseline: only s = 0 is feasible.
         let g = paper_section5_game(0.5, 0.0);
-        assert!(g.validate(&vec![0.0; 8]).is_ok());
-        assert!(g.validate(&vec![0.1; 8]).is_err());
+        assert!(g.validate(&[0.0; 8]).is_ok());
+        assert!(g.validate(&[0.1; 8]).is_err());
     }
 }

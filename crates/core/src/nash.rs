@@ -52,9 +52,7 @@ impl NashSolution {
 
     /// System welfare `W = Σ v_i θ_i` at this equilibrium.
     pub fn welfare(&self, game: &SubsidyGame) -> f64 {
-        (0..game.n())
-            .map(|i| game.profitability(i) * self.state.theta_i[i])
-            .sum()
+        (0..game.n()).map(|i| game.profitability(i) * self.state.theta_i[i]).sum()
     }
 }
 
@@ -215,9 +213,7 @@ mod tests {
     fn warm_start_agrees_with_cold_start() {
         let game = paper_game(0.9, 1.0);
         let cold = NashSolver::default().solve(&game).unwrap();
-        let warm = NashSolver::default()
-            .solve_from(&game, &vec![0.3; 8])
-            .unwrap();
+        let warm = NashSolver::default().solve_from(&game, &[0.3; 8]).unwrap();
         for i in 0..8 {
             assert!((cold.subsidies[i] - warm.subsidies[i]).abs() < 1e-6);
         }

@@ -73,12 +73,15 @@ impl PolicyEffect {
     }
 }
 
-fn price_at(system: &System, q: f64, response: PriceResponse, solver: &NashSolver) -> NumResult<f64> {
+fn price_at(
+    system: &System,
+    q: f64,
+    response: PriceResponse,
+    solver: &NashSolver,
+) -> NumResult<f64> {
     match response {
         PriceResponse::Fixed(p) => Ok(p),
-        PriceResponse::Optimal { lo, hi } => {
-            Ok(optimal_price(system, q, lo, hi, solver)?.p_star)
-        }
+        PriceResponse::Optimal { lo, hi } => Ok(optimal_price(system, q, lo, hi, solver)?.p_star),
     }
 }
 
@@ -119,12 +122,8 @@ pub fn policy_effect(
         dt_dq.push(dti);
         dm_dq.push(system.cp(i).demand().dm_dt(p - s[i]) * dti);
     }
-    let dphi_dq: f64 = dm_dq
-        .iter()
-        .zip(&state.lambda)
-        .map(|(dm, l)| dm * l)
-        .sum::<f64>()
-        / state.dg_dphi;
+    let dphi_dq: f64 =
+        dm_dq.iter().zip(&state.lambda).map(|(dm, l)| dm * l).sum::<f64>() / state.dg_dphi;
     let mut dtheta_dq = Vec::with_capacity(n);
     for i in 0..n {
         let dlam = system.cp(i).throughput().dlambda_dphi(state.phi) * dphi_dq;
@@ -291,13 +290,8 @@ mod tests {
         // and EXPERIMENTS.md records this measured direction.
         let sys = paper_system();
         let s = NashSolver::default().with_tol(1e-7).with_max_sweeps(120);
-        let rows = policy_sweep(
-            &sys,
-            &[0.0, 1.0],
-            PriceResponse::Optimal { lo: 0.0, hi: 2.0 },
-            &s,
-        )
-        .unwrap();
+        let rows = policy_sweep(&sys, &[0.0, 1.0], PriceResponse::Optimal { lo: 0.0, hi: 2.0 }, &s)
+            .unwrap();
         assert!(rows[0].p > 0.6 && rows[0].p < 1.1, "q=0 monopoly price {}", rows[0].p);
         assert!(rows[1].p > 0.6 && rows[1].p < 1.1, "q=1 monopoly price {}", rows[1].p);
         assert!((rows[0].p - rows[1].p).abs() < 0.3, "re-optimized price moved implausibly");

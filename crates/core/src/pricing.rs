@@ -57,9 +57,7 @@ pub fn price_response_curve(
     hi: f64,
     solver: &NashSolver,
 ) -> NumResult<Vec<(f64, PriceChoice)>> {
-    qs.iter()
-        .map(|&q| optimal_price(system, q, lo, hi, solver).map(|c| (q, c)))
-        .collect()
+    qs.iter().map(|&q| optimal_price(system, q, lo, hi, solver).map(|c| (q, c))).collect()
 }
 
 #[cfg(test)]

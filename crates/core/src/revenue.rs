@@ -62,9 +62,8 @@ pub fn marginal_revenue_at(game: &SubsidyGame, eq: &NashSolution) -> NumResult<M
             continue;
         }
         let t_i = p - s[i];
-        let eps_m_p = p / state.m[i]
-            * game.system().cp(i).demand().dm_dt(t_i)
-            * (1.0 - sens.ds_dp[i]);
+        let eps_m_p =
+            p / state.m[i] * game.system().cp(i).demand().dm_dt(t_i) * (1.0 - sens.ds_dp[i]);
         elasticity_sum += eps_m_p * state.theta_i[i];
     }
     let elasticity_term = upsilon * elasticity_sum;
@@ -120,11 +119,7 @@ mod tests {
         let game = paper_game(p, q);
         let mr = marginal_revenue(&game, &NashSolver::default().with_tol(1e-10)).unwrap();
         let fd = numeric_dr_dp(q, p, 1e-4);
-        assert!(
-            (mr.dr_dp - fd).abs() < 2e-2 * (1.0 + fd.abs()),
-            "theorem {} vs fd {fd}",
-            mr.dr_dp
-        );
+        assert!((mr.dr_dp - fd).abs() < 2e-2 * (1.0 + fd.abs()), "theorem {} vs fd {fd}", mr.dr_dp);
     }
 
     #[test]
@@ -134,11 +129,7 @@ mod tests {
         let game = paper_game(p, q);
         let mr = marginal_revenue(&game, &NashSolver::default().with_tol(1e-10)).unwrap();
         let fd = numeric_dr_dp(q, p, 1e-4);
-        assert!(
-            (mr.dr_dp - fd).abs() < 2e-2 * (1.0 + fd.abs()),
-            "theorem {} vs fd {fd}",
-            mr.dr_dp
-        );
+        assert!((mr.dr_dp - fd).abs() < 2e-2 * (1.0 + fd.abs()), "theorem {} vs fd {fd}", mr.dr_dp);
     }
 
     #[test]

@@ -126,11 +126,7 @@ impl Sensitivity {
             let low_price = (game.price() - h).max(0.0);
             let um = game.with_price(low_price)?.marginal_utilities(s)?;
             let denom = game.price() + h - low_price;
-            let rhs: Vec<f64> = active
-                .interior
-                .iter()
-                .map(|&k| (up[k] - um[k]) / denom)
-                .collect();
+            let rhs: Vec<f64> = active.interior.iter().map(|&k| (up[k] - um[k]) / denom).collect();
             let sol = lu.solve(&rhs)?;
             for (slot, &i) in active.interior.iter().enumerate() {
                 ds_dp[i] = -sol[slot];
@@ -237,11 +233,7 @@ mod tests {
             let s = solve(&game);
             let sens = Sensitivity::compute(&game, &s).unwrap();
             for i in 0..8 {
-                assert!(
-                    sens.ds_dq[i] >= -1e-8,
-                    "(p={p}, q={q}) CP {i}: ds/dq = {}",
-                    sens.ds_dq[i]
-                );
+                assert!(sens.ds_dq[i] >= -1e-8, "(p={p}, q={q}) CP {i}: ds/dq = {}", sens.ds_dq[i]);
             }
         }
     }

@@ -74,9 +74,8 @@ pub fn p_function_evidence(
     let n = game.n();
     let mut rng = SplitMix64::new(seed);
     let caps: Vec<f64> = (0..n).map(|i| game.effective_cap(i)).collect();
-    let sample = |rng: &mut SplitMix64| -> Vec<f64> {
-        (0..n).map(|i| rng.next_f64() * caps[i]).collect()
-    };
+    let sample =
+        |rng: &mut SplitMix64| -> Vec<f64> { (0..n).map(|i| rng.next_f64() * caps[i]).collect() };
     for _ in 0..pairs {
         let s = sample(&mut rng);
         let sp = sample(&mut rng);

@@ -63,10 +63,7 @@ pub fn natural_residual(game: &SubsidyGame, s: &[f64]) -> NumResult<f64> {
     let f = vi_map(game, s)?;
     let mut proj: Vec<f64> = s.iter().zip(&f).map(|(si, fi)| si - fi).collect();
     project(game, &mut proj);
-    Ok(s.iter()
-        .zip(&proj)
-        .map(|(a, b)| (a - b).abs())
-        .fold(0.0f64, f64::max))
+    Ok(s.iter().zip(&proj).map(|(a, b)| (a - b).abs()).fold(0.0f64, f64::max))
 }
 
 /// Fixed-step projection method. Converges for co-coercive maps; on this
@@ -81,17 +78,19 @@ pub fn projection_solve(game: &SubsidyGame, s0: &[f64], cfg: &ViConfig) -> NumRe
         let f = vi_map(game, &s)?;
         let mut next: Vec<f64> = s.iter().zip(&f).map(|(si, fi)| si - cfg.step * fi).collect();
         project(game, &mut next);
-        residual = s
-            .iter()
-            .zip(&next)
-            .map(|(a, b)| (a - b).abs())
-            .fold(0.0f64, f64::max)
-            / cfg.step;
+        residual =
+            s.iter().zip(&next).map(|(a, b)| (a - b).abs()).fold(0.0f64, f64::max) / cfg.step;
         s = next;
         if residual <= cfg.tol {
             let state = game.state(&s)?;
             let nr = natural_residual(game, &s)?;
-            return Ok(ViSolution { subsidies: s, state, natural_residual: nr, iterations: iter + 1, converged: true });
+            return Ok(ViSolution {
+                subsidies: s,
+                state,
+                natural_residual: nr,
+                iterations: iter + 1,
+                converged: true,
+            });
         }
     }
     Err(NumError::MaxIterations { max_iter: cfg.max_iter, residual })
@@ -100,7 +99,11 @@ pub fn projection_solve(game: &SubsidyGame, s0: &[f64], cfg: &ViConfig) -> NumRe
 /// Korpelevich extragradient: a predictor step probes `F`, the corrector
 /// applies it — convergent for merely monotone maps, at twice the cost
 /// per iteration.
-pub fn extragradient_solve(game: &SubsidyGame, s0: &[f64], cfg: &ViConfig) -> NumResult<ViSolution> {
+pub fn extragradient_solve(
+    game: &SubsidyGame,
+    s0: &[f64],
+    cfg: &ViConfig,
+) -> NumResult<ViSolution> {
     game.validate(s0)?;
     let mut s = s0.to_vec();
     project(game, &mut s);
@@ -112,17 +115,19 @@ pub fn extragradient_solve(game: &SubsidyGame, s0: &[f64], cfg: &ViConfig) -> Nu
         let f_pred = vi_map(game, &pred)?;
         let mut next: Vec<f64> = s.iter().zip(&f_pred).map(|(si, fi)| si - cfg.step * fi).collect();
         project(game, &mut next);
-        residual = s
-            .iter()
-            .zip(&next)
-            .map(|(a, b)| (a - b).abs())
-            .fold(0.0f64, f64::max)
-            / cfg.step;
+        residual =
+            s.iter().zip(&next).map(|(a, b)| (a - b).abs()).fold(0.0f64, f64::max) / cfg.step;
         s = next;
         if residual <= cfg.tol {
             let state = game.state(&s)?;
             let nr = natural_residual(game, &s)?;
-            return Ok(ViSolution { subsidies: s, state, natural_residual: nr, iterations: iter + 1, converged: true });
+            return Ok(ViSolution {
+                subsidies: s,
+                state,
+                natural_residual: nr,
+                iterations: iter + 1,
+                converged: true,
+            });
         }
     }
     Err(NumError::MaxIterations { max_iter: cfg.max_iter, residual })
@@ -150,7 +155,7 @@ mod tests {
     fn projection_agrees_with_best_response() {
         let game = paper_game(0.7, 0.6);
         let br = NashSolver::default().solve(&game).unwrap();
-        let vi = projection_solve(&game, &vec![0.0; 8], &ViConfig::default()).unwrap();
+        let vi = projection_solve(&game, &[0.0; 8], &ViConfig::default()).unwrap();
         assert!(vi.converged);
         for i in 0..8 {
             assert!(
@@ -165,8 +170,8 @@ mod tests {
     #[test]
     fn extragradient_agrees_with_projection() {
         let game = paper_game(0.5, 1.0);
-        let pj = projection_solve(&game, &vec![0.1; 8], &ViConfig::default()).unwrap();
-        let eg = extragradient_solve(&game, &vec![0.4; 8], &ViConfig::default()).unwrap();
+        let pj = projection_solve(&game, &[0.1; 8], &ViConfig::default()).unwrap();
+        let eg = extragradient_solve(&game, &[0.4; 8], &ViConfig::default()).unwrap();
         for i in 0..8 {
             assert!((pj.subsidies[i] - eg.subsidies[i]).abs() < 1e-5, "CP {i}");
         }
@@ -175,9 +180,9 @@ mod tests {
     #[test]
     fn natural_residual_zero_at_solution_positive_elsewhere() {
         let game = paper_game(0.6, 0.5);
-        let sol = projection_solve(&game, &vec![0.0; 8], &ViConfig::default()).unwrap();
+        let sol = projection_solve(&game, &[0.0; 8], &ViConfig::default()).unwrap();
         assert!(sol.natural_residual < 1e-7);
-        let off = natural_residual(&game, &vec![0.0; 8]).unwrap();
+        let off = natural_residual(&game, &[0.0; 8]).unwrap();
         assert!(off > 1e-3, "residual at the origin should be large, got {off}");
     }
 
@@ -197,7 +202,7 @@ mod tests {
         let game = paper_game(0.5, 1.0);
         let cfg = ViConfig { max_iter: 2, ..Default::default() };
         assert!(matches!(
-            projection_solve(&game, &vec![0.0; 8], &cfg),
+            projection_solve(&game, &[0.0; 8], &cfg),
             Err(NumError::MaxIterations { .. })
         ));
     }

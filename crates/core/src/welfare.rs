@@ -16,9 +16,7 @@ use subcomp_num::{NumError, NumResult};
 
 /// System welfare `W = Σ_i v_i θ_i` at a solved state.
 pub fn welfare(game: &SubsidyGame, state: &SystemState) -> f64 {
-    (0..game.n())
-        .map(|i| game.profitability(i) * state.theta_i[i])
-        .sum()
+    (0..game.n()).map(|i| game.profitability(i) * state.theta_i[i]).sum()
 }
 
 /// Full monetary decomposition of a strategy profile.
@@ -44,9 +42,7 @@ impl WelfareBreakdown {
         game.validate(s)?;
         let state = game.state(s)?;
         let n = game.n();
-        let per_cp: Vec<f64> = (0..n)
-            .map(|i| game.profitability(i) * state.theta_i[i])
-            .collect();
+        let per_cp: Vec<f64> = (0..n).map(|i| game.profitability(i) * state.theta_i[i]).collect();
         let w: f64 = per_cp.iter().sum();
         let outlay: f64 = s.iter().zip(&state.theta_i).map(|(si, th)| si * th).sum();
         let isp_revenue = game.price() * state.theta();

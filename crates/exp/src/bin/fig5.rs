@@ -6,7 +6,9 @@ fn main() {
     let fig = fig5::compute(&fig4::default_prices(51)).expect("figure 5 computes");
     println!("{}", fig.render());
     match fig.check_shape() {
-        Ok(()) => println!("shape check: OK (all theta_i single-peaked; low-alpha/beta rise first)"),
+        Ok(()) => {
+            println!("shape check: OK (all theta_i single-peaked; low-alpha/beta rise first)")
+        }
         Err(e) => println!("shape check: FAILED — {e}"),
     }
     let path = results_dir().join("fig5.csv");

@@ -7,7 +7,9 @@ fn main() {
     let fig = fig8::compute(&panel);
     println!("{}", fig.render());
     match fig8::check_shape(&fig).expect("check runs") {
-        Ok(()) => println!("shape check: OK (rich/elastic types subsidize more; caps bind at small p)"),
+        Ok(()) => {
+            println!("shape check: OK (rich/elastic types subsidize more; caps bind at small p)")
+        }
         Err(e) => println!("shape check: FAILED — {e}"),
     }
     let path = results_dir().join("fig8.csv");

@@ -7,7 +7,9 @@ fn main() {
     let fig = fig9::compute(&panel);
     println!("{}", fig.render());
     match fig9::check_shape(&fig).expect("check runs") {
-        Ok(()) => println!("shape check: OK (m falls with p, grows with q; rich types retain users)"),
+        Ok(()) => {
+            println!("shape check: OK (m falls with p, grows with q; rich types retain users)")
+        }
         Err(e) => println!("shape check: FAILED — {e}"),
     }
     let path = results_dir().join("fig9.csv");

@@ -1,10 +1,10 @@
 //! Solve a custom market from the command line.
 //!
 //! Usage:
-//!   cargo run -p subcomp-exp --bin scenario -- <p> <q> <alpha,beta,v>...
+//!   `cargo run -p subcomp-exp --bin scenario -- <p> <q> <alpha,beta,v>...`
 //!
 //! Example (two CP types at price 0.6, cap 0.5):
-//!   cargo run -p subcomp-exp --bin scenario -- 0.6 0.5 4,2,1 2,5,0.2
+//!   `cargo run -p subcomp-exp --bin scenario -- 0.6 0.5 4,2,1 2,5,0.2`
 //!
 //! Prints the subsidization equilibrium, its Theorem 3 certificate, the
 //! welfare breakdown, and the Theorem 6 sensitivities.
@@ -38,10 +38,8 @@ fn main() {
     }
     let p: f64 = args[0].parse().unwrap_or_else(|_| usage());
     let q: f64 = args[1].parse().unwrap_or_else(|_| usage());
-    let specs: Vec<ExpCpSpec> = args[2..]
-        .iter()
-        .map(|s| parse_spec(s).unwrap_or_else(|| usage()))
-        .collect();
+    let specs: Vec<ExpCpSpec> =
+        args[2..].iter().map(|s| parse_spec(s).unwrap_or_else(|| usage())).collect();
 
     let system = build_system(&specs, 1.0).expect("valid market");
     let game = SubsidyGame::new(system, p, q).expect("valid game");

@@ -39,7 +39,8 @@ pub fn endogenous_pricing(qs: &[f64], solver: &NashSolver) -> NumResult<Endogeno
     // Freeze at the q = 0 optimum: the "ISP cannot react" benchmark.
     let p0 = subcomp_core::pricing::optimal_price(&system, 0.0, 0.0, 2.0, solver)?.p_star;
     let fixed = policy_sweep(&system, qs, PriceResponse::Fixed(p0), solver)?;
-    let endogenous = policy_sweep(&system, qs, PriceResponse::Optimal { lo: 0.0, hi: 2.0 }, solver)?;
+    let endogenous =
+        policy_sweep(&system, qs, PriceResponse::Optimal { lo: 0.0, hi: 2.0 }, solver)?;
     Ok(EndogenousPricing { fixed, endogenous })
 }
 
@@ -48,9 +49,8 @@ impl EndogenousPricing {
     pub fn render(&self) -> String {
         let mut out = String::new();
         out.push_str("E1 — deregulation with fixed vs re-optimized monopoly price\n\n");
-        let mut t = Table::new(&[
-            "q", "p(fixed)", "R(fixed)", "W(fixed)", "p*(q)", "R*", "W at p*",
-        ]);
+        let mut t =
+            Table::new(&["q", "p(fixed)", "R(fixed)", "W(fixed)", "p*(q)", "R*", "W at p*"]);
         for (f, e) in self.fixed.iter().zip(&self.endogenous) {
             t.row(&[f.q, f.p, f.revenue, f.welfare, e.p, e.revenue, e.welfare]);
         }
@@ -137,10 +137,8 @@ pub fn sim_vs_theory(seed: u64) -> NumResult<SimVsTheory> {
         let rep = FlowSim::new(&system, vec![p; 3], cfg)?.run()?;
         flow_rows.push((p, rep.phi_mean, rep.analytic_phi, rep.phi_rel_error));
     }
-    let game_system = build_system(
-        &[ExpCpSpec::unit(5.0, 2.0, 1.0), ExpCpSpec::unit(2.0, 4.0, 0.4)],
-        1.0,
-    )?;
+    let game_system =
+        build_system(&[ExpCpSpec::unit(5.0, 2.0, 1.0), ExpCpSpec::unit(2.0, 4.0, 0.4)], 1.0)?;
     let game = SubsidyGame::new(game_system, 0.7, 1.0)?;
     let market = MarketSim::new(&game, MarketSimConfig { seed, ..Default::default() })?.run()?;
     Ok(SimVsTheory {
@@ -193,26 +191,18 @@ pub struct DuopolyStudy {
 /// Runs E4 on a compact two-CP market.
 pub fn duopoly_study(cap: f64) -> NumResult<DuopolyStudy> {
     use subcomp_core::duopoly::{monopoly_benchmark, Duopoly};
-    let sys = build_system(
-        &[ExpCpSpec::unit(4.0, 2.0, 1.0), ExpCpSpec::unit(2.0, 4.0, 0.5)],
-        1.0,
-    )?;
+    let sys = build_system(&[ExpCpSpec::unit(4.0, 2.0, 1.0), ExpCpSpec::unit(2.0, 4.0, 0.5)], 1.0)?;
     let duo = Duopoly::new(&sys, 0.5, 0.5, 6.0, cap)?;
     let (p_a, p_b, st) = duo.price_competition((0.05, 1.5), 6)?;
     let monopoly = monopoly_benchmark(&sys, 1.0, cap, (0.05, 1.5))?;
-    let banned = Duopoly::new(&sys, 0.5, 0.5, 6.0, 0.0)?
-        .subsidy_equilibrium(0.5, 0.5)?;
-    let open = Duopoly::new(&sys, 0.5, 0.5, 6.0, cap.max(0.6))?
-        .subsidy_equilibrium(0.5, 0.5)?;
+    let banned = Duopoly::new(&sys, 0.5, 0.5, 6.0, 0.0)?.subsidy_equilibrium(0.5, 0.5)?;
+    let open = Duopoly::new(&sys, 0.5, 0.5, 6.0, cap.max(0.6))?.subsidy_equilibrium(0.5, 0.5)?;
     Ok(DuopolyStudy {
         p_duo: (p_a, p_b),
         revenue_duo: (st.revenue_a, st.revenue_b),
         welfare_duo: st.welfare,
         monopoly,
-        subsidy_lift: (
-            banned.revenue_a + banned.revenue_b,
-            open.revenue_a + open.revenue_b,
-        ),
+        subsidy_lift: (banned.revenue_a + banned.revenue_b, open.revenue_a + open.revenue_b),
     })
 }
 

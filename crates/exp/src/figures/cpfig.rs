@@ -3,7 +3,7 @@
 //! Figures 8, 9, 10 and 11 are the same plot with a different quantity on
 //! the y-axis: eight CP panels, one curve per policy cap, price on the
 //! x-axis. [`CpFigure`] extracts such a figure from the shared
-//! [`Panel`](super::panel::Panel) and owns the rendering/CSV plumbing; the
+//! [`Panel`] and owns the rendering/CSV plumbing; the
 //! per-figure modules add only their quantity extractor and the paper's
 //! shape checks.
 
@@ -68,10 +68,7 @@ impl CpFigure {
             out.push('\n');
         }
         let qi_last = self.qs.len() - 1;
-        out.push_str(&format!(
-            "\n  full table at q = {} (CSV has all caps):\n",
-            self.qs[qi_last]
-        ));
+        out.push_str(&format!("\n  full table at q = {} (CSV has all caps):\n", self.qs[qi_last]));
         let mut header: Vec<&str> = vec!["p"];
         for l in &self.labels {
             header.push(l.as_str());

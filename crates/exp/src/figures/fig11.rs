@@ -26,9 +26,7 @@ pub fn compute(panel: &Panel) -> CpFigure {
 pub fn check_shape(fig: &CpFigure, q_base: usize, q_loose: usize) -> NumResult<Result<(), String>> {
     let np = fig.prices.len();
     // Compare average utility across the price grid, baseline vs loose.
-    let avg = |qi: usize, i: usize| -> f64 {
-        fig.values[qi][i].iter().sum::<f64>() / np as f64
-    };
+    let avg = |qi: usize, i: usize| -> f64 { fig.values[qi][i].iter().sum::<f64>() / np as f64 };
     // (1) The (alpha=5, v=1) types — indices 6 and 7 — gain.
     for i in [6usize, 7] {
         if avg(q_loose, i) < avg(q_base, i) - 1e-9 {

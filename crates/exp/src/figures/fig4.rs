@@ -47,7 +47,9 @@ impl Fig4 {
     /// Renders the printed report.
     pub fn render(&self) -> String {
         let mut out = String::new();
-        out.push_str("Figure 4 — aggregate throughput and ISP revenue vs price (Sec. 3.2 setting)\n");
+        out.push_str(
+            "Figure 4 — aggregate throughput and ISP revenue vs price (Sec. 3.2 setting)\n",
+        );
         out.push_str(&format!("  theta(p):   {}\n", sparkline(&self.theta)));
         out.push_str(&format!("  revenue(p): {}\n\n", sparkline(&self.revenue)));
         let mut t = Table::new(&["p", "theta", "revenue", "phi"]);

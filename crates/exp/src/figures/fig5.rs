@@ -99,9 +99,7 @@ impl Fig5 {
             if ratio <= 0.21 {
                 // alpha/beta in {1/5}: the paper shows an initial rise.
                 if !shapes::rises_initially(th, 0.0) {
-                    return Err(format!(
-                        "theta_{i} (alpha/beta = {ratio}) should rise at small p"
-                    ));
+                    return Err(format!("theta_{i} (alpha/beta = {ratio}) should rise at small p"));
                 }
             }
             if ratio >= 3.0 {

@@ -33,7 +33,9 @@ impl Fig7 {
     /// Renders the printed report.
     pub fn render(&self) -> String {
         let mut out = String::new();
-        out.push_str("Figure 7 — ISP revenue R and system welfare W vs price, per policy cap q\n\n");
+        out.push_str(
+            "Figure 7 — ISP revenue R and system welfare W vs price, per policy cap q\n\n",
+        );
         for (qi, &q) in self.qs.iter().enumerate() {
             out.push_str(&format!("  q = {q:<4}  R: {}\n", sparkline(&self.revenue[qi])));
             out.push_str(&format!("            W: {}\n", sparkline(&self.welfare[qi])));
@@ -134,8 +136,12 @@ mod tests {
     use super::*;
 
     fn test_panel() -> Panel {
-        panel::compute_on(&[0.0, 0.5, 2.0], &(0..=10).map(|k| k as f64 * 0.2).collect::<Vec<_>>(), 3)
-            .unwrap()
+        panel::compute_on(
+            &[0.0, 0.5, 2.0],
+            &(0..=10).map(|k| k as f64 * 0.2).collect::<Vec<_>>(),
+            3,
+        )
+        .unwrap()
     }
 
     #[test]
@@ -149,7 +155,7 @@ mod tests {
         // The paper: with q = 2 the revenue peak sits a bit below p = 1.
         let fig = compute(&test_panel());
         let (p_star, _) = fig.revenue_peak(2);
-        assert!(p_star >= 0.4 && p_star <= 1.0, "peak at {p_star}");
+        assert!((0.4..=1.0).contains(&p_star), "peak at {p_star}");
     }
 
     #[test]

@@ -96,12 +96,7 @@ mod tests {
 
     #[test]
     fn shape_matches_paper() {
-        let p = panel::compute_on(
-            &[0.0, 0.5, 1.0],
-            &[0.2, 0.5, 0.9, 1.4, 2.0],
-            3,
-        )
-        .unwrap();
+        let p = panel::compute_on(&[0.0, 0.5, 1.0], &[0.2, 0.5, 0.9, 1.4, 2.0], 3).unwrap();
         let fig = compute(&p);
         check_shape(&fig).unwrap().unwrap();
     }

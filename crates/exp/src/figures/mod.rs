@@ -7,12 +7,12 @@
 //! passed" and "the printed figure matches the paper" are the same fact.
 
 pub mod cpfig;
+pub mod fig10;
+pub mod fig11;
 pub mod fig4;
 pub mod fig5;
 pub mod fig7;
 pub mod fig8;
 pub mod fig9;
-pub mod fig10;
-pub mod fig11;
 pub mod panel;
 pub mod shapes;

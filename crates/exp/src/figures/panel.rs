@@ -6,7 +6,9 @@
 //! (parallel across caps, warm-started along prices) and the per-figure
 //! modules extract their series from it.
 
-use crate::scenarios::{paper_policy_grid, paper_price_grid, section5_specs, section5_system, spec_label};
+use crate::scenarios::{
+    paper_policy_grid, paper_price_grid, section5_specs, section5_system, spec_label,
+};
 use crate::sweep::{equilibrium_price_sweep, parallel_map};
 use subcomp_core::game::SubsidyGame;
 use subcomp_core::nash::NashSolver;

@@ -71,7 +71,12 @@ impl Table {
         for row in &self.rows {
             for j in 0..cols {
                 let cell = row.get(j).map(String::as_str).unwrap_or("");
-                let _ = write!(out, " {cell:>w$} {}", if j + 1 < cols { "|" } else { "" }, w = widths[j]);
+                let _ = write!(
+                    out,
+                    " {cell:>w$} {}",
+                    if j + 1 < cols { "|" } else { "" },
+                    w = widths[j]
+                );
             }
             out.push('\n');
         }

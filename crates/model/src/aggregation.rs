@@ -52,7 +52,10 @@ impl ExpCpSpec {
     /// `m₀ λ₀` — and hence all system-level quantities — is invariant.
     pub fn rescaled(&self, kappa: f64) -> NumResult<ExpCpSpec> {
         if !(kappa > 0.0) || !kappa.is_finite() {
-            return Err(NumError::Domain { what: "rescaling factor must be positive", value: kappa });
+            return Err(NumError::Domain {
+                what: "rescaling factor must be positive",
+                value: kappa,
+            });
         }
         Ok(ExpCpSpec { m0: self.m0 / kappa, lambda0: self.lambda0 * kappa, ..*self })
     }
@@ -102,10 +105,7 @@ mod tests {
     fn rescaling_preserves_utilization() {
         // Lemma 2 end-to-end: replace CP 0 by its kappa-rescaling; the
         // system utilization and every other CP's throughput are unchanged.
-        let specs = vec![
-            ExpCpSpec::unit(2.0, 3.0, 1.0),
-            ExpCpSpec::unit(4.0, 1.0, 0.5),
-        ];
+        let specs = vec![ExpCpSpec::unit(2.0, 3.0, 1.0), ExpCpSpec::unit(4.0, 1.0, 0.5)];
         let sys = build_system(&specs, 1.0).unwrap();
         let base = sys.state_at_uniform_price(0.5).unwrap();
 

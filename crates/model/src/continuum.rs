@@ -57,7 +57,10 @@ impl ContinuumMarket {
             return Err(NumError::Domain { what: "capacity must be positive", value: mu });
         }
         if !(hi > lo) {
-            return Err(NumError::Domain { what: "type interval must be non-degenerate", value: hi - lo });
+            return Err(NumError::Domain {
+                what: "type interval must be non-degenerate",
+                value: hi - lo,
+            });
         }
         Ok(ContinuumMarket {
             mu,
@@ -98,7 +101,13 @@ impl ContinuumMarket {
             return Ok(0.0);
         }
         let guess = demand0 / self.mu;
-        Ok(solve_increasing(&g, 0.0, guess.max(1e-6), Tolerance::new(1e-12, 1e-12).with_max_iter(300))?.x)
+        Ok(solve_increasing(
+            &g,
+            0.0,
+            guess.max(1e-6),
+            Tolerance::new(1e-12, 1e-12).with_max_iter(300),
+        )?
+        .x)
     }
 
     /// Aggregate welfare density `∫ w v θ_ω dω` at utilization `φ`,

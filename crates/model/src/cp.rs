@@ -170,9 +170,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "requires a demand function")]
     fn builder_missing_demand_panics() {
-        ContentProvider::builder("x")
-            .throughput(ExpThroughput::new(1.0, 1.0))
-            .build();
+        ContentProvider::builder("x").throughput(ExpThroughput::new(1.0, 1.0)).build();
     }
 
     #[test]

@@ -110,7 +110,10 @@ impl LinearDemand {
     /// Creates the family member; requires `m₀ > 0`, `t_max > 0`.
     pub fn new(m0: f64, t_max: f64) -> NumResult<Self> {
         if !(m0 > 0.0) || !(t_max > 0.0) {
-            return Err(NumError::Domain { what: "LinearDemand requires m0 > 0, t_max > 0", value: m0.min(t_max) });
+            return Err(NumError::Domain {
+                what: "LinearDemand requires m0 > 0, t_max > 0",
+                value: m0.min(t_max),
+            });
         }
         Ok(LinearDemand { m0, t_max })
     }
@@ -158,7 +161,10 @@ impl IsoelasticDemand {
     /// Creates the family member; requires `m₀ > 0`, `α > 0`.
     pub fn new(m0: f64, alpha: f64) -> NumResult<Self> {
         if !(m0 > 0.0) || !(alpha > 0.0) {
-            return Err(NumError::Domain { what: "IsoelasticDemand requires m0 > 0, alpha > 0", value: m0.min(alpha) });
+            return Err(NumError::Domain {
+                what: "IsoelasticDemand requires m0 > 0, alpha > 0",
+                value: m0.min(alpha),
+            });
         }
         Ok(IsoelasticDemand { m0, alpha })
     }
@@ -204,7 +210,10 @@ impl LogisticDemand {
     /// Creates the family member; requires `m₀ > 0`, steepness `k > 0`.
     pub fn new(m0: f64, k: f64, t0: f64) -> NumResult<Self> {
         if !(m0 > 0.0) || !(k > 0.0) {
-            return Err(NumError::Domain { what: "LogisticDemand requires m0 > 0, k > 0", value: m0.min(k) });
+            return Err(NumError::Domain {
+                what: "LogisticDemand requires m0 > 0, k > 0",
+                value: m0.min(k),
+            });
         }
         let norm = 1.0 + (-k * t0).exp();
         Ok(LogisticDemand { m0, k, t0, norm })
@@ -239,7 +248,10 @@ pub fn check_assumption2(d: &dyn DemandFn, ts: &[f64]) -> NumResult<f64> {
     for &t in ts {
         let m = d.m(t);
         if !(m >= 0.0) || !m.is_finite() {
-            return Err(NumError::Domain { what: "m(t) must be non-negative and finite", value: m });
+            return Err(NumError::Domain {
+                what: "m(t) must be non-negative and finite",
+                value: m,
+            });
         }
         if let Some(p) = prev {
             if m > p + 1e-12 {

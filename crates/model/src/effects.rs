@@ -38,19 +38,17 @@ impl SystemEffects {
         }
         let dg = state.dg_dphi;
         if !(dg > 0.0) {
-            return Err(NumError::Domain { what: "gap slope must be positive (Lemma 1)", value: dg });
+            return Err(NumError::Domain {
+                what: "gap slope must be positive (Lemma 1)",
+                value: dg,
+            });
         }
         let u = system.utilization_fn();
         let dphi_dmu = -u.dtheta_dmu(state.phi, system.mu()) / dg;
         let dphi_dm: Vec<f64> = state.lambda.iter().map(|l| l / dg).collect();
-        let dlambda: Vec<f64> = system
-            .cps()
-            .iter()
-            .map(|cp| cp.throughput().dlambda_dphi(state.phi))
-            .collect();
-        let dtheta_dmu: Vec<f64> = (0..n)
-            .map(|i| state.m[i] * dlambda[i] * dphi_dmu)
-            .collect();
+        let dlambda: Vec<f64> =
+            system.cps().iter().map(|cp| cp.throughput().dlambda_dphi(state.phi)).collect();
+        let dtheta_dmu: Vec<f64> = (0..n).map(|i| state.m[i] * dlambda[i] * dphi_dmu).collect();
         let mut dtheta_dm = vec![vec![0.0; n]; n];
         for j in 0..n {
             for i in 0..n {
@@ -122,15 +120,13 @@ impl PriceEffects {
         }
         let dg = state.dg_dphi;
         if !(dg > 0.0) {
-            return Err(NumError::Domain { what: "gap slope must be positive (Lemma 1)", value: dg });
+            return Err(NumError::Domain {
+                what: "gap slope must be positive (Lemma 1)",
+                value: dg,
+            });
         }
         let dm_dp: Vec<f64> = system.cps().iter().map(|cp| cp.demand().dm_dt(p)).collect();
-        let dphi_dp = dm_dp
-            .iter()
-            .zip(&state.lambda)
-            .map(|(dm, l)| dm * l)
-            .sum::<f64>()
-            / dg;
+        let dphi_dp = dm_dp.iter().zip(&state.lambda).map(|(dm, l)| dm * l).sum::<f64>() / dg;
         let mut dtheta_dp = Vec::with_capacity(n);
         for i in 0..n {
             let dlambda = system.cp(i).throughput().dlambda_dphi(state.phi);
@@ -191,28 +187,30 @@ mod tests {
     #[test]
     fn dphi_dmu_matches_finite_difference() {
         let sys = paper_system();
-        let m = sys.populations(&vec![0.5; 9]).unwrap();
+        let m = sys.populations(&[0.5; 9]).unwrap();
         let state = sys.solve_state(&m).unwrap();
         let eff = SystemEffects::compute(&sys, &state).unwrap();
-        let fd = derivative(&|mu| {
-            sys.with_capacity(mu).unwrap().solve_state(&m).unwrap().phi
-        }, sys.mu())
-        .unwrap();
+        let fd =
+            derivative(&|mu| sys.with_capacity(mu).unwrap().solve_state(&m).unwrap().phi, sys.mu())
+                .unwrap();
         assert!((eff.dphi_dmu - fd).abs() < 1e-6, "{} vs {fd}", eff.dphi_dmu);
     }
 
     #[test]
     fn dphi_dm_matches_finite_difference() {
         let sys = paper_system();
-        let m = sys.populations(&vec![0.5; 9]).unwrap();
+        let m = sys.populations(&[0.5; 9]).unwrap();
         let state = sys.solve_state(&m).unwrap();
         let eff = SystemEffects::compute(&sys, &state).unwrap();
         for i in [0usize, 4, 8] {
-            let fd = derivative(&|mi| {
-                let mut mm = m.clone();
-                mm[i] = mi;
-                sys.solve_state(&mm).unwrap().phi
-            }, m[i])
+            let fd = derivative(
+                &|mi| {
+                    let mut mm = m.clone();
+                    mm[i] = mi;
+                    sys.solve_state(&mm).unwrap().phi
+                },
+                m[i],
+            )
             .unwrap();
             assert!((eff.dphi_dm[i] - fd).abs() < 1e-6, "CP {i}: {} vs {fd}", eff.dphi_dm[i]);
         }
@@ -221,16 +219,19 @@ mod tests {
     #[test]
     fn dtheta_dm_matches_finite_difference() {
         let sys = paper_system();
-        let m = sys.populations(&vec![0.6; 9]).unwrap();
+        let m = sys.populations(&[0.6; 9]).unwrap();
         let state = sys.solve_state(&m).unwrap();
         let eff = SystemEffects::compute(&sys, &state).unwrap();
         // Probe own and cross derivatives for a few pairs.
         for (j, i) in [(0usize, 0usize), (1, 0), (5, 3), (8, 8)] {
-            let fd = derivative(&|mi| {
-                let mut mm = m.clone();
-                mm[i] = mi;
-                sys.solve_state(&mm).unwrap().theta_i[j]
-            }, m[i])
+            let fd = derivative(
+                &|mi| {
+                    let mut mm = m.clone();
+                    mm[i] = mi;
+                    sys.solve_state(&mm).unwrap().theta_i[j]
+                },
+                m[i],
+            )
             .unwrap();
             assert!(
                 (eff.dtheta_dm[j][i] - fd).abs() < 1e-6,
@@ -243,13 +244,14 @@ mod tests {
     #[test]
     fn dtheta_dmu_matches_finite_difference() {
         let sys = paper_system();
-        let m = sys.populations(&vec![0.6; 9]).unwrap();
+        let m = sys.populations(&[0.6; 9]).unwrap();
         let state = sys.solve_state(&m).unwrap();
         let eff = SystemEffects::compute(&sys, &state).unwrap();
         for i in [0usize, 8] {
-            let fd = derivative(&|mu| {
-                sys.with_capacity(mu).unwrap().solve_state(&m).unwrap().theta_i[i]
-            }, sys.mu())
+            let fd = derivative(
+                &|mu| sys.with_capacity(mu).unwrap().solve_state(&m).unwrap().theta_i[i],
+                sys.mu(),
+            )
             .unwrap();
             assert!((eff.dtheta_dmu[i] - fd).abs() < 1e-6);
         }
@@ -274,7 +276,11 @@ mod tests {
             let pe = PriceEffects::compute(&sys, &state, p).unwrap();
             assert!(pe.dtheta_total_dp <= 0.0, "p = {p}");
             let fd = derivative(&|pp| sys.state_at_uniform_price(pp).unwrap().theta(), p).unwrap();
-            assert!((pe.dtheta_total_dp - fd).abs() < 1e-5, "p = {p}: {} vs {fd}", pe.dtheta_total_dp);
+            assert!(
+                (pe.dtheta_total_dp - fd).abs() < 1e-5,
+                "p = {p}: {} vs {fd}",
+                pe.dtheta_total_dp
+            );
         }
     }
 
@@ -288,7 +294,8 @@ mod tests {
         let state = sys.state_at_uniform_price(p).unwrap();
         let pe = PriceEffects::compute(&sys, &state, p).unwrap();
         for i in 0..9 {
-            let fd = derivative(&|pp| sys.state_at_uniform_price(pp).unwrap().theta_i[i], p).unwrap();
+            let fd =
+                derivative(&|pp| sys.state_at_uniform_price(pp).unwrap().theta_i[i], p).unwrap();
             assert_eq!(
                 pe.throughput_increasing(i),
                 fd > 0.0,

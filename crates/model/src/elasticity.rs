@@ -146,11 +146,14 @@ mod tests {
         let state = sys.state_at_uniform_price(p).unwrap();
         let e = StateElasticities::compute(&sys, &state, p).unwrap();
         for i in 0..2 {
-            let fd = subcomp_num::diff::derivative(&|mi| {
-                let mut m = state.m.clone();
-                m[i] = mi;
-                sys.solve_state(&m).unwrap().phi
-            }, state.m[i])
+            let fd = subcomp_num::diff::derivative(
+                &|mi| {
+                    let mut m = state.m.clone();
+                    m[i] = mi;
+                    sys.solve_state(&m).unwrap().phi
+                },
+                state.m[i],
+            )
             .unwrap();
             let eps_fd = elasticity(fd, state.m[i], state.phi);
             assert!((e.phi_m[i] - eps_fd).abs() < 1e-6, "CP {i}: {} vs {eps_fd}", e.phi_m[i]);

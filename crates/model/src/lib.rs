@@ -72,5 +72,7 @@ pub mod prelude {
     pub use crate::pricing::OneSidedMarket;
     pub use crate::system::{System, SystemState};
     pub use crate::throughput::{ExpThroughput, LogisticThroughput, PowerThroughput, ThroughputFn};
-    pub use crate::utilization::{LinearUtilization, PowerUtilization, QueueUtilization, UtilizationFn};
+    pub use crate::utilization::{
+        LinearUtilization, PowerUtilization, QueueUtilization, UtilizationFn,
+    };
 }

@@ -125,12 +125,7 @@ mod tests {
         let prices: Vec<f64> = (1..=60).map(|i| i as f64 * 0.05).collect();
         let rev: Vec<f64> = market.sweep(&prices).unwrap().iter().map(|pt| pt.revenue).collect();
         // Identify the peak and check monotone up then monotone down.
-        let peak = rev
-            .iter()
-            .enumerate()
-            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
-            .unwrap()
-            .0;
+        let peak = rev.iter().enumerate().max_by(|a, b| a.1.partial_cmp(b.1).unwrap()).unwrap().0;
         assert!(peak > 0 && peak < rev.len() - 1, "peak must be interior, at {peak}");
         for i in 1..=peak {
             assert!(rev[i] >= rev[i - 1] - 1e-12, "rising flank broken at {i}");

@@ -40,7 +40,10 @@ impl System {
         utilization: impl UtilizationFn + 'static,
     ) -> NumResult<Self> {
         if !(mu > 0.0) || !mu.is_finite() {
-            return Err(NumError::Domain { what: "capacity must be positive and finite", value: mu });
+            return Err(NumError::Domain {
+                what: "capacity must be positive and finite",
+                value: mu,
+            });
         }
         Ok(System {
             cps,
@@ -79,7 +82,10 @@ impl System {
     /// the ISP's investment extension both use this.
     pub fn with_capacity(&self, mu: f64) -> NumResult<System> {
         if !(mu > 0.0) || !mu.is_finite() {
-            return Err(NumError::Domain { what: "capacity must be positive and finite", value: mu });
+            return Err(NumError::Domain {
+                what: "capacity must be positive and finite",
+                value: mu,
+            });
         }
         Ok(System { mu, ..self.clone() })
     }
@@ -99,24 +105,15 @@ impl System {
 
     /// The gap function `g(φ) = Θ(φ, µ) − Σ_k m_k λ_k(φ)` of Lemma 1.
     pub fn gap(&self, phi: f64, m: &[f64]) -> f64 {
-        let demand: f64 = self
-            .cps
-            .iter()
-            .zip(m)
-            .map(|(cp, &mi)| mi * cp.lambda(phi))
-            .sum();
+        let demand: f64 = self.cps.iter().zip(m).map(|(cp, &mi)| mi * cp.lambda(phi)).sum();
         self.utilization.theta(phi, self.mu) - demand
     }
 
     /// The gap slope `dg/dφ = ∂Θ/∂φ − Σ_k m_k dλ_k/dφ` (Equation (2));
     /// strictly positive.
     pub fn dgap_dphi(&self, phi: f64, m: &[f64]) -> f64 {
-        let demand_slope: f64 = self
-            .cps
-            .iter()
-            .zip(m)
-            .map(|(cp, &mi)| mi * cp.throughput().dlambda_dphi(phi))
-            .sum();
+        let demand_slope: f64 =
+            self.cps.iter().zip(m).map(|(cp, &mi)| mi * cp.throughput().dlambda_dphi(phi)).sum();
         self.utilization.dtheta_dphi(phi, self.mu) - demand_slope
     }
 
@@ -128,16 +125,15 @@ impl System {
         }
         for &mi in m {
             if !(mi >= 0.0) || !mi.is_finite() {
-                return Err(NumError::Domain { what: "populations must be non-negative and finite", value: mi });
+                return Err(NumError::Domain {
+                    what: "populations must be non-negative and finite",
+                    value: mi,
+                });
             }
         }
         // Zero demand: phi = 0 exactly (limit case of Assumption 1).
-        let peak_demand: f64 = self
-            .cps
-            .iter()
-            .zip(m)
-            .map(|(cp, &mi)| mi * cp.throughput().peak())
-            .sum();
+        let peak_demand: f64 =
+            self.cps.iter().zip(m).map(|(cp, &mi)| mi * cp.throughput().peak()).sum();
         let phi = if peak_demand == 0.0 {
             0.0
         } else {
@@ -259,7 +255,7 @@ mod tests {
     fn gap_is_strictly_increasing() {
         // Lemma 1.
         let sys = paper_section3_system();
-        let m = sys.populations(&vec![0.4; 9]).unwrap();
+        let m = sys.populations(&[0.4; 9]).unwrap();
         let mut prev = f64::NEG_INFINITY;
         for i in 0..50 {
             let phi = i as f64 * 0.1;
@@ -272,7 +268,7 @@ mod tests {
     #[test]
     fn dgap_matches_finite_difference() {
         let sys = paper_section3_system();
-        let m = sys.populations(&vec![0.3; 9]).unwrap();
+        let m = sys.populations(&[0.3; 9]).unwrap();
         for phi in [0.2, 0.8, 1.5] {
             let fd = subcomp_num::diff::derivative(&|x| sys.gap(x, &m), phi).unwrap();
             let an = sys.dgap_dphi(phi, &m);
@@ -283,7 +279,7 @@ mod tests {
     #[test]
     fn zero_population_zero_utilization() {
         let sys = paper_section3_system();
-        let state = sys.solve_state(&vec![0.0; 9]).unwrap();
+        let state = sys.solve_state(&[0.0; 9]).unwrap();
         assert_eq!(state.phi, 0.0);
         assert_eq!(state.theta(), 0.0);
     }
@@ -323,7 +319,7 @@ mod tests {
     fn more_capacity_less_utilization() {
         // Theorem 1 (capacity direction), verified end to end.
         let sys = paper_section3_system();
-        let m = sys.populations(&vec![0.4; 9]).unwrap();
+        let m = sys.populations(&[0.4; 9]).unwrap();
         let s1 = sys.solve_state(&m).unwrap();
         let s2 = sys.with_capacity(2.0).unwrap().solve_state(&m).unwrap();
         assert!(s2.phi < s1.phi);
@@ -365,7 +361,7 @@ mod tests {
     fn uniform_price_equals_explicit_vector() {
         let sys = paper_section3_system();
         let a = sys.state_at_uniform_price(0.7).unwrap();
-        let b = sys.state_at_prices(&vec![0.7; 9]).unwrap();
+        let b = sys.state_at_prices(&[0.7; 9]).unwrap();
         assert!((a.phi - b.phi).abs() < 1e-14);
     }
 

@@ -176,10 +176,7 @@ impl ThroughputFn for LogisticThroughput {
         Box::new(*self)
     }
     fn scaled(&self, kappa: f64) -> Box<dyn ThroughputFn> {
-        Box::new(LogisticThroughput {
-            lambda0: self.lambda0 * kappa,
-            ..*self
-        })
+        Box::new(LogisticThroughput { lambda0: self.lambda0 * kappa, ..*self })
     }
 }
 
@@ -196,7 +193,10 @@ pub fn check_throughput_axioms(t: &dyn ThroughputFn, phis: &[f64]) -> NumResult<
         }
         if let Some(p) = prev {
             if l >= p {
-                return Err(NumError::Domain { what: "lambda must strictly decrease", value: l - p });
+                return Err(NumError::Domain {
+                    what: "lambda must strictly decrease",
+                    value: l - p,
+                });
             }
         }
         prev = Some(l);

@@ -105,7 +105,10 @@ impl PowerUtilization {
     /// Creates the family member with exponent `gamma > 0`.
     pub fn new(gamma: f64) -> NumResult<Self> {
         if !(gamma > 0.0) || !gamma.is_finite() {
-            return Err(NumError::Domain { what: "PowerUtilization requires gamma > 0", value: gamma });
+            return Err(NumError::Domain {
+                what: "PowerUtilization requires gamma > 0",
+                value: gamma,
+            });
         }
         Ok(PowerUtilization { gamma })
     }
@@ -129,7 +132,11 @@ impl UtilizationFn for PowerUtilization {
         let g = 1.0 / self.gamma;
         if phi == 0.0 {
             if g >= 1.0 {
-                if g == 1.0 { mu } else { 0.0 }
+                if g == 1.0 {
+                    mu
+                } else {
+                    0.0
+                }
             } else {
                 f64::INFINITY
             }
@@ -186,11 +193,7 @@ impl UtilizationFn for QueueUtilization {
 /// Numerically verifies Assumption 1 for a utilization family on a grid:
 /// `Φ` increasing in `θ`, decreasing in `µ`, `Φ(0, µ) = 0`, and `Θ` is the
 /// inverse of `Φ`. Returns the maximum inversion error observed.
-pub fn check_assumption1(
-    u: &dyn UtilizationFn,
-    thetas: &[f64],
-    mus: &[f64],
-) -> NumResult<f64> {
+pub fn check_assumption1(u: &dyn UtilizationFn, thetas: &[f64], mus: &[f64]) -> NumResult<f64> {
     let mut max_inv_err = 0.0f64;
     for &mu in mus {
         if !(mu > 0.0) {
@@ -209,7 +212,10 @@ pub fn check_assumption1(
             }
             if let Some(p) = prev_phi {
                 if phi <= p {
-                    return Err(NumError::Domain { what: "Phi must increase in theta", value: phi - p });
+                    return Err(NumError::Domain {
+                        what: "Phi must increase in theta",
+                        value: phi - p,
+                    });
                 }
             }
             prev_phi = Some(phi);
@@ -219,7 +225,10 @@ pub fn check_assumption1(
             // Monotone decreasing in mu.
             let phi_bigger_mu = u.phi(theta, mu * 1.5);
             if phi_bigger_mu.is_finite() && phi_bigger_mu >= phi {
-                return Err(NumError::Domain { what: "Phi must decrease in mu", value: phi_bigger_mu - phi });
+                return Err(NumError::Domain {
+                    what: "Phi must decrease in mu",
+                    value: phi_bigger_mu - phi,
+                });
             }
         }
     }

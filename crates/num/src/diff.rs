@@ -78,11 +78,7 @@ pub fn second_derivative(f: &dyn Fn(f64) -> f64, x: f64) -> NumResult<f64> {
 }
 
 /// Gradient of a scalar field by central differences, written into `out`.
-pub fn gradient(
-    f: &dyn Fn(&[f64]) -> f64,
-    x: &[f64],
-    out: &mut [f64],
-) -> NumResult<()> {
+pub fn gradient(f: &dyn Fn(&[f64]) -> f64, x: &[f64], out: &mut [f64]) -> NumResult<()> {
     if out.len() != x.len() {
         return Err(NumError::DimensionMismatch { expected: x.len(), actual: out.len() });
     }
@@ -109,11 +105,7 @@ pub fn gradient(
 /// `f` must write `F(x)` into its second argument (length `m`). Returns a
 /// row-major `m × n` matrix as `Vec<Vec<f64>>` to avoid coupling this module
 /// to the matrix type; callers convert as needed.
-pub fn jacobian(
-    f: &dyn Fn(&[f64], &mut [f64]),
-    x: &[f64],
-    m: usize,
-) -> NumResult<Vec<Vec<f64>>> {
+pub fn jacobian(f: &dyn Fn(&[f64], &mut [f64]), x: &[f64], m: usize) -> NumResult<Vec<Vec<f64>>> {
     let n = x.len();
     let mut xw = x.to_vec();
     let mut fp = vec![0.0; m];
@@ -231,9 +223,6 @@ mod tests {
         // Stencil straddles the pole at 0.
         assert!(derivative_with_step(&f, 0.0, 0.1).is_ok()); // (10 - -10)/0.2 finite
         let g = |x: f64| if x > 1.0 { f64::NAN } else { x };
-        assert!(matches!(
-            derivative_with_step(&g, 1.0, 0.5),
-            Err(NumError::NonFinite { .. })
-        ));
+        assert!(matches!(derivative_with_step(&g, 1.0, 0.5), Err(NumError::NonFinite { .. })));
     }
 }

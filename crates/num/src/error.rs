@@ -70,10 +70,9 @@ pub enum NumError {
 impl fmt::Display for NumError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            NumError::NoBracket { a, b, fa, fb } => write!(
-                f,
-                "no sign change on [{a}, {b}]: f(a) = {fa}, f(b) = {fb}"
-            ),
+            NumError::NoBracket { a, b, fa, fb } => {
+                write!(f, "no sign change on [{a}, {b}]: f(a) = {fa}, f(b) = {fb}")
+            }
             NumError::MaxIterations { max_iter, residual } => write!(
                 f,
                 "failed to converge within {max_iter} iterations (best residual {residual:.3e})"
@@ -81,10 +80,9 @@ impl fmt::Display for NumError {
             NumError::Domain { what, value } => {
                 write!(f, "domain error: {what} (got {value})")
             }
-            NumError::SingularMatrix { pivot, magnitude } => write!(
-                f,
-                "singular matrix: pivot {pivot} has magnitude {magnitude:.3e}"
-            ),
+            NumError::SingularMatrix { pivot, magnitude } => {
+                write!(f, "singular matrix: pivot {pivot} has magnitude {magnitude:.3e}")
+            }
             NumError::DimensionMismatch { expected, actual } => {
                 write!(f, "dimension mismatch: expected {expected}, got {actual}")
             }
@@ -104,12 +102,7 @@ mod tests {
 
     #[test]
     fn display_no_bracket() {
-        let e = NumError::NoBracket {
-            a: 0.0,
-            b: 1.0,
-            fa: 2.0,
-            fb: 3.0,
-        };
+        let e = NumError::NoBracket { a: 0.0, b: 1.0, fa: 2.0, fb: 3.0 };
         let s = e.to_string();
         assert!(s.contains("no sign change"));
         assert!(s.contains("[0, 1]"));
@@ -117,45 +110,31 @@ mod tests {
 
     #[test]
     fn display_max_iterations() {
-        let e = NumError::MaxIterations {
-            max_iter: 50,
-            residual: 1e-3,
-        };
+        let e = NumError::MaxIterations { max_iter: 50, residual: 1e-3 };
         assert!(e.to_string().contains("50 iterations"));
     }
 
     #[test]
     fn display_domain() {
-        let e = NumError::Domain {
-            what: "capacity must be positive",
-            value: -1.0,
-        };
+        let e = NumError::Domain { what: "capacity must be positive", value: -1.0 };
         assert!(e.to_string().contains("capacity must be positive"));
     }
 
     #[test]
     fn display_singular() {
-        let e = NumError::SingularMatrix {
-            pivot: 2,
-            magnitude: 0.0,
-        };
+        let e = NumError::SingularMatrix { pivot: 2, magnitude: 0.0 };
         assert!(e.to_string().contains("pivot 2"));
     }
 
     #[test]
     fn display_dimension_mismatch() {
-        let e = NumError::DimensionMismatch {
-            expected: 3,
-            actual: 4,
-        };
+        let e = NumError::DimensionMismatch { expected: 3, actual: 4 };
         assert!(e.to_string().contains("expected 3, got 4"));
     }
 
     #[test]
     fn display_non_finite_and_empty() {
-        assert!(NumError::NonFinite { what: "f", at: 1.0 }
-            .to_string()
-            .contains("non-finite"));
+        assert!(NumError::NonFinite { what: "f", at: 1.0 }.to_string().contains("non-finite"));
         assert!(NumError::Empty { what: "mean" }.to_string().contains("empty"));
     }
 

@@ -68,11 +68,7 @@ pub fn aitken(t: &dyn Fn(f64) -> f64, x0: f64, tol: Tolerance) -> NumResult<Fixe
             return Ok(FixedPoint { x: x1, residual, iterations: iter + 1 });
         }
         let denom = x2 - 2.0 * x1 + x;
-        let accel = if denom != 0.0 {
-            x - (x1 - x).powi(2) / denom
-        } else {
-            x2
-        };
+        let accel = if denom != 0.0 { x - (x1 - x).powi(2) / denom } else { x2 };
         x = if accel.is_finite() { accel } else { x2 };
     }
     Err(NumError::MaxIterations { max_iter: tol.max_iter, residual })
@@ -132,7 +128,8 @@ mod tests {
     #[test]
     fn picard_cosine_fixed_point() {
         // The Dottie number: cos(x) = x at ~0.739085.
-        let fp = picard(&|x: f64| x.cos(), 1.0, 1.0, Tolerance::new(1e-12, 0.0).with_max_iter(200)).unwrap();
+        let fp = picard(&|x: f64| x.cos(), 1.0, 1.0, Tolerance::new(1e-12, 0.0).with_max_iter(200))
+            .unwrap();
         assert!((fp.x - 0.739_085_133_215_160_6).abs() < 1e-9);
     }
 
@@ -176,7 +173,8 @@ mod tests {
             out[0] = 0.3 * x[0] + 0.1 * x[1] + 1.0;
             out[1] = 0.2 * x[0] + 0.4 * x[1] + 2.0;
         };
-        let fp = picard_vec(&t, &[0.0, 0.0], 1.0, Tolerance::new(1e-12, 0.0).with_max_iter(500)).unwrap();
+        let fp = picard_vec(&t, &[0.0, 0.0], 1.0, Tolerance::new(1e-12, 0.0).with_max_iter(500))
+            .unwrap();
         // Solve (I-A)x = b by hand: [0.7, -0.1; -0.2, 0.6] x = [1, 2].
         let det = 0.7 * 0.6 - 0.02;
         let x0 = (0.6 * 1.0 + 0.1 * 2.0) / det;
@@ -200,7 +198,8 @@ mod tests {
         let cps = [(0.8f64, 1.0f64), (0.6, 3.0), (0.4, 5.0)];
         let t = move |phi: f64| cps.iter().map(|(m, b)| m * (-b * phi).exp()).sum::<f64>() / mu;
         let fp = picard(&t, 0.5, 0.7, Tolerance::new(1e-12, 0.0).with_max_iter(10_000)).unwrap();
-        let g = move |phi: f64| phi * mu - cps.iter().map(|(m, b)| m * (-b * phi).exp()).sum::<f64>();
+        let g =
+            move |phi: f64| phi * mu - cps.iter().map(|(m, b)| m * (-b * phi).exp()).sum::<f64>();
         let root = crate::roots::solve_increasing(&g, 0.0, 0.5, Tolerance::tight()).unwrap();
         assert!((fp.x - root.x).abs() < 1e-8, "picard {} vs root {}", fp.x, root.x);
     }

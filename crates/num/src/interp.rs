@@ -109,7 +109,10 @@ impl MonotoneCubic {
         let h10 = t3 - 2.0 * t2 + t;
         let h01 = -2.0 * t3 + 3.0 * t2;
         let h11 = t3 - t2;
-        h00 * self.ys[k] + h10 * h * self.tangents[k] + h01 * self.ys[k + 1] + h11 * h * self.tangents[k + 1]
+        h00 * self.ys[k]
+            + h10 * h * self.tangents[k]
+            + h01 * self.ys[k + 1]
+            + h11 * h * self.tangents[k + 1]
     }
 
     /// Derivative of the interpolant (C⁰).
@@ -129,7 +132,10 @@ impl MonotoneCubic {
         let dh10 = 3.0 * t2 - 4.0 * t + 1.0;
         let dh01 = (-6.0 * t2 + 6.0 * t) / h;
         let dh11 = 3.0 * t2 - 2.0 * t;
-        dh00 * self.ys[k] + dh10 * self.tangents[k] + dh01 * self.ys[k + 1] + dh11 * self.tangents[k + 1]
+        dh00 * self.ys[k]
+            + dh10 * self.tangents[k]
+            + dh01 * self.ys[k + 1]
+            + dh11 * self.tangents[k + 1]
     }
 }
 
@@ -142,7 +148,10 @@ fn validate_knots(xs: &[f64], ys: &[f64]) -> NumResult<()> {
     }
     for w in xs.windows(2) {
         if !(w[1] > w[0]) {
-            return Err(NumError::Domain { what: "knots must be strictly increasing", value: w[1] - w[0] });
+            return Err(NumError::Domain {
+                what: "knots must be strictly increasing",
+                value: w[1] - w[0],
+            });
         }
     }
     if xs.iter().chain(ys.iter()).any(|v| !v.is_finite()) {

@@ -169,12 +169,8 @@ mod tests {
 
     #[test]
     fn inverse_roundtrip() {
-        let a = Matrix::from_rows(&[
-            &[4.0, -2.0, 1.0],
-            &[-2.0, 4.0, -2.0],
-            &[1.0, -2.0, 4.0],
-        ])
-        .unwrap();
+        let a =
+            Matrix::from_rows(&[&[4.0, -2.0, 1.0], &[-2.0, 4.0, -2.0], &[1.0, -2.0, 4.0]]).unwrap();
         let inv = inverse(&a).unwrap();
         let prod = a.matmul(&inv).unwrap();
         let eye = Matrix::identity(3);

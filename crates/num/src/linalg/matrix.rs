@@ -150,11 +150,7 @@ impl Matrix {
 
     /// Scales every entry by `s`, returning a new matrix.
     pub fn scale(&self, s: f64) -> Matrix {
-        Matrix {
-            rows: self.rows,
-            cols: self.cols,
-            data: self.data.iter().map(|v| v * s).collect(),
-        }
+        Matrix { rows: self.rows, cols: self.cols, data: self.data.iter().map(|v| v * s).collect() }
     }
 
     /// Extracts the square submatrix with the given (sorted or unsorted)
@@ -163,7 +159,10 @@ impl Matrix {
     pub fn submatrix(&self, idx: &[usize]) -> NumResult<Matrix> {
         for &i in idx {
             if i >= self.rows || i >= self.cols {
-                return Err(NumError::DimensionMismatch { expected: self.rows.min(self.cols), actual: i });
+                return Err(NumError::DimensionMismatch {
+                    expected: self.rows.min(self.cols),
+                    actual: i,
+                });
             }
         }
         let k = idx.len();

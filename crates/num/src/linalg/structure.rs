@@ -181,7 +181,8 @@ mod tests {
     #[test]
     fn p_matrix_positive_definite_example() {
         // Symmetric positive definite => P-matrix.
-        let a = Matrix::from_rows(&[&[4.0, -1.0, 0.0], &[-1.0, 4.0, -1.0], &[0.0, -1.0, 4.0]]).unwrap();
+        let a =
+            Matrix::from_rows(&[&[4.0, -1.0, 0.0], &[-1.0, 4.0, -1.0], &[0.0, -1.0, 4.0]]).unwrap();
         assert!(is_p_matrix(&a, 1e-12).unwrap());
     }
 
@@ -230,7 +231,8 @@ mod tests {
 
     #[test]
     fn diagonal_dominance() {
-        let a = Matrix::from_rows(&[&[3.0, -1.0, -1.0], &[0.0, 2.0, -1.0], &[-1.0, -1.0, 4.0]]).unwrap();
+        let a = Matrix::from_rows(&[&[3.0, -1.0, -1.0], &[0.0, 2.0, -1.0], &[-1.0, -1.0, 4.0]])
+            .unwrap();
         assert!(is_diagonally_dominant(&a));
         let b = Matrix::from_rows(&[&[1.0, -2.0], &[0.0, 1.0]]).unwrap();
         assert!(!is_diagonally_dominant(&b));

@@ -34,12 +34,7 @@ pub struct ScalarMax {
 ///
 /// Linear convergence with ratio `1/φ ≈ 0.618`; derivative-free; never
 /// leaves the interval. Converges when the interval width meets `tol`.
-pub fn golden_max(
-    f: &dyn Fn(f64) -> f64,
-    a: f64,
-    b: f64,
-    tol: Tolerance,
-) -> NumResult<ScalarMax> {
+pub fn golden_max(f: &dyn Fn(f64) -> f64, a: f64, b: f64, tol: Tolerance) -> NumResult<ScalarMax> {
     if !(b >= a) {
         return Err(NumError::Domain { what: "golden_max requires b >= a", value: b - a });
     }
@@ -82,12 +77,7 @@ pub fn golden_max(
 /// Superlinear on smooth unimodal objectives; falls back to golden-section
 /// steps when the parabolic model misbehaves. This is the standard `fmin`
 /// algorithm with the objective negated.
-pub fn brent_max(
-    f: &dyn Fn(f64) -> f64,
-    a: f64,
-    b: f64,
-    tol: Tolerance,
-) -> NumResult<ScalarMax> {
+pub fn brent_max(f: &dyn Fn(f64) -> f64, a: f64, b: f64, tol: Tolerance) -> NumResult<ScalarMax> {
     if !(b >= a) {
         return Err(NumError::Domain { what: "brent_max requires b >= a", value: b - a });
     }
@@ -175,7 +165,12 @@ pub fn brent_max(
 
 /// Evaluates `f` on `n + 1` equispaced points of `[a, b]` and returns the
 /// best point together with the (clamped) bracketing cell around it.
-pub fn grid_scan(f: &dyn Fn(f64) -> f64, a: f64, b: f64, n: usize) -> NumResult<(ScalarMax, f64, f64)> {
+pub fn grid_scan(
+    f: &dyn Fn(f64) -> f64,
+    a: f64,
+    b: f64,
+    n: usize,
+) -> NumResult<(ScalarMax, f64, f64)> {
     if !(b >= a) {
         return Err(NumError::Domain { what: "grid_scan requires b >= a", value: b - a });
     }
@@ -288,7 +283,13 @@ pub fn projected_gradient_ascent(
         return Err(NumError::DimensionMismatch { expected: n, actual: lo.len().min(hi.len()) });
     }
     if n == 0 {
-        return Ok(ProjectedAscent { x: vec![], value: f(&[]), iterations: 0, last_step: 0.0, converged: true });
+        return Ok(ProjectedAscent {
+            x: vec![],
+            value: f(&[]),
+            iterations: 0,
+            last_step: 0.0,
+            converged: true,
+        });
     }
     let mut x = x0.to_vec();
     project_box(&mut x, lo, hi);
@@ -311,11 +312,7 @@ pub fn projected_gradient_ascent(
             project_box(&mut cand, lo, hi);
             let fc = f(&cand);
             if fc.is_finite() && fc > fx {
-                let delta = cand
-                    .iter()
-                    .zip(&x)
-                    .map(|(a, b)| (a - b).abs())
-                    .fold(0.0f64, f64::max);
+                let delta = cand.iter().zip(&x).map(|(a, b)| (a - b).abs()).fold(0.0f64, f64::max);
                 x.copy_from_slice(&cand);
                 fx = fc;
                 last_step = delta;
@@ -326,11 +323,23 @@ pub fn projected_gradient_ascent(
         }
         if !accepted {
             // No ascent direction within the box: stationary.
-            return Ok(ProjectedAscent { x, value: fx, iterations: iter, last_step: 0.0, converged: true });
+            return Ok(ProjectedAscent {
+                x,
+                value: fx,
+                iterations: iter,
+                last_step: 0.0,
+                converged: true,
+            });
         }
         let scale = x.iter().fold(0.0f64, |m, v| m.max(v.abs()));
         if tol.is_met(last_step, scale) {
-            return Ok(ProjectedAscent { x, value: fx, iterations: iter + 1, last_step, converged: true });
+            return Ok(ProjectedAscent {
+                x,
+                value: fx,
+                iterations: iter + 1,
+                last_step,
+                converged: true,
+            });
         }
     }
     Ok(ProjectedAscent { x, value: fx, iterations: tol.max_iter, last_step, converged: false })
@@ -389,7 +398,10 @@ mod tests {
     #[test]
     fn golden_rejects_reversed_interval() {
         let f = |x: f64| x;
-        assert!(matches!(golden_max(&f, 1.0, 0.0, Tolerance::default()), Err(NumError::Domain { .. })));
+        assert!(matches!(
+            golden_max(&f, 1.0, 0.0, Tolerance::default()),
+            Err(NumError::Domain { .. })
+        ));
     }
 
     #[test]
@@ -430,7 +442,8 @@ mod tests {
         // (population response collapsed); argmax at v - 1/alpha.
         let (v, alpha) = (1.0, 4.0);
         let f = move |s: f64| (v - s) * (alpha * s).exp();
-        let m = maximize_scalar(&f, 0.0, 2.0, 32, Tolerance::new(1e-12, 1e-12).with_max_iter(300)).unwrap();
+        let m = maximize_scalar(&f, 0.0, 2.0, 32, Tolerance::new(1e-12, 1e-12).with_max_iter(300))
+            .unwrap();
         assert!((m.x - (v - 1.0 / alpha)).abs() < 1e-7, "x = {}", m.x);
     }
 
@@ -503,7 +516,8 @@ mod tests {
     fn projected_ascent_empty_input() {
         let f = |_: &[f64]| 0.0;
         let grad = |_: &[f64], _: &mut [f64]| {};
-        let r = projected_gradient_ascent(&f, &grad, &[], &[], &[], 0.1, Tolerance::default()).unwrap();
+        let r =
+            projected_gradient_ascent(&f, &grad, &[], &[], &[], 0.1, Tolerance::default()).unwrap();
         assert!(r.converged);
         assert!(r.x.is_empty());
     }
@@ -513,7 +527,15 @@ mod tests {
         let f = |_: &[f64]| 0.0;
         let grad = |_: &[f64], _: &mut [f64]| {};
         assert!(matches!(
-            projected_gradient_ascent(&f, &grad, &[0.0, 0.0], &[0.0], &[1.0], 0.1, Tolerance::default()),
+            projected_gradient_ascent(
+                &f,
+                &grad,
+                &[0.0, 0.0],
+                &[0.0],
+                &[1.0],
+                0.1,
+                Tolerance::default()
+            ),
             Err(NumError::DimensionMismatch { .. })
         ));
     }

@@ -158,7 +158,7 @@ mod tests {
         let p = 0.8;
         let f = move |alpha: f64| (-alpha * p).exp() / 4.0;
         let v = adaptive_simpson(&f, 1.0, 5.0, 1e-13).unwrap();
-        let exact = ((-1.0 * p).exp() - (-5.0 * p).exp()) / (4.0 * p);
+        let exact = ((-p).exp() - (-5.0 * p).exp()) / (4.0 * p);
         assert!((v - exact).abs() < 1e-11);
     }
 }

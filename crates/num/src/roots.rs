@@ -86,22 +86,14 @@ pub fn expand_upward(
     max_doublings: usize,
 ) -> NumResult<Bracket> {
     if !(hi > lo) {
-        return Err(NumError::Domain {
-            what: "expand_upward requires hi > lo",
-            value: hi - lo,
-        });
+        return Err(NumError::Domain { what: "expand_upward requires hi > lo", value: hi - lo });
     }
     let flo = check_finite("expand_upward f(lo)", lo, f(lo))?;
     if flo == 0.0 {
         return Ok(Bracket::new(lo, lo));
     }
     if flo > 0.0 {
-        return Err(NumError::NoBracket {
-            a: lo,
-            b: hi,
-            fa: flo,
-            fb: flo,
-        });
+        return Err(NumError::NoBracket { a: lo, b: hi, fa: flo, fb: flo });
     }
     let mut a = lo;
     let mut b = hi;
@@ -116,19 +108,18 @@ pub fn expand_upward(
         b += step;
         fb = check_finite("expand_upward f", b, f(b))?;
     }
-    Err(NumError::NoBracket {
-        a: lo,
-        b,
-        fa: flo,
-        fb,
-    })
+    Err(NumError::NoBracket { a: lo, b, fa: flo, fb })
 }
 
 /// Classic bisection. Robust and derivative-free; linear convergence.
 ///
 /// Converges when the bracket width meets `tol` (monitored at the midpoint
 /// magnitude) or an endpoint evaluates exactly to zero.
-pub fn bisection(f: &dyn Fn(f64) -> f64, bracket: Bracket, tol: Tolerance) -> NumResult<RootResult> {
+pub fn bisection(
+    f: &dyn Fn(f64) -> f64,
+    bracket: Bracket,
+    tol: Tolerance,
+) -> NumResult<RootResult> {
     let Bracket { mut a, mut b } = bracket;
     let mut fa = check_finite("bisection f(a)", a, f(a))?;
     let fb = check_finite("bisection f(b)", b, f(b))?;
@@ -147,7 +138,12 @@ pub fn bisection(f: &dyn Fn(f64) -> f64, bracket: Bracket, tol: Tolerance) -> Nu
         let fmid = check_finite("bisection f(mid)", mid, f(mid))?;
         evals += 1;
         if fmid == 0.0 || tol.is_met(b - a, mid) {
-            return Ok(RootResult { x: mid, residual: fmid, evaluations: evals, iterations: iter + 1 });
+            return Ok(RootResult {
+                x: mid,
+                residual: fmid,
+                evaluations: evals,
+                iterations: iter + 1,
+            });
         }
         if fa * fmid < 0.0 {
             b = mid;
@@ -229,11 +225,7 @@ pub fn brent(f: &dyn Fn(f64) -> f64, bracket: Bracket, tol: Tolerance) -> NumRes
         }
         a = b;
         fa = fb;
-        b += if d.abs() > tol1 {
-            d
-        } else {
-            tol1 * xm.signum()
-        };
+        b += if d.abs() > tol1 { d } else { tol1 * xm.signum() };
         fb = check_finite("brent f", b, f(b))?;
         evals += 1;
         if (fb > 0.0) == (fc > 0.0) {
@@ -292,7 +284,12 @@ pub fn newton(
         }
         if tol.is_met(next - x, x) {
             let r = f(next);
-            return Ok(RootResult { x: next, residual: r, evaluations: evals + 1, iterations: iter + 1 });
+            return Ok(RootResult {
+                x: next,
+                residual: r,
+                evaluations: evals + 1,
+                iterations: iter + 1,
+            });
         }
         x = next;
     }
@@ -300,12 +297,7 @@ pub fn newton(
 }
 
 /// Secant method (derivative-free, superlinear, not globally convergent).
-pub fn secant(
-    f: &dyn Fn(f64) -> f64,
-    x0: f64,
-    x1: f64,
-    tol: Tolerance,
-) -> NumResult<RootResult> {
+pub fn secant(f: &dyn Fn(f64) -> f64, x0: f64, x1: f64, tol: Tolerance) -> NumResult<RootResult> {
     let mut xa = x0;
     let mut xb = x1;
     let mut fa = check_finite("secant f(x0)", xa, f(xa))?;
@@ -328,7 +320,12 @@ pub fn secant(
         }
         if tol.is_met(next - xb, xb) {
             let r = f(next);
-            return Ok(RootResult { x: next, residual: r, evaluations: evals + 1, iterations: iter + 1 });
+            return Ok(RootResult {
+                x: next,
+                residual: r,
+                evaluations: evals + 1,
+                iterations: iter + 1,
+            });
         }
         xa = xb;
         fa = fb;
@@ -384,7 +381,8 @@ mod tests {
 
     #[test]
     fn bisection_cubic() {
-        let r = bisection(&cubic, Bracket::new(0.0, 3.0), Tolerance::default().with_max_iter(200)).unwrap();
+        let r = bisection(&cubic, Bracket::new(0.0, 3.0), Tolerance::default().with_max_iter(200))
+            .unwrap();
         assert!((r.x - CUBIC_ROOT).abs() < 1e-9, "x = {}", r.x);
         assert!(r.evaluations > 2);
     }
@@ -449,8 +447,14 @@ mod tests {
         // f has a nearly flat region that throws raw Newton far away.
         let f = |x: f64| x.tanh() - 0.5;
         let df = |x: f64| 1.0 - x.tanh().powi(2);
-        let r = newton(&f, &df, 50.0, Some(Bracket::new(-100.0, 100.0)), Tolerance::default().with_max_iter(500))
-            .unwrap();
+        let r = newton(
+            &f,
+            &df,
+            50.0,
+            Some(Bracket::new(-100.0, 100.0)),
+            Tolerance::default().with_max_iter(500),
+        )
+        .unwrap();
         assert!((r.x - 0.5f64.atanh()).abs() < 1e-8, "x = {}", r.x);
     }
 
@@ -464,10 +468,7 @@ mod tests {
     #[test]
     fn secant_flat_chord_error() {
         let f = |_: f64| 1.0;
-        assert!(matches!(
-            secant(&f, 0.0, 1.0, Tolerance::default()),
-            Err(NumError::Domain { .. })
-        ));
+        assert!(matches!(secant(&f, 0.0, 1.0, Tolerance::default()), Err(NumError::Domain { .. })));
     }
 
     #[test]
@@ -480,10 +481,7 @@ mod tests {
     #[test]
     fn expand_upward_rejects_positive_start() {
         let f = |x: f64| x + 1.0;
-        assert!(matches!(
-            expand_upward(&f, 0.0, 1.0, 64),
-            Err(NumError::NoBracket { .. })
-        ));
+        assert!(matches!(expand_upward(&f, 0.0, 1.0, 64), Err(NumError::NoBracket { .. })));
     }
 
     #[test]
@@ -499,7 +497,8 @@ mod tests {
         // A miniature of Lemma 1's gap function: g(phi) = phi*mu - sum m e^{-b phi}.
         let mu = 1.0;
         let pairs = [(1.0f64, 1.0f64), (0.5, 3.0), (0.2, 5.0)];
-        let g = move |phi: f64| phi * mu - pairs.iter().map(|(m, b)| m * (-b * phi).exp()).sum::<f64>();
+        let g =
+            move |phi: f64| phi * mu - pairs.iter().map(|(m, b)| m * (-b * phi).exp()).sum::<f64>();
         let r = solve_increasing(&g, 0.0, 0.5, Tolerance::tight()).unwrap();
         assert!(r.x > 0.0);
         assert!(g(r.x).abs() < 1e-10);

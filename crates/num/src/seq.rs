@@ -68,10 +68,8 @@ impl ConvergenceTracker {
             return false;
         }
         let before = self.deltas[self.deltas.len() - w - 1];
-        let best_in_window = self.deltas[self.deltas.len() - w..]
-            .iter()
-            .copied()
-            .fold(f64::INFINITY, f64::min);
+        let best_in_window =
+            self.deltas[self.deltas.len() - w..].iter().copied().fold(f64::INFINITY, f64::min);
         best_in_window > 0.5 * before
     }
 

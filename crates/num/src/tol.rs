@@ -27,11 +27,7 @@ pub struct Tolerance {
 
 impl Default for Tolerance {
     fn default() -> Self {
-        Tolerance {
-            abs: DEFAULT_ABS_TOL,
-            rel: DEFAULT_REL_TOL,
-            max_iter: DEFAULT_MAX_ITER,
-        }
+        Tolerance { abs: DEFAULT_ABS_TOL, rel: DEFAULT_REL_TOL, max_iter: DEFAULT_MAX_ITER }
     }
 }
 
@@ -39,11 +35,7 @@ impl Tolerance {
     /// Creates a tolerance with the given absolute and relative parts and
     /// the default iteration budget. Negative inputs are clamped to zero.
     pub fn new(abs: f64, rel: f64) -> Self {
-        Tolerance {
-            abs: abs.max(0.0),
-            rel: rel.max(0.0),
-            max_iter: DEFAULT_MAX_ITER,
-        }
+        Tolerance { abs: abs.max(0.0), rel: rel.max(0.0), max_iter: DEFAULT_MAX_ITER }
     }
 
     /// Returns a copy with the iteration budget replaced (minimum 1).
@@ -128,10 +120,7 @@ mod tests {
 
     #[test]
     fn builders_compose() {
-        let t = Tolerance::default()
-            .with_abs(1e-4)
-            .with_rel(1e-5)
-            .with_max_iter(7);
+        let t = Tolerance::default().with_abs(1e-4).with_rel(1e-5).with_max_iter(7);
         assert_eq!((t.abs, t.rel, t.max_iter), (1e-4, 1e-5, 7));
     }
 

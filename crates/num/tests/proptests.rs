@@ -46,6 +46,31 @@ proptest! {
     }
 
     #[test]
+    fn solve_increasing_random_increasing_functions(
+        root in -5.0f64..500.0,
+        lin in 0.05f64..20.0,
+        cub in 0.0f64..5.0,
+        atn in 0.0f64..10.0,
+        lo_off in 0.01f64..50.0,
+        step in 0.05f64..8.0,
+    ) {
+        // Lemma 1 path: any strictly increasing function that starts
+        // negative must converge to its unique bracketed root, for random
+        // starting points and random initial bracket-expansion steps.
+        let f = move |x: f64| {
+            let d = x - root;
+            lin * d + cub * d * d * d + atn * d.atan()
+        };
+        let lo = root - lo_off;
+        let r = solve_increasing(&f, lo, step, Tolerance::tight()).unwrap();
+        prop_assert!(
+            (r.x - root).abs() < 1e-6 * (1.0 + root.abs()),
+            "root {} found {} (err {:.2e})", root, r.x, (r.x - root).abs()
+        );
+        prop_assert!(f(r.x).abs() < 1e-5, "residual {:.2e}", f(r.x));
+    }
+
+    #[test]
     fn golden_max_parabola(center in -10.0f64..10.0, height in -5.0f64..5.0) {
         let f = move |x: f64| height - (x - center).powi(2);
         let m = golden_max(&f, -12.0, 12.0, Tolerance::new(1e-10, 1e-10).with_max_iter(300)).unwrap();

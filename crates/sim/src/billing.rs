@@ -36,7 +36,10 @@ impl Ledger {
             return Err(NumError::DimensionMismatch { expected: theta.len(), actual: s.len() });
         }
         if !(duration > 0.0) {
-            return Err(NumError::Domain { what: "billing duration must be positive", value: duration });
+            return Err(NumError::Domain {
+                what: "billing duration must be positive",
+                value: duration,
+            });
         }
         if !(p >= 0.0) {
             return Err(NumError::Domain { what: "price must be non-negative", value: p });
@@ -48,7 +51,10 @@ impl Ledger {
         let mut total = 0.0;
         for i in 0..n {
             if !(theta[i] >= 0.0) {
-                return Err(NumError::Domain { what: "throughput must be non-negative", value: theta[i] });
+                return Err(NumError::Domain {
+                    what: "throughput must be non-negative",
+                    value: theta[i],
+                });
             }
             let vol = theta[i] * duration;
             volume.push(vol);

@@ -113,15 +113,26 @@ pub struct FlowSim<'a> {
 
 impl<'a> FlowSim<'a> {
     /// Creates a simulator for a system at given per-CP effective prices.
-    pub fn new(system: &'a System, effective_prices: Vec<f64>, cfg: FlowSimConfig) -> NumResult<Self> {
+    pub fn new(
+        system: &'a System,
+        effective_prices: Vec<f64>,
+        cfg: FlowSimConfig,
+    ) -> NumResult<Self> {
         if effective_prices.len() != system.n() {
             return Err(NumError::DimensionMismatch {
                 expected: system.n(),
                 actual: effective_prices.len(),
             });
         }
-        if !(cfg.user_scale > 0.0) || !(cfg.dt > 0.0) || !(cfg.churn > 0.0) || !(cfg.demand_multiplier > 0.0) {
-            return Err(NumError::Domain { what: "user_scale, dt, churn, demand_multiplier must be positive", value: cfg.dt });
+        if !(cfg.user_scale > 0.0)
+            || !(cfg.dt > 0.0)
+            || !(cfg.churn > 0.0)
+            || !(cfg.demand_multiplier > 0.0)
+        {
+            return Err(NumError::Domain {
+                what: "user_scale, dt, churn, demand_multiplier must be positive",
+                value: cfg.dt,
+            });
         }
         if cfg.churn * cfg.dt > 0.5 {
             return Err(NumError::Domain {
@@ -149,12 +160,10 @@ impl<'a> FlowSim<'a> {
         let mut trace = Trace::new();
         let phi_idx = trace.add(Series::new("phi", cfg.warmup));
         let offered_idx = trace.add(Series::new("offered", cfg.warmup));
-        let theta_idx: Vec<usize> = (0..n)
-            .map(|i| trace.add(Series::new(format!("theta_{i}"), cfg.warmup)))
-            .collect();
-        let m_idx: Vec<usize> = (0..n)
-            .map(|i| trace.add(Series::new(format!("m_{i}"), cfg.warmup)))
-            .collect();
+        let theta_idx: Vec<usize> =
+            (0..n).map(|i| trace.add(Series::new(format!("theta_{i}"), cfg.warmup))).collect();
+        let m_idx: Vec<usize> =
+            (0..n).map(|i| trace.add(Series::new(format!("m_{i}"), cfg.warmup))).collect();
 
         let mut phi_hat = 0.0; // last observed utilization
         for _ in 0..cfg.ticks {
@@ -179,9 +188,8 @@ impl<'a> FlowSim<'a> {
                 SharingMode::ProcessorSharing => {
                     // Max-min fairness with homogeneous peaks per CP class:
                     // water-fill the capacity across users.
-                    let peaks: Vec<f64> = (0..n)
-                        .map(|i| self.system.cp(i).throughput().peak())
-                        .collect();
+                    let peaks: Vec<f64> =
+                        (0..n).map(|i| self.system.cp(i).throughput().peak()).collect();
                     let capacity = self.system.mu() * cfg.user_scale;
                     let fair = waterfill(&users, &peaks, capacity);
                     let mut demand = 0.0;
@@ -238,12 +246,18 @@ impl<'a> FlowSim<'a> {
     /// processor sharing, offered load keeps growing past it).
     pub fn measure_curve(&self, cp_index: usize, scales: &[f64]) -> NumResult<Vec<(f64, f64)>> {
         if cp_index >= self.system.n() {
-            return Err(NumError::DimensionMismatch { expected: self.system.n(), actual: cp_index });
+            return Err(NumError::DimensionMismatch {
+                expected: self.system.n(),
+                actual: cp_index,
+            });
         }
         let mut out = Vec::with_capacity(scales.len());
         for (k, &scale) in scales.iter().enumerate() {
             if !(scale > 0.0) {
-                return Err(NumError::Domain { what: "demand scale must be positive", value: scale });
+                return Err(NumError::Domain {
+                    what: "demand scale must be positive",
+                    value: scale,
+                });
             }
             let cfg = FlowSimConfig {
                 mode: SharingMode::ProcessorSharing,
@@ -251,7 +265,11 @@ impl<'a> FlowSim<'a> {
                 seed: self.cfg.seed.wrapping_add(k as u64),
                 ..self.cfg
             };
-            let sim = FlowSim { system: self.system, effective_prices: self.effective_prices.clone(), cfg };
+            let sim = FlowSim {
+                system: self.system,
+                effective_prices: self.effective_prices.clone(),
+                cfg,
+            };
             let rep = sim.run()?;
             let m_i = rep.m_mean[cp_index].max(1e-12);
             out.push((rep.offered_mean, rep.theta_mean[cp_index] / m_i));
@@ -265,11 +283,7 @@ impl<'a> FlowSim<'a> {
 /// `Σ_i users_i · min(peak_i, r) = capacity` (or `r = max peak` if the
 /// link is underloaded).
 fn waterfill(users: &[u64], peaks: &[f64], capacity: f64) -> f64 {
-    let total_demand: f64 = users
-        .iter()
-        .zip(peaks)
-        .map(|(&u, &p)| u as f64 * p)
-        .sum();
+    let total_demand: f64 = users.iter().zip(peaks).map(|(&u, &p)| u as f64 * p).sum();
     if total_demand <= capacity {
         return peaks.iter().copied().fold(0.0, f64::max);
     }
@@ -278,11 +292,7 @@ fn waterfill(users: &[u64], peaks: &[f64], capacity: f64) -> f64 {
     let mut hi = peaks.iter().copied().fold(0.0, f64::max);
     for _ in 0..80 {
         let mid = 0.5 * (lo + hi);
-        let used: f64 = users
-            .iter()
-            .zip(peaks)
-            .map(|(&u, &p)| u as f64 * p.min(mid))
-            .sum();
+        let used: f64 = users.iter().zip(peaks).map(|(&u, &p)| u as f64 * p.min(mid)).sum();
         if used > capacity {
             hi = mid;
         } else {
@@ -325,8 +335,14 @@ mod tests {
         );
         // Per-CP throughputs close too.
         for i in 0..3 {
-            let err = subcomp_num::stats::relative_error(rep.theta_mean[i], rep.analytic_theta[i], 1e-9);
-            assert!(err < 0.06, "CP {i}: sim {} vs analytic {}", rep.theta_mean[i], rep.analytic_theta[i]);
+            let err =
+                subcomp_num::stats::relative_error(rep.theta_mean[i], rep.analytic_theta[i], 1e-9);
+            assert!(
+                err < 0.06,
+                "CP {i}: sim {} vs analytic {}",
+                rep.theta_mean[i],
+                rep.analytic_theta[i]
+            );
         }
     }
 
@@ -361,7 +377,8 @@ mod tests {
     #[test]
     fn subsidy_lowers_effective_price_and_raises_usage() {
         let sys = test_system();
-        let base = FlowSim::new(&sys, vec![0.6; 3], FlowSimConfig::default()).unwrap().run().unwrap();
+        let base =
+            FlowSim::new(&sys, vec![0.6; 3], FlowSimConfig::default()).unwrap().run().unwrap();
         let subsidized = FlowSim::new(&sys, vec![0.6, 0.2, 0.6], FlowSimConfig::default())
             .unwrap()
             .run()
@@ -392,7 +409,11 @@ mod tests {
         .unwrap()
         .run()
         .unwrap();
-        assert!(heavy.phi_mean <= 1.0 + 1e-9, "PS cannot exceed capacity, phi = {}", heavy.phi_mean);
+        assert!(
+            heavy.phi_mean <= 1.0 + 1e-9,
+            "PS cannot exceed capacity, phi = {}",
+            heavy.phi_mean
+        );
         assert!(heavy.phi_mean > light.phi_mean);
     }
 

@@ -91,10 +91,16 @@ impl<'a> MarketSim<'a> {
     /// Creates a simulator over a game (price and cap fixed for the run).
     pub fn new(game: &'a SubsidyGame, cfg: MarketSimConfig) -> NumResult<Self> {
         if !(cfg.adjust_rate > 0.0 && cfg.adjust_rate <= 1.0) {
-            return Err(NumError::Domain { what: "adjust_rate must lie in (0, 1]", value: cfg.adjust_rate });
+            return Err(NumError::Domain {
+                what: "adjust_rate must lie in (0, 1]",
+                value: cfg.adjust_rate,
+            });
         }
         if cfg.review_period == 0 || cfg.days == 0 {
-            return Err(NumError::Domain { what: "days and review_period must be positive", value: 0.0 });
+            return Err(NumError::Domain {
+                what: "days and review_period must be positive",
+                value: 0.0,
+            });
         }
         Ok(MarketSim { game, cfg })
     }
@@ -113,9 +119,8 @@ impl<'a> MarketSim<'a> {
 
         let mut trace = Trace::new();
         let phi_idx = trace.add(Series::new("phi", cfg.days / 4));
-        let s_idx: Vec<usize> = (0..n)
-            .map(|i| trace.add(Series::new(format!("s_{i}"), cfg.days / 4)))
-            .collect();
+        let s_idx: Vec<usize> =
+            (0..n).map(|i| trace.add(Series::new(format!("s_{i}"), cfg.days / 4))).collect();
 
         let mut ledger = Ledger::settle(&vec![0.0; n], 1.0, game.price(), &s)?;
         // Experiment state: the CP currently mid-experiment, its baseline
@@ -182,11 +187,8 @@ impl<'a> MarketSim<'a> {
         }
 
         let nash = NashSolver::default().with_tol(1e-8).solve(game)?;
-        let distance_to_nash = s
-            .iter()
-            .zip(&nash.subsidies)
-            .map(|(a, b)| (a - b).abs())
-            .fold(0.0f64, f64::max);
+        let distance_to_nash =
+            s.iter().zip(&nash.subsidies).map(|(a, b)| (a - b).abs()).fold(0.0f64, f64::max);
         Ok(MarketSimReport {
             final_subsidies: s,
             nash_subsidies: nash.subsidies,

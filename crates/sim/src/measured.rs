@@ -41,7 +41,10 @@ impl MeasuredThroughput {
         pts.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("NaN in samples"));
         for &(phi, rate) in &pts {
             if !(phi >= 0.0) || !phi.is_finite() || !(rate > 0.0) || !rate.is_finite() {
-                return Err(NumError::Domain { what: "samples must have phi >= 0, rate > 0", value: rate });
+                return Err(NumError::Domain {
+                    what: "samples must have phi >= 0, rate > 0",
+                    value: rate,
+                });
             }
         }
         // Isotonic pruning: enforce strictly decreasing rates by dropping

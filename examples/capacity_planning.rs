@@ -23,14 +23,10 @@ fn main() {
     ];
     let system = build_system(&specs, 1.0).expect("valid market");
     let solver = NashSolver::default().with_tol(1e-6).with_max_sweeps(100);
-    let planner =
-        CapacityPlanner::new(0.08, (0.0, 2.0), (0.4, 4.0)).expect("planner");
+    let planner = CapacityPlanner::new(0.08, (0.0, 2.0), (0.4, 4.0)).expect("planner");
 
     println!("long-run capacity choice (cost 0.08 per unit of capacity):\n");
-    println!(
-        "{:>5} | {:>7} | {:>7} | {:>8} | {:>7}",
-        "q", "mu*", "p*", "profit", "phi"
-    );
+    println!("{:>5} | {:>7} | {:>7} | {:>8} | {:>7}", "q", "mu*", "p*", "profit", "phi");
     let mut choices = Vec::new();
     for q in [0.0, 0.5, 1.0] {
         let c = planner.optimal_capacity(&system, q, &solver).expect("capacity choice");

@@ -61,10 +61,7 @@ fn main() {
             eq.state.phi
         );
     }
-    println!(
-        "\nwelfare-maximizing cap in the sweep: {:.2} (W = {:.4})",
-        best_cap.0, best_cap.1
-    );
+    println!("\nwelfare-maximizing cap in the sweep: {:.2} (W = {:.4})", best_cap.0, best_cap.1);
     println!(
         "monopoly price {:.3} vs welfare-best cap {:.2}: the regulator's trade-off —",
         mono.p_star, best_cap.0

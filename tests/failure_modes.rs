@@ -88,9 +88,7 @@ fn starved_solver_reports_max_iterations() {
 
 #[test]
 fn clamped_price_mode_keeps_effective_price_nonnegative() {
-    let game = SubsidyGame::new(tiny_market(), 0.2, 0.8)
-        .unwrap()
-        .with_clamped_price(true);
+    let game = SubsidyGame::new(tiny_market(), 0.2, 0.8).unwrap().with_clamped_price(true);
     let t = game.effective_prices(&[0.7]);
     assert_eq!(t[0], 0.0);
     // And the game still solves.

@@ -28,14 +28,8 @@ fn lemma1_unique_utilization_fixed_point() {
     // iteration agree (two independent fixed-point routes).
     let m = state.m.clone();
     let mu = sys.mu();
-    let map = |phi: f64| {
-        sys.cps()
-            .iter()
-            .zip(&m)
-            .map(|(cp, &mi)| mi * cp.lambda(phi))
-            .sum::<f64>()
-            / mu
-    };
+    let map =
+        |phi: f64| sys.cps().iter().zip(&m).map(|(cp, &mi)| mi * cp.lambda(phi)).sum::<f64>() / mu;
     let picard = subcomp::num::fixedpoint::picard(
         &map,
         0.3,

@@ -14,9 +14,8 @@ use subcomp::model::elasticity::{check_eq14, StateElasticities};
 /// Strategy: a small market of 2–5 exponential CP types.
 fn market_strategy() -> impl Strategy<Value = Vec<ExpCpSpec>> {
     proptest::collection::vec(
-        (0.5f64..6.0, 0.5f64..6.0, 0.1f64..1.2).prop_map(|(alpha, beta, v)| {
-            ExpCpSpec::unit(alpha, beta, v)
-        }),
+        (0.5f64..6.0, 0.5f64..6.0, 0.1f64..1.2)
+            .prop_map(|(alpha, beta, v)| ExpCpSpec::unit(alpha, beta, v)),
         2..=5,
     )
 }

@@ -28,10 +28,7 @@ fn three_cp_system() -> System {
 fn flow_sim_recovers_definition1_fixed_point() {
     let sys = three_cp_system();
     for p in [0.25, 0.75] {
-        let rep = FlowSim::new(&sys, vec![p; 3], FlowSimConfig::default())
-            .unwrap()
-            .run()
-            .unwrap();
+        let rep = FlowSim::new(&sys, vec![p; 3], FlowSimConfig::default()).unwrap().run().unwrap();
         assert!(
             rep.phi_rel_error < 0.04,
             "p = {p}: sim {} vs analytic {}",
@@ -90,16 +87,10 @@ fn measured_curve_closes_the_loop() {
 
 #[test]
 fn market_sim_finds_nash() {
-    let sys = build_system(
-        &[ExpCpSpec::unit(5.0, 2.0, 1.0), ExpCpSpec::unit(2.0, 4.0, 0.4)],
-        1.0,
-    )
-    .unwrap();
-    let game = SubsidyGame::new(sys, 0.7, 1.0).unwrap();
-    let report = MarketSim::new(&game, MarketSimConfig::default())
-        .unwrap()
-        .run()
+    let sys = build_system(&[ExpCpSpec::unit(5.0, 2.0, 1.0), ExpCpSpec::unit(2.0, 4.0, 0.4)], 1.0)
         .unwrap();
+    let game = SubsidyGame::new(sys, 0.7, 1.0).unwrap();
+    let report = MarketSim::new(&game, MarketSimConfig::default()).unwrap().run().unwrap();
     assert!(
         report.distance_to_nash < 0.1,
         "market {:?} vs nash {:?}",
@@ -114,11 +105,8 @@ fn market_sim_finds_nash() {
 fn deregulation_story_survives_in_simulation() {
     // Corollary 1 observed through the market simulator: ISP cumulative
     // revenue is larger when subsidies are allowed.
-    let sys = build_system(
-        &[ExpCpSpec::unit(5.0, 2.0, 1.0), ExpCpSpec::unit(2.0, 4.0, 0.4)],
-        1.0,
-    )
-    .unwrap();
+    let sys = build_system(&[ExpCpSpec::unit(5.0, 2.0, 1.0), ExpCpSpec::unit(2.0, 4.0, 0.4)], 1.0)
+        .unwrap();
     let cfg = MarketSimConfig { days: 2500, ..Default::default() };
     let banned = {
         let game = SubsidyGame::new(sys.clone(), 0.7, 0.0).unwrap();

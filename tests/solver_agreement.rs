@@ -21,7 +21,7 @@ fn br_vi_and_certificates_agree_on_random_markets() {
     for seed in [1u64, 2, 3, 4, 5] {
         let game = game_for_seed(seed);
         let br = NashSolver::default().with_tol(1e-9).solve(&game).unwrap();
-        let vi = projection_solve(&game, &vec![0.0; 5], &ViConfig::default()).unwrap();
+        let vi = projection_solve(&game, &[0.0; 5], &ViConfig::default()).unwrap();
         for i in 0..5 {
             assert!(
                 (br.subsidies[i] - vi.subsidies[i]).abs() < 1e-5,
@@ -42,7 +42,7 @@ fn br_vi_and_certificates_agree_on_random_markets() {
 fn extragradient_agrees_with_gauss_seidel() {
     let game = game_for_seed(7);
     let br = NashSolver::default().solve(&game).unwrap();
-    let eg = extragradient_solve(&game, &vec![0.2; 5], &ViConfig::default()).unwrap();
+    let eg = extragradient_solve(&game, &[0.2; 5], &ViConfig::default()).unwrap();
     for i in 0..5 {
         assert!((br.subsidies[i] - eg.subsidies[i]).abs() < 1e-5);
     }
@@ -54,7 +54,7 @@ fn deviation_gap_vanishes_only_at_equilibrium() {
     let eq = NashSolver::default().solve(&game).unwrap();
     let (gap_eq, _) = deviation_gap(&game, &eq.subsidies, &BrConfig::default()).unwrap();
     assert!(gap_eq < 1e-7, "gap at equilibrium {gap_eq}");
-    let (gap_origin, _) = deviation_gap(&game, &vec![0.0; 5], &BrConfig::default()).unwrap();
+    let (gap_origin, _) = deviation_gap(&game, &[0.0; 5], &BrConfig::default()).unwrap();
     assert!(gap_origin > gap_eq);
 }
 
@@ -64,13 +64,9 @@ fn continuous_dynamics_settle_on_the_same_point() {
     // low-throughput providers — give the integrator a long horizon.
     let game = game_for_seed(11);
     let eq = NashSolver::default().solve(&game).unwrap();
-    let traj = gradient_flow(&game, &vec![0.0; 5], 600.0, 3000).unwrap();
-    let dist = |s: &[f64]| {
-        s.iter()
-            .zip(&eq.subsidies)
-            .map(|(a, b)| (a - b).abs())
-            .fold(0.0f64, f64::max)
-    };
+    let traj = gradient_flow(&game, &[0.0; 5], 600.0, 3000).unwrap();
+    let dist =
+        |s: &[f64]| s.iter().zip(&eq.subsidies).map(|(a, b)| (a - b).abs()).fold(0.0f64, f64::max);
     let d0 = dist(&traj[0].s);
     let d_end = dist(&traj.last().unwrap().s);
     assert!(
@@ -89,14 +85,11 @@ fn warm_and_cold_starts_unique_equilibrium() {
     for seed in [21u64, 22, 23] {
         let game = game_for_seed(seed);
         let solver = NashSolver::default();
-        let a = solver.solve_from(&game, &vec![0.0; 5]).unwrap();
+        let a = solver.solve_from(&game, &[0.0; 5]).unwrap();
         let caps: Vec<f64> = (0..5).map(|i| game.effective_cap(i)).collect();
         let b = solver.solve_from(&game, &caps).unwrap();
         for i in 0..5 {
-            assert!(
-                (a.subsidies[i] - b.subsidies[i]).abs() < 1e-6,
-                "seed {seed} CP {i}"
-            );
+            assert!((a.subsidies[i] - b.subsidies[i]).abs() < 1e-6, "seed {seed} CP {i}");
         }
     }
 }

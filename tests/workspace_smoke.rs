@@ -1,0 +1,52 @@
+//! Fast canary that the whole crate graph links: build the paper's default
+//! duopoly through the facade prelude alone, solve its subsidization
+//! equilibrium, and sanity-check prices and welfare.
+//!
+//! If this test compiles and passes, `subcomp` -> `subcomp-core` ->
+//! `subcomp-model` -> `subcomp-num` are all wired correctly.
+
+use subcomp::prelude::*;
+
+#[test]
+fn prelude_solves_default_duopoly() {
+    // Paper defaults (§3.2 / §5.2): unit populations and peak rates, µ = 1,
+    // exponential families with (α, β) drawn from the {1,3,5} grid, uniform
+    // usage price p = 0.6 under subsidy cap q = 0.8.
+    let cps = vec![
+        ContentProvider::builder("video")
+            .demand(ExpDemand::new(1.0, 1.0))
+            .throughput(ExpThroughput::new(1.0, 3.0))
+            .profitability(1.0)
+            .build(),
+        ContentProvider::builder("web")
+            .demand(ExpDemand::new(1.0, 3.0))
+            .throughput(ExpThroughput::new(1.0, 1.0))
+            .profitability(1.0)
+            .build(),
+    ];
+    let system = System::new(cps, 1.0, LinearUtilization).expect("valid system");
+    let game = SubsidyGame::new(system, 0.6, 0.8).expect("valid game");
+
+    let eq = NashSolver::default().solve(&game).expect("equilibrium solves");
+    assert!(eq.converged, "solver did not converge");
+
+    // Effective prices t_i = p - s_i: finite and non-negative for both CPs.
+    assert_eq!(eq.subsidies.len(), 2);
+    for (i, &s) in eq.subsidies.iter().enumerate() {
+        assert!(s.is_finite(), "subsidy {i} not finite");
+        assert!(s >= 0.0, "subsidy {i} negative: {s}");
+        let t = 0.6 - s;
+        assert!(t.is_finite() && t >= -1e-12, "effective price {i} invalid: {t}");
+    }
+
+    // Congestion state is a genuine interior fixed point.
+    assert!(eq.state.phi.is_finite() && eq.state.phi > 0.0);
+
+    // Welfare breakdown: finite, non-negative welfare, money conserved.
+    let w = WelfareBreakdown::compute(&game, &eq.subsidies).expect("welfare computes");
+    assert!(w.welfare.is_finite() && w.welfare >= 0.0, "welfare {}", w.welfare);
+    assert!(
+        (w.user_payments + w.subsidy_outlay - w.isp_revenue).abs() < 1e-9,
+        "money not conserved"
+    );
+}
