@@ -54,6 +54,55 @@ impl NashSolution {
     pub fn welfare(&self, game: &SubsidyGame) -> f64 {
         (0..game.n()).map(|i| game.profitability(i) * self.state.theta_i[i]).sum()
     }
+
+    /// Bundles the solve's health indicators with the independent
+    /// Theorem 3 certificate into one snapshot-friendly record.
+    pub fn diagnostics(&self, game: &SubsidyGame) -> NumResult<SolveDiagnostics> {
+        let report = crate::equilibrium::verify_equilibrium(game, &self.subsidies)?;
+        let pin = crate::equilibrium::PIN_TOL;
+        let mut pinned_low = 0usize;
+        let mut pinned_high = 0usize;
+        for (i, &s) in self.subsidies.iter().enumerate() {
+            if s <= pin {
+                pinned_low += 1;
+            } else if s >= game.effective_cap(i) - pin {
+                pinned_high += 1;
+            }
+        }
+        Ok(SolveDiagnostics {
+            iterations: self.iterations,
+            residual: self.residual,
+            converged: self.converged,
+            max_kkt_residual: report.max_kkt_residual,
+            max_threshold_residual: report.max_threshold_residual,
+            pinned_low,
+            pinned_high,
+            interior: self.subsidies.len() - pinned_low - pinned_high,
+        })
+    }
+}
+
+/// Solver-health and certificate diagnostics of one Nash solve — the
+/// record the golden-snapshot regression tier pins per scenario, so that
+/// a refactor that degrades convergence (not just the answer) is caught.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SolveDiagnostics {
+    /// Best-response sweeps performed.
+    pub iterations: usize,
+    /// Sup-norm of the final sweep update.
+    pub residual: f64,
+    /// Whether the solve met its tolerance.
+    pub converged: bool,
+    /// Maximum KKT residual over providers (Theorem 3 certificate).
+    pub max_kkt_residual: f64,
+    /// Maximum threshold residual `|s_i − min{τ_i, q}|`.
+    pub max_threshold_residual: f64,
+    /// Providers pinned at `s_i = 0`.
+    pub pinned_low: usize,
+    /// Providers pinned at the effective cap `min(q, v_i)`.
+    pub pinned_high: usize,
+    /// Providers strictly inside their strategy box.
+    pub interior: usize,
 }
 
 /// Iterated best-response Nash solver.
@@ -280,6 +329,24 @@ mod tests {
         assert!((eq.isp_revenue(&game) - 0.5 * eq.state.theta()).abs() < 1e-12);
         let w: f64 = (0..8).map(|i| game.profitability(i) * eq.state.theta_i[i]).sum();
         assert!((eq.welfare(&game) - w).abs() < 1e-12);
+    }
+
+    #[test]
+    fn diagnostics_report_certificates_and_active_set() {
+        let game = paper_game(0.5, 1.0);
+        let eq = NashSolver::default().solve(&game).unwrap();
+        let d = eq.diagnostics(&game).unwrap();
+        assert!(d.converged);
+        assert_eq!(d.iterations, eq.iterations);
+        assert!(d.max_kkt_residual < 1e-5, "kkt {}", d.max_kkt_residual);
+        assert!(d.max_threshold_residual < 1e-5);
+        assert_eq!(d.pinned_low + d.pinned_high + d.interior, 8);
+        // At q = 0 everyone is pinned low.
+        let flat = paper_game(0.5, 0.0);
+        let eq0 = NashSolver::default().solve(&flat).unwrap();
+        let d0 = eq0.diagnostics(&flat).unwrap();
+        assert_eq!(d0.pinned_low, 8);
+        assert_eq!(d0.interior, 0);
     }
 
     #[test]

@@ -1,0 +1,74 @@
+//! Regenerates the golden snapshots for the scenario corpus.
+//!
+//! Usage:
+//!   `cargo run --release -p subcomp-exp --bin regen_golden [-- <out_dir>]`
+//!
+//! Writes one `<scenario>.json` per corpus entry (default output:
+//! `tests/golden/` at the workspace root) and removes stale snapshots for
+//! scenarios that no longer exist. The output directory is treated as
+//! wholly owned by the corpus: any `*.json` in it that does not match a
+//! current scenario is pruned, so don't point it at a directory holding
+//! unrelated JSON. The corpus and the codec are fully
+//! deterministic: running this twice produces byte-identical files. Only
+//! run it to *intentionally* move the pinned numbers, and say why in the
+//! commit message (see `tests/README.md`).
+
+use std::collections::BTreeSet;
+use std::path::PathBuf;
+use subcomp_exp::corpus::run_corpus;
+
+fn main() {
+    let out_dir: PathBuf = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| concat!(env!("CARGO_MANIFEST_DIR"), "/../../tests/golden").to_string())
+        .into();
+    std::fs::create_dir_all(&out_dir)
+        .unwrap_or_else(|e| panic!("cannot create {}: {e}", out_dir.display()));
+
+    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+    let mut fresh = BTreeSet::new();
+    let mut failures = 0usize;
+    for (name, result) in run_corpus(threads) {
+        match result {
+            Ok(res) => {
+                let path = out_dir.join(format!("{name}.json"));
+                std::fs::write(&path, res.to_json().render())
+                    .unwrap_or_else(|e| panic!("cannot write {}: {e}", path.display()));
+                println!("wrote {}", path.display());
+                fresh.insert(format!("{name}.json"));
+            }
+            Err(e) => {
+                eprintln!("FAILED {name}: {e}");
+                failures += 1;
+            }
+        }
+    }
+
+    // Drop snapshots whose scenario left the corpus — but only from a
+    // fully successful run: after a partial failure, a missing name means
+    // "scenario broke", not "scenario removed", and its committed golden
+    // must survive.
+    if failures == 0 {
+        prune_stale(&out_dir, &fresh);
+    }
+
+    if failures > 0 {
+        eprintln!("{failures} scenario(s) failed — goldens are incomplete");
+        std::process::exit(1);
+    }
+    println!("{} golden snapshot(s) up to date in {}", fresh.len(), out_dir.display());
+}
+
+fn prune_stale(out_dir: &PathBuf, fresh: &BTreeSet<String>) {
+    if let Ok(entries) = std::fs::read_dir(out_dir) {
+        for entry in entries.flatten() {
+            let file = entry.file_name().to_string_lossy().into_owned();
+            if file.ends_with(".json") && !fresh.contains(&file) {
+                match std::fs::remove_file(entry.path()) {
+                    Ok(()) => println!("removed stale {file}"),
+                    Err(e) => eprintln!("could not remove stale {file}: {e}"),
+                }
+            }
+        }
+    }
+}

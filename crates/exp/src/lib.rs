@@ -22,12 +22,20 @@
 //! the binaries print); [`scenarios`] pins the paper's parameterizations;
 //! [`report`] renders aligned ASCII tables and CSV files; [`sweep`] runs
 //! multi-threaded parameter sweeps with warm-started equilibrium solves.
+//!
+//! Beyond the figures, [`corpus`] maintains the named scenario corpus —
+//! the paper's systems plus oligopolies, capacity/elasticity extremes and
+//! non-neutral regimes — and [`golden`] pins every corpus run to a
+//! committed JSON snapshot under `tests/golden/` (regenerate with the
+//! `regen_golden` binary; see `tests/README.md` for the tolerance policy).
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod corpus;
 pub mod extensions;
 pub mod figures;
+pub mod golden;
 pub mod report;
 pub mod scenarios;
 pub mod sweep;

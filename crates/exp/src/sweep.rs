@@ -13,8 +13,16 @@ use subcomp_num::NumResult;
 
 /// Maps `f` over `items` on up to `threads` OS threads, preserving order.
 ///
-/// Falls back to a sequential map when `threads <= 1` or there is a single
-/// item. `f` must be `Sync` (it is shared across threads by reference).
+/// Falls back to a sequential map when `threads <= 1` (including 0) or
+/// there is at most a single item. `f` must be `Sync` (it is shared across
+/// threads by reference).
+///
+/// # Panics
+///
+/// If `f` panics for any item, the panic propagates to the caller after
+/// all in-flight workers finish their chunks (`std::thread::scope` joins
+/// every spawned thread before unwinding) — no result is silently
+/// dropped, and no thread is leaked.
 pub fn parallel_map<T, U, F>(items: &[T], threads: usize, f: F) -> Vec<U>
 where
     T: Sync,
@@ -96,6 +104,51 @@ mod tests {
     fn parallel_map_more_threads_than_items() {
         let items = [1, 2, 3];
         assert_eq!(parallel_map(&items, 64, |x| x * 10), vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn parallel_map_zero_threads_is_sequential() {
+        let items: Vec<i32> = (0..10).collect();
+        assert_eq!(parallel_map(&items, 0, |x| x + 1), (1..11).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn parallel_map_uneven_chunks_preserve_order() {
+        // 7 items over 3 workers: chunk sizes 3/3/1 — the tail chunk must
+        // land in the right slots.
+        let items: Vec<usize> = (0..7).collect();
+        assert_eq!(parallel_map(&items, 3, |x| x * 2), vec![0, 2, 4, 6, 8, 10, 12]);
+        // And a larger stress mix with a prime count.
+        let big: Vec<i64> = (0..101).collect();
+        assert_eq!(parallel_map(&big, 16, |x| -x), (0..101).map(|x| -x).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn parallel_map_panic_in_worker_propagates() {
+        let items: Vec<i32> = (0..16).collect();
+        let result = std::panic::catch_unwind(|| {
+            parallel_map(&items, 4, |x| {
+                if *x == 9 {
+                    panic!("worker exploded on {x}");
+                }
+                *x
+            })
+        });
+        assert!(result.is_err(), "panic inside a worker must reach the caller");
+    }
+
+    #[test]
+    fn parallel_map_panic_in_sequential_path_propagates() {
+        let items = [1, 2];
+        let result = std::panic::catch_unwind(|| {
+            parallel_map(&items, 1, |x| {
+                if *x == 2 {
+                    panic!("sequential path panic");
+                }
+                *x
+            })
+        });
+        assert!(result.is_err());
     }
 
     #[test]

@@ -89,12 +89,22 @@ pub fn aggregate(specs: &[ExpCpSpec], tol: f64) -> NumResult<ExpCpSpec> {
 
 /// Builds a [`System`] from exponential specs with the paper's `Φ = θ/µ`.
 pub fn build_system(specs: &[ExpCpSpec], mu: f64) -> NumResult<System> {
+    build_system_with(specs, mu, crate::utilization::LinearUtilization)
+}
+
+/// Builds a [`System`] from exponential specs under an arbitrary
+/// utilization family — the ablation/scenario knob behind Assumption 1.
+pub fn build_system_with(
+    specs: &[ExpCpSpec],
+    mu: f64,
+    utilization: impl crate::utilization::UtilizationFn + 'static,
+) -> NumResult<System> {
     let cps = specs
         .iter()
         .enumerate()
         .map(|(i, s)| s.build(format!("cp{i}-a{}-b{}-v{}", s.alpha, s.beta, s.v)))
         .collect();
-    System::new(cps, mu, crate::utilization::LinearUtilization)
+    System::new(cps, mu, utilization)
 }
 
 #[cfg(test)]
@@ -175,6 +185,20 @@ mod tests {
         let s = ExpCpSpec::unit(1.0, 1.0, 1.0);
         assert!(s.rescaled(0.0).is_err());
         assert!(s.rescaled(-2.0).is_err());
+    }
+
+    #[test]
+    fn build_system_with_honours_the_family() {
+        let specs = [ExpCpSpec::unit(2.0, 3.0, 1.0)];
+        let linear = build_system(&specs, 2.0).unwrap();
+        let power =
+            build_system_with(&specs, 2.0, crate::utilization::PowerUtilization::new(2.0).unwrap())
+                .unwrap();
+        assert_ne!(linear.utilization_fn().name(), power.utilization_fn().name());
+        // Same demand, different congestion law, different fixed point.
+        let a = linear.state_at_uniform_price(0.2).unwrap();
+        let b = power.state_at_uniform_price(0.2).unwrap();
+        assert!((a.phi - b.phi).abs() > 1e-6);
     }
 
     #[test]

@@ -105,11 +105,24 @@ impl<'a> MarketSim<'a> {
         Ok(MarketSim { game, cfg })
     }
 
-    /// Runs the simulation and compares against the analytic equilibrium.
+    /// Runs the simulation and compares against the analytic equilibrium
+    /// (solved internally at tolerance 1e-8).
     pub fn run(&self) -> NumResult<MarketSimReport> {
+        let nash = NashSolver::default().with_tol(1e-8).solve(self.game)?;
+        self.run_against(&nash.subsidies)
+    }
+
+    /// Runs the simulation comparing against a caller-supplied reference
+    /// profile — typically an already-solved Nash equilibrium. Skips the
+    /// internal re-solve, so batch runners (the scenario corpus, sweeps)
+    /// measure distance against *exactly* the equilibrium they snapshot.
+    pub fn run_against(&self, nash_subsidies: &[f64]) -> NumResult<MarketSimReport> {
         let game = self.game;
         let cfg = &self.cfg;
         let n = game.n();
+        if nash_subsidies.len() != n {
+            return Err(NumError::DimensionMismatch { expected: n, actual: nash_subsidies.len() });
+        }
         let mut rng = SimRng::new(cfg.seed);
 
         // Start at the no-subsidy baseline with populations at demand.
@@ -186,12 +199,11 @@ impl<'a> MarketSim<'a> {
             }
         }
 
-        let nash = NashSolver::default().with_tol(1e-8).solve(game)?;
         let distance_to_nash =
-            s.iter().zip(&nash.subsidies).map(|(a, b)| (a - b).abs()).fold(0.0f64, f64::max);
+            s.iter().zip(nash_subsidies).map(|(a, b)| (a - b).abs()).fold(0.0f64, f64::max);
         Ok(MarketSimReport {
             final_subsidies: s,
-            nash_subsidies: nash.subsidies,
+            nash_subsidies: nash_subsidies.to_vec(),
             distance_to_nash,
             ledger,
             trace,
@@ -266,6 +278,19 @@ mod tests {
         assert!(MarketSim::new(&game, bad1).is_err());
         let bad2 = MarketSimConfig { review_period: 0, ..Default::default() };
         assert!(MarketSim::new(&game, bad2).is_err());
+    }
+
+    #[test]
+    fn run_against_matches_run_and_checks_arity() {
+        let game = two_cp_game();
+        let cfg = MarketSimConfig { days: 300, ..Default::default() };
+        let sim = MarketSim::new(&game, cfg).unwrap();
+        let auto = sim.run().unwrap();
+        let manual = sim.run_against(&auto.nash_subsidies).unwrap();
+        // Same trajectory (the reference only affects the comparison).
+        assert_eq!(auto.final_subsidies, manual.final_subsidies);
+        assert_eq!(auto.distance_to_nash, manual.distance_to_nash);
+        assert!(sim.run_against(&[0.0; 5]).is_err(), "wrong arity must be rejected");
     }
 
     #[test]

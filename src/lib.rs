@@ -43,6 +43,7 @@ pub mod prelude {
 /// | Theorem 8 (policy effect) | [`game::policy::policy_effect`] (optimal price) | per-CP dθ/dq agreement |
 /// | Corollary 2 (welfare) | [`game::welfare::corollary2`] | sign-consistency tests |
 /// | Figures 4–11 | [`exp::figures`] | shape checks + `tests/figures_shape.rs` |
+/// | beyond the paper: scenario corpus | [`exp::corpus`] (+ [`exp::golden`]) | golden snapshots, `tests/golden_scenarios.rs` |
 /// | §6 capacity planning (future work) | [`game::capacity::CapacityPlanner`] | E2 experiment |
 /// | §6 ISP competition (conjecture) | [`game::duopoly::Duopoly`] | E4 experiment |
 /// | Lemma 2 limit (continuum) | [`model::continuum::ContinuumMarket`] | E5 experiment |

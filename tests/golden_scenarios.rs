@@ -1,0 +1,112 @@
+//! Golden-snapshot regression tier: re-runs the full scenario corpus and
+//! diffs every field of every result against the committed snapshots in
+//! `tests/golden/`, under the per-field tolerance policy of
+//! `subcomp_exp::golden::snapshot_tolerances`.
+//!
+//! A failure here means a code change moved a pinned equilibrium (or a
+//! solver-health indicator) beyond tolerance. If the change is intentional,
+//! regenerate with `cargo run --release -p subcomp-exp --bin regen_golden`
+//! and justify the shift in the commit message; see `tests/README.md`.
+
+use std::collections::BTreeSet;
+use std::path::{Path, PathBuf};
+use subcomp_exp::corpus::{corpus, run_corpus};
+use subcomp_exp::golden::{diff_snapshots, render_diff, snapshot_tolerances, Json};
+
+fn golden_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests").join("golden")
+}
+
+fn threads() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4)
+}
+
+#[test]
+fn golden_files_cover_exactly_the_corpus() {
+    let expected: BTreeSet<String> = corpus().iter().map(|s| format!("{}.json", s.name)).collect();
+    let on_disk: BTreeSet<String> = std::fs::read_dir(golden_dir())
+        .expect("tests/golden/ must exist — run the regen_golden binary")
+        .flatten()
+        .map(|e| e.file_name().to_string_lossy().into_owned())
+        .filter(|f| f.ends_with(".json"))
+        .collect();
+    let missing: Vec<&String> = expected.difference(&on_disk).collect();
+    let stale: Vec<&String> = on_disk.difference(&expected).collect();
+    assert!(
+        missing.is_empty() && stale.is_empty(),
+        "golden set out of sync with the corpus \
+         (missing: {missing:?}, stale: {stale:?}) — \
+         run `cargo run --release -p subcomp-exp --bin regen_golden`"
+    );
+}
+
+#[test]
+fn corpus_matches_committed_goldens() {
+    let dir = golden_dir();
+    let mut report = String::new();
+    let mut failed = 0usize;
+
+    for (name, result) in run_corpus(threads()) {
+        let path = dir.join(format!("{name}.json"));
+        let actual = match result {
+            Ok(res) => res.to_json(),
+            Err(e) => {
+                report.push_str(&format!("scenario `{name}`: run FAILED: {e}\n"));
+                failed += 1;
+                continue;
+            }
+        };
+        let text = match std::fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) => {
+                report.push_str(&format!(
+                    "scenario `{name}`: golden {} unreadable ({e}) — run regen_golden\n",
+                    path.display()
+                ));
+                failed += 1;
+                continue;
+            }
+        };
+        let golden = match Json::parse(&text) {
+            Ok(j) => j,
+            Err(e) => {
+                report.push_str(&format!("scenario `{name}`: golden is corrupt: {e}\n"));
+                failed += 1;
+                continue;
+            }
+        };
+        let diffs = diff_snapshots(&golden, &actual, &snapshot_tolerances);
+        if !diffs.is_empty() {
+            report.push_str(&render_diff(&name, &diffs));
+            report.push('\n');
+            failed += 1;
+        }
+    }
+
+    assert!(
+        failed == 0,
+        "{failed} scenario(s) diverged from their golden snapshots:\n\n{report}\n\
+         If the shift is intentional, regenerate with \
+         `cargo run --release -p subcomp-exp --bin regen_golden` and explain why \
+         in the commit message."
+    );
+}
+
+#[test]
+fn goldens_are_canonical_renderings() {
+    // Byte-level determinism guard: every committed file must be exactly
+    // what the codec renders for its own parse. This keeps regen runs
+    // diff-clean and catches hand-edited snapshots.
+    for spec in corpus() {
+        let path = golden_dir().join(format!("{}.json", spec.name));
+        let text = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("{}: {e} — run regen_golden", path.display()));
+        let parsed = Json::parse(&text).unwrap_or_else(|e| panic!("{}: {e}", spec.name));
+        assert_eq!(
+            text,
+            parsed.render(),
+            "golden for `{}` is not in canonical codec form — run regen_golden",
+            spec.name
+        );
+    }
+}

@@ -211,6 +211,76 @@ fn corollary2_welfare_condition_consistent() {
 }
 
 #[test]
+fn theorem5_subsidy_monotone_in_profitability_across_grid() {
+    // Theorem 5 asserted as a comparative-statics sweep, not a single
+    // step: CP 5's equilibrium subsidy rises monotonically with its v
+    // while it is interior, then pins at the effective cap min(q, v).
+    let base = SubsidyGame::new(section5_system(), 0.8, 1.0).unwrap();
+    let solver = solver();
+    let mut prev = -f64::INFINITY;
+    for v in [0.6, 0.8, 1.0, 1.2, 1.5, 2.0] {
+        let game = base.with_profitability(5, v).unwrap();
+        let eq = solver.solve(&game).unwrap();
+        assert!(eq.converged);
+        assert!(
+            eq.subsidies[5] >= prev - 1e-9,
+            "subsidy must be nondecreasing in v: s({v}) = {} < {prev}",
+            eq.subsidies[5]
+        );
+        // Lemma 3 follow-through: throughput ranking moves with it.
+        assert!(eq.subsidies[5] <= game.effective_cap(5) + 1e-12);
+        prev = eq.subsidies[5];
+    }
+    // The sweep must actually traverse the interior and reach the cap.
+    let rich = base.with_profitability(5, 2.0).unwrap();
+    let pinned = solver.solve(&rich).unwrap();
+    assert!((pinned.subsidies[5] - rich.effective_cap(5)).abs() < 1e-6);
+}
+
+#[test]
+fn capacity_comparative_statics_split_by_congestion_sensitivity() {
+    // Subsidy response to capacity µ, a claim the paper leaves implicit
+    // in §6's capacity-planning discussion. Expanding µ relieves
+    // congestion, which shifts the equilibrium in opposite directions for
+    // the two congestion classes of the §5 market: congestion-tolerant
+    // types (β = 2 — indices 2, 4, 6 among the active CPs) value the
+    // extra headroom and escalate their subsidies, while
+    // congestion-sensitive types (β = 5 — indices 3, 5, 7) rely less on
+    // subsidizing once the network is fast anyway. Equilibrium
+    // utilization falls and total throughput rises throughout (Theorem 1
+    // carried through the equilibrium map).
+    let solver = solver();
+    let mut prev: Option<(Vec<f64>, f64, f64)> = None;
+    for mu in [0.5, 0.75, 1.0, 1.5, 2.0, 3.0] {
+        let sys = section5_system().with_capacity(mu).unwrap();
+        let game = SubsidyGame::new(sys, 0.6, 1.0).unwrap();
+        let eq = solver.solve(&game).unwrap();
+        assert!(eq.converged, "mu = {mu}");
+        if let Some((s_prev, phi_prev, theta_prev)) = &prev {
+            for &i in &[2usize, 4, 6] {
+                assert!(
+                    eq.subsidies[i] >= s_prev[i] - 1e-9,
+                    "beta=2 CP {i} must raise its subsidy with mu: {} -> {}",
+                    s_prev[i],
+                    eq.subsidies[i]
+                );
+            }
+            for &i in &[3usize, 5, 7] {
+                assert!(
+                    eq.subsidies[i] <= s_prev[i] + 1e-9,
+                    "beta=5 CP {i} must lower its subsidy with mu: {} -> {}",
+                    s_prev[i],
+                    eq.subsidies[i]
+                );
+            }
+            assert!(eq.state.phi < *phi_prev, "utilization must fall with mu");
+            assert!(eq.state.theta() > *theta_prev, "throughput must rise with mu");
+        }
+        prev = Some((eq.subsidies.clone(), eq.state.phi, eq.state.theta()));
+    }
+}
+
+#[test]
 fn figure4_one_sided_revenue_single_peaked() {
     let sys = section3_system();
     let market = OneSidedMarket::new(&sys);

@@ -11,6 +11,9 @@ use subcomp::model::utilization::LinearUtilization;
 use subcomp::sim::flow::{FlowSim, FlowSimConfig, SharingMode};
 use subcomp::sim::market::{MarketSim, MarketSimConfig};
 use subcomp::sim::measured::MeasuredThroughput;
+// The same graded oligopoly markets the golden corpus pins, so these
+// tests and the `oligopoly-n*` snapshots stay in lockstep by construction.
+use subcomp_exp::corpus::graded_specs;
 
 fn three_cp_system() -> System {
     build_system(
@@ -99,6 +102,52 @@ fn market_sim_finds_nash() {
     );
     // Money conservation across the whole run.
     assert!(report.ledger.conservation_error() < 1e-6 * report.ledger.isp_revenue);
+}
+
+#[test]
+fn market_sim_finds_nash_in_triopoly() {
+    // The suite historically exercised only the duopoly path; myopic
+    // A/B-experimenting agents must find the analytic equilibrium in
+    // larger markets too (rotation slows down with N, so give the
+    // triopoly the default horizon).
+    let sys = build_system(&graded_specs(3), 1.0).unwrap();
+    let game = SubsidyGame::new(sys, 0.6, 0.8).unwrap();
+    let report = MarketSim::new(&game, MarketSimConfig::default()).unwrap().run().unwrap();
+    assert!(
+        report.distance_to_nash < 0.13,
+        "triopoly market {:?} vs nash {:?} (dist {})",
+        report.final_subsidies,
+        report.nash_subsidies,
+        report.distance_to_nash
+    );
+    assert!(report.ledger.conservation_error() < 1e-6 * report.ledger.isp_revenue);
+}
+
+#[test]
+fn market_sim_finds_nash_in_five_cp_oligopoly() {
+    // Five CPs: each provider only experiments every 5th review period,
+    // so the horizon grows accordingly.
+    let sys = build_system(&graded_specs(5), 1.0).unwrap();
+    let game = SubsidyGame::new(sys, 0.6, 0.8).unwrap();
+    let cfg = MarketSimConfig { days: 9000, ..Default::default() };
+    let report = MarketSim::new(&game, cfg).unwrap().run().unwrap();
+    assert!(
+        report.distance_to_nash < 0.15,
+        "5-CP market {:?} vs nash {:?} (dist {})",
+        report.final_subsidies,
+        report.nash_subsidies,
+        report.distance_to_nash
+    );
+    // The ranking of subsidies must match the analytic one: more
+    // profitable, more price-elastic types subsidize more (Figure 8's
+    // pattern carried over to the oligopoly).
+    for i in 1..5 {
+        assert!(
+            report.final_subsidies[i] >= report.final_subsidies[i - 1] - 0.05,
+            "sim subsidy ordering broken at {i}: {:?}",
+            report.final_subsidies
+        );
+    }
 }
 
 #[test]

@@ -3,17 +3,87 @@
 //! extragradient), continuous dynamics, and the KKT/threshold
 //! certificates — across randomized markets.
 
+use proptest::prelude::*;
 use subcomp::game::best_response::{deviation_gap, BrConfig};
 use subcomp::game::dynamics::gradient_flow;
 use subcomp::game::equilibrium::verify_equilibrium;
 use subcomp::game::game::SubsidyGame;
 use subcomp::game::nash::NashSolver;
 use subcomp::game::vi::{extragradient_solve, natural_residual, projection_solve, ViConfig};
+use subcomp::model::aggregation::{build_system, ExpCpSpec};
 use subcomp_exp::scenarios::random_system;
 
 fn game_for_seed(seed: u64) -> SubsidyGame {
     let sys = random_system(5, seed, 1.0);
     SubsidyGame::new(sys, 0.5 + 0.3 * ((seed % 3) as f64), 0.8).unwrap()
+}
+
+/// Strategy: a random valid market of 2–6 exponential CP types.
+fn market_strategy() -> impl Strategy<Value = Vec<ExpCpSpec>> {
+    proptest::collection::vec(
+        (0.5f64..6.0, 0.5f64..6.0, 0.1f64..1.2)
+            .prop_map(|(alpha, beta, v)| ExpCpSpec::unit(alpha, beta, v)),
+        2..=6,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Theorem 4 as a property: on random valid games, Gauss–Seidel and
+    /// Jacobi sweeps — damped and undamped alike — must land on the same
+    /// unique equilibrium within tolerance.
+    #[test]
+    fn sweep_families_agree_on_random_games(
+        specs in market_strategy(),
+        mu in 0.4f64..2.5,
+        p in 0.1f64..1.2,
+        q in 0.05f64..1.0,
+    ) {
+        let sys = build_system(&specs, mu).unwrap();
+        let game = SubsidyGame::new(sys, p, q).unwrap();
+        let reference = NashSolver::default().with_tol(1e-9).solve(&game).unwrap();
+        prop_assert!(reference.converged);
+        let variants: [(&str, NashSolver); 3] = [
+            ("gs-damped", NashSolver::default().with_tol(1e-9).with_damping(0.7)),
+            ("jacobi-damped-0.8", NashSolver::default().with_tol(1e-9).jacobi().with_damping(0.8)),
+            ("jacobi-damped-0.5", NashSolver::default().with_tol(1e-9).jacobi().with_damping(0.5)),
+        ];
+        for (label, solver) in variants {
+            let other = solver.solve(&game).unwrap();
+            prop_assert!(other.converged, "{label} did not converge");
+            for i in 0..game.n() {
+                prop_assert!(
+                    (reference.subsidies[i] - other.subsidies[i]).abs() < 1e-5,
+                    "{label} CP {i}: GS {} vs {}",
+                    reference.subsidies[i],
+                    other.subsidies[i]
+                );
+            }
+        }
+    }
+
+    /// The solved point carries independent certificates regardless of the
+    /// sweep family that produced it.
+    #[test]
+    fn any_sweep_family_passes_certificates(
+        specs in market_strategy(),
+        p in 0.1f64..1.0,
+        q in 0.05f64..0.9,
+        omega in 0.5f64..1.0,
+    ) {
+        let sys = build_system(&specs, 1.0).unwrap();
+        let game = SubsidyGame::new(sys, p, q).unwrap();
+        let eq = NashSolver::default().with_tol(1e-9).jacobi().with_damping(omega)
+            .solve(&game).unwrap();
+        let report = verify_equilibrium(&game, &eq.subsidies).unwrap();
+        prop_assert!(
+            report.is_equilibrium(1e-5),
+            "kkt {:.2e} threshold {:.2e}",
+            report.max_kkt_residual,
+            report.max_threshold_residual
+        );
+    }
 }
 
 #[test]
