@@ -5,7 +5,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::time::Duration;
-use subcomp_bench::market_of;
+use subcomp_bench::market_spread;
 use subcomp_core::best_response::BrConfig;
 use subcomp_core::duopoly::Duopoly;
 use subcomp_core::game::SubsidyGame;
@@ -15,7 +15,7 @@ use subcomp_model::continuum::ContinuumMarket;
 fn bench_damping(c: &mut Criterion) {
     let mut g = c.benchmark_group("ablation/damping");
     g.sample_size(10);
-    let game = SubsidyGame::new(market_of(8), 0.6, 0.8).unwrap();
+    let game = SubsidyGame::new(market_spread(8), 0.6, 0.8).unwrap();
     for omega in [1.0f64, 0.7, 0.4] {
         g.bench_with_input(BenchmarkId::from_parameter(omega), &omega, |b, &omega| {
             let solver = NashSolver::default().with_damping(omega).with_tol(1e-7);
@@ -28,7 +28,7 @@ fn bench_damping(c: &mut Criterion) {
 fn bench_br_grid(c: &mut Criterion) {
     let mut g = c.benchmark_group("ablation/br_grid");
     g.sample_size(10);
-    let game = SubsidyGame::new(market_of(8), 0.6, 0.8).unwrap();
+    let game = SubsidyGame::new(market_spread(8), 0.6, 0.8).unwrap();
     for grid in [8usize, 24, 64] {
         g.bench_with_input(BenchmarkId::from_parameter(grid), &grid, |b, &grid| {
             let mut solver = NashSolver::default().with_tol(1e-7);
@@ -42,7 +42,7 @@ fn bench_br_grid(c: &mut Criterion) {
 fn bench_tolerance(c: &mut Criterion) {
     let mut g = c.benchmark_group("ablation/solver_tol");
     g.sample_size(10);
-    let game = SubsidyGame::new(market_of(8), 0.6, 0.8).unwrap();
+    let game = SubsidyGame::new(market_spread(8), 0.6, 0.8).unwrap();
     for tol in [1e-5f64, 1e-7, 1e-9] {
         g.bench_with_input(BenchmarkId::from_parameter(tol), &tol, |b, &tol| {
             let solver = NashSolver::default().with_tol(tol);
@@ -55,7 +55,7 @@ fn bench_tolerance(c: &mut Criterion) {
 fn bench_extensions(c: &mut Criterion) {
     let mut g = c.benchmark_group("ablation/extensions");
     g.sample_size(10);
-    let duo = Duopoly::new(&market_of(2), 0.5, 0.5, 6.0, 0.5).unwrap();
+    let duo = Duopoly::new(&market_spread(2), 0.5, 0.5, 6.0, 0.5).unwrap();
     g.bench_function("duopoly_subsidy_equilibrium", |b| {
         b.iter(|| duo.subsidy_equilibrium(std::hint::black_box(0.6), 0.6).unwrap())
     });

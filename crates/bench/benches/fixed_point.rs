@@ -3,7 +3,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::time::Duration;
-use subcomp_bench::market_of;
+use subcomp_bench::market_spread;
 use subcomp_model::aggregation::{build_system, ExpCpSpec};
 use subcomp_model::system::System;
 use subcomp_model::utilization::{PowerUtilization, QueueUtilization};
@@ -11,7 +11,7 @@ use subcomp_model::utilization::{PowerUtilization, QueueUtilization};
 fn bench_scaling(c: &mut Criterion) {
     let mut g = c.benchmark_group("fixed_point/market_size");
     for n in [3usize, 9, 27, 81] {
-        let sys = market_of(n);
+        let sys = market_spread(n);
         g.bench_with_input(BenchmarkId::from_parameter(n), &sys, |b, sys| {
             b.iter(|| sys.state_at_uniform_price(std::hint::black_box(0.5)).unwrap())
         });

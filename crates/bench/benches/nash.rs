@@ -1,13 +1,20 @@
 //! Benchmarks Nash equilibrium solvers: best-response (Gauss–Seidel,
 //! Jacobi) and variational-inequality methods, and scaling in the number
 //! of provider types.
+//!
+//! All solver benches measure the allocation-free engine entry points
+//! (`solve_into` / `*_solve_into`) on a reused [`SolveWorkspace`] — the
+//! per-solve cost a batch caller actually pays. Cold benches still solve
+//! from the zero profile to full convergence, so their numbers are
+//! directly comparable with the pre-workspace `solve(&game)` baselines.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::time::Duration;
-use subcomp_bench::market_of;
+use subcomp_bench::{market_of, market_spread};
 use subcomp_core::game::SubsidyGame;
-use subcomp_core::nash::NashSolver;
-use subcomp_core::vi::{extragradient_solve, projection_solve, ViConfig};
+use subcomp_core::nash::{NashSolver, WarmStart};
+use subcomp_core::vi::{extragradient_solve_into, projection_solve_into, ViConfig};
+use subcomp_core::workspace::SolveWorkspace;
 
 fn bench_solvers(c: &mut Criterion) {
     let mut g = c.benchmark_group("nash/solver");
@@ -15,19 +22,38 @@ fn bench_solvers(c: &mut Criterion) {
     let game = SubsidyGame::new(market_of(8), 0.6, 0.8).unwrap();
     g.bench_function("gauss_seidel", |b| {
         let solver = NashSolver::default().with_tol(1e-8);
-        b.iter(|| solver.solve(std::hint::black_box(&game)).unwrap())
+        let mut ws = SolveWorkspace::for_game(&game);
+        b.iter(|| solver.solve_into(std::hint::black_box(&game), WarmStart::Zero, &mut ws).unwrap())
+    });
+    // The continuum-market counterpart of gauss_seidel: every provider has
+    // its own congestion elasticity, so the kernel's exp-sharing is moot
+    // and the number tracks the raw per-provider evaluation cost.
+    let spread = SubsidyGame::new(market_spread(8), 0.6, 0.8).unwrap();
+    g.bench_function("gauss_seidel_spread", |b| {
+        let solver = NashSolver::default().with_tol(1e-8);
+        let mut ws = SolveWorkspace::for_game(&spread);
+        b.iter(|| {
+            solver.solve_into(std::hint::black_box(&spread), WarmStart::Zero, &mut ws).unwrap()
+        })
     });
     g.bench_function("jacobi_damped", |b| {
         let solver = NashSolver::default().jacobi().with_damping(0.7).with_tol(1e-8);
-        b.iter(|| solver.solve(std::hint::black_box(&game)).unwrap())
+        let mut ws = SolveWorkspace::for_game(&game);
+        b.iter(|| solver.solve_into(std::hint::black_box(&game), WarmStart::Zero, &mut ws).unwrap())
     });
     g.bench_function("vi_projection", |b| {
         let cfg = ViConfig { tol: 1e-7, ..Default::default() };
-        b.iter(|| projection_solve(std::hint::black_box(&game), &[0.0; 8], &cfg).unwrap())
+        let mut ws = SolveWorkspace::for_game(&game);
+        b.iter(|| {
+            projection_solve_into(std::hint::black_box(&game), &[0.0; 8], &cfg, &mut ws).unwrap()
+        })
     });
     g.bench_function("vi_extragradient", |b| {
         let cfg = ViConfig { tol: 1e-7, ..Default::default() };
-        b.iter(|| extragradient_solve(std::hint::black_box(&game), &[0.0; 8], &cfg).unwrap())
+        let mut ws = SolveWorkspace::for_game(&game);
+        b.iter(|| {
+            extragradient_solve_into(std::hint::black_box(&game), &[0.0; 8], &cfg, &mut ws).unwrap()
+        })
     });
     g.finish();
 }
@@ -39,7 +65,8 @@ fn bench_scaling(c: &mut Criterion) {
         let game = SubsidyGame::new(market_of(n), 0.6, 0.8).unwrap();
         g.bench_with_input(BenchmarkId::from_parameter(n), &game, |b, game| {
             let solver = NashSolver::default().with_tol(1e-7);
-            b.iter(|| solver.solve(game).unwrap())
+            let mut ws = SolveWorkspace::for_game(game);
+            b.iter(|| solver.solve_into(game, WarmStart::Zero, &mut ws).unwrap())
         });
     }
     g.finish();
@@ -52,9 +79,21 @@ fn bench_warm_start(c: &mut Criterion) {
     let solver = NashSolver::default().with_tol(1e-8);
     let eq = solver.solve(&game).unwrap();
     let nearby = SubsidyGame::new(market_of(8), 0.62, 0.8).unwrap();
-    g.bench_function("cold", |b| b.iter(|| solver.solve(&nearby).unwrap()));
+    g.bench_function("cold", |b| {
+        let mut ws = SolveWorkspace::for_game(&nearby);
+        b.iter(|| solver.solve_into(&nearby, WarmStart::Zero, &mut ws).unwrap())
+    });
     g.bench_function("warm", |b| {
-        b.iter(|| solver.solve_from(&nearby, std::hint::black_box(&eq.subsidies)).unwrap())
+        let mut ws = SolveWorkspace::for_game(&nearby);
+        b.iter(|| {
+            solver
+                .solve_into(
+                    &nearby,
+                    WarmStart::Profile(std::hint::black_box(&eq.subsidies)),
+                    &mut ws,
+                )
+                .unwrap()
+        })
     });
     g.finish();
 }

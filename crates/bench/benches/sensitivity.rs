@@ -3,7 +3,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::time::Duration;
-use subcomp_bench::market_of;
+use subcomp_bench::market_spread;
 use subcomp_core::game::SubsidyGame;
 use subcomp_core::nash::NashSolver;
 use subcomp_core::sensitivity::Sensitivity;
@@ -13,7 +13,7 @@ fn bench_sensitivity(c: &mut Criterion) {
     let mut g = c.benchmark_group("sensitivity/theorem6");
     g.sample_size(10);
     for n in [4usize, 8, 16] {
-        let game = SubsidyGame::new(market_of(n), 0.6, 0.4).unwrap();
+        let game = SubsidyGame::new(market_spread(n), 0.6, 0.4).unwrap();
         let eq = NashSolver::default().with_tol(1e-9).solve(&game).unwrap();
         g.bench_with_input(BenchmarkId::from_parameter(n), &(game, eq), |b, (game, eq)| {
             b.iter(|| Sensitivity::compute(game, std::hint::black_box(&eq.subsidies)).unwrap())
@@ -25,7 +25,7 @@ fn bench_sensitivity(c: &mut Criterion) {
 fn bench_jacobian(c: &mut Criterion) {
     let mut g = c.benchmark_group("sensitivity/jacobian");
     g.sample_size(10);
-    let game = SubsidyGame::new(market_of(8), 0.6, 0.8).unwrap();
+    let game = SubsidyGame::new(market_spread(8), 0.6, 0.8).unwrap();
     let s = vec![0.2; 8];
     g.bench_function("marginal_utility_jacobian_8", |b| {
         b.iter(|| marginal_utility_jacobian(&game, std::hint::black_box(&s)).unwrap())

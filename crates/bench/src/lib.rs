@@ -13,9 +13,34 @@
 use subcomp_model::aggregation::{build_system, ExpCpSpec};
 use subcomp_model::system::System;
 
-/// A market of `n` synthetic exponential CP types with deterministic
-/// parameters spread over the paper's ranges.
+/// A market of `n` CPs drawn from the paper's §5 *type grid*
+/// `(α, β) ∈ {2, 5}²` with profitabilities graded over the paper's range —
+/// the Lemma 2 world where many providers aggregate into a few elasticity
+/// types. This is the headline benchmark market: it has the type structure
+/// every paper scenario (and the golden corpus) exhibits, which the
+/// kernelized congestion loop exploits (one `exp` per distinct `β`).
+///
+/// For the opposite regime — a continuum market where every provider has
+/// its own elasticity pair and no sharing is possible — see
+/// [`market_spread`].
 pub fn market_of(n: usize) -> System {
+    const GRID: [(f64, f64); 4] = [(2.0, 2.0), (2.0, 5.0), (5.0, 2.0), (5.0, 5.0)];
+    let specs: Vec<ExpCpSpec> = (0..n)
+        .map(|i| {
+            let (alpha, beta) = GRID[i % 4];
+            let v = 0.4 + 0.1 * ((i % 7) as f64);
+            ExpCpSpec::unit(alpha, beta, v)
+        })
+        .collect();
+    build_system(&specs, 1.0).expect("static specs are valid")
+}
+
+/// A market of `n` synthetic exponential CPs with elasticities *spread*
+/// over the paper's ranges (5 distinct `β` among any 8 providers) — the
+/// continuum-type regime where the kernel's `exp` sharing buys little.
+/// Benchmarked alongside [`market_of`] so the perf trajectory tracks both
+/// market structures.
+pub fn market_spread(n: usize) -> System {
     let specs: Vec<ExpCpSpec> = (0..n)
         .map(|i| {
             let alpha = 1.0 + (i % 5) as f64;
@@ -37,6 +62,9 @@ mod tests {
             let m = market_of(n);
             assert_eq!(m.n(), n);
             assert!(m.state_at_uniform_price(0.5).unwrap().phi > 0.0);
+            let s = market_spread(n);
+            assert_eq!(s.n(), n);
+            assert!(s.state_at_uniform_price(0.5).unwrap().phi > 0.0);
         }
     }
 }

@@ -12,14 +12,147 @@
 //! `measurement_time / sample_size`. Good enough for the relative
 //! comparisons the suites are tuned for; not a replacement for real
 //! criterion when rigorous statistics are needed.
+//!
+//! ## Machine-readable output
+//!
+//! Setting `SUBCOMP_BENCH_JSON=/path/to/file.json` makes the harness
+//! (via [`finalize`], which `criterion_main!` invokes after every group
+//! has run) write a JSON document mapping each benchmark id to its median
+//! ns/iter — the format behind the committed `BENCH_nash.json` perf
+//! trajectory at the repo root. Setting `SUBCOMP_BENCH_QUICK=1` clamps
+//! every benchmark to a tiny sample budget (CI smoke mode: proves the
+//! harness and the emitter work without paying for stable statistics; the
+//! emitted JSON is marked `"quick": true` so nobody mistakes it for a
+//! trajectory point).
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
 use std::fmt::Display;
+use std::fmt::Write as _;
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;
+
+/// Medians recorded by every benchmark that ran in this process, in run
+/// order: `(full benchmark id, median ns/iter)`.
+static RECORDED: Mutex<Vec<(String, f64)>> = Mutex::new(Vec::new());
+
+fn quick_mode() -> bool {
+    std::env::var("SUBCOMP_BENCH_QUICK").map(|v| v != "0" && !v.is_empty()).unwrap_or(false)
+}
+
+/// Writes the recorded medians as JSON if `SUBCOMP_BENCH_JSON` is set.
+/// Called automatically by [`criterion_main!`] after all groups finish;
+/// public so custom `main`s can opt in too.
+///
+/// If the target file already holds a document written by this harness,
+/// the runs are **merged**: this run's ids overwrite matching entries and
+/// every other id is retained, so `cargo bench -p subcomp-bench` (which
+/// runs the suites as separate processes, each calling `finalize`) cannot
+/// silently truncate the file to the last suite's medians. A merge that
+/// retains entries from a quick run keeps the `quick` marker. Delete the
+/// file first for a clean slate. Panics if the file cannot be written (a
+/// bench harness has no better channel than failing loudly).
+pub fn finalize() {
+    let Ok(path) = std::env::var("SUBCOMP_BENCH_JSON") else {
+        return;
+    };
+    if path.is_empty() {
+        return;
+    }
+    let fresh = RECORDED.lock().expect("bench registry poisoned").clone();
+    let mut quick = quick_mode();
+    let mut results = fresh.clone();
+    if let Ok(existing) = std::fs::read_to_string(&path) {
+        if let Some((prior, prior_quick)) = parse_results_json(&existing) {
+            let mut retained = 0usize;
+            for (name, median) in prior {
+                if !fresh.iter().any(|(n, _)| *n == name) {
+                    results.push((name, median));
+                    retained += 1;
+                }
+            }
+            if retained > 0 {
+                println!("merged {retained} median(s) from the existing {path}");
+                quick |= prior_quick;
+            }
+        }
+    }
+    results.sort_by(|a, b| a.0.cmp(&b.0));
+    let doc = render_results_json(&results, quick);
+    std::fs::write(&path, doc).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+    println!("wrote benchmark medians to {path}");
+}
+
+/// Parses a document previously written by [`finalize`] (and only that —
+/// the harness reads back its own canonical output, not arbitrary JSON).
+/// Returns the `(id, median)` entries and the `quick` flag, or `None` if
+/// the file is not this harness's format.
+fn parse_results_json(doc: &str) -> Option<(Vec<(String, f64)>, bool)> {
+    if !doc.contains("\"schema\": \"subcomp-bench-v1\"") {
+        return None;
+    }
+    let quick = doc.contains("\"quick\": true");
+    let mut entries = Vec::new();
+    let mut in_results = false;
+    for line in doc.lines() {
+        let line = line.trim();
+        if line.starts_with("\"results\"") {
+            in_results = true;
+            continue;
+        }
+        if !in_results {
+            continue;
+        }
+        if line.starts_with('}') {
+            break;
+        }
+        // Canonical entry shape: "id": 123.45[,]
+        let Some((name_part, value_part)) = line.rsplit_once(": ") else {
+            continue;
+        };
+        let name = name_part.trim().trim_matches('"');
+        let value = value_part.trim_end_matches(',').parse::<f64>().ok()?;
+        // The writer only escapes quotes/backslashes; reverse it.
+        let name = name.replace("\\\"", "\"").replace("\\\\", "\\");
+        entries.push((name, value));
+    }
+    Some((entries, quick))
+}
+
+/// Renders the benchmark registry as a deterministic JSON document:
+/// `schema` / `units` / `quick` header plus an id-sorted `results` map.
+fn render_results_json(results: &[(String, f64)], quick: bool) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"schema\": \"subcomp-bench-v1\",\n");
+    out.push_str("  \"units\": \"ns_per_iter\",\n");
+    let _ = writeln!(out, "  \"quick\": {quick},");
+    out.push_str("  \"results\": {\n");
+    for (k, (name, median)) in results.iter().enumerate() {
+        let _ = write!(out, "    \"{}\": {:?}", escape_json(name), median);
+        out.push_str(if k + 1 < results.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  }\n}\n");
+    out
+}
+
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
 
 /// Top-level benchmark driver, mirroring `criterion::Criterion`.
 #[derive(Debug, Clone)]
@@ -247,7 +380,12 @@ fn run_one<F: FnMut(&mut Bencher)>(
     if !c.should_run(name) {
         return;
     }
-    let sample_size = group_samples.unwrap_or(c.sample_size);
+    // CI smoke mode: clamp every budget knob so the whole suite runs in
+    // seconds while still exercising the measurement and JSON paths.
+    let quick = quick_mode();
+    let sample_size = if quick { 2 } else { group_samples.unwrap_or(c.sample_size) };
+    let warm_up_time = if quick { Duration::from_millis(5) } else { c.warm_up_time };
+    let measurement_time = if quick { Duration::from_millis(20) } else { c.measurement_time };
 
     // Calibration pass: find how many iterations fit in one sample slot.
     let mut probe = Bencher::new(1, 1);
@@ -255,12 +393,12 @@ fn run_one<F: FnMut(&mut Bencher)>(
     f(&mut probe);
     let mut per_iter = probe.samples.first().copied().unwrap_or(Duration::from_nanos(1));
     // Keep warming until the configured warm-up time has elapsed.
-    while warm_start.elapsed() < c.warm_up_time {
+    while warm_start.elapsed() < warm_up_time {
         let mut w = Bencher::new(1, 1);
         f(&mut w);
         per_iter = (per_iter + w.samples.first().copied().unwrap_or(per_iter)) / 2;
     }
-    let slot = c.measurement_time.div_f64(sample_size as f64);
+    let slot = measurement_time.div_f64(sample_size as f64);
     let iters = (slot.as_nanos() / per_iter.as_nanos().max(1)).clamp(1, 1_000_000) as u64;
 
     let mut b = Bencher::new(iters, sample_size);
@@ -278,6 +416,7 @@ fn run_one<F: FnMut(&mut Bencher)>(
     let lo = per_iter_ns.first().copied().unwrap_or(median);
     let hi = per_iter_ns.last().copied().unwrap_or(median);
     println!("{name:<48} time: [{} {} {}]", format_ns(lo), format_ns(median), format_ns(hi));
+    RECORDED.lock().expect("bench registry poisoned").push((name.to_owned(), median));
 }
 
 fn format_ns(ns: f64) -> String {
@@ -311,11 +450,14 @@ macro_rules! criterion_group {
 }
 
 /// Declares the bench harness entry point, mirroring criterion's macro.
+/// After every group has run, [`finalize`] emits the machine-readable
+/// medians when `SUBCOMP_BENCH_JSON` is set.
 #[macro_export]
 macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
         fn main() {
             $($group();)+
+            $crate::finalize();
         }
     };
 }
@@ -340,5 +482,37 @@ mod tests {
         let mut ran = 0u32;
         c.bench_function("smoke", |b| b.iter(|| ran += 1));
         assert!(ran > 0);
+        // The registry picked the run up (medians are positive timings).
+        let recorded = RECORDED.lock().unwrap();
+        let entry = recorded.iter().find(|(n, _)| n == "smoke");
+        assert!(entry.is_some_and(|(_, median)| *median > 0.0));
+    }
+
+    #[test]
+    fn json_rendering_is_deterministic_and_escaped() {
+        let results =
+            vec![("nash/solver/a\"b".to_string(), 1234.5), ("nash/solver/plain".to_string(), 7.0)];
+        let doc = render_results_json(&results, true);
+        assert!(doc.contains("\"schema\": \"subcomp-bench-v1\""));
+        assert!(doc.contains("\"units\": \"ns_per_iter\""));
+        assert!(doc.contains("\"quick\": true"));
+        assert!(doc.contains("\"nash/solver/a\\\"b\": 1234.5"));
+        assert!(doc.contains("\"nash/solver/plain\": 7.0"));
+        assert_eq!(doc, render_results_json(&results, true));
+        // Empty registry still renders a valid document.
+        let empty = render_results_json(&[], false);
+        assert!(empty.contains("\"results\": {\n  }"));
+    }
+
+    #[test]
+    fn parse_roundtrips_canonical_output() {
+        let results =
+            vec![("nash/solver/a\"b".to_string(), 1234.5), ("nash/solver/plain".to_string(), 7.25)];
+        let doc = render_results_json(&results, true);
+        let (parsed, quick) = parse_results_json(&doc).expect("own output must parse");
+        assert!(quick);
+        assert_eq!(parsed, results);
+        // Foreign documents are rejected rather than half-parsed.
+        assert!(parse_results_json("{\"something\": 1}").is_none());
     }
 }

@@ -11,8 +11,10 @@
 //! interior candidates.
 
 use crate::game::SubsidyGame;
-use subcomp_num::optimize::maximize_scalar;
-use subcomp_num::{NumResult, Tolerance};
+use std::cell::RefCell;
+use subcomp_model::system::StateScratch;
+use subcomp_num::optimize::maximize_scalar_reusing_ends;
+use subcomp_num::{NumError, NumResult, Tolerance};
 
 /// Outcome of a best-response computation.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -41,35 +43,59 @@ impl Default for BrConfig {
 }
 
 /// Computes provider `i`'s best response to the profile `s` (the value of
-/// `s[i]` itself is ignored).
+/// `s[i]` itself is ignored) — a thin shim allocating throwaway buffers
+/// for [`best_response_into`], the engine the Nash solvers iterate.
 pub fn best_response(
     game: &SubsidyGame,
     i: usize,
     s: &[f64],
     cfg: &BrConfig,
 ) -> NumResult<BestResponse> {
+    let mut m = Vec::new();
+    let mut scratch = game.system().make_scratch();
+    best_response_into(game, i, s, cfg, &mut m, &mut scratch)
+}
+
+/// The allocation-free best-response engine: grid localization, Brent
+/// polish of the cell, then (for interior maximizers, which
+/// value-comparison locates only to ~sqrt(eps)) a root-finding refinement
+/// of the *analytic* marginal utility `u_i(s_i) = 0` — the ~1e-12
+/// accuracy the sensitivity analysis (Theorem 6) needs. Every transient
+/// lives in the caller's buffers: `m` caches the populations of the
+/// frozen components `s_{-i}` (they do not depend on `s_i`), so each
+/// objective evaluation recomputes only `m[i]` and the congestion fixed
+/// point. `evaluations` counts actual fixed-point solves (duplicate
+/// endpoint evaluations are reused, not recomputed).
+pub(crate) fn best_response_into(
+    game: &SubsidyGame,
+    i: usize,
+    s: &[f64],
+    cfg: &BrConfig,
+    m: &mut Vec<f64>,
+    scratch: &mut StateScratch,
+) -> NumResult<BestResponse> {
     let hi = game.effective_cap(i);
+    // The allocating path validates the probed profile on every objective
+    // evaluation; the components other than `i` never change, so validate
+    // once. A failure maps to the same error the allocating path surfaces
+    // when every objective evaluation comes back non-finite.
+    if game.validate(s).is_err() {
+        return Err(NumError::NonFinite { what: "grid_scan objective", at: 0.0 });
+    }
+    game.populations_for(s, m);
+    let buffers = RefCell::new((m, scratch));
     let f = |si: f64| {
-        let mut prof = s.to_vec();
-        prof[i] = si;
-        game.utility(i, &prof).unwrap_or(f64::NEG_INFINITY)
+        let (m, scratch) = &mut *buffers.borrow_mut();
+        game.utility_probe(i, si, m, scratch).unwrap_or(f64::NEG_INFINITY)
     };
-    let m = maximize_scalar(&f, 0.0, hi, cfg.grid, cfg.tol)?;
-    // Value-comparison maximization locates the argmax only to ~sqrt(eps).
-    // Interior maximizers are stationary points of the *analytic* marginal
-    // utility, so polish them by root-finding u_i(s_i) = 0 — this buys the
-    // ~1e-12 accuracy the sensitivity analysis (Theorem 6) needs.
+    let m = maximize_scalar_reusing_ends(&f, 0.0, hi, cfg.grid, cfg.tol)?;
     let mut best = BestResponse { s: m.x, utility: m.value, evaluations: m.evaluations };
     let interior_margin = 1e-5 * (1.0 + hi);
     if m.x > interior_margin && m.x < hi - interior_margin {
         let u_of = |si: f64| {
-            let mut prof = s.to_vec();
-            prof[i] = si;
-            game.marginal_utility(i, &prof).unwrap_or(f64::NAN)
+            let (m, scratch) = &mut *buffers.borrow_mut();
+            game.marginal_probe(i, si, m, scratch).unwrap_or(f64::NAN)
         };
-        // Bracket the stationary point around the coarse argmax; u is
-        // locally decreasing through a maximum (positive left, negative
-        // right).
         let mut delta = 16.0 * interior_margin;
         let mut bracket = None;
         for _ in 0..8 {
@@ -77,15 +103,17 @@ pub fn best_response(
             let b = (m.x + delta).min(hi);
             let (ua, ub) = (u_of(a), u_of(b));
             if ua.is_finite() && ub.is_finite() && ua >= 0.0 && ub <= 0.0 {
-                bracket = Some(subcomp_num::roots::Bracket::new(a, b));
+                bracket = Some((subcomp_num::roots::Bracket::new(a, b), ua, ub));
                 break;
             }
             delta *= 2.0;
         }
-        if let Some(br) = bracket {
-            if let Ok(root) = subcomp_num::roots::brent(
-                &|si| u_of(si),
+        if let Some((br, ua, ub)) = bracket {
+            if let Ok(root) = subcomp_num::roots::brent_seeded(
+                &mut |si| u_of(si),
                 br,
+                ua,
+                ub,
                 subcomp_num::Tolerance::new(1e-13, 1e-13).with_max_iter(120),
             ) {
                 let refined = root.x.clamp(0.0, hi);

@@ -22,7 +22,7 @@
 //! [`sensitivity`]: crate::sensitivity
 //! [`vi`]: crate::vi
 
-use subcomp_model::system::{System, SystemState};
+use subcomp_model::system::{StateScratch, System, SystemState};
 use subcomp_num::{NumError, NumResult};
 
 /// The subsidization game: a system plus `(p, q)` and pricing conventions.
@@ -139,16 +139,29 @@ impl SubsidyGame {
 
     /// Effective prices `t_i = p − s_i` (clamped at zero if configured).
     pub fn effective_prices(&self, s: &[f64]) -> Vec<f64> {
-        s.iter()
-            .map(|&si| {
-                let t = self.price - si;
-                if self.clamp_effective_price {
-                    t.max(0.0)
-                } else {
-                    t
-                }
-            })
-            .collect()
+        s.iter().map(|&si| self.effective_price_of(si)).collect()
+    }
+
+    /// One provider's effective price `t = p − s` under this game's
+    /// clamping convention.
+    #[inline]
+    pub fn effective_price_of(&self, si: f64) -> f64 {
+        let t = self.price - si;
+        if self.clamp_effective_price {
+            t.max(0.0)
+        } else {
+            t
+        }
+    }
+
+    /// Populations induced by the profile `s`, written into `out` — the
+    /// allocation-free composition of [`SubsidyGame::effective_prices`]
+    /// and [`System::populations`].
+    pub(crate) fn populations_for(&self, s: &[f64], out: &mut Vec<f64>) {
+        out.resize(self.n(), 0.0);
+        for (j, o) in out.iter_mut().enumerate() {
+            *o = self.system.cp(j).population(self.effective_price_of(s[j]));
+        }
     }
 
     /// Solves the congestion fixed point induced by the profile `s`.
@@ -183,18 +196,123 @@ impl SubsidyGame {
 
     /// Analytic marginal utility given the already-solved state.
     pub fn marginal_utility_at_state(&self, i: usize, s: &[f64], state: &SystemState) -> f64 {
+        self.marginal_from_parts(
+            i,
+            s[i],
+            state.m[i],
+            state.lambda[i],
+            state.theta_i[i],
+            state.phi,
+            state.dg_dphi,
+        )
+    }
+
+    /// The marginal-utility formula of the module docs on pre-extracted
+    /// state components — shared by [`SubsidyGame::marginal_utility_at_state`]
+    /// and the allocation-free best-response probes so the two paths cannot
+    /// drift apart numerically.
+    // One scalar per state component the formula reads; bundling them into
+    // a struct would just re-create SystemState by another name.
+    #[allow(clippy::too_many_arguments)]
+    #[inline]
+    fn marginal_from_parts(
+        &self,
+        i: usize,
+        si: f64,
+        m_i: f64,
+        lambda_i: f64,
+        theta_ii: f64,
+        phi: f64,
+        dg_dphi: f64,
+    ) -> f64 {
         let cp = self.system.cp(i);
-        let t_i = self.price - s[i];
+        let t_i = self.price - si;
         if self.clamp_effective_price && t_i < 0.0 {
             // Clamped region: m_i no longer responds to s_i; only the
             // direct margin loss remains.
-            return -state.theta_i[i];
+            return -theta_ii;
         }
         let dm_dsi = -cp.demand().dm_dt(t_i); // >= 0
-        let dphi_dsi = state.lambda[i] * dm_dsi / state.dg_dphi;
-        let dlambda = cp.throughput().dlambda_dphi(state.phi);
-        let dtheta_dsi = dm_dsi * state.lambda[i] + state.m[i] * dlambda * dphi_dsi;
-        -state.theta_i[i] + (cp.profitability() - s[i]) * dtheta_dsi
+        let dphi_dsi = lambda_i * dm_dsi / dg_dphi;
+        let dlambda = cp.throughput().dlambda_dphi(phi);
+        let dtheta_dsi = dm_dsi * lambda_i + m_i * dlambda * dphi_dsi;
+        -theta_ii + (cp.profitability() - si) * dtheta_dsi
+    }
+
+    /// Best-response utility probe: `U_i` at the profile whose `i`-th
+    /// component is `si`, with every *other* population pre-computed in
+    /// `m` (they do not depend on `s_i`). Overwrites `m[i]`, solves the
+    /// congestion fixed point through `scratch`, and touches no other
+    /// memory — the allocation-free core of the solver hot loop.
+    /// Bit-identical to `utility(i, profile)` on the matching profile.
+    pub(crate) fn utility_probe(
+        &self,
+        i: usize,
+        si: f64,
+        m: &mut [f64],
+        scratch: &mut StateScratch,
+    ) -> NumResult<f64> {
+        let cp = self.system.cp(i);
+        m[i] = cp.population(self.effective_price_of(si));
+        let phi = self.system.solve_phi_with(m, scratch)?;
+        // λ_i and θ_i exactly as the full state assembly computes them.
+        let lambda_i = self.system.lambda_of(i, phi);
+        Ok((cp.profitability() - si) * (m[i] * lambda_i))
+    }
+
+    /// Best-response marginal-utility probe, the `u_i` counterpart of
+    /// [`SubsidyGame::utility_probe`]. Bit-identical to
+    /// `marginal_utility(i, profile)` on the matching profile.
+    pub(crate) fn marginal_probe(
+        &self,
+        i: usize,
+        si: f64,
+        m: &mut [f64],
+        scratch: &mut StateScratch,
+    ) -> NumResult<f64> {
+        let cp = self.system.cp(i);
+        m[i] = cp.population(self.effective_price_of(si));
+        let phi = self.system.solve_phi_with(m, scratch)?;
+        let lambda_i = self.system.lambda_of(i, phi);
+        let theta_ii = m[i] * lambda_i;
+        let dg_dphi = self.system.dgap_dphi_with(phi, m, scratch);
+        Ok(self.marginal_from_parts(i, si, m[i], lambda_i, theta_ii, phi, dg_dphi))
+    }
+
+    /// [`SubsidyGame::state`] into caller-owned buffers: validates `s`,
+    /// fills `prices`, and solves the fixed point into `out`.
+    pub(crate) fn state_into(
+        &self,
+        s: &[f64],
+        prices: &mut Vec<f64>,
+        scratch: &mut StateScratch,
+        out: &mut SystemState,
+    ) -> NumResult<()> {
+        self.validate(s)?;
+        prices.resize(self.n(), 0.0);
+        for (o, &si) in prices.iter_mut().zip(s) {
+            *o = self.effective_price_of(si);
+        }
+        self.system.state_at_prices_into(prices, scratch, out)
+    }
+
+    /// The VI map `F(s) = −u(s)` into a caller-owned buffer (the
+    /// allocation-free core of [`crate::vi`]): solves the state at `s`
+    /// into `state` and writes the negated marginal utilities into `out`.
+    pub(crate) fn vi_map_into(
+        &self,
+        s: &[f64],
+        prices: &mut Vec<f64>,
+        scratch: &mut StateScratch,
+        state: &mut SystemState,
+        out: &mut Vec<f64>,
+    ) -> NumResult<()> {
+        self.state_into(s, prices, scratch, state)?;
+        out.resize(self.n(), 0.0);
+        for i in 0..self.n() {
+            out[i] = -self.marginal_utility_at_state(i, s, state);
+        }
+        Ok(())
     }
 
     /// All marginal utilities `u(s)` at a profile (one fixed-point solve).

@@ -12,6 +12,9 @@
 //!   utilities `U_i = (v_i − s_i) θ_i(s)` and analytic marginal utilities;
 //! * [`best_response`], [`nash`] — Gauss–Seidel/Jacobi best-response
 //!   solvers for the Nash equilibrium of Definition 3;
+//! * [`workspace`] — caller-owned [`workspace::SolveWorkspace`] buffers
+//!   behind the allocation-free `solve_into` engines (batch/ensemble
+//!   solving without per-solve heap traffic);
 //! * [`vi`] — the same equilibrium as a box-constrained variational
 //!   inequality `VI(−u, [0,q]^N)` with projection and extragradient
 //!   solvers (the formulation behind Theorems 4 and 6);
@@ -68,13 +71,15 @@ pub mod sensitivity;
 pub mod structure;
 pub mod vi;
 pub mod welfare;
+pub mod workspace;
 
 /// One-stop imports for game-layer usage.
 pub mod prelude {
     pub use crate::equilibrium::{verify_equilibrium, EquilibriumReport};
     pub use crate::game::SubsidyGame;
-    pub use crate::nash::{NashSolution, NashSolver, SweepMode};
+    pub use crate::nash::{NashSolution, NashSolver, SolveStats, SweepMode, WarmStart};
     pub use crate::pricing::optimal_price;
     pub use crate::sensitivity::{ActiveSet, Sensitivity};
     pub use crate::welfare::{welfare, WelfareBreakdown};
+    pub use crate::workspace::SolveWorkspace;
 }

@@ -12,10 +12,11 @@
 //! and [`crate::equilibrium::verify_equilibrium`] can be used post-hoc for
 //! an independent KKT/deviation certificate.
 
-use crate::best_response::{best_response, BrConfig};
+use crate::best_response::{best_response_into, BrConfig};
 use crate::game::SubsidyGame;
+use crate::workspace::SolveWorkspace;
 use subcomp_model::system::SystemState;
-use subcomp_num::seq::ConvergenceTracker;
+use subcomp_num::linalg::vector::{copy_clamped, sub_inf_norm};
 use subcomp_num::{NumError, NumResult};
 
 /// Sweep order for the best-response iteration.
@@ -158,58 +159,128 @@ impl NashSolver {
     }
 
     /// Solves from the no-subsidy profile `s = 0` (the paper's baseline).
+    ///
+    /// Thin wrapper over [`NashSolver::solve_into`] with a throwaway
+    /// workspace; batch callers should hold a [`SolveWorkspace`] and call
+    /// the engine directly to solve allocation-free.
     pub fn solve(&self, game: &SubsidyGame) -> NumResult<NashSolution> {
-        self.solve_from(game, &vec![0.0; game.n()])
+        let mut ws = SolveWorkspace::for_game(game);
+        let stats = self.solve_into(game, WarmStart::Zero, &mut ws)?;
+        Ok(ws.solution(stats))
     }
 
     /// Solves from an explicit starting profile — warm starts make the
     /// `p`/`q` sweeps of Figures 7–11 fast and continuous.
     pub fn solve_from(&self, game: &SubsidyGame, s0: &[f64]) -> NumResult<NashSolution> {
-        game.validate(s0)?;
+        let mut ws = SolveWorkspace::for_game(game);
+        let stats = self.solve_into(game, WarmStart::Profile(s0), &mut ws)?;
+        Ok(ws.solution(stats))
+    }
+
+    /// The allocation-free solve engine. Runs the same best-response
+    /// iteration as [`NashSolver::solve`]/[`NashSolver::solve_from`] —
+    /// bit-identical iterates, residuals and sweep counts — but every
+    /// transient lives in the caller-owned `ws`: after a first solve at a
+    /// given size (warm-up), repeated calls perform **zero heap
+    /// allocation** (asserted by the counting-allocator suite). On success
+    /// the solution is left in the workspace ([`SolveWorkspace::subsidies`],
+    /// [`SolveWorkspace::state`], [`SolveWorkspace::utilities`]).
+    pub fn solve_into(
+        &self,
+        game: &SubsidyGame,
+        start: WarmStart<'_>,
+        ws: &mut SolveWorkspace,
+    ) -> NumResult<SolveStats> {
+        if let WarmStart::Profile(s0) = start {
+            game.validate(s0)?;
+        }
         let n = game.n();
+        ws.ensure(game);
         if n == 0 {
-            let state = game.state(&[])?;
-            return Ok(NashSolution {
-                subsidies: vec![],
-                state,
-                utilities: vec![],
-                iterations: 0,
-                residual: 0.0,
-                converged: true,
-            });
+            game.state_into(&[], &mut ws.prices, &mut ws.scratch, &mut ws.state)?;
+            return Ok(SolveStats { iterations: 0, residual: 0.0, converged: true });
         }
         // Clamp the start into the effective box [0, min(q, v_i)].
-        let mut s: Vec<f64> = (0..n).map(|i| s0[i].clamp(0.0, game.effective_cap(i))).collect();
-        let mut tracker = ConvergenceTracker::new(6);
-        tracker.push(&s);
+        match start {
+            WarmStart::Zero => ws.s.fill(0.0),
+            WarmStart::Profile(s0) => copy_clamped(s0, 0.0, &ws.caps, &mut ws.s),
+            WarmStart::Previous => {
+                // `ensure` preserved the previous iterate (padding with
+                // zeros on growth); re-clamp it into the new game's box.
+                for i in 0..n {
+                    ws.s[i] = ws.s[i].clamp(0.0, ws.caps[i]);
+                }
+            }
+        }
         let mut residual = f64::INFINITY;
         for sweep in 0..self.max_sweeps {
-            let reference = s.clone(); // Jacobi responds to this snapshot
-            let mut next = s.clone();
+            ws.next.copy_from_slice(&ws.s);
+            if self.mode == SweepMode::Jacobi {
+                ws.reference.copy_from_slice(&ws.s); // Jacobi responds to this snapshot
+            }
             for i in 0..n {
                 let basis = match self.mode {
-                    SweepMode::GaussSeidel => &next,
-                    SweepMode::Jacobi => &reference,
+                    SweepMode::GaussSeidel => &ws.next,
+                    SweepMode::Jacobi => &ws.reference,
                 };
-                let br = best_response(game, i, basis, &self.br)?;
-                next[i] = (1.0 - self.damping) * s[i] + self.damping * br.s;
+                let br = best_response_into(game, i, basis, &self.br, &mut ws.m, &mut ws.scratch)?;
+                ws.next[i] = (1.0 - self.damping) * ws.s[i] + self.damping * br.s;
             }
-            residual = tracker.push(&next).unwrap_or(f64::INFINITY);
-            s = next;
+            residual = sub_inf_norm(&ws.s, &ws.next);
+            std::mem::swap(&mut ws.s, &mut ws.next);
             if residual <= self.tol {
-                let state = game.state(&s)?;
-                let utilities = (0..n).map(|i| game.utility_at_state(i, &s, &state)).collect();
-                return Ok(NashSolution {
-                    subsidies: s,
-                    state,
-                    utilities,
-                    iterations: sweep + 1,
-                    residual,
-                    converged: true,
-                });
+                game.state_into(&ws.s, &mut ws.prices, &mut ws.scratch, &mut ws.state)?;
+                for i in 0..n {
+                    ws.utilities[i] = game.utility_at_state(i, &ws.s, &ws.state);
+                }
+                return Ok(SolveStats { iterations: sweep + 1, residual, converged: true });
             }
         }
         Err(NumError::MaxIterations { max_iter: self.max_sweeps, residual })
+    }
+}
+
+/// Starting profile for [`NashSolver::solve_into`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum WarmStart<'a> {
+    /// The paper's baseline `s = 0` (what [`NashSolver::solve`] uses).
+    Zero,
+    /// An explicit profile, validated against the game then clamped into
+    /// the effective box (what [`NashSolver::solve_from`] uses).
+    Profile(&'a [f64]),
+    /// Reuse whatever iterate the workspace holds — the batch warm start:
+    /// consecutive solves of nearby games converge in a fraction of the
+    /// sweeps. Dimension changes are padded with zeros; the iterate is
+    /// re-clamped into the new game's box. Falls back to `Zero` behaviour
+    /// on a fresh workspace.
+    Previous,
+}
+
+/// Health summary of one [`NashSolver::solve_into`] run; the solution
+/// itself stays in the workspace. Mirrors the corresponding fields of
+/// [`NashSolution`] bit-for-bit.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SolveStats {
+    /// Best-response sweeps performed.
+    pub iterations: usize,
+    /// Sup-norm of the final sweep update.
+    pub residual: f64,
+    /// Whether the residual met the tolerance within the budget.
+    pub converged: bool,
+}
+
+impl SolveWorkspace {
+    /// Clones the workspace's solution out into an owning [`NashSolution`]
+    /// (the one allocation the thin `solve`/`solve_from` wrappers make).
+    pub fn solution(&self, stats: SolveStats) -> NashSolution {
+        NashSolution {
+            subsidies: self.subsidies().to_vec(),
+            state: self.state().clone(),
+            utilities: self.utilities().to_vec(),
+            iterations: stats.iterations,
+            residual: stats.residual,
+            converged: stats.converged,
+        }
     }
 }
 

@@ -12,7 +12,9 @@
 //! equilibrium certificate.
 
 use crate::game::SubsidyGame;
+use crate::workspace::SolveWorkspace;
 use subcomp_model::system::SystemState;
+use subcomp_num::linalg::vector::{clamp_in_place, step_into, sub_inf_norm};
 use subcomp_num::{NumError, NumResult};
 
 /// Result of a VI solve.
@@ -66,34 +68,26 @@ pub fn natural_residual(game: &SubsidyGame, s: &[f64]) -> NumResult<f64> {
     Ok(s.iter().zip(&proj).map(|(a, b)| (a - b).abs()).fold(0.0f64, f64::max))
 }
 
+/// Health summary of one VI `_into` solve; the solution itself stays in
+/// the workspace. Mirrors the corresponding [`ViSolution`] fields
+/// bit-for-bit.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ViStats {
+    /// Natural residual at the solution.
+    pub natural_residual: f64,
+    /// Iterations performed.
+    pub iterations: usize,
+    /// Whether the residual met the tolerance.
+    pub converged: bool,
+}
+
 /// Fixed-step projection method. Converges for co-coercive maps; on this
 /// game the step default is conservative enough in practice, and the
 /// method is used as a cross-check rather than the primary solver.
 pub fn projection_solve(game: &SubsidyGame, s0: &[f64], cfg: &ViConfig) -> NumResult<ViSolution> {
-    game.validate(s0)?;
-    let mut s = s0.to_vec();
-    project(game, &mut s);
-    let mut residual = f64::INFINITY;
-    for iter in 0..cfg.max_iter {
-        let f = vi_map(game, &s)?;
-        let mut next: Vec<f64> = s.iter().zip(&f).map(|(si, fi)| si - cfg.step * fi).collect();
-        project(game, &mut next);
-        residual =
-            s.iter().zip(&next).map(|(a, b)| (a - b).abs()).fold(0.0f64, f64::max) / cfg.step;
-        s = next;
-        if residual <= cfg.tol {
-            let state = game.state(&s)?;
-            let nr = natural_residual(game, &s)?;
-            return Ok(ViSolution {
-                subsidies: s,
-                state,
-                natural_residual: nr,
-                iterations: iter + 1,
-                converged: true,
-            });
-        }
-    }
-    Err(NumError::MaxIterations { max_iter: cfg.max_iter, residual })
+    let mut ws = SolveWorkspace::for_game(game);
+    let stats = projection_solve_into(game, s0, cfg, &mut ws)?;
+    Ok(vi_solution(&ws, stats))
 }
 
 /// Korpelevich extragradient: a predictor step probes `F`, the corrector
@@ -104,33 +98,95 @@ pub fn extragradient_solve(
     s0: &[f64],
     cfg: &ViConfig,
 ) -> NumResult<ViSolution> {
+    let mut ws = SolveWorkspace::for_game(game);
+    let stats = extragradient_solve_into(game, s0, cfg, &mut ws)?;
+    Ok(vi_solution(&ws, stats))
+}
+
+fn vi_solution(ws: &SolveWorkspace, stats: ViStats) -> ViSolution {
+    ViSolution {
+        subsidies: ws.subsidies().to_vec(),
+        state: ws.state().clone(),
+        natural_residual: stats.natural_residual,
+        iterations: stats.iterations,
+        converged: stats.converged,
+    }
+}
+
+/// [`projection_solve`] on a caller-owned workspace: bit-identical
+/// iterates, zero heap allocation once the workspace is warm. On success
+/// the solution stays in `ws` ([`SolveWorkspace::subsidies`] /
+/// [`SolveWorkspace::state`]).
+pub fn projection_solve_into(
+    game: &SubsidyGame,
+    s0: &[f64],
+    cfg: &ViConfig,
+    ws: &mut SolveWorkspace,
+) -> NumResult<ViStats> {
     game.validate(s0)?;
-    let mut s = s0.to_vec();
-    project(game, &mut s);
+    ws.ensure(game);
+    ws.s.copy_from_slice(s0);
+    clamp_in_place(&mut ws.s, 0.0, &ws.caps);
     let mut residual = f64::INFINITY;
     for iter in 0..cfg.max_iter {
-        let f = vi_map(game, &s)?;
-        let mut pred: Vec<f64> = s.iter().zip(&f).map(|(si, fi)| si - cfg.step * fi).collect();
-        project(game, &mut pred);
-        let f_pred = vi_map(game, &pred)?;
-        let mut next: Vec<f64> = s.iter().zip(&f_pred).map(|(si, fi)| si - cfg.step * fi).collect();
-        project(game, &mut next);
-        residual =
-            s.iter().zip(&next).map(|(a, b)| (a - b).abs()).fold(0.0f64, f64::max) / cfg.step;
-        s = next;
+        game.vi_map_into(&ws.s, &mut ws.prices, &mut ws.scratch, &mut ws.state, &mut ws.vi_f)?;
+        step_into(&ws.s, &ws.vi_f, cfg.step, &mut ws.next);
+        clamp_in_place(&mut ws.next, 0.0, &ws.caps);
+        residual = sub_inf_norm(&ws.s, &ws.next) / cfg.step;
+        std::mem::swap(&mut ws.s, &mut ws.next);
         if residual <= cfg.tol {
-            let state = game.state(&s)?;
-            let nr = natural_residual(game, &s)?;
-            return Ok(ViSolution {
-                subsidies: s,
-                state,
-                natural_residual: nr,
-                iterations: iter + 1,
-                converged: true,
-            });
+            return finish_vi(game, ws, iter + 1);
         }
     }
     Err(NumError::MaxIterations { max_iter: cfg.max_iter, residual })
+}
+
+/// [`extragradient_solve`] on a caller-owned workspace: bit-identical
+/// iterates, zero heap allocation once the workspace is warm.
+pub fn extragradient_solve_into(
+    game: &SubsidyGame,
+    s0: &[f64],
+    cfg: &ViConfig,
+    ws: &mut SolveWorkspace,
+) -> NumResult<ViStats> {
+    game.validate(s0)?;
+    ws.ensure(game);
+    ws.s.copy_from_slice(s0);
+    clamp_in_place(&mut ws.s, 0.0, &ws.caps);
+    let mut residual = f64::INFINITY;
+    for iter in 0..cfg.max_iter {
+        game.vi_map_into(&ws.s, &mut ws.prices, &mut ws.scratch, &mut ws.state, &mut ws.vi_f)?;
+        step_into(&ws.s, &ws.vi_f, cfg.step, &mut ws.vi_pred);
+        clamp_in_place(&mut ws.vi_pred, 0.0, &ws.caps);
+        game.vi_map_into(
+            &ws.vi_pred,
+            &mut ws.prices,
+            &mut ws.scratch,
+            &mut ws.state,
+            &mut ws.vi_f,
+        )?;
+        step_into(&ws.s, &ws.vi_f, cfg.step, &mut ws.next);
+        clamp_in_place(&mut ws.next, 0.0, &ws.caps);
+        residual = sub_inf_norm(&ws.s, &ws.next) / cfg.step;
+        std::mem::swap(&mut ws.s, &mut ws.next);
+        if residual <= cfg.tol {
+            return finish_vi(game, ws, iter + 1);
+        }
+    }
+    Err(NumError::MaxIterations { max_iter: cfg.max_iter, residual })
+}
+
+/// Terminal bookkeeping shared by the VI engines: solve the state at the
+/// converged iterate and compute the natural residual, all in workspace
+/// buffers (`vi_f` holds `F(s)`, `vi_pred` the projected probe).
+fn finish_vi(game: &SubsidyGame, ws: &mut SolveWorkspace, iterations: usize) -> NumResult<ViStats> {
+    game.vi_map_into(&ws.s, &mut ws.prices, &mut ws.scratch, &mut ws.state, &mut ws.vi_f)?;
+    for i in 0..ws.s.len() {
+        ws.vi_pred[i] = ws.s[i] - ws.vi_f[i];
+    }
+    clamp_in_place(&mut ws.vi_pred, 0.0, &ws.caps);
+    let nr = sub_inf_norm(&ws.s, &ws.vi_pred);
+    Ok(ViStats { natural_residual: nr, iterations, converged: true })
 }
 
 #[cfg(test)]

@@ -1,0 +1,157 @@
+//! Caller-owned solver workspaces: the allocation-free batch engine.
+//!
+//! Every Nash/VI solve needs the same transient storage — iterate vectors,
+//! a best-response population scratch, a congestion-state buffer and the
+//! model layer's [`StateScratch`]. A [`SolveWorkspace`] owns all of it, so
+//! a caller that solves many games (parameter sweeps, seeded ensembles,
+//! the `solve_farm` binary) pays for heap allocation once at warm-up and
+//! never again: [`crate::nash::NashSolver::solve_into`],
+//! [`crate::vi::projection_solve_into`] and
+//! [`crate::vi::extragradient_solve_into`] all run allocation-free on a
+//! warm workspace, as asserted by the counting-allocator suite in
+//! `tests/alloc_free.rs`.
+//!
+//! Buffers only ever grow, so one workspace can hop between games of
+//! different sizes; results are bit-identical to the allocating wrappers
+//! (`solve`, `solve_from`, `projection_solve`, `extragradient_solve`),
+//! which are now thin shims over this engine.
+
+use crate::game::SubsidyGame;
+use subcomp_model::system::{StateScratch, SystemState};
+
+/// Reusable buffers for the Nash and VI solvers.
+///
+/// Create one per worker thread with [`SolveWorkspace::for_game`] (or
+/// [`SolveWorkspace::new`] for lazy sizing) and pass it to the `_into`
+/// solver entry points. After a successful solve the workspace holds the
+/// solution: [`SolveWorkspace::subsidies`], [`SolveWorkspace::state`] and
+/// [`SolveWorkspace::utilities`] expose it without copying.
+#[derive(Debug, Clone, Default)]
+pub struct SolveWorkspace {
+    /// Current iterate; holds the solution after a successful solve.
+    pub(crate) s: Vec<f64>,
+    /// Next iterate under construction.
+    pub(crate) next: Vec<f64>,
+    /// Frozen reference profile for Jacobi sweeps.
+    pub(crate) reference: Vec<f64>,
+    /// Per-provider effective caps `min(q, v_i)` of the current game.
+    pub(crate) caps: Vec<f64>,
+    /// Population scratch for best-response probes.
+    pub(crate) m: Vec<f64>,
+    /// Effective-price scratch for full state assembly.
+    pub(crate) prices: Vec<f64>,
+    /// VI map buffer `F(s) = −u(s)`.
+    pub(crate) vi_f: Vec<f64>,
+    /// VI predictor / projection buffer.
+    pub(crate) vi_pred: Vec<f64>,
+    /// Model-layer scratch (exp table, population buffer).
+    pub(crate) scratch: StateScratch,
+    /// Solved congestion state at the current iterate.
+    pub(crate) state: SystemState,
+    /// Utilities at the solution.
+    pub(crate) utilities: Vec<f64>,
+}
+
+impl SolveWorkspace {
+    /// An empty workspace; buffers are sized lazily on first use.
+    pub fn new() -> SolveWorkspace {
+        SolveWorkspace::default()
+    }
+
+    /// A workspace pre-sized for `game`, so even the first solve against
+    /// `game` allocates nothing.
+    pub fn for_game(game: &SubsidyGame) -> SolveWorkspace {
+        let mut ws = SolveWorkspace::default();
+        ws.ensure(game);
+        ws
+    }
+
+    /// Sizes every buffer for `game` and refreshes the per-game data
+    /// (effective caps, exp-table width). Called by the solvers on entry;
+    /// allocation-free once the workspace has seen a game at least this
+    /// large. The current iterate is resized but its prefix is preserved,
+    /// which is what [`crate::nash::WarmStart::Previous`] relies on.
+    pub(crate) fn ensure(&mut self, game: &SubsidyGame) {
+        let n = game.n();
+        self.s.resize(n, 0.0);
+        self.next.resize(n, 0.0);
+        self.reference.resize(n, 0.0);
+        self.caps.resize(n, 0.0);
+        for i in 0..n {
+            self.caps[i] = game.effective_cap(i);
+        }
+        self.m.resize(n, 0.0);
+        self.prices.resize(n, 0.0);
+        self.vi_f.resize(n, 0.0);
+        self.vi_pred.resize(n, 0.0);
+        self.utilities.resize(n, 0.0);
+        game.system().prepare_scratch(&mut self.scratch);
+    }
+
+    /// The current iterate — the equilibrium after a successful solve.
+    pub fn subsidies(&self) -> &[f64] {
+        &self.s
+    }
+
+    /// The solved congestion state at [`SolveWorkspace::subsidies`].
+    pub fn state(&self) -> &SystemState {
+        &self.state
+    }
+
+    /// Utilities `U_i` at [`SolveWorkspace::subsidies`].
+    pub fn utilities(&self) -> &[f64] {
+        &self.utilities
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use subcomp_model::aggregation::{build_system, ExpCpSpec};
+
+    fn tiny_game(n: usize) -> SubsidyGame {
+        let specs: Vec<ExpCpSpec> =
+            (0..n).map(|i| ExpCpSpec::unit(2.0 + i as f64, 3.0, 0.8)).collect();
+        SubsidyGame::new(build_system(&specs, 1.0).unwrap(), 0.6, 0.9).unwrap()
+    }
+
+    #[test]
+    fn for_game_sizes_all_buffers() {
+        let game = tiny_game(4);
+        let ws = SolveWorkspace::for_game(&game);
+        assert_eq!(ws.s.len(), 4);
+        assert_eq!(ws.caps, vec![0.8, 0.8, 0.8, 0.8]);
+        assert_eq!(ws.subsidies().len(), 4);
+    }
+
+    #[test]
+    fn ensure_grows_and_shrinks_logical_size() {
+        let mut ws = SolveWorkspace::new();
+        ws.ensure(&tiny_game(5));
+        assert_eq!(ws.s.len(), 5);
+        let cap5 = ws.s.capacity();
+        ws.ensure(&tiny_game(2));
+        assert_eq!(ws.s.len(), 2);
+        // Capacity is retained: shrinking is free, regrowth within the old
+        // high-water mark allocates nothing.
+        assert!(ws.s.capacity() >= cap5);
+        ws.ensure(&tiny_game(5));
+        assert_eq!(ws.s.len(), 5);
+    }
+
+    #[test]
+    fn caps_refresh_per_game() {
+        let mut ws = SolveWorkspace::new();
+        ws.ensure(&tiny_game(2));
+        assert_eq!(ws.caps, vec![0.8, 0.8]);
+        let other = SubsidyGame::new(
+            build_system(&[ExpCpSpec::unit(2.0, 3.0, 0.3), ExpCpSpec::unit(2.0, 3.0, 2.0)], 1.0)
+                .unwrap(),
+            0.6,
+            0.5,
+        )
+        .unwrap();
+        ws.ensure(&other);
+        assert_eq!(ws.caps, vec![0.3, 0.5]);
+    }
+}

@@ -393,6 +393,29 @@ pub fn corpus() -> Vec<ScenarioSpec> {
             .mu(2.0)
             .no_sim(),
     );
+    // Large-scale ensembles the batched allocation-free engine makes
+    // tractable: sizes the corpus never reached before (the old ceiling
+    // was n = 16). Capacity scales with n to keep per-provider load in
+    // the paper's regime. Solved (and Jacobi cross-checked) like every
+    // other scenario; the golden tier skips *running* them in debug
+    // builds, where a 256-provider solve is prohibitively slow — release
+    // CI and regen_golden always cover them.
+    list.push(
+        ScenarioSpec::new("random-n64-s5", "64 random types, seed 5, µ = 8", random_specs(64, 5))
+            .pq(0.6, 0.9)
+            .mu(8.0)
+            .no_sim(),
+    );
+    list.push(
+        ScenarioSpec::new(
+            "random-n256-s6",
+            "256 random types, seed 6, µ = 32",
+            random_specs(256, 6),
+        )
+        .pq(0.55, 0.8)
+        .mu(32.0)
+        .no_sim(),
+    );
 
     // --- Non-neutral / side-payment regimes ------------------------------
     list.push(

@@ -1,13 +1,23 @@
-//! Parameter-sweep engine.
+//! Parameter-sweep and batch-solve engine.
 //!
-//! Two workhorses: [`parallel_map`] fans independent work items across OS
-//! threads (`std::thread::scope`, no dependency), and
-//! [`equilibrium_price_sweep`] walks a price grid with warm-started Nash
-//! solves — consecutive equilibria are close (Theorem 6 differentiability),
-//! so warm starts cut sweep time by roughly the iteration count ratio.
+//! Three workhorses: [`parallel_map`] fans independent work items across OS
+//! threads (`std::thread::scope`, no dependency), [`parallel_map_with`]
+//! additionally gives each worker a persistent context (the hook the
+//! allocation-free [`BatchSolver`] hangs one [`SolveWorkspace`] per worker
+//! on), and [`equilibrium_price_sweep`] walks a price grid with
+//! warm-started Nash solves — consecutive equilibria are close (Theorem 6
+//! differentiability), so warm starts cut sweep time by roughly the
+//! iteration count ratio.
+//!
+//! [`BatchSolver`] is the scale layer the `solve_farm` binary builds on:
+//! it amortizes one workspace per worker across the whole batch and
+//! warm-starts consecutive items inside fixed-size blocks, so results are
+//! bit-identical for *any* thread count while the solver loop itself
+//! performs zero heap allocation after warm-up.
 
 use subcomp_core::game::SubsidyGame;
-use subcomp_core::nash::{NashSolution, NashSolver};
+use subcomp_core::nash::{NashSolution, NashSolver, SolveStats, WarmStart};
+use subcomp_core::workspace::SolveWorkspace;
 use subcomp_model::system::System;
 use subcomp_num::NumResult;
 
@@ -46,6 +56,157 @@ where
         }
     });
     out.into_iter().map(|c| c.expect("worker filled every slot")).collect()
+}
+
+/// [`parallel_map`] with a per-worker context: each worker thread calls
+/// `init` exactly once and threads the resulting context mutably through
+/// every item it processes. This is how batch solvers amortize expensive
+/// per-worker state (scratch buffers, workspaces) across a fan-out without
+/// sharing or locking.
+///
+/// Order is preserved. Falls back to a single context and a sequential map
+/// when `threads <= 1` (including 0) or there is at most one item.
+///
+/// # Panics
+///
+/// As with [`parallel_map`], a panic in `init` or `f` propagates to the
+/// caller after all in-flight workers finish (`std::thread::scope` joins
+/// every spawned thread before unwinding).
+pub fn parallel_map_with<T, U, C, I, F>(items: &[T], threads: usize, init: I, f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    I: Fn() -> C + Sync,
+    F: Fn(&mut C, &T) -> U + Sync,
+{
+    let n = items.len();
+    if threads <= 1 || n <= 1 {
+        let mut ctx = init();
+        return items.iter().map(|item| f(&mut ctx, item)).collect();
+    }
+    let workers = threads.min(n);
+    let mut out: Vec<Option<U>> = (0..n).map(|_| None).collect();
+    let chunk = n.div_ceil(workers);
+    std::thread::scope(|scope| {
+        for (slab, slot) in items.chunks(chunk).zip(out.chunks_mut(chunk)) {
+            scope.spawn(|| {
+                let mut ctx = init();
+                for (item, cell) in slab.iter().zip(slot.iter_mut()) {
+                    *cell = Some(f(&mut ctx, item));
+                }
+            });
+        }
+    });
+    out.into_iter().map(|c| c.expect("worker filled every slot")).collect()
+}
+
+/// Batched Nash solving on a fleet of reusable workspaces.
+///
+/// Splits the item list into fixed-size [`BatchSolver::block`]s; each block
+/// is one warm-start chain (first item solves cold from `s = 0`, later
+/// items start from the previous equilibrium re-clamped into their game's
+/// box). Blocks — not items — are what [`parallel_map_with`] distributes,
+/// and every worker reuses a single [`SolveWorkspace`] across all blocks it
+/// processes, so after warm-up the solver loop allocates nothing.
+///
+/// Because the chain structure depends only on the block size, results are
+/// **bit-identical for any thread count** — the property the batch
+/// determinism suite pins.
+#[derive(Debug, Clone)]
+pub struct BatchSolver {
+    /// The underlying Nash solver configuration.
+    pub solver: NashSolver,
+    /// Worker threads for block fan-out (`<= 1` runs sequentially).
+    pub threads: usize,
+    /// Items per warm-start chain. Also the unit of parallel distribution;
+    /// shorter blocks expose more parallelism, longer blocks warm-start
+    /// more aggressively. Minimum 1.
+    pub block: usize,
+    /// Warm-start consecutive items within a block (`false` solves every
+    /// item cold — the reference the equivalence tests compare against).
+    pub warm_start: bool,
+}
+
+impl Default for BatchSolver {
+    fn default() -> Self {
+        BatchSolver { solver: NashSolver::default(), threads: 1, block: 32, warm_start: true }
+    }
+}
+
+impl BatchSolver {
+    /// Returns a copy fanning blocks across `threads` workers.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Returns a copy with a different warm-start block size (minimum 1).
+    pub fn with_block(mut self, block: usize) -> Self {
+        self.block = block.max(1);
+        self
+    }
+
+    /// Returns a copy with warm starting disabled (every solve cold).
+    pub fn cold(mut self) -> Self {
+        self.warm_start = false;
+        self
+    }
+
+    /// Solves one game per item: `build` yields the game — owned (the
+    /// only per-item allocation site) or borrowed straight from the item —
+    /// and `summarize` reduces the solved workspace to whatever the caller
+    /// wants to keep; it must copy out anything it needs, since the
+    /// workspace is reused for the next item. Order is preserved; per-item
+    /// errors are reported in place and do not poison the rest of the
+    /// batch (a failed solve simply breaks the warm chain — the next item
+    /// starts cold).
+    pub fn run<'a, T, R, B, G, S>(
+        &self,
+        items: &'a [T],
+        build: G,
+        summarize: S,
+    ) -> Vec<NumResult<R>>
+    where
+        T: Sync,
+        R: Send,
+        B: std::borrow::Borrow<SubsidyGame>,
+        G: Fn(&'a T) -> NumResult<B> + Sync,
+        S: Fn(&SubsidyGame, &SolveWorkspace, SolveStats) -> R + Sync,
+    {
+        let block = self.block.max(1);
+        let blocks: Vec<&[T]> = items.chunks(block).collect();
+        let nested = parallel_map_with(
+            &blocks,
+            self.threads,
+            SolveWorkspace::new,
+            |ws: &mut SolveWorkspace, chunk: &&[T]| {
+                let mut results = Vec::with_capacity(chunk.len());
+                let mut have_warm = false;
+                for item in chunk.iter() {
+                    let result = build(item).and_then(|game| {
+                        let game = game.borrow();
+                        let start = if self.warm_start && have_warm {
+                            WarmStart::Previous
+                        } else {
+                            WarmStart::Zero
+                        };
+                        let stats = self.solver.solve_into(game, start, ws)?;
+                        Ok(summarize(game, ws, stats))
+                    });
+                    have_warm = result.is_ok();
+                    results.push(result);
+                }
+                results
+            },
+        );
+        nested.into_iter().flatten().collect()
+    }
+
+    /// Convenience wrapper solving pre-built games into full
+    /// [`NashSolution`]s (games are borrowed, never cloned).
+    pub fn solve_games(&self, games: &[SubsidyGame]) -> Vec<NumResult<NashSolution>> {
+        self.run(games, Ok, |_, ws, stats| ws.solution(stats))
+    }
 }
 
 /// One solved point of a price sweep.
@@ -149,6 +310,144 @@ mod tests {
             })
         });
         assert!(result.is_err());
+    }
+
+    #[test]
+    fn parallel_map_with_context_persists_per_worker() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let items: Vec<i64> = (0..40).collect();
+        let inits = AtomicUsize::new(0);
+        // Each worker's context counts the items it has seen; the final
+        // values are unobservable here, but init must run once per worker,
+        // not once per item.
+        let out = parallel_map_with(
+            &items,
+            4,
+            || {
+                inits.fetch_add(1, Ordering::SeqCst);
+                0usize
+            },
+            |seen, x| {
+                *seen += 1;
+                x * 2
+            },
+        );
+        assert_eq!(out, items.iter().map(|x| x * 2).collect::<Vec<_>>());
+        assert!(inits.load(Ordering::SeqCst) <= 4, "init ran per item, not per worker");
+    }
+
+    #[test]
+    fn parallel_map_with_sequential_fallback_single_context() {
+        let items: Vec<i32> = (0..5).collect();
+        // A single context threads through all items in order.
+        let out = parallel_map_with(
+            &items,
+            1,
+            || 0i32,
+            |acc, x| {
+                *acc += x;
+                *acc
+            },
+        );
+        assert_eq!(out, vec![0, 1, 3, 6, 10]);
+    }
+
+    fn farm_games(count: usize) -> Vec<SubsidyGame> {
+        use crate::scenarios::random_specs;
+        use subcomp_model::aggregation::build_system;
+        (0..count)
+            .map(|k| {
+                let n = 2 + k % 4;
+                let sys = build_system(&random_specs(n, 100 + k as u64), 1.0).unwrap();
+                SubsidyGame::new(sys, 0.4 + 0.05 * (k % 5) as f64, 0.8).unwrap()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn batch_warm_start_matches_independent_cold_solves() {
+        let games = farm_games(12);
+        let batch = BatchSolver::default().with_block(4).with_threads(2);
+        let results = batch.solve_games(&games);
+        assert_eq!(results.len(), games.len());
+        for (game, result) in games.iter().zip(&results) {
+            let warm = result.as_ref().expect("batch solve converged");
+            assert!(warm.converged);
+            let cold = batch.solver.solve(game).unwrap();
+            for i in 0..game.n() {
+                assert!(
+                    (warm.subsidies[i] - cold.subsidies[i]).abs() < 1e-7,
+                    "warm-started batch result diverged from cold solve at CP {i}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn batch_results_bit_identical_across_thread_counts() {
+        let games = farm_games(17); // deliberately not a multiple of the block
+        let batch = BatchSolver::default().with_block(5);
+        let one = batch.clone().with_threads(1).solve_games(&games);
+        let eight = batch.with_threads(8).solve_games(&games);
+        for (a, b) in one.iter().zip(&eight) {
+            let (a, b) = (a.as_ref().unwrap(), b.as_ref().unwrap());
+            // Bit-exact, not merely close: the warm chains depend only on
+            // the block structure, never on worker assignment.
+            assert_eq!(a.subsidies, b.subsidies);
+            assert_eq!(a.iterations, b.iterations);
+            assert_eq!(a.residual.to_bits(), b.residual.to_bits());
+        }
+    }
+
+    #[test]
+    fn batch_cold_mode_is_plain_solve() {
+        let games = farm_games(6);
+        let batch = BatchSolver::default().cold().with_block(3).with_threads(2);
+        for (game, result) in games.iter().zip(batch.solve_games(&games)) {
+            let batched = result.unwrap();
+            let direct = batch.solver.solve(game).unwrap();
+            assert_eq!(batched.subsidies, direct.subsidies);
+            assert_eq!(batched.iterations, direct.iterations);
+        }
+    }
+
+    #[test]
+    fn batch_error_breaks_chain_without_poisoning_batch() {
+        let games = farm_games(6);
+        let batch = BatchSolver::default().with_block(6).with_threads(1);
+        // Item 2 fails to build; its neighbours must still solve, and the
+        // item after the failure starts a fresh (cold) chain.
+        let results = batch.run(
+            &[0usize, 1, 2, 3, 4, 5],
+            |&k| {
+                if k == 2 {
+                    Err(subcomp_num::NumError::Empty { what: "synthetic build failure" })
+                } else {
+                    Ok(games[k].clone())
+                }
+            },
+            |_, ws, stats| (ws.subsidies().to_vec(), stats.converged),
+        );
+        assert!(results[2].is_err());
+        for (k, r) in results.iter().enumerate() {
+            if k != 2 {
+                assert!(r.as_ref().unwrap().1, "item {k} should converge");
+            }
+        }
+    }
+
+    #[test]
+    fn batch_panic_in_worker_propagates() {
+        let games = farm_games(8);
+        let batch = BatchSolver::default().with_block(2).with_threads(4);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            batch.run(
+                &[0usize, 1, 2, 3, 4, 5, 6, 7],
+                |&k| Ok(games[k].clone()),
+                |_, _, _| panic!("summarize exploded mid-batch"),
+            )
+        }));
+        assert!(result.is_err(), "worker panic must reach the caller");
     }
 
     #[test]

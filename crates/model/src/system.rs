@@ -15,8 +15,93 @@
 
 use crate::cp::ContentProvider;
 use crate::utilization::UtilizationFn;
-use subcomp_num::roots::solve_increasing;
+use subcomp_num::roots::solve_increasing_seeded;
 use subcomp_num::{NumError, NumResult, Tolerance};
+
+/// Precompiled hot-loop view of the provider list, built once per
+/// [`System`] so the congestion gap `g(φ)` can be evaluated without
+/// virtual dispatch and with one `e^{-βφ}` per *distinct* `β` instead of
+/// one per provider. Exponential-family deduplication is bit-exact: `exp`
+/// is a pure function, so providers sharing the same `β` bits receive the
+/// identical value they would have computed through
+/// [`crate::throughput::ThroughputFn::lambda`].
+#[derive(Debug, Clone, Default)]
+struct SystemKernel {
+    /// Peak throughput `λ_k(0)` per provider.
+    peaks: Vec<f64>,
+    /// `λ₀` per provider (unused entries for non-exponential providers).
+    lambda0: Vec<f64>,
+    /// Index into [`SystemKernel::betas`]; `usize::MAX` marks a provider
+    /// outside the exponential family (evaluated through the trait object).
+    beta_idx: Vec<usize>,
+    /// Distinct `β` values (bitwise comparison, first-appearance order).
+    betas: Vec<f64>,
+    /// Whether every provider is exponential-family (fast loop, no branch).
+    all_exp: bool,
+    /// Whether the utilization family is the paper's linear `Θ = φµ`.
+    linear: bool,
+}
+
+const GENERIC_CP: usize = usize::MAX;
+
+impl SystemKernel {
+    /// Fills `exp[j] = e^{-β_j φ}` for every distinct `β` — the one
+    /// expression the kernel's bit-exactness argument hinges on, kept in
+    /// exactly one place so the demand, slope and assembly paths cannot
+    /// drift apart.
+    #[inline]
+    fn fill_exp(&self, phi: f64, exp: &mut [f64]) {
+        debug_assert_eq!(exp.len(), self.betas.len(), "scratch not prepared for this system");
+        for (e, &b) in exp.iter_mut().zip(&self.betas) {
+            *e = (-b * phi).exp();
+        }
+    }
+
+    fn build(cps: &[ContentProvider], utilization: &dyn UtilizationFn) -> SystemKernel {
+        let n = cps.len();
+        let mut peaks = Vec::with_capacity(n);
+        let mut lambda0 = Vec::with_capacity(n);
+        let mut beta_idx = Vec::with_capacity(n);
+        let mut betas: Vec<f64> = Vec::new();
+        let mut all_exp = true;
+        for cp in cps {
+            peaks.push(cp.throughput().peak());
+            match cp.throughput().exp_coeffs() {
+                Some((l0, beta)) => {
+                    let idx = betas
+                        .iter()
+                        .position(|b| b.to_bits() == beta.to_bits())
+                        .unwrap_or_else(|| {
+                            betas.push(beta);
+                            betas.len() - 1
+                        });
+                    lambda0.push(l0);
+                    beta_idx.push(idx);
+                }
+                None => {
+                    lambda0.push(0.0);
+                    beta_idx.push(GENERIC_CP);
+                    all_exp = false;
+                }
+            }
+        }
+        SystemKernel { peaks, lambda0, beta_idx, betas, all_exp, linear: utilization.is_linear() }
+    }
+}
+
+/// Reusable scratch space for the allocation-free state solvers
+/// ([`System::solve_state_into`] and friends). Create one per worker with
+/// [`System::make_scratch`] (or default-construct and let the solvers size
+/// it); after the first solve of a given system no further heap
+/// allocation occurs, and a scratch can be reused across systems of any
+/// size (buffers only ever grow).
+#[derive(Debug, Clone, Default)]
+pub struct StateScratch {
+    /// `e^{-βφ}` per distinct `β` of the current system.
+    exp: Vec<f64>,
+    /// Population buffer for [`System::state_at_prices_into`].
+    m: Vec<f64>,
+}
 
 /// An access network shared by a set of content providers.
 ///
@@ -30,6 +115,7 @@ pub struct System {
     mu: f64,
     utilization: Box<dyn UtilizationFn>,
     tol: Tolerance,
+    kernel: SystemKernel,
 }
 
 impl System {
@@ -45,11 +131,14 @@ impl System {
                 value: mu,
             });
         }
+        let utilization: Box<dyn UtilizationFn> = Box::new(utilization);
+        let kernel = SystemKernel::build(&cps, utilization.as_ref());
         Ok(System {
             cps,
             mu,
-            utilization: Box::new(utilization),
+            utilization,
             tol: Tolerance::new(1e-13, 1e-13).with_max_iter(300),
+            kernel,
         })
     }
 
@@ -120,42 +209,19 @@ impl System {
     /// Solves the congestion fixed point of Definition 1 for populations
     /// `m`, returning the full [`SystemState`].
     pub fn solve_state(&self, m: &[f64]) -> NumResult<SystemState> {
-        if m.len() != self.n() {
-            return Err(NumError::DimensionMismatch { expected: self.n(), actual: m.len() });
-        }
-        for &mi in m {
-            if !(mi >= 0.0) || !mi.is_finite() {
-                return Err(NumError::Domain {
-                    what: "populations must be non-negative and finite",
-                    value: mi,
-                });
-            }
-        }
-        // Zero demand: phi = 0 exactly (limit case of Assumption 1).
-        let peak_demand: f64 =
-            self.cps.iter().zip(m).map(|(cp, &mi)| mi * cp.throughput().peak()).sum();
-        let phi = if peak_demand == 0.0 {
-            0.0
-        } else {
-            // Initial bracket guess: utilization if nobody slowed down.
-            let guess = self.utilization.phi(peak_demand, self.mu);
-            let step = if guess.is_finite() && guess > 0.0 { guess } else { 1.0 };
-            let g = |phi: f64| self.gap(phi, m);
-            solve_increasing(&g, 0.0, step, self.tol)?.x
-        };
-        self.state_at_phi(phi, m)
+        let mut scratch = self.make_scratch();
+        let mut state = SystemState::empty();
+        self.solve_state_into(m, &mut scratch, &mut state)?;
+        Ok(state)
     }
 
     /// Assembles the state at a *given* utilization (no solving) — also
     /// used by tests to probe off-equilibrium points.
     pub fn state_at_phi(&self, phi: f64, m: &[f64]) -> NumResult<SystemState> {
-        if m.len() != self.n() {
-            return Err(NumError::DimensionMismatch { expected: self.n(), actual: m.len() });
-        }
-        let lambda: Vec<f64> = self.cps.iter().map(|cp| cp.lambda(phi)).collect();
-        let theta_i: Vec<f64> = lambda.iter().zip(m).map(|(l, &mi)| mi * l).collect();
-        let dg_dphi = self.dgap_dphi(phi, m);
-        Ok(SystemState { phi, m: m.to_vec(), lambda, theta_i, dg_dphi })
+        let mut scratch = self.make_scratch();
+        let mut state = SystemState::empty();
+        self.state_at_phi_into(phi, m, &mut scratch, &mut state)?;
+        Ok(state)
     }
 
     /// Solves the fixed point for the populations induced by effective
@@ -163,6 +229,248 @@ impl System {
     pub fn state_at_prices(&self, t: &[f64]) -> NumResult<SystemState> {
         let m = self.populations(t)?;
         self.solve_state(&m)
+    }
+
+    // --- Allocation-free state engine -----------------------------------
+    //
+    // The `_into` family below is the workhorse behind every solver hot
+    // path: all outputs land in caller-owned buffers, all transient work
+    // uses a caller-owned [`StateScratch`], and after warm-up a solve
+    // performs zero heap allocation. Results are bit-identical to the
+    // allocating wrappers above (which now delegate here), as pinned by
+    // the golden-snapshot tier and the workspace-equivalence proptests.
+
+    /// Creates a [`StateScratch`] pre-sized for this system.
+    pub fn make_scratch(&self) -> StateScratch {
+        let mut scratch = StateScratch::default();
+        self.prepare_scratch(&mut scratch);
+        scratch
+    }
+
+    /// Resizes `scratch` for this system (no-op once warm; never shrinks
+    /// capacity, so a scratch can hop between systems without churn).
+    pub fn prepare_scratch(&self, scratch: &mut StateScratch) {
+        scratch.exp.resize(self.kernel.betas.len(), 0.0);
+    }
+
+    /// The inverse utilization `Θ(φ, µ)` with the linear family inlined.
+    #[inline]
+    fn theta_inv(&self, phi: f64) -> f64 {
+        if self.kernel.linear {
+            phi * self.mu
+        } else {
+            self.utilization.theta(phi, self.mu)
+        }
+    }
+
+    /// Aggregate demand `Σ_k m_k λ_k(φ)` through the kernel: one `exp` per
+    /// distinct `β`, accumulated in provider order (bit-identical to the
+    /// naive per-provider evaluation in [`System::gap`]).
+    #[inline]
+    fn demand_with(&self, phi: f64, m: &[f64], exp: &mut [f64]) -> f64 {
+        let k = &self.kernel;
+        k.fill_exp(phi, exp);
+        let mut demand = 0.0;
+        if k.all_exp {
+            for j in 0..m.len() {
+                demand += m[j] * (k.lambda0[j] * exp[k.beta_idx[j]]);
+            }
+        } else {
+            for j in 0..m.len() {
+                let lam = if k.beta_idx[j] != GENERIC_CP {
+                    k.lambda0[j] * exp[k.beta_idx[j]]
+                } else {
+                    self.cps[j].lambda(phi)
+                };
+                demand += m[j] * lam;
+            }
+        }
+        demand
+    }
+
+    /// [`System::gap`] evaluated through the kernel — bit-identical values,
+    /// no allocation, no per-provider virtual dispatch.
+    pub fn gap_with(&self, phi: f64, m: &[f64], scratch: &mut StateScratch) -> f64 {
+        self.prepare_scratch(scratch);
+        self.theta_inv(phi) - self.demand_with(phi, m, &mut scratch.exp)
+    }
+
+    /// Solves Definition 1 for the utilization `φ` alone — the innermost
+    /// loop of every best-response evaluation. Bit-identical to the root
+    /// [`System::solve_state`] finds; allocation-free given a warm scratch.
+    pub fn solve_phi_with(&self, m: &[f64], scratch: &mut StateScratch) -> NumResult<f64> {
+        self.solve_phi_inner(m, scratch)
+    }
+
+    fn solve_phi_inner(&self, m: &[f64], scratch: &mut StateScratch) -> NumResult<f64> {
+        if m.len() != self.n() {
+            return Err(NumError::DimensionMismatch { expected: self.n(), actual: m.len() });
+        }
+        self.prepare_scratch(scratch);
+        let k = &self.kernel;
+        // One pass merges the population domain checks with the peak-demand
+        // accumulation (zero demand means phi = 0 exactly, the limit case
+        // of Assumption 1). Detection order matches the two-pass layout:
+        // the first offending population errors before any solving starts.
+        let mut peak_demand = 0.0;
+        for (&mi, pk) in m.iter().zip(&k.peaks) {
+            if !(mi >= 0.0) || !mi.is_finite() {
+                return Err(NumError::Domain {
+                    what: "populations must be non-negative and finite",
+                    value: mi,
+                });
+            }
+            peak_demand += mi * pk;
+        }
+        if peak_demand == 0.0 {
+            return Ok(0.0);
+        }
+        // Initial bracket guess: utilization if nobody slowed down.
+        let guess = self.utilization.phi(peak_demand, self.mu);
+        let step = if guess.is_finite() && guess > 0.0 { guess } else { 1.0 };
+        // g(0) in closed form: λ_k(0) = λ₀ e^0 = λ₀ is exactly the peak,
+        // so the demand term at φ = 0 is exactly `peak_demand` — reusing it
+        // skips one full gap evaluation with identical bits.
+        let g0 = self.theta_inv(0.0) - peak_demand;
+        if k.all_exp && k.linear {
+            // Fully specialized hot loop (the paper's setting: exponential
+            // throughputs on the linear utilization): slices hoisted out of
+            // the kernel so the root finder's inner loop is straight-line
+            // array math. Bit-identical to the general closure below.
+            let mu = self.mu;
+            let (lambda0, beta_idx, betas) = (&k.lambda0[..], &k.beta_idx[..], &k.betas[..]);
+            let exp = &mut scratch.exp[..];
+            let mut g = |phi: f64| {
+                for (e, &b) in exp.iter_mut().zip(betas) {
+                    *e = (-b * phi).exp(); // = SystemKernel::fill_exp, slice-hoisted
+                }
+                let mut demand = 0.0;
+                for j in 0..m.len() {
+                    demand += m[j] * (lambda0[j] * exp[beta_idx[j]]);
+                }
+                phi * mu - demand
+            };
+            Ok(solve_increasing_seeded(&mut g, 0.0, g0, step, self.tol)?.x)
+        } else {
+            let exp = &mut scratch.exp;
+            let mut g = |phi: f64| self.theta_inv(phi) - self.demand_with(phi, m, exp);
+            Ok(solve_increasing_seeded(&mut g, 0.0, g0, step, self.tol)?.x)
+        }
+    }
+
+    /// Provider `j`'s per-user throughput `λ_j(φ)` through the kernel —
+    /// bit-identical to `cp(j).lambda(phi)` (same expression), without the
+    /// virtual call for exponential-family providers.
+    #[inline]
+    pub fn lambda_of(&self, j: usize, phi: f64) -> f64 {
+        let k = &self.kernel;
+        if k.beta_idx[j] != GENERIC_CP {
+            k.lambda0[j] * (-k.betas[k.beta_idx[j]] * phi).exp()
+        } else {
+            self.cps[j].lambda(phi)
+        }
+    }
+
+    /// [`System::dgap_dphi`] through the kernel: for exponential-family
+    /// providers `dλ/dφ = −β · (λ₀ e^{-βφ})` — the identical association
+    /// [`crate::throughput::ExpThroughput`] computes — with one `exp` per
+    /// distinct `β`. Bit-identical values, no per-provider dispatch.
+    pub fn dgap_dphi_with(&self, phi: f64, m: &[f64], scratch: &mut StateScratch) -> f64 {
+        self.prepare_scratch(scratch);
+        self.kernel.fill_exp(phi, &mut scratch.exp);
+        self.dgap_from_exp(phi, m, &scratch.exp)
+    }
+
+    /// The gap slope given an exp table already filled at this `phi`.
+    fn dgap_from_exp(&self, phi: f64, m: &[f64], exp: &[f64]) -> f64 {
+        let k = &self.kernel;
+        let mut demand_slope = 0.0;
+        for j in 0..m.len() {
+            let dl = if k.beta_idx[j] != GENERIC_CP {
+                -k.betas[k.beta_idx[j]] * (k.lambda0[j] * exp[k.beta_idx[j]])
+            } else {
+                self.cps[j].throughput().dlambda_dphi(phi)
+            };
+            demand_slope += m[j] * dl;
+        }
+        self.utilization.dtheta_dphi(phi, self.mu) - demand_slope
+    }
+
+    /// Populations induced by effective prices `t`, written into `out`
+    /// (resized as needed; allocation-free once warm).
+    pub fn populations_into(&self, t: &[f64], out: &mut Vec<f64>) -> NumResult<()> {
+        if t.len() != self.n() {
+            return Err(NumError::DimensionMismatch { expected: self.n(), actual: t.len() });
+        }
+        out.resize(self.n(), 0.0);
+        for ((o, cp), &ti) in out.iter_mut().zip(&self.cps).zip(t) {
+            *o = cp.population(ti);
+        }
+        Ok(())
+    }
+
+    /// [`System::state_at_phi`] into a caller-owned [`SystemState`].
+    pub fn state_at_phi_into(
+        &self,
+        phi: f64,
+        m: &[f64],
+        scratch: &mut StateScratch,
+        out: &mut SystemState,
+    ) -> NumResult<()> {
+        if m.len() != self.n() {
+            return Err(NumError::DimensionMismatch { expected: self.n(), actual: m.len() });
+        }
+        self.prepare_scratch(scratch);
+        let n = self.n();
+        out.phi = phi;
+        out.m.resize(n, 0.0);
+        out.m.copy_from_slice(m);
+        out.lambda.resize(n, 0.0);
+        let k = &self.kernel;
+        k.fill_exp(phi, &mut scratch.exp);
+        for j in 0..n {
+            out.lambda[j] = if k.beta_idx[j] != GENERIC_CP {
+                k.lambda0[j] * scratch.exp[k.beta_idx[j]]
+            } else {
+                self.cps[j].lambda(phi)
+            };
+        }
+        out.theta_i.resize(n, 0.0);
+        for j in 0..n {
+            out.theta_i[j] = m[j] * out.lambda[j];
+        }
+        // The exp table already holds e^{-βφ} at exactly this φ; the
+        // kernelized slope is bit-identical to `dgap_dphi` (same
+        // association as ExpThroughput::dlambda_dphi).
+        out.dg_dphi = self.dgap_from_exp(phi, m, &scratch.exp);
+        Ok(())
+    }
+
+    /// [`System::solve_state`] into a caller-owned [`SystemState`].
+    pub fn solve_state_into(
+        &self,
+        m: &[f64],
+        scratch: &mut StateScratch,
+        out: &mut SystemState,
+    ) -> NumResult<()> {
+        let phi = self.solve_phi_inner(m, scratch)?;
+        self.state_at_phi_into(phi, m, scratch, out)
+    }
+
+    /// [`System::state_at_prices`] into a caller-owned [`SystemState`].
+    pub fn state_at_prices_into(
+        &self,
+        t: &[f64],
+        scratch: &mut StateScratch,
+        out: &mut SystemState,
+    ) -> NumResult<()> {
+        // Detach the population buffer so the scratch stays usable for the
+        // solve; `mem::take` swaps in an empty Vec (no allocation).
+        let mut m = std::mem::take(&mut scratch.m);
+        let result =
+            self.populations_into(t, &mut m).and_then(|()| self.solve_state_into(&m, scratch, out));
+        scratch.m = m;
+        result
     }
 
     /// Solves the fixed point under a *uniform* effective price, the
@@ -184,7 +492,7 @@ impl std::fmt::Debug for System {
 }
 
 /// A solved (or probed) system state: everything Definition 1 determines.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct SystemState {
     /// System utilization `φ`.
     pub phi: f64,
@@ -199,6 +507,14 @@ pub struct SystemState {
 }
 
 impl SystemState {
+    /// An empty state to use as a reusable output buffer for the `_into`
+    /// solvers ([`System::solve_state_into`] and friends); its vectors are
+    /// resized in place on each solve, so one buffer serves systems of any
+    /// size without churn.
+    pub fn empty() -> SystemState {
+        SystemState::default()
+    }
+
     /// Aggregate throughput `θ = Σ_i θ_i`.
     pub fn theta(&self) -> f64 {
         self.theta_i.iter().sum()

@@ -43,6 +43,17 @@ pub trait ThroughputFn: Send + Sync {
     /// Returns a copy whose peak `λ(0)` is scaled by `κ`, preserving the
     /// φ-elasticity profile — the scaling Lemma 2 builds on.
     fn scaled(&self, kappa: f64) -> Box<dyn ThroughputFn>;
+
+    /// If this is the exponential family `λ(φ) = λ₀ e^{-βφ}`, its
+    /// `(λ₀, β)` coefficients. The system's hot congestion loop uses this
+    /// to share one `e^{-βφ}` evaluation among all providers with the same
+    /// `β` (bit-identical to evaluating each [`ThroughputFn::lambda`],
+    /// since `exp` is a pure function of the identical argument `-βφ`).
+    /// Non-exponential families return `None` and are evaluated through
+    /// the trait object as before.
+    fn exp_coeffs(&self) -> Option<(f64, f64)> {
+        None
+    }
 }
 
 impl Clone for Box<dyn ThroughputFn> {
@@ -91,6 +102,9 @@ impl ThroughputFn for ExpThroughput {
     }
     fn scaled(&self, kappa: f64) -> Box<dyn ThroughputFn> {
         Box::new(ExpThroughput::new(self.lambda0 * kappa, self.beta))
+    }
+    fn exp_coeffs(&self) -> Option<(f64, f64)> {
+        Some((self.lambda0, self.beta))
     }
 }
 

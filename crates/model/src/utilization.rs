@@ -36,6 +36,14 @@ pub trait UtilizationFn: Send + Sync {
 
     /// Clones into a boxed trait object.
     fn boxed_clone(&self) -> Box<dyn UtilizationFn>;
+
+    /// Whether this is exactly the paper's linear family `Θ(φ, µ) = φµ`.
+    /// The system's hot congestion loop uses this to inline the inverse
+    /// (`φ * µ`, bit-identical to [`UtilizationFn::theta`] for the linear
+    /// family) instead of paying a virtual call per gap evaluation.
+    fn is_linear(&self) -> bool {
+        false
+    }
 }
 
 impl Clone for Box<dyn UtilizationFn> {
@@ -63,6 +71,9 @@ impl UtilizationFn for Box<dyn UtilizationFn> {
     fn boxed_clone(&self) -> Box<dyn UtilizationFn> {
         (**self).boxed_clone()
     }
+    fn is_linear(&self) -> bool {
+        (**self).is_linear()
+    }
 }
 
 /// The paper's utilization metric: per-capacity throughput, `Φ(θ, µ) = θ/µ`.
@@ -89,6 +100,9 @@ impl UtilizationFn for LinearUtilization {
     }
     fn boxed_clone(&self) -> Box<dyn UtilizationFn> {
         Box::new(*self)
+    }
+    fn is_linear(&self) -> bool {
+        true
     }
 }
 

@@ -34,7 +34,12 @@ pub struct ScalarMax {
 ///
 /// Linear convergence with ratio `1/φ ≈ 0.618`; derivative-free; never
 /// leaves the interval. Converges when the interval width meets `tol`.
-pub fn golden_max(f: &dyn Fn(f64) -> f64, a: f64, b: f64, tol: Tolerance) -> NumResult<ScalarMax> {
+pub fn golden_max<F: Fn(f64) -> f64 + ?Sized>(
+    f: &F,
+    a: f64,
+    b: f64,
+    tol: Tolerance,
+) -> NumResult<ScalarMax> {
     if !(b >= a) {
         return Err(NumError::Domain { what: "golden_max requires b >= a", value: b - a });
     }
@@ -77,7 +82,12 @@ pub fn golden_max(f: &dyn Fn(f64) -> f64, a: f64, b: f64, tol: Tolerance) -> Num
 /// Superlinear on smooth unimodal objectives; falls back to golden-section
 /// steps when the parabolic model misbehaves. This is the standard `fmin`
 /// algorithm with the objective negated.
-pub fn brent_max(f: &dyn Fn(f64) -> f64, a: f64, b: f64, tol: Tolerance) -> NumResult<ScalarMax> {
+pub fn brent_max<F: Fn(f64) -> f64 + ?Sized>(
+    f: &F,
+    a: f64,
+    b: f64,
+    tol: Tolerance,
+) -> NumResult<ScalarMax> {
     if !(b >= a) {
         return Err(NumError::Domain { what: "brent_max requires b >= a", value: b - a });
     }
@@ -165,12 +175,39 @@ pub fn brent_max(f: &dyn Fn(f64) -> f64, a: f64, b: f64, tol: Tolerance) -> NumR
 
 /// Evaluates `f` on `n + 1` equispaced points of `[a, b]` and returns the
 /// best point together with the (clamped) bracketing cell around it.
-pub fn grid_scan(
-    f: &dyn Fn(f64) -> f64,
+pub fn grid_scan<F: Fn(f64) -> f64 + ?Sized>(
+    f: &F,
     a: f64,
     b: f64,
     n: usize,
 ) -> NumResult<(ScalarMax, f64, f64)> {
+    grid_scan_ends(f, a, b, n).map(|g| (g.best, g.cell_lo, g.cell_hi))
+}
+
+/// Result of [`grid_scan_ends`]: the best grid point, its bracketing cell,
+/// and the raw objective values at the interval endpoints (which the scan
+/// always evaluates) so callers can reuse them instead of re-evaluating.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GridScanEnds {
+    /// Best grid point found.
+    pub best: ScalarMax,
+    /// Left edge of the cell bracketing the best point.
+    pub cell_lo: f64,
+    /// Right edge of the cell bracketing the best point.
+    pub cell_hi: f64,
+    /// Raw `f(a)` (may be non-finite).
+    pub f_a: f64,
+    /// Raw `f(b)` (may be non-finite).
+    pub f_b: f64,
+}
+
+/// [`grid_scan`] that also reports the endpoint values it computed.
+pub fn grid_scan_ends<F: Fn(f64) -> f64 + ?Sized>(
+    f: &F,
+    a: f64,
+    b: f64,
+    n: usize,
+) -> NumResult<GridScanEnds> {
     if !(b >= a) {
         return Err(NumError::Domain { what: "grid_scan requires b >= a", value: b - a });
     }
@@ -180,8 +217,16 @@ pub fn grid_scan(
     let point = |i: usize| if i == n { b } else { a + h * i as f64 };
     let mut best_i = 0usize;
     let mut best_v = f64::NEG_INFINITY;
+    let mut end_a = f64::NAN;
+    let mut end_b = f64::NAN;
     for i in 0..=n {
         let v = f(point(i));
+        if i == 0 {
+            end_a = v;
+        }
+        if i == n {
+            end_b = v;
+        }
         if v.is_finite() && v > best_v {
             best_v = v;
             best_i = i;
@@ -193,7 +238,13 @@ pub fn grid_scan(
     let x = point(best_i);
     let lo = if best_i == 0 { a } else { point(best_i - 1) };
     let hi = if best_i == n { b } else { point(best_i + 1) };
-    Ok((ScalarMax { x, value: best_v, evaluations: n + 1 }, lo, hi))
+    Ok(GridScanEnds {
+        best: ScalarMax { x, value: best_v, evaluations: n + 1 },
+        cell_lo: lo,
+        cell_hi: hi,
+        f_a: end_a,
+        f_b: end_b,
+    })
 }
 
 /// Global-ish scalar maximization on `[a, b]`: grid scan to localize, then
@@ -211,12 +262,39 @@ pub fn grid_scan(
 /// let m = maximize_scalar(&f, 0.0, 1.0, 16, Tolerance::default()).unwrap();
 /// assert!((m.x - 0.3).abs() < 1e-8);
 /// ```
-pub fn maximize_scalar(
-    f: &dyn Fn(f64) -> f64,
+pub fn maximize_scalar<F: Fn(f64) -> f64 + ?Sized>(
+    f: &F,
     a: f64,
     b: f64,
     grid: usize,
     tol: Tolerance,
+) -> NumResult<ScalarMax> {
+    maximize_scalar_core(f, a, b, grid, tol, false)
+}
+
+/// [`maximize_scalar`] reusing the endpoint values already computed by the
+/// grid scan instead of re-evaluating `f(a)` and `f(b)` — the hot-path
+/// variant for expensive objectives (each best-response evaluation solves
+/// a congestion fixed point). The returned maximizer and value are
+/// bit-identical to [`maximize_scalar`]; only `evaluations` differs (it
+/// counts actual calls, two fewer).
+pub fn maximize_scalar_reusing_ends<F: Fn(f64) -> f64 + ?Sized>(
+    f: &F,
+    a: f64,
+    b: f64,
+    grid: usize,
+    tol: Tolerance,
+) -> NumResult<ScalarMax> {
+    maximize_scalar_core(f, a, b, grid, tol, true)
+}
+
+fn maximize_scalar_core<F: Fn(f64) -> f64 + ?Sized>(
+    f: &F,
+    a: f64,
+    b: f64,
+    grid: usize,
+    tol: Tolerance,
+    reuse_ends: bool,
 ) -> NumResult<ScalarMax> {
     if b == a {
         let v = f(a);
@@ -225,14 +303,20 @@ pub fn maximize_scalar(
         }
         return Ok(ScalarMax { x: a, value: v, evaluations: 1 });
     }
-    let (coarse, lo, hi) = grid_scan(f, a, b, grid)?;
+    let scan = grid_scan_ends(f, a, b, grid)?;
+    let (coarse, lo, hi) = (scan.best, scan.cell_lo, scan.cell_hi);
     let polished = brent_max(f, lo, hi, tol).or_else(|_| golden_max(f, lo, hi, tol))?;
     let mut best = if polished.value >= coarse.value { polished } else { coarse };
     let mut evals = coarse.evaluations + polished.evaluations;
-    // Endpoints are legitimate maximizers for corner equilibria.
-    for x in [a, b] {
-        let v = f(x);
-        evals += 1;
+    // Endpoints are legitimate maximizers for corner equilibria. The scan
+    // already evaluated both ends; re-evaluating (reuse_ends = false)
+    // yields the same values from a pure objective, so both modes compare
+    // identical numbers.
+    for (x, cached) in [(a, scan.f_a), (b, scan.f_b)] {
+        let v = if reuse_ends { cached } else { f(x) };
+        if !reuse_ends {
+            evals += 1;
+        }
         if v.is_finite() && v > best.value {
             best = ScalarMax { x, value: v, evaluations: 0 };
         }
@@ -269,9 +353,12 @@ pub struct ProjectedAscent {
 /// falls below the tolerance. This is a baseline optimizer; game solvers in
 /// `subcomp-core` use best-response iteration as their primary method and
 /// this routine as an independent check.
-pub fn projected_gradient_ascent(
-    f: &dyn Fn(&[f64]) -> f64,
-    grad: &dyn Fn(&[f64], &mut [f64]),
+pub fn projected_gradient_ascent<
+    F: Fn(&[f64]) -> f64 + ?Sized,
+    G: Fn(&[f64], &mut [f64]) + ?Sized,
+>(
+    f: &F,
+    grad: &G,
     x0: &[f64],
     lo: &[f64],
     hi: &[f64],
@@ -349,8 +436,8 @@ pub fn projected_gradient_ascent(
 /// equal subintervals of `[a, b]` and returns the best result. Used for the
 /// ISP's revenue curve, which can be multi-peaked once equilibrium subsidy
 /// responses kick in and out at policy bounds.
-pub fn maximize_multistart(
-    f: &dyn Fn(f64) -> f64,
+pub fn maximize_multistart<F: Fn(f64) -> f64 + ?Sized>(
+    f: &F,
     a: f64,
     b: f64,
     starts: usize,

@@ -79,8 +79,8 @@ fn check_finite(what: &'static str, at: f64, v: f64) -> NumResult<f64> {
 /// let br = expand_upward(&f, 0.0, 1.0, 64).unwrap();
 /// assert!(br.a < 100.0 && br.b >= 100.0);
 /// ```
-pub fn expand_upward(
-    f: &dyn Fn(f64) -> f64,
+pub fn expand_upward<F: Fn(f64) -> f64 + ?Sized>(
+    f: &F,
     lo: f64,
     hi: f64,
     max_doublings: usize,
@@ -89,24 +89,65 @@ pub fn expand_upward(
         return Err(NumError::Domain { what: "expand_upward requires hi > lo", value: hi - lo });
     }
     let flo = check_finite("expand_upward f(lo)", lo, f(lo))?;
+    expand_upward_seeded(&mut |x| f(x), lo, flo, hi, max_doublings).map(|s| s.bracket)
+}
+
+/// A bracket located by [`expand_upward_seeded`], carrying the function
+/// values at its endpoints (so the follow-up [`brent_seeded`] polish can
+/// skip its own endpoint evaluations) and the evaluations spent.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SeededBracket {
+    /// The sign-change bracket.
+    pub bracket: Bracket,
+    /// `f` at the bracket's left endpoint.
+    pub fa: f64,
+    /// `f` at the bracket's right endpoint.
+    pub fb: f64,
+    /// Function evaluations spent by the expansion.
+    pub evaluations: usize,
+}
+
+/// [`expand_upward`] with `f(lo)` supplied by the caller — the hot-path
+/// variant that skips the duplicate left-endpoint evaluation. Produces
+/// bit-identical brackets to [`expand_upward`].
+pub fn expand_upward_seeded<F: FnMut(f64) -> f64 + ?Sized>(
+    f: &mut F,
+    lo: f64,
+    flo: f64,
+    hi: f64,
+    max_doublings: usize,
+) -> NumResult<SeededBracket> {
+    if !(hi > lo) {
+        return Err(NumError::Domain { what: "expand_upward requires hi > lo", value: hi - lo });
+    }
+    let flo = check_finite("expand_upward f(lo)", lo, flo)?;
     if flo == 0.0 {
-        return Ok(Bracket::new(lo, lo));
+        return Ok(SeededBracket {
+            bracket: Bracket::new(lo, lo),
+            fa: 0.0,
+            fb: 0.0,
+            evaluations: 0,
+        });
     }
     if flo > 0.0 {
         return Err(NumError::NoBracket { a: lo, b: hi, fa: flo, fb: flo });
     }
     let mut a = lo;
+    let mut fa = flo;
     let mut b = hi;
     let mut fb = check_finite("expand_upward f(hi)", b, f(b))?;
+    let mut evals = 1;
     let mut step = hi - lo;
     for _ in 0..max_doublings {
         if fb >= 0.0 {
-            return Ok(Bracket::new(a, b));
+            return Ok(SeededBracket { bracket: Bracket::new(a, b), fa, fb, evaluations: evals });
         }
         a = b;
+        fa = fb;
         step *= 2.0;
         b += step;
         fb = check_finite("expand_upward f", b, f(b))?;
+        evals += 1;
     }
     Err(NumError::NoBracket { a: lo, b, fa: flo, fb })
 }
@@ -115,8 +156,8 @@ pub fn expand_upward(
 ///
 /// Converges when the bracket width meets `tol` (monitored at the midpoint
 /// magnitude) or an endpoint evaluates exactly to zero.
-pub fn bisection(
-    f: &dyn Fn(f64) -> f64,
+pub fn bisection<F: Fn(f64) -> f64 + ?Sized>(
+    f: &F,
     bracket: Bracket,
     tol: Tolerance,
 ) -> NumResult<RootResult> {
@@ -161,11 +202,34 @@ pub fn bisection(
 /// functions, never worse than bisection. Implementation follows Brent
 /// (1973) as presented in *Numerical Recipes*, with the tolerance adapted to
 /// [`Tolerance`] semantics.
-pub fn brent(f: &dyn Fn(f64) -> f64, bracket: Bracket, tol: Tolerance) -> NumResult<RootResult> {
+pub fn brent<F: Fn(f64) -> f64 + ?Sized>(
+    f: &F,
+    bracket: Bracket,
+    tol: Tolerance,
+) -> NumResult<RootResult> {
+    let fa = check_finite("brent f(a)", bracket.a, f(bracket.a))?;
+    let fb = check_finite("brent f(b)", bracket.b, f(bracket.b))?;
+    let mut result = brent_seeded(&mut |x| f(x), bracket, fa, fb, tol)?;
+    result.evaluations += 2;
+    Ok(result)
+}
+
+/// [`brent`] with the endpoint values `f(a)`, `f(b)` supplied by the
+/// caller — the hot-path variant used after [`expand_upward_seeded`], which
+/// already knows both values. The iterate sequence (and hence the root) is
+/// bit-identical to [`brent`]; only the duplicate endpoint evaluations are
+/// skipped, so `evaluations` counts the polish evaluations alone.
+pub fn brent_seeded<F: FnMut(f64) -> f64 + ?Sized>(
+    f: &mut F,
+    bracket: Bracket,
+    fa: f64,
+    fb: f64,
+    tol: Tolerance,
+) -> NumResult<RootResult> {
     let Bracket { mut a, mut b } = bracket;
-    let mut fa = check_finite("brent f(a)", a, f(a))?;
-    let mut fb = check_finite("brent f(b)", b, f(b))?;
-    let mut evals = 2;
+    let mut fa = check_finite("brent f(a)", a, fa)?;
+    let mut fb = check_finite("brent f(b)", b, fb)?;
+    let mut evals = 0;
     if fa == 0.0 {
         return Ok(RootResult { x: a, residual: 0.0, evaluations: evals, iterations: 0 });
     }
@@ -243,9 +307,9 @@ pub fn brent(f: &dyn Fn(f64) -> f64, bracket: Bracket, tol: Tolerance) -> NumRes
 /// When a bracket is supplied, any Newton step that would leave it is
 /// replaced by a bisection step, making the method globally convergent on
 /// monotone functions while keeping the quadratic local rate.
-pub fn newton(
-    f: &dyn Fn(f64) -> f64,
-    df: &dyn Fn(f64) -> f64,
+pub fn newton<F: Fn(f64) -> f64 + ?Sized, D: Fn(f64) -> f64 + ?Sized>(
+    f: &F,
+    df: &D,
     x0: f64,
     bracket: Option<Bracket>,
     tol: Tolerance,
@@ -297,7 +361,12 @@ pub fn newton(
 }
 
 /// Secant method (derivative-free, superlinear, not globally convergent).
-pub fn secant(f: &dyn Fn(f64) -> f64, x0: f64, x1: f64, tol: Tolerance) -> NumResult<RootResult> {
+pub fn secant<F: Fn(f64) -> f64 + ?Sized>(
+    f: &F,
+    x0: f64,
+    x1: f64,
+    tol: Tolerance,
+) -> NumResult<RootResult> {
     let mut xa = x0;
     let mut xb = x1;
     let mut fa = check_finite("secant f(x0)", xa, f(xa))?;
@@ -341,8 +410,8 @@ pub fn secant(f: &dyn Fn(f64) -> f64, x0: f64, x1: f64, tol: Tolerance) -> NumRe
 ///
 /// This is the exact pattern needed for the utilization fixed point; exposed
 /// here so that model code and tests share one implementation.
-pub fn solve_increasing(
-    f: &dyn Fn(f64) -> f64,
+pub fn solve_increasing<F: Fn(f64) -> f64 + ?Sized>(
+    f: &F,
     lo: f64,
     initial_step: f64,
     tol: Tolerance,
@@ -359,6 +428,32 @@ pub fn solve_increasing(
     }
     let bracket = expand_upward(f, lo, lo + initial_step.max(f64::MIN_POSITIVE), 128)?;
     brent(f, bracket, tol)
+}
+
+/// [`solve_increasing`] with `f(lo)` supplied by the caller — the hot-path
+/// variant for callers that can compute `f(lo)` in closed form (e.g. the
+/// congestion gap at `φ = 0`, which is just the negated peak demand). The
+/// bracket expansion and every Brent iterate are bit-identical to
+/// [`solve_increasing`]; the duplicate `f(lo)` and bracket-endpoint
+/// evaluations are skipped, so `evaluations` counts actual calls only.
+pub fn solve_increasing_seeded<F: FnMut(f64) -> f64 + ?Sized>(
+    f: &mut F,
+    lo: f64,
+    flo: f64,
+    initial_step: f64,
+    tol: Tolerance,
+) -> NumResult<RootResult> {
+    let flo = check_finite("solve_increasing f(lo)", lo, flo)?;
+    if flo == 0.0 {
+        return Ok(RootResult { x: lo, residual: 0.0, evaluations: 0, iterations: 0 });
+    }
+    if flo > 0.0 {
+        return Err(NumError::NoBracket { a: lo, b: lo, fa: flo, fb: flo });
+    }
+    let seeded = expand_upward_seeded(f, lo, flo, lo + initial_step.max(f64::MIN_POSITIVE), 128)?;
+    let mut result = brent_seeded(f, seeded.bracket, seeded.fa, seeded.fb, tol)?;
+    result.evaluations += seeded.evaluations;
+    Ok(result)
 }
 
 #[cfg(test)]

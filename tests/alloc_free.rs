@@ -1,0 +1,167 @@
+//! Counting-allocator tier: proves the workspace solve engine performs
+//! **zero heap allocation after warm-up** — the property `solve_farm`
+//! relies on to batch tens of thousands of games without allocator
+//! traffic.
+//!
+//! A thread-local counting wrapper around the system allocator tallies
+//! every `alloc`/`realloc`/`alloc_zeroed` issued by the *measuring thread*
+//! while a tracking flag is set (other test threads are invisible to the
+//! counter, so this suite coexists with the parallel test runner). Each
+//! assertion warms a [`SolveWorkspace`] up on the games under test, then
+//! re-runs the solves with counting enabled and demands a zero count.
+//!
+//! The `unsafe` below is the bare minimum a `GlobalAlloc` wrapper
+//! requires; it delegates straight to `std::alloc::System` and touches
+//! nothing else. (The workspace-wide `unsafe_code = "deny"` lint is
+//! relaxed for this one test crate only.)
+
+#![allow(unsafe_code)]
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+use subcomp::game::game::SubsidyGame;
+use subcomp::game::nash::{NashSolver, WarmStart};
+use subcomp::game::vi::{extragradient_solve_into, projection_solve_into, ViConfig};
+use subcomp::game::workspace::SolveWorkspace;
+use subcomp::model::aggregation::{build_system, ExpCpSpec};
+
+thread_local! {
+    static TRACKING: Cell<bool> = const { Cell::new(false) };
+    static ALLOCATIONS: Cell<u64> = const { Cell::new(0) };
+}
+
+struct CountingAllocator;
+
+impl CountingAllocator {
+    fn record() {
+        // `try_with` so allocations during TLS teardown cannot abort.
+        let _ = TRACKING.try_with(|t| {
+            if t.get() {
+                let _ = ALLOCATIONS.try_with(|a| a.set(a.get() + 1));
+            }
+        });
+    }
+}
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        CountingAllocator::record();
+        unsafe { System.alloc(layout) }
+    }
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        CountingAllocator::record();
+        unsafe { System.alloc_zeroed(layout) }
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        CountingAllocator::record();
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAllocator = CountingAllocator;
+
+/// Runs `f` with allocation counting enabled on this thread and returns
+/// how many allocations it performed.
+fn allocations_during<R>(f: impl FnOnce() -> R) -> (u64, R) {
+    ALLOCATIONS.with(|a| a.set(0));
+    TRACKING.with(|t| t.set(true));
+    let result = f();
+    TRACKING.with(|t| t.set(false));
+    (ALLOCATIONS.with(|a| a.get()), result)
+}
+
+/// Small, fast-converging games of assorted sizes (kept tiny so the suite
+/// stays quick in debug builds; allocation behaviour does not depend on
+/// problem size).
+fn games() -> Vec<SubsidyGame> {
+    let mk = |n: usize, p: f64, q: f64| {
+        let specs: Vec<ExpCpSpec> = (0..n)
+            .map(|i| {
+                ExpCpSpec::unit(
+                    2.0 + (i % 2) as f64 * 3.0,
+                    2.0 + (i % 3) as f64,
+                    0.5 + 0.1 * i as f64,
+                )
+            })
+            .collect();
+        SubsidyGame::new(build_system(&specs, 1.0).unwrap(), p, q).unwrap()
+    };
+    vec![mk(3, 0.6, 0.8), mk(5, 0.5, 0.6), mk(2, 0.8, 1.0)]
+}
+
+#[test]
+fn nash_solve_into_is_allocation_free_after_warmup() {
+    let games = games();
+    let solver = NashSolver::default().with_tol(1e-7);
+    let mut ws = SolveWorkspace::new();
+    // Warm-up: one solve per game sizes every buffer (including across
+    // different n — buffers only grow).
+    for game in &games {
+        solver.solve_into(game, WarmStart::Zero, &mut ws).unwrap();
+    }
+    // The measured loop mimics solve_farm's solver loop: many games, one
+    // workspace, cold and warm starts interleaved.
+    let (allocs, stats) = allocations_during(|| {
+        let mut last = None;
+        for _ in 0..5 {
+            for game in &games {
+                let cold = solver.solve_into(game, WarmStart::Zero, &mut ws).unwrap();
+                let warm = solver.solve_into(game, WarmStart::Previous, &mut ws).unwrap();
+                assert!(cold.converged && warm.converged);
+                last = Some(warm);
+            }
+        }
+        last.unwrap()
+    });
+    assert!(stats.converged);
+    assert_eq!(allocs, 0, "warm Nash solves must not touch the heap, saw {allocs} allocations");
+}
+
+#[test]
+fn jacobi_solve_into_is_allocation_free_after_warmup() {
+    let games = games();
+    let solver = NashSolver::default().jacobi().with_damping(0.7).with_tol(1e-6);
+    let mut ws = SolveWorkspace::new();
+    for game in &games {
+        solver.solve_into(game, WarmStart::Zero, &mut ws).unwrap();
+    }
+    let (allocs, _) = allocations_during(|| {
+        for game in &games {
+            solver.solve_into(game, WarmStart::Zero, &mut ws).unwrap();
+        }
+    });
+    assert_eq!(allocs, 0, "warm Jacobi solves must not touch the heap, saw {allocs} allocations");
+}
+
+#[test]
+fn vi_solvers_are_allocation_free_after_warmup() {
+    let games = games();
+    let cfg = ViConfig { tol: 1e-5, ..Default::default() };
+    let mut ws = SolveWorkspace::new();
+    let starts: Vec<Vec<f64>> = games.iter().map(|g| vec![0.0; g.n()]).collect();
+    for (game, s0) in games.iter().zip(&starts) {
+        projection_solve_into(game, s0, &cfg, &mut ws).unwrap();
+        extragradient_solve_into(game, s0, &cfg, &mut ws).unwrap();
+    }
+    let (allocs, _) = allocations_during(|| {
+        for (game, s0) in games.iter().zip(&starts) {
+            let pj = projection_solve_into(game, s0, &cfg, &mut ws).unwrap();
+            let eg = extragradient_solve_into(game, s0, &cfg, &mut ws).unwrap();
+            assert!(pj.converged && eg.converged);
+        }
+    });
+    assert_eq!(allocs, 0, "warm VI solves must not touch the heap, saw {allocs} allocations");
+}
+
+#[test]
+fn counter_actually_counts() {
+    // Sanity check on the harness itself: an allocating closure must be
+    // visible, otherwise the zero assertions above are vacuous.
+    let (allocs, v) = allocations_during(|| vec![1u8; 4096]);
+    assert!(allocs >= 1, "the counting allocator missed a Vec allocation");
+    assert_eq!(v.len(), 4096);
+}
