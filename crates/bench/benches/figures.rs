@@ -7,7 +7,12 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::time::Duration;
+use subcomp_core::game::SubsidyGame;
+use subcomp_core::nash::WarmStart;
+use subcomp_core::workspace::SolveWorkspace;
 use subcomp_exp::figures::{fig10, fig11, fig4, fig5, fig7, fig8, fig9, panel};
+use subcomp_exp::scenarios::section5_system;
+use subcomp_exp::sweep::{EqGrid, GridContext, GridSolver};
 
 fn bench_section3_figures(c: &mut Criterion) {
     let mut g = c.benchmark_group("figures/section3");
@@ -80,9 +85,51 @@ fn bench_section5_figures(c: &mut Criterion) {
     g.finish();
 }
 
+/// Tracks the continuation win itself as a trajectory point: the same
+/// 3×9 grid solved through the [`GridSolver`] continuation engine
+/// (`continuation`) versus point-by-point cold solves of the *same*
+/// solver configuration on the same reused workspace (`cold`). The ratio
+/// of the two ids is the warm-start speedup — committed to
+/// `BENCH_figures.json` so a regression in continuation quality (e.g.
+/// seeds stopping to help) shows up in review, not just a one-time claim
+/// in a PR description.
+fn bench_panel_warm_vs_cold(c: &mut Criterion) {
+    let mut g = c.benchmark_group("figures/panel/warm_vs_cold");
+    g.sample_size(10);
+    let system = section5_system();
+    let qs = [0.0, 0.5, 2.0];
+    let prices: Vec<f64> = (0..9).map(|k| 0.1 + 0.2375 * k as f64).collect();
+    let solver = GridSolver::default();
+    g.bench_function("continuation", |b| {
+        let mut ctx = GridContext::new(&system);
+        let mut grid = EqGrid::empty();
+        b.iter(|| {
+            solver.solve_seq_into(&mut ctx, std::hint::black_box(&qs), &prices, &mut grid).unwrap();
+            grid.cold_solves()
+        })
+    });
+    g.bench_function("cold", |b| {
+        let mut game = SubsidyGame::new(system.clone(), 0.0, 0.0).unwrap();
+        let mut ws = SolveWorkspace::for_game(&game);
+        b.iter(|| {
+            let mut sweeps = 0usize;
+            for &q in std::hint::black_box(&qs[..]) {
+                game.set_cap(q).unwrap();
+                for &p in &prices {
+                    game.set_price(p).unwrap();
+                    let stats = solver.solver.solve_into(&game, WarmStart::Zero, &mut ws).unwrap();
+                    sweeps += stats.iterations;
+                }
+            }
+            sweeps
+        })
+    });
+    g.finish();
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().warm_up_time(Duration::from_millis(400)).measurement_time(Duration::from_secs(2));
-    targets = bench_section3_figures, bench_section5_figures
+    targets = bench_section3_figures, bench_section5_figures, bench_panel_warm_vs_cold
 }
 criterion_main!(benches);

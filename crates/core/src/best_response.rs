@@ -14,6 +14,7 @@ use crate::game::SubsidyGame;
 use std::cell::RefCell;
 use subcomp_model::system::StateScratch;
 use subcomp_num::optimize::maximize_scalar_reusing_ends;
+use subcomp_num::roots::Bracket;
 use subcomp_num::{NumError, NumResult, Tolerance};
 
 /// Outcome of a best-response computation.
@@ -131,6 +132,114 @@ pub(crate) fn best_response_into(
     Ok(best)
 }
 
+/// Theorem 3 threshold best response: instead of a grid scan, exploit the
+/// paper's own characterization `s_i* = min{τ_i, min(q, v_i)}`, where the
+/// marginal utility `u_i(s_i)` has a single `+ → −` sign change at the
+/// threshold `τ_i` (Assumptions 1–2 guarantee this structure). Three
+/// marginal probes classify the corners; an interior threshold is a Brent
+/// root of the *analytic* `u_i`, seeded near `hint` (the continuation
+/// iterate) so nearby grid points converge in a handful of probes.
+///
+/// Returns `Ok(None)` when the observed signs do not match the single-
+/// crossing structure (non-finite probes, a non-exponential family
+/// violating the assumptions numerically) — the caller falls back to the
+/// robust grid-scan engine, so enabling this path can never *wrongly*
+/// answer, only decline. Agrees with [`best_response_into`] to the shared
+/// root tolerance (~1e-12) at interior optima and exactly at corners;
+/// it is not bit-identical (different probe sequence), which is why the
+/// solvers only use it behind an explicit opt-in.
+pub(crate) fn best_response_threshold_into(
+    game: &SubsidyGame,
+    i: usize,
+    s: &[f64],
+    hint: f64,
+    m: &mut Vec<f64>,
+    scratch: &mut StateScratch,
+) -> NumResult<Option<BestResponse>> {
+    let hi = game.effective_cap(i);
+    if game.validate(s).is_err() {
+        return Err(NumError::NonFinite { what: "threshold_br profile", at: 0.0 });
+    }
+    game.populations_for(s, m);
+    if hi <= 0.0 {
+        let utility = game.utility_probe(i, 0.0, m, scratch)?;
+        return Ok(Some(BestResponse { s: 0.0, utility, evaluations: 1 }));
+    }
+    let buffers = RefCell::new((m, scratch));
+    let evals = std::cell::Cell::new(0usize);
+    let mut u_of = |si: f64| {
+        evals.set(evals.get() + 1);
+        let (m, scratch) = &mut *buffers.borrow_mut();
+        game.marginal_probe(i, si, m, scratch).unwrap_or(f64::NAN)
+    };
+    // Corner classification (Theorem 3's KKT cases).
+    let u0 = u_of(0.0);
+    if !u0.is_finite() {
+        return Ok(None);
+    }
+    if u0 <= 0.0 {
+        // τ_i ≤ 0: the margin loss dominates from the start.
+        let (m, scratch) = &mut *buffers.borrow_mut();
+        let utility = game.utility_probe(i, 0.0, m, scratch)?;
+        return Ok(Some(BestResponse { s: 0.0, utility, evaluations: evals.get() + 1 }));
+    }
+    let u_hi = u_of(hi);
+    if !u_hi.is_finite() {
+        return Ok(None);
+    }
+    if u_hi >= 0.0 {
+        // τ_i ≥ min(q, v_i): pinned at the effective cap.
+        let (m, scratch) = &mut *buffers.borrow_mut();
+        let utility = game.utility_probe(i, hi, m, scratch)?;
+        return Ok(Some(BestResponse { s: hi, utility, evaluations: evals.get() + 1 }));
+    }
+    // Interior threshold: u(0) > 0 > u(hi). Shrink the bracket around the
+    // continuation hint first — under continuation the root moved O(Δp)
+    // from `hint`, so a tight bracket usually survives and Brent finishes
+    // in a few probes. Fall back to the full interval otherwise.
+    let hint = hint.clamp(0.0, hi);
+    let u_hint = u_of(hint);
+    if !u_hint.is_finite() {
+        return Ok(None);
+    }
+    if u_hint == 0.0 {
+        let (m, scratch) = &mut *buffers.borrow_mut();
+        let utility = game.utility_probe(i, hint, m, scratch)?;
+        return Ok(Some(BestResponse { s: hint, utility, evaluations: evals.get() + 1 }));
+    }
+    let delta = 1e-2 * (1.0 + hi);
+    let (br, ua, ub) = if u_hint > 0.0 {
+        let b = (hint + delta).min(hi);
+        let ub = if b < hi { u_of(b) } else { u_hi };
+        if ub.is_finite() && ub <= 0.0 {
+            (Bracket::new(hint, b), u_hint, ub)
+        } else {
+            (Bracket::new(hint, hi), u_hint, u_hi)
+        }
+    } else {
+        let a = (hint - delta).max(0.0);
+        let ua = if a > 0.0 { u_of(a) } else { u0 };
+        if ua.is_finite() && ua >= 0.0 {
+            (Bracket::new(a, hint), ua, u_hint)
+        } else {
+            (Bracket::new(0.0, hint), u0, u_hint)
+        }
+    };
+    let Ok(root) = subcomp_num::roots::brent_seeded(
+        &mut u_of,
+        br,
+        ua,
+        ub,
+        Tolerance::new(1e-13, 1e-13).with_max_iter(120),
+    ) else {
+        return Ok(None);
+    };
+    let s_star = root.x.clamp(0.0, hi);
+    let (m, scratch) = &mut *buffers.borrow_mut();
+    let utility = game.utility_probe(i, s_star, m, scratch)?;
+    Ok(Some(BestResponse { s: s_star, utility, evaluations: evals.get() + 1 }))
+}
+
 /// The maximum utility any provider can gain by unilaterally deviating
 /// from `s` — the *deviation gap*, zero exactly at a Nash equilibrium.
 /// Returns `(gap, argmax_provider)`.
@@ -222,6 +331,50 @@ mod tests {
         let (gap, who) = deviation_gap(&g, &[0.0], &BrConfig::default()).unwrap();
         assert!(gap > 1e-3, "gap = {gap}");
         assert_eq!(who, 0);
+    }
+
+    #[test]
+    fn threshold_br_agrees_with_grid_scan() {
+        // Theorem 3's threshold characterization must land on the same
+        // answer as the robust grid-scan engine — exactly at corners,
+        // to root tolerance at interior optima — across corner, interior
+        // and cap-pinned regimes, with and without a useful hint.
+        let cases = [
+            (0.5, 0.3, 0.5, 1.0),  // corner at 0
+            (8.0, 1.0, 1.0, 2.0),  // interior
+            (8.0, 1.0, 1.0, 0.2),  // pinned at cap
+            (5.0, 1.0, 0.8, 1.0),  // interior, moderate elasticity
+            (10.0, 0.4, 1.0, 2.0), // pinned at v < q
+        ];
+        for (alpha, v, p, q) in cases {
+            let g = single_cp_game(alpha, v, p, q);
+            let grid = best_response(&g, 0, &[0.0], &BrConfig::default()).unwrap();
+            for hint in [0.0, 0.5 * grid.s, grid.s, g.effective_cap(0)] {
+                let mut m = Vec::new();
+                let mut scratch = g.system().make_scratch();
+                let thr = best_response_threshold_into(&g, 0, &[0.0], hint, &mut m, &mut scratch)
+                    .unwrap()
+                    .expect("exponential family satisfies the Theorem 3 structure");
+                assert!(
+                    (thr.s - grid.s).abs() < 1e-9,
+                    "(α={alpha}, v={v}, p={p}, q={q}, hint={hint}): threshold {} vs grid {}",
+                    thr.s,
+                    grid.s
+                );
+                assert!((thr.utility - grid.utility).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn threshold_br_zero_width_box() {
+        let g = single_cp_game(5.0, 1.0, 0.8, 0.0);
+        let mut m = Vec::new();
+        let mut scratch = g.system().make_scratch();
+        let thr = best_response_threshold_into(&g, 0, &[0.0], 0.3, &mut m, &mut scratch)
+            .unwrap()
+            .unwrap();
+        assert_eq!(thr.s, 0.0);
     }
 
     #[test]

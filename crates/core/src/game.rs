@@ -60,16 +60,47 @@ impl SubsidyGame {
         self
     }
 
+    /// Sets the ISP price in place — a scalar write, so reparameterizing a
+    /// grid point costs nothing beyond validation. The underlying
+    /// [`System`] (and its precompiled kernel) is untouched: price and cap
+    /// live on the game, never in the congestion model, which is what
+    /// makes continuation over a `(q, p)` grid allocation-free.
+    pub fn set_price(&mut self, price: f64) -> NumResult<()> {
+        if !(price >= 0.0) || !price.is_finite() {
+            return Err(NumError::Domain {
+                what: "price must be non-negative and finite",
+                value: price,
+            });
+        }
+        self.price = price;
+        Ok(())
+    }
+
+    /// Sets the policy cap in place — the cap-axis counterpart of
+    /// [`SubsidyGame::set_price`], with the same no-rebuild guarantee.
+    pub fn set_cap(&mut self, cap: f64) -> NumResult<()> {
+        if !(cap >= 0.0) || !cap.is_finite() {
+            return Err(NumError::Domain {
+                what: "policy cap must be non-negative and finite",
+                value: cap,
+            });
+        }
+        self.cap = cap;
+        Ok(())
+    }
+
     /// Returns a copy at a different ISP price (same cap and system).
     pub fn with_price(&self, price: f64) -> NumResult<SubsidyGame> {
-        SubsidyGame::new(self.system.clone(), price, self.cap)
-            .map(|g| g.with_clamped_price(self.clamp_effective_price))
+        let mut game = self.clone();
+        game.set_price(price)?;
+        Ok(game)
     }
 
     /// Returns a copy under a different policy cap.
     pub fn with_cap(&self, cap: f64) -> NumResult<SubsidyGame> {
-        SubsidyGame::new(self.system.clone(), self.price, cap)
-            .map(|g| g.with_clamped_price(self.clamp_effective_price))
+        let mut game = self.clone();
+        game.set_cap(cap)?;
+        Ok(game)
     }
 
     /// Returns a copy with provider `i`'s profitability replaced — the
@@ -477,6 +508,25 @@ mod tests {
         let g3 = g.with_cap(0.3).unwrap();
         assert_eq!(g3.cap(), 0.3);
         assert_eq!(g3.price(), 0.5);
+    }
+
+    #[test]
+    fn set_price_and_cap_mutate_in_place() {
+        let mut g = paper_section5_game(0.5, 1.0).with_clamped_price(true);
+        g.set_price(0.9).unwrap();
+        g.set_cap(0.3).unwrap();
+        assert_eq!(g.price(), 0.9);
+        assert_eq!(g.cap(), 0.3);
+        // Clamping convention and system are untouched; results agree with
+        // the cloning constructors on the same (p, q).
+        let rebuilt = paper_section5_game(0.9, 0.3).with_clamped_price(true);
+        let s = vec![0.1; 8];
+        assert_eq!(g.state(&s).unwrap(), rebuilt.state(&s).unwrap());
+        assert!(g.set_price(-0.1).is_err());
+        assert!(g.set_cap(f64::NAN).is_err());
+        // Failed sets leave the game unchanged.
+        assert_eq!(g.price(), 0.9);
+        assert_eq!(g.cap(), 0.3);
     }
 
     #[test]

@@ -12,7 +12,7 @@
 //! and [`crate::equilibrium::verify_equilibrium`] can be used post-hoc for
 //! an independent KKT/deviation certificate.
 
-use crate::best_response::{best_response_into, BrConfig};
+use crate::best_response::{best_response_into, best_response_threshold_into, BrConfig};
 use crate::game::SubsidyGame;
 use crate::workspace::SolveWorkspace;
 use subcomp_model::system::SystemState;
@@ -119,6 +119,15 @@ pub struct NashSolver {
     pub max_sweeps: usize,
     /// Inner best-response configuration.
     pub br: BrConfig,
+    /// Use the Theorem 3 threshold best response (marginal-utility root
+    /// finding seeded at the current iterate) instead of the grid-scan
+    /// search. Roughly 3x fewer fixed-point solves per sweep under
+    /// continuation; answers agree with the grid scan to root tolerance
+    /// (~1e-12) but are **not bit-identical**, so the default stays
+    /// `false` and the grid engines opt in explicitly. Any provider whose
+    /// marginal structure does not match the single-crossing assumption
+    /// silently falls back to the grid scan for that best response.
+    pub threshold_br: bool,
 }
 
 impl Default for NashSolver {
@@ -129,6 +138,7 @@ impl Default for NashSolver {
             tol: 1e-9,
             max_sweeps: 600,
             br: BrConfig::default(),
+            threshold_br: false,
         }
     }
 }
@@ -155,6 +165,13 @@ impl NashSolver {
     /// Returns a copy with a different sweep budget.
     pub fn with_max_sweeps(mut self, n: usize) -> Self {
         self.max_sweeps = n.max(1);
+        self
+    }
+
+    /// Returns a copy using the Theorem 3 threshold best response (see
+    /// [`NashSolver::threshold_br`]).
+    pub fn with_threshold_br(mut self, enabled: bool) -> Self {
+        self.threshold_br = enabled;
         self
     }
 
@@ -223,7 +240,28 @@ impl NashSolver {
                     SweepMode::GaussSeidel => &ws.next,
                     SweepMode::Jacobi => &ws.reference,
                 };
-                let br = best_response_into(game, i, basis, &self.br, &mut ws.m, &mut ws.scratch)?;
+                let br = if self.threshold_br {
+                    match best_response_threshold_into(
+                        game,
+                        i,
+                        basis,
+                        ws.s[i],
+                        &mut ws.m,
+                        &mut ws.scratch,
+                    )? {
+                        Some(br) => br,
+                        None => best_response_into(
+                            game,
+                            i,
+                            basis,
+                            &self.br,
+                            &mut ws.m,
+                            &mut ws.scratch,
+                        )?,
+                    }
+                } else {
+                    best_response_into(game, i, basis, &self.br, &mut ws.m, &mut ws.scratch)?
+                };
                 ws.next[i] = (1.0 - self.damping) * ws.s[i] + self.damping * br.s;
             }
             residual = sub_inf_norm(&ws.s, &ws.next);
@@ -418,6 +456,28 @@ mod tests {
         let d0 = eq0.diagnostics(&flat).unwrap();
         assert_eq!(d0.pinned_low, 8);
         assert_eq!(d0.interior, 0);
+    }
+
+    #[test]
+    fn threshold_br_solver_matches_default() {
+        // The continuation engines run with threshold_br = true; the
+        // equilibria must agree with the grid-scan solver to well within
+        // the sweep tolerance across interior and corner-heavy regimes.
+        for (p, q) in [(0.5, 1.0), (0.2, 0.4), (1.2, 0.8), (0.6, 0.0)] {
+            let game = paper_game(p, q);
+            let gs = NashSolver::default().with_tol(1e-9).solve(&game).unwrap();
+            let thr =
+                NashSolver::default().with_tol(1e-9).with_threshold_br(true).solve(&game).unwrap();
+            assert!(thr.converged);
+            for i in 0..8 {
+                assert!(
+                    (gs.subsidies[i] - thr.subsidies[i]).abs() < 1e-7,
+                    "(p={p}, q={q}) CP {i}: grid {} vs threshold {}",
+                    gs.subsidies[i],
+                    thr.subsidies[i]
+                );
+            }
+        }
     }
 
     #[test]

@@ -12,7 +12,13 @@
 //!
 //! Options (all with defaults):
 //!   `--games N`     ensemble size (default 10000)
-//!   `--threads T`   worker threads (default: available parallelism)
+//!   `--threads T`   worker threads (default: available parallelism).
+//!                   A comma list (`--threads 1,2,4,8`) switches to the
+//!                   *scaling study*: the ensemble is solved once per
+//!                   count, a thread-count → wall-clock table is printed,
+//!                   and the run **asserts** that every deterministic
+//!                   aggregate is bit-identical across counts (the
+//!                   BatchSolver block-structure guarantee).
 //!   `--seed S`      master seed (default 7)
 //!   `--block B`     warm-start block size (default 32)
 //!   `--n-min A` / `--n-max B`  provider-count range (default 2..12)
@@ -20,9 +26,11 @@
 //! Everything above the `timing` line is deterministic for a given
 //! `(games, seed, block, n-min, n-max)` — thread count does not change a
 //! single digit — so the report can be diffed across machines and
-//! revisions; only the throughput line varies.
+//! revisions; only the throughput lines vary.
+//!
+//! [`SolveWorkspace`]: subcomp_core::workspace::SolveWorkspace
 
-use std::time::Instant;
+use std::time::{Duration, Instant};
 use subcomp_core::equilibrium::verify_equilibrium;
 use subcomp_core::game::SubsidyGame;
 use subcomp_core::structure::SplitMix64;
@@ -33,7 +41,7 @@ use subcomp_model::aggregation::build_system;
 
 struct Args {
     games: usize,
-    threads: usize,
+    threads: Vec<usize>,
     seed: u64,
     block: usize,
     n_min: usize,
@@ -43,7 +51,7 @@ struct Args {
 fn parse_args() -> Args {
     let mut args = Args {
         games: 10_000,
-        threads: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+        threads: vec![std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)],
         seed: 7,
         block: 32,
         n_min: 2,
@@ -56,7 +64,13 @@ fn parse_args() -> Args {
         };
         match flag.as_str() {
             "--games" => args.games = take("--games").parse().expect("--games: integer"),
-            "--threads" => args.threads = take("--threads").parse().expect("--threads: integer"),
+            "--threads" => {
+                args.threads = take("--threads")
+                    .split(',')
+                    .map(|t| t.trim().parse().expect("--threads: integer or comma list"))
+                    .collect();
+                assert!(!args.threads.is_empty(), "--threads: need at least one count");
+            }
             "--seed" => args.seed = take("--seed").parse().expect("--seed: integer"),
             "--block" => args.block = take("--block").parse().expect("--block: integer"),
             "--n-min" => args.n_min = take("--n-min").parse().expect("--n-min: integer"),
@@ -98,11 +112,42 @@ struct FarmStat {
     theta: f64,
 }
 
-fn main() {
-    let args = parse_args();
-    let indices: Vec<u64> = (0..args.games as u64).collect();
-    let batch = BatchSolver::default().with_threads(args.threads).with_block(args.block);
+/// The deterministic aggregate of one farm run. Floats are compared by
+/// bits: the scaling study's cross-thread-count assertion is *bit*
+/// identity, not approximate agreement.
+#[derive(Clone, Copy, PartialEq)]
+struct FarmAggregate {
+    solved: usize,
+    failed: usize,
+    providers: usize,
+    iter_total: usize,
+    iter_max: usize,
+    residual_max_bits: u64,
+    kkt_max_bits: u64,
+    uncertified: usize,
+    welfare_sum_bits: u64,
+    theta_sum_bits: u64,
+}
 
+impl FarmAggregate {
+    fn welfare_sum(&self) -> f64 {
+        f64::from_bits(self.welfare_sum_bits)
+    }
+    fn theta_sum(&self) -> f64 {
+        f64::from_bits(self.theta_sum_bits)
+    }
+    fn residual_max(&self) -> f64 {
+        f64::from_bits(self.residual_max_bits)
+    }
+    fn kkt_max(&self) -> f64 {
+        f64::from_bits(self.kkt_max_bits)
+    }
+}
+
+/// Runs the ensemble on `threads` workers and reduces it.
+fn run_farm(args: &Args, threads: usize) -> (FarmAggregate, Duration) {
+    let indices: Vec<u64> = (0..args.games as u64).collect();
+    let batch = BatchSolver::default().with_threads(threads).with_block(args.block);
     let start = Instant::now();
     let results = batch.run(
         &indices,
@@ -125,55 +170,123 @@ fn main() {
     );
     let elapsed = start.elapsed();
 
-    let mut solved = 0usize;
-    let mut failed = 0usize;
-    let mut providers = 0usize;
-    let mut iter_total = 0usize;
-    let mut iter_max = 0usize;
+    let mut agg = FarmAggregate {
+        solved: 0,
+        failed: 0,
+        providers: 0,
+        iter_total: 0,
+        iter_max: 0,
+        residual_max_bits: 0.0f64.to_bits(),
+        kkt_max_bits: 0.0f64.to_bits(),
+        uncertified: 0,
+        welfare_sum_bits: 0,
+        theta_sum_bits: 0,
+    };
     let mut residual_max = 0.0f64;
     let mut kkt_max = 0.0f64;
-    let mut uncertified = 0usize;
     let mut welfare_sum = 0.0f64;
     let mut theta_sum = 0.0f64;
     for r in &results {
         match r {
             Ok(s) => {
-                solved += 1;
-                providers += s.n;
-                iter_total += s.iterations;
-                iter_max = iter_max.max(s.iterations);
+                agg.solved += 1;
+                agg.providers += s.n;
+                agg.iter_total += s.iterations;
+                agg.iter_max = agg.iter_max.max(s.iterations);
                 residual_max = residual_max.max(s.residual);
                 if s.max_kkt.is_finite() {
                     kkt_max = kkt_max.max(s.max_kkt);
                 } else {
-                    uncertified += 1;
+                    agg.uncertified += 1;
                 }
                 welfare_sum += s.welfare;
                 theta_sum += s.theta;
             }
-            Err(_) => failed += 1,
+            Err(_) => agg.failed += 1,
         }
     }
+    agg.residual_max_bits = residual_max.to_bits();
+    agg.kkt_max_bits = kkt_max.to_bits();
+    agg.welfare_sum_bits = welfare_sum.to_bits();
+    agg.theta_sum_bits = theta_sum.to_bits();
+    (agg, elapsed)
+}
 
-    println!("solve_farm: seeded random-game ensemble through the batched Nash engine");
+fn print_aggregate(args: &Args, agg: &FarmAggregate) {
     println!(
         "config: games={} seed={} block={} n={}..{}",
         args.games, args.seed, args.block, args.n_min, args.n_max
     );
-    println!("solved: {solved} ({failed} failed)");
-    println!("providers total: {providers}");
-    println!("sweeps: mean {:.4}, max {iter_max}", iter_total as f64 / solved.max(1) as f64);
-    println!("max sweep residual: {residual_max:.3e}");
-    println!("max KKT residual (Theorem 3 certificate): {kkt_max:.3e} ({uncertified} uncertified)");
-    println!("welfare sum: {welfare_sum:.9}");
-    println!("throughput sum: {theta_sum:.9}");
+    println!("solved: {} ({} failed)", agg.solved, agg.failed);
+    println!("providers total: {}", agg.providers);
     println!(
-        "timing (non-deterministic): {:.2}s wall on {} thread(s), {:.1} games/s",
-        elapsed.as_secs_f64(),
-        args.threads,
-        args.games as f64 / elapsed.as_secs_f64().max(1e-9)
+        "sweeps: mean {:.4}, max {}",
+        agg.iter_total as f64 / agg.solved.max(1) as f64,
+        agg.iter_max
     );
-    if failed > 0 || uncertified > 0 {
+    println!("max sweep residual: {:.3e}", agg.residual_max());
+    println!(
+        "max KKT residual (Theorem 3 certificate): {:.3e} ({} uncertified)",
+        agg.kkt_max(),
+        agg.uncertified
+    );
+    println!("welfare sum: {:.9}", agg.welfare_sum());
+    println!("throughput sum: {:.9}", agg.theta_sum());
+}
+
+fn main() {
+    let args = parse_args();
+
+    if args.threads.len() == 1 {
+        let threads = args.threads[0];
+        println!("solve_farm: seeded random-game ensemble through the batched Nash engine");
+        let (agg, elapsed) = run_farm(&args, threads);
+        print_aggregate(&args, &agg);
+        println!(
+            "timing (non-deterministic): {:.2}s wall on {} thread(s), {:.1} games/s",
+            elapsed.as_secs_f64(),
+            threads,
+            args.games as f64 / elapsed.as_secs_f64().max(1e-9)
+        );
+        if agg.failed > 0 || agg.uncertified > 0 {
+            std::process::exit(1);
+        }
+        return;
+    }
+
+    // Scaling study: one run per thread count, identical work definition.
+    println!("solve_farm scaling study: one ensemble per thread count");
+    let runs: Vec<(usize, FarmAggregate, Duration)> = args
+        .threads
+        .iter()
+        .map(|&t| {
+            let (agg, elapsed) = run_farm(&args, t);
+            (t, agg, elapsed)
+        })
+        .collect();
+    let (_, reference, base) = &runs[0];
+    print_aggregate(&args, reference);
+    println!("\n  threads      wall [s]      games/s      speedup");
+    for (t, agg, elapsed) in &runs {
+        assert!(
+            agg == reference,
+            "thread count {t} changed a deterministic aggregate — the BatchSolver \
+             block-structure guarantee is broken"
+        );
+        println!(
+            "  {:>7}  {:>12.3}  {:>11.1}  {:>11.2}x",
+            t,
+            elapsed.as_secs_f64(),
+            args.games as f64 / elapsed.as_secs_f64().max(1e-9),
+            base.as_secs_f64() / elapsed.as_secs_f64().max(1e-9)
+        );
+    }
+    println!(
+        "\nall {} runs bit-identical across thread counts (timing lines above are \
+         non-deterministic)",
+        runs.len()
+    );
+    if reference.failed > 0 || reference.uncertified > 0 {
         std::process::exit(1);
     }
 }

@@ -17,9 +17,10 @@
 
 use crate::golden::Json;
 use crate::scenarios::{random_specs, section3_specs, section5_specs};
-use crate::sweep::parallel_map;
+use crate::sweep::parallel_map_with;
 use subcomp_core::game::SubsidyGame;
-use subcomp_core::nash::{NashSolver, SolveDiagnostics};
+use subcomp_core::nash::{NashSolver, SolveDiagnostics, WarmStart};
+use subcomp_core::workspace::SolveWorkspace;
 use subcomp_model::aggregation::{build_system_with, ExpCpSpec};
 use subcomp_model::system::System;
 use subcomp_model::utilization::{
@@ -583,18 +584,35 @@ impl ScenarioResult {
 /// Runs one scenario end to end: primary Gauss–Seidel solve, Theorem 3
 /// certificate, independent damped-Jacobi cross-check, and (when
 /// configured) the agent-based market simulator.
+///
+/// Thin wrapper over [`run_scenario_with`] with a throwaway workspace;
+/// batch callers ([`run_corpus`], `regen_golden`) hold one workspace per
+/// worker instead.
 pub fn run_scenario(spec: &ScenarioSpec) -> NumResult<ScenarioResult> {
+    run_scenario_with(spec, &mut SolveWorkspace::new())
+}
+
+/// [`run_scenario`] on a caller-owned [`SolveWorkspace`]: both Nash
+/// solves (primary Gauss–Seidel and the Jacobi cross-check) run through
+/// the allocation-free engine on `ws`. Results are bit-identical to the
+/// fresh-workspace path — both start cold from `s = 0` — which is what
+/// keeps the golden snapshots byte-stable across the engine rework.
+pub fn run_scenario_with(
+    spec: &ScenarioSpec,
+    ws: &mut SolveWorkspace,
+) -> NumResult<ScenarioResult> {
     let game = spec.build_game()?;
     let solver = NashSolver::default().with_tol(1e-9).with_damping(spec.damping);
-    let eq = solver.solve(&game)?;
+    let stats = solver.solve_into(&game, WarmStart::Zero, ws)?;
+    let eq = ws.solution(stats);
     let diagnostics = eq.diagnostics(&game)?;
 
     let jacobi = NashSolver::default().with_tol(1e-9).jacobi().with_damping(0.6);
-    let jacobi_gap = match jacobi.solve(&game) {
-        Ok(jc) => eq
+    let jacobi_gap = match jacobi.solve_into(&game, WarmStart::Zero, ws) {
+        Ok(_) => eq
             .subsidies
             .iter()
-            .zip(&jc.subsidies)
+            .zip(ws.subsidies())
             .map(|(a, b)| (a - b).abs())
             .fold(0.0f64, f64::max),
         Err(_) => -1.0,
@@ -635,10 +653,14 @@ pub fn run_scenario(spec: &ScenarioSpec) -> NumResult<ScenarioResult> {
     })
 }
 
-/// Runs the whole corpus on up to `threads` OS threads (order preserved).
+/// Runs the whole corpus on up to `threads` OS threads (order preserved),
+/// one reusable [`SolveWorkspace`] per worker — scenarios after the first
+/// reuse the worker's buffers instead of re-allocating solver state.
 pub fn run_corpus(threads: usize) -> Vec<(String, NumResult<ScenarioResult>)> {
     let specs = corpus();
-    let results = parallel_map(&specs, threads, run_scenario);
+    let results = parallel_map_with(&specs, threads, SolveWorkspace::new, |ws, spec| {
+        run_scenario_with(spec, ws)
+    });
     specs.iter().map(|s| s.name.to_string()).zip(results).collect()
 }
 

@@ -7,8 +7,9 @@
 //! per-figure modules add only their quantity extractor and the paper's
 //! shape checks.
 
-use super::panel::{EqPoint, Panel};
+use super::panel::Panel;
 use crate::report::{sparkline, write_csv, Table};
+use crate::sweep::EqPointView;
 use std::path::Path;
 
 /// A per-CP, per-cap, per-price figure.
@@ -34,7 +35,7 @@ impl CpFigure {
         panel: &Panel,
         title: impl Into<String>,
         quantity: impl Into<String>,
-        f: impl Fn(&EqPoint, usize) -> f64,
+        f: impl Fn(&EqPointView<'_>, usize) -> f64,
     ) -> CpFigure {
         let n = panel.n_cps();
         let values = (0..panel.qs.len())

@@ -78,7 +78,7 @@ mod tests {
     fn utility_is_margin_times_throughput() {
         let p = panel::compute_on(&[0.5], &[0.6], 1).unwrap();
         let u_fig = compute(&p);
-        let pt = &p.grid[0][0];
+        let pt = p.point(0, 0);
         for i in 0..8 {
             let v = if i < 4 { 0.5 } else { 1.0 };
             let expect = (v - pt.subsidies[i]) * pt.theta[i];

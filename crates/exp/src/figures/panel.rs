@@ -2,41 +2,16 @@
 //!
 //! All five figures plot quantities of the *same* family of equilibria:
 //! the 8-type market solved over `p ∈ [0, 2]` for each policy cap
-//! `q ∈ {0, 0.5, 1, 1.5, 2}`. This module computes that grid once
-//! (parallel across caps, warm-started along prices) and the per-figure
-//! modules extract their series from it.
+//! `q ∈ {0, 0.5, 1, 1.5, 2}`. This module computes that grid once through
+//! the [`GridSolver`] continuation engine — price-axis warm starts plus
+//! cap-row seeding, zero per-point allocation, parallel across column
+//! blocks — and the per-figure modules extract their series from the
+//! resulting [`EqGrid`] through borrowed [`EqPointView`]s.
 
-use crate::scenarios::{
-    paper_policy_grid, paper_price_grid, section5_specs, section5_system, spec_label,
-};
-use crate::sweep::{equilibrium_price_sweep, parallel_map};
-use subcomp_core::game::SubsidyGame;
-use subcomp_core::nash::NashSolver;
-use subcomp_core::welfare::welfare;
+use crate::scenarios::section5_system;
+use crate::scenarios::{paper_policy_grid, paper_price_grid, section5_specs, spec_label};
+use crate::sweep::{EqGrid, EqPointView, GridSolver};
 use subcomp_num::{NumError, NumResult};
-
-/// One equilibrium point of the panel grid.
-#[derive(Debug, Clone)]
-pub struct EqPoint {
-    /// Policy cap.
-    pub q: f64,
-    /// ISP price.
-    pub p: f64,
-    /// Equilibrium subsidies per CP.
-    pub subsidies: Vec<f64>,
-    /// Equilibrium populations per CP.
-    pub m: Vec<f64>,
-    /// Equilibrium throughput per CP.
-    pub theta: Vec<f64>,
-    /// Equilibrium utilities per CP.
-    pub utilities: Vec<f64>,
-    /// System utilization.
-    pub phi: f64,
-    /// ISP revenue.
-    pub revenue: f64,
-    /// System welfare `W = Σ v_i θ_i`.
-    pub welfare: f64,
-}
 
 /// The full Figures 7–11 grid.
 #[derive(Debug, Clone)]
@@ -47,12 +22,12 @@ pub struct Panel {
     pub prices: Vec<f64>,
     /// CP labels in spec order.
     pub labels: Vec<String>,
-    /// `grid[qi][pi]` is the equilibrium at `(qs[qi], prices[pi])`.
-    pub grid: Vec<Vec<EqPoint>>,
+    /// The solved equilibrium grid (rows = caps, columns = prices).
+    pub grid: EqGrid,
 }
 
 /// Computes the paper's panel: `q ∈ {0, …, 2}`, `p ∈ [0, 2]` with
-/// `points` samples, parallel across caps.
+/// `points` samples, parallel across price blocks.
 pub fn compute(points: usize, threads: usize) -> NumResult<Panel> {
     compute_on(&paper_policy_grid(), &paper_price_grid(points), threads)
 }
@@ -60,32 +35,8 @@ pub fn compute(points: usize, threads: usize) -> NumResult<Panel> {
 /// Computes the panel on explicit grids.
 pub fn compute_on(qs: &[f64], prices: &[f64], threads: usize) -> NumResult<Panel> {
     let system = section5_system();
-    let solver = NashSolver::default().with_tol(1e-8);
-    let results: Vec<NumResult<Vec<EqPoint>>> = parallel_map(qs, threads, |&q| {
-        let sweep = equilibrium_price_sweep(&system, q, prices, &solver)?;
-        let game0 = SubsidyGame::new(system.clone(), 0.0, q)?;
-        let mut points = Vec::with_capacity(sweep.len());
-        for pt in sweep {
-            let game = game0.with_price(pt.p)?;
-            let eq = pt.equilibrium;
-            points.push(EqPoint {
-                q,
-                p: pt.p,
-                phi: eq.state.phi,
-                revenue: eq.isp_revenue(&game),
-                welfare: welfare(&game, &eq.state),
-                m: eq.state.m.clone(),
-                theta: eq.state.theta_i.clone(),
-                utilities: eq.utilities.clone(),
-                subsidies: eq.subsidies,
-            });
-        }
-        Ok(points)
-    });
-    let mut grid = Vec::with_capacity(qs.len());
-    for r in results {
-        grid.push(r?);
-    }
+    let solver = GridSolver::default().with_threads(threads);
+    let grid = solver.solve(&system, qs, prices)?;
     Ok(Panel {
         qs: qs.to_vec(),
         prices: prices.to_vec(),
@@ -100,15 +51,25 @@ impl Panel {
         self.labels.len()
     }
 
+    /// The equilibrium at cap index `qi`, price index `pi`.
+    pub fn point(&self, qi: usize, pi: usize) -> EqPointView<'_> {
+        self.grid.point(qi, pi)
+    }
+
     /// Extracts the series of a scalar quantity vs price at cap index
     /// `qi` — e.g. `|pt| pt.revenue`.
-    pub fn series(&self, qi: usize, f: impl Fn(&EqPoint) -> f64) -> Vec<f64> {
-        self.grid[qi].iter().map(f).collect()
+    pub fn series(&self, qi: usize, f: impl Fn(&EqPointView<'_>) -> f64) -> Vec<f64> {
+        (0..self.prices.len()).map(|pi| f(&self.point(qi, pi))).collect()
     }
 
     /// Extracts a per-CP quantity vs price at cap index `qi` for CP `i`.
-    pub fn cp_series(&self, qi: usize, i: usize, f: impl Fn(&EqPoint, usize) -> f64) -> Vec<f64> {
-        self.grid[qi].iter().map(|pt| f(pt, i)).collect()
+    pub fn cp_series(
+        &self,
+        qi: usize,
+        i: usize,
+        f: impl Fn(&EqPointView<'_>, usize) -> f64,
+    ) -> Vec<f64> {
+        (0..self.prices.len()).map(|pi| f(&self.point(qi, pi), i)).collect()
     }
 
     /// Index of a cap value in the grid.
@@ -133,8 +94,8 @@ mod tests {
     #[test]
     fn grid_dimensions() {
         let p = small_panel();
-        assert_eq!(p.grid.len(), 2);
-        assert_eq!(p.grid[0].len(), 4);
+        assert_eq!(p.grid.n_rows(), 2);
+        assert_eq!(p.grid.n_cols(), 4);
         assert_eq!(p.n_cps(), 8);
         assert_eq!(p.q_index(1.0).unwrap(), 1);
         assert!(p.q_index(0.7).is_err());
@@ -143,8 +104,8 @@ mod tests {
     #[test]
     fn baseline_q0_has_zero_subsidies() {
         let p = small_panel();
-        for pt in &p.grid[0] {
-            assert!(pt.subsidies.iter().all(|&s| s == 0.0));
+        for pi in 0..p.prices.len() {
+            assert!(p.point(0, pi).subsidies.iter().all(|&s| s == 0.0));
         }
     }
 
@@ -155,12 +116,12 @@ mod tests {
         let p = small_panel();
         for pi in 0..p.prices.len() {
             assert!(
-                p.grid[1][pi].revenue >= p.grid[0][pi].revenue - 1e-9,
+                p.point(1, pi).revenue >= p.point(0, pi).revenue - 1e-9,
                 "revenue at p = {}",
                 p.prices[pi]
             );
             assert!(
-                p.grid[1][pi].welfare >= p.grid[0][pi].welfare - 1e-9,
+                p.point(1, pi).welfare >= p.point(0, pi).welfare - 1e-9,
                 "welfare at p = {}",
                 p.prices[pi]
             );
@@ -174,5 +135,31 @@ mod tests {
         assert_eq!(rev.len(), 4);
         let s6 = p.cp_series(1, 6, |pt, i| pt.subsidies[i]);
         assert!(s6.iter().any(|&s| s > 0.0), "the a5-b2-v1 type must subsidize somewhere");
+    }
+
+    #[test]
+    fn panel_matches_independent_solves() {
+        // The continuation-computed panel must agree with fresh cold
+        // solves of the same games (the pre-GridSolver construction).
+        use subcomp_core::game::SubsidyGame;
+        use subcomp_core::nash::NashSolver;
+        let p = small_panel();
+        let system = crate::scenarios::section5_system();
+        let solver = NashSolver::default().with_tol(1e-8);
+        for (qi, &q) in p.qs.iter().enumerate() {
+            for (pi, &price) in p.prices.iter().enumerate() {
+                let game = SubsidyGame::new(system.clone(), price, q).unwrap();
+                let eq = solver.solve(&game).unwrap();
+                let pt = p.point(qi, pi);
+                for i in 0..8 {
+                    assert!(
+                        (pt.subsidies[i] - eq.subsidies[i]).abs() < 1e-6,
+                        "(q={q}, p={price}) CP {i}"
+                    );
+                }
+                assert!((pt.revenue - eq.isp_revenue(&game)).abs() < 1e-6);
+                assert!((pt.welfare - eq.welfare(&game)).abs() < 1e-6);
+            }
+        }
     }
 }

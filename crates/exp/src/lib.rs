@@ -21,7 +21,9 @@
 //! tests, which assert the paper's qualitative claims on exactly the data
 //! the binaries print); [`scenarios`] pins the paper's parameterizations;
 //! [`report`] renders aligned ASCII tables and CSV files; [`sweep`] runs
-//! multi-threaded parameter sweeps with warm-started equilibrium solves.
+//! multi-threaded parameter sweeps with warm-started equilibrium solves —
+//! including the [`sweep::GridSolver`] 2-D continuation engine the §5
+//! panel and the grid benchmarks are built on.
 //!
 //! Beyond the figures, [`corpus`] maintains the named scenario corpus —
 //! the paper's systems plus oligopolies, capacity/elasticity extremes and

@@ -15,6 +15,10 @@
 //! bit-identical for *any* thread count while the solver loop itself
 //! performs zero heap allocation after warm-up.
 
+pub mod grid;
+
+pub use grid::{EqGrid, EqPointView, GridContext, GridSolver};
+
 use subcomp_core::game::SubsidyGame;
 use subcomp_core::nash::{NashSolution, NashSolver, SolveStats, WarmStart};
 use subcomp_core::workspace::SolveWorkspace;
@@ -220,6 +224,13 @@ pub struct SweepPoint {
 
 /// Sweeps a price grid at fixed cap `q`, warm-starting each solve from the
 /// previous equilibrium.
+///
+/// The system is cloned exactly once: each point reparameterizes the same
+/// game through [`SubsidyGame::set_price`] and solves through one reused
+/// [`SolveWorkspace`], so only the returned [`NashSolution`]s allocate.
+/// Iterates (and therefore results) are bit-identical to the historical
+/// clone-per-point implementation — `WarmStart::Previous` re-clamps the
+/// prior equilibrium exactly as `solve_from` did.
 pub fn equilibrium_price_sweep(
     system: &System,
     q: f64,
@@ -227,15 +238,15 @@ pub fn equilibrium_price_sweep(
     solver: &NashSolver,
 ) -> NumResult<Vec<SweepPoint>> {
     let mut out = Vec::with_capacity(prices.len());
-    let mut warm: Option<Vec<f64>> = None;
+    let mut game = SubsidyGame::new(system.clone(), 0.0, q)?;
+    let mut ws = SolveWorkspace::for_game(&game);
+    let mut warm = false;
     for &p in prices {
-        let game = SubsidyGame::new(system.clone(), p, q)?;
-        let eq = match &warm {
-            Some(s0) => solver.solve_from(&game, s0)?,
-            None => solver.solve(&game)?,
-        };
-        warm = Some(eq.subsidies.clone());
-        out.push(SweepPoint { p, equilibrium: eq });
+        game.set_price(p)?;
+        let start = if warm { WarmStart::Previous } else { WarmStart::Zero };
+        let stats = solver.solve_into(&game, start, &mut ws)?;
+        warm = true;
+        out.push(SweepPoint { p, equilibrium: ws.solution(stats) });
     }
     Ok(out)
 }

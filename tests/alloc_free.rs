@@ -158,6 +158,38 @@ fn vi_solvers_are_allocation_free_after_warmup() {
 }
 
 #[test]
+fn grid_solver_is_allocation_free_after_warmup() {
+    // The continuation grid engine (`GridSolver::solve_seq_into`): after
+    // one warm-up pass of the same shape, a full multi-row sweep — game
+    // reparameterization via set_price/set_cap, seeded solves, cold
+    // fallbacks, result writes — performs zero heap allocation for the
+    // whole 3×8 grid (a fortiori zero per grid point).
+    use subcomp::exp::scenarios::section5_system;
+    use subcomp::exp::sweep::{EqGrid, GridContext, GridSolver};
+
+    let system = section5_system();
+    let qs = [0.0, 0.7, 1.4];
+    let prices: [f64; 8] = std::array::from_fn(|k| 0.15 + 0.25 * k as f64);
+    let solver = GridSolver::default();
+    let mut ctx = GridContext::new(&system);
+    let mut grid = EqGrid::empty();
+    // Warm-up: sizes the context, the workspace and every output buffer.
+    solver.solve_seq_into(&mut ctx, &qs, &prices, &mut grid).unwrap();
+    let reference = grid.clone();
+    let (allocs, ()) = allocations_during(|| {
+        solver.solve_seq_into(&mut ctx, &qs, &prices, &mut grid).unwrap();
+    });
+    assert_eq!(
+        allocs, 0,
+        "a warm 3x8 grid sweep must not touch the heap, saw {allocs} allocations"
+    );
+    assert_eq!(grid, reference, "the warm re-solve must reproduce the grid exactly");
+    assert_eq!(grid.n_rows(), 3);
+    assert_eq!(grid.n_cols(), 8);
+    assert!(grid.cold_solves() >= 1);
+}
+
+#[test]
 fn counter_actually_counts() {
     // Sanity check on the harness itself: an allocating closure must be
     // visible, otherwise the zero assertions above are vacuous.
