@@ -22,8 +22,66 @@
 //! [`sensitivity`]: crate::sensitivity
 //! [`vi`]: crate::vi
 
+use subcomp_model::cp::ContentProvider;
 use subcomp_model::system::{StateScratch, System, SystemState};
 use subcomp_num::{NumError, NumResult};
+
+/// A sweepable game parameter — the axes the continuation engines
+/// generalize over (Theorems 1, 5 and 6 give the comparative statics that
+/// make warm starts along each of them work).
+///
+/// Every axis maps to an in-place scalar write on [`SubsidyGame`]
+/// ([`SubsidyGame::set_price`], [`SubsidyGame::set_cap`],
+/// [`SubsidyGame::set_mu`], [`SubsidyGame::set_profitability`]): the
+/// precompiled congestion kernel is never rebuilt, which is what keeps a
+/// warm sweep along any axis allocation-free.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Axis {
+    /// The ISP's uniform price `p`.
+    Price,
+    /// The regulatory subsidy cap `q`.
+    Cap,
+    /// The ISP capacity `µ` (Theorem 1 direction).
+    Mu,
+    /// Provider `i`'s per-unit profitability `v_i` (Theorem 5 direction).
+    Profitability(usize),
+}
+
+impl Axis {
+    /// Writes `value` onto the axis' parameter — a validated scalar write,
+    /// no rebuild, no allocation.
+    pub fn apply(self, game: &mut SubsidyGame, value: f64) -> NumResult<()> {
+        match self {
+            Axis::Price => game.set_price(value),
+            Axis::Cap => game.set_cap(value),
+            Axis::Mu => game.set_mu(value),
+            Axis::Profitability(i) => game.set_profitability(i, value),
+        }
+    }
+
+    /// Reads the axis' current parameter value off the game.
+    ///
+    /// # Panics
+    /// For [`Axis::Profitability`] with an out-of-range provider index.
+    pub fn value(self, game: &SubsidyGame) -> f64 {
+        match self {
+            Axis::Price => game.price(),
+            Axis::Cap => game.cap(),
+            Axis::Mu => game.system().mu(),
+            Axis::Profitability(i) => game.profitability(i),
+        }
+    }
+
+    /// Human-readable axis name for reports and error messages.
+    pub fn describe(self) -> String {
+        match self {
+            Axis::Price => "price p".to_string(),
+            Axis::Cap => "cap q".to_string(),
+            Axis::Mu => "capacity mu".to_string(),
+            Axis::Profitability(i) => format!("profitability v[{i}]"),
+        }
+    }
+}
 
 /// The subsidization game: a system plus `(p, q)` and pricing conventions.
 #[derive(Debug, Clone)]
@@ -103,22 +161,51 @@ impl SubsidyGame {
         Ok(game)
     }
 
+    /// Sets the ISP capacity `µ` in place — the `µ`-axis counterpart of
+    /// [`SubsidyGame::set_price`]/[`SubsidyGame::set_cap`], with the same
+    /// no-rebuild, zero-allocation guarantee: the write lands on the
+    /// [`System`]'s scalar capacity and its precompiled kernel is untouched
+    /// (see [`System::set_mu`]).
+    pub fn set_mu(&mut self, mu: f64) -> NumResult<()> {
+        self.system.set_mu(mu)
+    }
+
+    /// Sets provider `i`'s profitability `v_i` in place — the Theorem 5
+    /// axis as a scalar write (see [`System::set_profitability`]); the
+    /// congestion kernel is untouched because `v_i` never enters the fixed
+    /// point, only the utilities.
+    pub fn set_profitability(&mut self, i: usize, v: f64) -> NumResult<()> {
+        self.system.set_profitability(i, v)
+    }
+
+    /// Replaces whole providers in place, surgically patching the
+    /// precompiled congestion kernel (see [`System::patch_cps`]): only the
+    /// affected slots re-derive their cached peak and distinct-`β`
+    /// assignment; results are bit-identical to rebuilding the game on the
+    /// patched provider list.
+    pub fn patch_cps(
+        &mut self,
+        patches: impl IntoIterator<Item = (usize, ContentProvider)>,
+    ) -> NumResult<()> {
+        self.system.patch_cps(patches)
+    }
+
+    /// Returns a copy at a different ISP capacity (same price, cap and
+    /// providers) — a shim over the in-place [`SubsidyGame::set_mu`].
+    pub fn with_mu(&self, mu: f64) -> NumResult<SubsidyGame> {
+        let mut game = self.clone();
+        game.set_mu(mu)?;
+        Ok(game)
+    }
+
     /// Returns a copy with provider `i`'s profitability replaced — the
-    /// Theorem 5 experiment knob.
+    /// Theorem 5 experiment knob. A shim over the in-place
+    /// [`SubsidyGame::set_profitability`]: the system (and its precompiled
+    /// kernel) is cloned once, never rebuilt.
     pub fn with_profitability(&self, i: usize, v: f64) -> NumResult<SubsidyGame> {
-        if i >= self.n() {
-            return Err(NumError::DimensionMismatch { expected: self.n(), actual: i });
-        }
-        let mut cps: Vec<_> = self.system.cps().to_vec();
-        cps[i] = cps[i].with_profitability(v);
-        let system =
-            System::new(cps, self.system.mu(), self.system.utilization_fn().boxed_clone())?;
-        Ok(SubsidyGame {
-            system,
-            price: self.price,
-            cap: self.cap,
-            clamp_effective_price: self.clamp_effective_price,
-        })
+        let mut game = self.clone();
+        game.set_profitability(i, v)?;
+        Ok(game)
     }
 
     /// The underlying physical system.
@@ -536,6 +623,51 @@ mod tests {
         assert_eq!(g2.profitability(0), 2.0);
         assert_eq!(g2.profitability(1), g.profitability(1));
         assert!(g.with_profitability(99, 1.0).is_err());
+        assert!(g.with_profitability(0, -0.5).is_err());
+    }
+
+    #[test]
+    fn set_mu_and_profitability_mutate_in_place() {
+        let mut g = paper_section5_game(0.5, 1.0);
+        g.set_mu(2.0).unwrap();
+        g.set_profitability(3, 1.7).unwrap();
+        assert_eq!(g.system().mu(), 2.0);
+        assert_eq!(g.profitability(3), 1.7);
+        assert!(g.set_mu(0.0).is_err());
+        assert!(g.set_profitability(99, 1.0).is_err());
+        assert!(g.set_profitability(0, f64::NAN).is_err());
+        // Failed sets leave the game unchanged.
+        assert_eq!(g.system().mu(), 2.0);
+        assert_eq!(g.profitability(0), 0.5);
+        // The mutated game agrees with cloning constructors on the same
+        // parameterization, state for state.
+        let rebuilt =
+            paper_section5_game(0.5, 1.0).with_mu(2.0).unwrap().with_profitability(3, 1.7).unwrap();
+        let s = vec![0.2; 8];
+        assert_eq!(g.state(&s).unwrap(), rebuilt.state(&s).unwrap());
+        assert_eq!(g.utilities(&s).unwrap(), rebuilt.utilities(&s).unwrap());
+    }
+
+    #[test]
+    fn axis_apply_and_value_roundtrip() {
+        let mut g = paper_section5_game(0.5, 1.0);
+        for (axis, v) in
+            [(Axis::Price, 0.9), (Axis::Cap, 0.4), (Axis::Mu, 2.5), (Axis::Profitability(6), 1.3)]
+        {
+            axis.apply(&mut g, v).unwrap();
+            assert_eq!(axis.value(&g), v, "{}", axis.describe());
+        }
+        assert_eq!(g.price(), 0.9);
+        assert_eq!(g.cap(), 0.4);
+        assert_eq!(g.system().mu(), 2.5);
+        assert_eq!(g.profitability(6), 1.3);
+        // Validation flows through the per-axis setters.
+        assert!(Axis::Price.apply(&mut g, -1.0).is_err());
+        assert!(Axis::Mu.apply(&mut g, 0.0).is_err());
+        assert!(Axis::Profitability(99).apply(&mut g, 1.0).is_err());
+        assert!(Axis::Profitability(0).apply(&mut g, -1.0).is_err());
+        assert!(Axis::Cap.describe().contains("q"));
+        assert!(Axis::Profitability(2).describe().contains("v[2]"));
     }
 
     #[test]

@@ -23,7 +23,9 @@
 //! * [`structure`] — Theorem 4's P-function uniqueness condition and
 //!   Corollary 1's off-diagonal monotonicity / M-matrix structure;
 //! * [`sensitivity`] — Theorem 6's equilibrium dynamics `∂s/∂p`, `∂s/∂q`
-//!   via the inverse Jacobian `Ψ = (∇_s̃ ũ)^{-1}`;
+//!   via the inverse Jacobian `Ψ = (∇_s̃ ũ)^{-1}`, generalized to
+//!   directional derivatives along any [`game::Axis`] (`∂s/∂µ`,
+//!   `∂s/∂v_i`) for predictor-corrector continuation;
 //! * [`dynamics`] — discrete and continuous best-response dynamics
 //!   (off-equilibrium behaviour, §6);
 //! * [`revenue`] — ISP revenue under equilibrium response and Theorem 7's
@@ -76,7 +78,7 @@ pub mod workspace;
 /// One-stop imports for game-layer usage.
 pub mod prelude {
     pub use crate::equilibrium::{verify_equilibrium, EquilibriumReport};
-    pub use crate::game::SubsidyGame;
+    pub use crate::game::{Axis, SubsidyGame};
     pub use crate::nash::{NashSolution, NashSolver, SolveStats, SweepMode, WarmStart};
     pub use crate::pricing::optimal_price;
     pub use crate::sensitivity::{ActiveSet, Sensitivity};

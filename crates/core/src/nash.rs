@@ -228,6 +228,27 @@ impl NashSolver {
                     ws.s[i] = ws.s[i].clamp(0.0, ws.caps[i]);
                 }
             }
+            WarmStart::Tangent { ds_dtheta, dtheta } => {
+                if ds_dtheta.len() != n {
+                    return Err(NumError::DimensionMismatch {
+                        expected: n,
+                        actual: ds_dtheta.len(),
+                    });
+                }
+                if !dtheta.is_finite() {
+                    return Err(NumError::Domain {
+                        what: "tangent step dtheta must be finite",
+                        value: dtheta,
+                    });
+                }
+                for i in 0..n {
+                    let predicted = ws.s[i] + dtheta * ds_dtheta[i];
+                    // A non-finite sensitivity component degrades to the
+                    // plain Previous start for that provider.
+                    let base = if predicted.is_finite() { predicted } else { ws.s[i] };
+                    ws.s[i] = base.clamp(0.0, ws.caps[i]);
+                }
+            }
         }
         let mut residual = f64::INFINITY;
         for sweep in 0..self.max_sweeps {
@@ -292,6 +313,23 @@ pub enum WarmStart<'a> {
     /// re-clamped into the new game's box. Falls back to `Zero` behaviour
     /// on a fresh workspace.
     Previous,
+    /// First-order predictor-corrector continuation: start from the
+    /// workspace's previous iterate *plus* a tangent step
+    /// `s ← clamp(s_prev + dtheta · ds_dtheta)`, where `ds_dtheta` is the
+    /// Theorem 6 directional derivative of the equilibrium along the swept
+    /// parameter ([`crate::sensitivity::Sensitivity::directional`]) and
+    /// `dtheta` the parameter step. The solver then only *corrects* the
+    /// predictor instead of re-converging from the previous point. The
+    /// prediction is clamped into the new game's effective box
+    /// component-wise, so a pinned provider predicted past a corner starts
+    /// exactly on it.
+    Tangent {
+        /// Equilibrium sensitivity `∂s/∂θ` at the previous point (length
+        /// must match the game).
+        ds_dtheta: &'a [f64],
+        /// Parameter step `Δθ` from the previous point to this one.
+        dtheta: f64,
+    },
 }
 
 /// Health summary of one [`NashSolver::solve_into`] run; the solution

@@ -19,10 +19,18 @@
 //! rather than silently differentiated.
 
 use crate::equilibrium::PIN_TOL;
-use crate::game::SubsidyGame;
+use crate::game::{Axis, SubsidyGame};
 use crate::structure::marginal_utility_jacobian;
 use subcomp_num::linalg::lu::LuDecomposition;
 use subcomp_num::{NumError, NumResult};
+
+/// Strict-complementarity tolerance: a pinned provider whose marginal
+/// utility is within this bound of zero makes the equilibrium *degenerate*
+/// — the active set is about to change and one-sided derivatives are the
+/// best Theorem 6 can offer. [`Sensitivity::compute`] flags such
+/// equilibria (`regular = false`); [`Sensitivity::directional`] refuses to
+/// differentiate them.
+pub const DEGENERATE_U_TOL: f64 = 1e-6;
 
 /// The boundary classification `N⁻ / Ñ / N⁺` of an equilibrium profile.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -38,12 +46,29 @@ pub struct ActiveSet {
 impl ActiveSet {
     /// Classifies a profile against the box `[0, q]` with tolerance
     /// [`PIN_TOL`].
+    ///
+    /// The classification is *total* (every index lands in exactly one
+    /// set) and *order-independent* (membership depends only on `(s_i, q)`,
+    /// never on which corner is tested first). The subtle case is the
+    /// degenerate box `q ≤ 2·PIN_TOL`, where the two pin conditions
+    /// overlap and a provider can satisfy both: there each provider is
+    /// assigned to the *nearer* corner (ties to the lower one), instead of
+    /// letting the first-tested condition win.
     pub fn classify(s: &[f64], q: f64) -> ActiveSet {
         let mut lower = Vec::new();
         let mut interior = Vec::new();
         let mut upper = Vec::new();
+        let degenerate = q <= 2.0 * PIN_TOL;
         for (i, &si) in s.iter().enumerate() {
-            if si <= PIN_TOL {
+            if degenerate {
+                // Both corners are within PIN_TOL of each other; the
+                // interior is empty by construction.
+                if si <= q - si {
+                    lower.push(i);
+                } else {
+                    upper.push(i);
+                }
+            } else if si <= PIN_TOL {
                 lower.push(i);
             } else if si >= q - PIN_TOL {
                 upper.push(i);
@@ -81,13 +106,8 @@ impl Sensitivity {
         // Regularity (strict complementarity): pinned providers must have
         // strictly one-sided marginal utility.
         let mut regular = true;
-        for &i in &active.lower {
-            if u[i].abs() <= 1e-6 {
-                regular = false;
-            }
-        }
-        for &i in &active.upper {
-            if u[i].abs() <= 1e-6 {
+        for &i in active.lower.iter().chain(&active.upper) {
+            if u[i].abs() <= DEGENERATE_U_TOL {
                 regular = false;
             }
         }
@@ -100,20 +120,12 @@ impl Sensitivity {
         if !active.interior.is_empty() {
             let jac = marginal_utility_jacobian(game, s)?;
             let sub = jac.submatrix(&active.interior)?;
-            let lu = LuDecomposition::new(&sub).map_err(|e| match e {
-                NumError::SingularMatrix { pivot, magnitude } => {
-                    NumError::SingularMatrix { pivot, magnitude }
-                }
-                other => other,
-            })?;
+            let lu = LuDecomposition::new(&sub)?;
 
-            // ∂s̃/∂q = −Ψ · (Σ_{j∈N⁺} ∂u_k/∂s_j)_k  — solve instead of invert.
+            // ∂s̃/∂q = −Ψ · (Σ_{j∈N⁺} ∂u_k/∂s_j)_k  — solve instead of
+            // invert (the rhs is identically zero when nobody pins at q).
             if !active.upper.is_empty() {
-                let rhs: Vec<f64> = active
-                    .interior
-                    .iter()
-                    .map(|&k| active.upper.iter().map(|&j| jac[(k, j)]).sum::<f64>())
-                    .collect();
+                let rhs = axis_rhs(game, s, Axis::Cap, &active, &jac)?;
                 let sol = lu.solve(&rhs)?;
                 for (slot, &i) in active.interior.iter().enumerate() {
                     ds_dq[i] = -sol[slot];
@@ -121,18 +133,123 @@ impl Sensitivity {
             }
 
             // ∂s̃/∂p = −Ψ ∂ũ/∂p with ∂u/∂p by central difference.
-            let h = 1e-6 * (1.0 + game.price());
-            let up = game.with_price(game.price() + h)?.marginal_utilities(s)?;
-            let low_price = (game.price() - h).max(0.0);
-            let um = game.with_price(low_price)?.marginal_utilities(s)?;
-            let denom = game.price() + h - low_price;
-            let rhs: Vec<f64> = active.interior.iter().map(|&k| (up[k] - um[k]) / denom).collect();
+            let rhs = axis_rhs(game, s, Axis::Price, &active, &jac)?;
             let sol = lu.solve(&rhs)?;
             for (slot, &i) in active.interior.iter().enumerate() {
                 ds_dp[i] = -sol[slot];
             }
         }
         Ok(Sensitivity { active, ds_dq, ds_dp, regular })
+    }
+
+    /// The Theorem 6 directional derivative `∂s/∂θ` of the equilibrium
+    /// along an arbitrary parameter axis `θ` — the generalization of
+    /// [`Sensitivity::compute`]'s `ds_dq`/`ds_dp` columns to the capacity
+    /// `µ` (Theorem 1 direction) and per-provider profitabilities `v_j`
+    /// (Theorem 5 direction). This is the tangent the predictor-corrector
+    /// continuation engine feeds into
+    /// [`crate::nash::WarmStart::Tangent`].
+    ///
+    /// Structure per Theorem 6: providers pinned at `s_i = 0` do not move
+    /// (`∂s_i/∂θ = 0`); providers pinned at `s_i = q` move one-for-one
+    /// with the cap (`∂s_i/∂q = 1`) and not at all with any other axis;
+    /// interior providers solve `∂s̃/∂θ = −Ψ ∂ũ/∂θ` with
+    /// `Ψ = (∇_s̃ ũ)^{-1}`. For [`Axis::Cap`] and [`Axis::Price`] the
+    /// result coincides with `compute`'s `ds_dq`/`ds_dp`; for the other
+    /// axes `∂u/∂θ` is a central difference of the *analytic* marginal
+    /// utilities under the in-place reparameterization
+    /// ([`SubsidyGame::set_mu`]/[`SubsidyGame::set_profitability`]).
+    ///
+    /// # Errors
+    /// A degenerate equilibrium — a pinned provider with `u_i ≈ 0`,
+    /// violating strict complementarity — is refused with a domain error
+    /// rather than silently differentiated: the one-sided derivative a
+    /// continuation step would extrapolate from it is wrong on one side.
+    pub fn directional(game: &SubsidyGame, s: &[f64], axis: Axis) -> NumResult<Vec<f64>> {
+        game.validate(s)?;
+        if let Axis::Profitability(j) = axis {
+            if j >= game.n() {
+                return Err(NumError::DimensionMismatch { expected: game.n(), actual: j });
+            }
+        }
+        let n = game.n();
+        let q = game.cap();
+        let active = ActiveSet::classify(s, q);
+        let u = game.marginal_utilities(s)?;
+        for &i in active.lower.iter().chain(&active.upper) {
+            if u[i].abs() <= DEGENERATE_U_TOL {
+                return Err(NumError::Domain {
+                    what: "degenerate equilibrium: pinned provider with u_i = 0 \
+                           (strict complementarity fails; derivatives are one-sided)",
+                    value: u[i],
+                });
+            }
+        }
+
+        let mut ds = vec![0.0; n];
+        if axis == Axis::Cap {
+            for &i in &active.upper {
+                ds[i] = 1.0;
+            }
+        }
+        // Interior providers are the only ones that move through Ψ — and
+        // along the cap axis the right-hand side is identically zero when
+        // nobody pins at q, so the Jacobian/LU work is skipped there too.
+        if active.interior.is_empty() || (axis == Axis::Cap && active.upper.is_empty()) {
+            return Ok(ds);
+        }
+        let jac = marginal_utility_jacobian(game, s)?;
+        let sub = jac.submatrix(&active.interior)?;
+        let lu = LuDecomposition::new(&sub)?;
+        let rhs = axis_rhs(game, s, axis, &active, &jac)?;
+        let sol = lu.solve(&rhs)?;
+        for (slot, &i) in active.interior.iter().enumerate() {
+            ds[i] = -sol[slot];
+        }
+        Ok(ds)
+    }
+}
+
+/// The Theorem 6 right-hand side `(∂u_k/∂θ)_{k ∈ Ñ}` for one axis — the
+/// single implementation [`Sensitivity::compute`] and
+/// [`Sensitivity::directional`] both solve against (the agreement test
+/// pins them bit-identical, so the FD constants live in exactly one
+/// place). For the cap axis this is the pinned-provider column sum
+/// `Σ_{j∈N⁺} ∂u_k/∂s_j` read off the Jacobian; for every other axis a
+/// central difference of the analytic marginal utilities under the
+/// in-place reparameterization (one game clone for both probes).
+fn axis_rhs(
+    game: &SubsidyGame,
+    s: &[f64],
+    axis: Axis,
+    active: &ActiveSet,
+    jac: &subcomp_num::linalg::Matrix,
+) -> NumResult<Vec<f64>> {
+    match axis {
+        // ∂s̃/∂q: the pinned-at-q providers drag their neighbours.
+        Axis::Cap => Ok(active
+            .interior
+            .iter()
+            .map(|&k| active.upper.iter().map(|&j| jac[(k, j)]).sum::<f64>())
+            .collect()),
+        _ => {
+            let theta0 = axis.value(game);
+            // Respect each axis' domain: price/profitability live on
+            // [0, ∞), capacity on (0, ∞).
+            let h = match axis {
+                Axis::Mu => (1e-6 * (1.0 + theta0)).min(0.5 * theta0),
+                _ => 1e-6 * (1.0 + theta0),
+            };
+            let hi = theta0 + h;
+            let lo = (theta0 - h).max(if axis == Axis::Mu { 0.5 * theta0 } else { 0.0 });
+            let mut probe = game.clone();
+            axis.apply(&mut probe, hi)?;
+            let up = probe.marginal_utilities(s)?;
+            axis.apply(&mut probe, lo)?;
+            let um = probe.marginal_utilities(s)?;
+            let denom = hi - lo;
+            Ok(active.interior.iter().map(|&k| (up[k] - um[k]) / denom).collect())
+        }
     }
 }
 
@@ -164,6 +281,53 @@ mod tests {
         assert_eq!(a.lower, vec![0, 3]);
         assert_eq!(a.interior, vec![1]);
         assert_eq!(a.upper, vec![2, 4]);
+    }
+
+    #[test]
+    fn degenerate_box_classification_is_total_and_order_independent() {
+        // q ≤ 2·PIN_TOL: both pin conditions overlap, so a provider can
+        // satisfy both. The classification must still assign each index to
+        // exactly one set, by corner proximity (ties to lower) rather than
+        // by whichever condition happens to be tested first.
+        let q = 1e-8;
+        let s = [0.0, 1e-8, 4e-9, 6e-9, 5e-9];
+        let a = ActiveSet::classify(&s, q);
+        assert_eq!(a.lower, vec![0, 2, 4], "nearer (or tied with) the 0 corner");
+        assert_eq!(a.upper, vec![1, 3], "strictly nearer the q corner");
+        assert!(a.interior.is_empty(), "a degenerate box has no interior");
+        let total = a.lower.len() + a.interior.len() + a.upper.len();
+        assert_eq!(total, s.len(), "classification must be total");
+        let mut all: Vec<usize> =
+            a.lower.iter().chain(&a.interior).chain(&a.upper).copied().collect();
+        all.sort_unstable();
+        all.dedup();
+        assert_eq!(all.len(), s.len(), "no index may appear in two sets");
+        // q = 0 exactly: everyone sits on both corners at once; ties go low.
+        let z = ActiveSet::classify(&[0.0, 0.0], 0.0);
+        assert_eq!(z.lower, vec![0, 1]);
+        assert!(z.upper.is_empty() && z.interior.is_empty());
+    }
+
+    #[test]
+    fn sensitivity_computes_on_a_degenerate_box_equilibrium() {
+        // Regression at q ≈ 0: before the proximity rule, classification
+        // near the overlapping corners depended on test order; Theorem 6's
+        // formulas must still come out total and finite here.
+        let game = paper_game(0.6, 1e-8);
+        let s = solve(&game);
+        let sens = Sensitivity::compute(&game, &s).unwrap();
+        assert!(sens.active.interior.is_empty());
+        assert_eq!(
+            sens.active.lower.len() + sens.active.upper.len(),
+            8,
+            "every provider classified exactly once"
+        );
+        for &i in &sens.active.upper {
+            assert_eq!(sens.ds_dq[i], 1.0);
+        }
+        for &i in &sens.active.lower {
+            assert_eq!(sens.ds_dq[i], 0.0);
+        }
     }
 
     #[test]
@@ -244,6 +408,105 @@ mod tests {
         let s = solve(&game);
         let sens = Sensitivity::compute(&game, &s).unwrap();
         assert!(sens.regular, "paper equilibrium should satisfy strict complementarity");
+    }
+
+    #[test]
+    fn directional_matches_compute_on_price_and_cap() {
+        let game = paper_game(0.6, 0.35);
+        let s = solve(&game);
+        let sens = Sensitivity::compute(&game, &s).unwrap();
+        assert!(sens.regular);
+        let dq = Sensitivity::directional(&game, &s, Axis::Cap).unwrap();
+        let dp = Sensitivity::directional(&game, &s, Axis::Price).unwrap();
+        // Same Jacobian, same LU, same right-hand sides — bit-identical.
+        assert_eq!(dq, sens.ds_dq);
+        assert_eq!(dp, sens.ds_dp);
+    }
+
+    #[test]
+    fn ds_dmu_matches_finite_difference_of_equilibria() {
+        // Theorem 1's comparative statics through the Theorem 6 system:
+        // the directional derivative along µ must match re-solved
+        // equilibria at perturbed capacities.
+        let game = paper_game(0.6, 0.35);
+        let s = solve(&game);
+        let ds = Sensitivity::directional(&game, &s, Axis::Mu).unwrap();
+        let h = 1e-4;
+        let s_hi = solve(&game.with_mu(1.0 + h).unwrap());
+        let s_lo = solve(&game.with_mu(1.0 - h).unwrap());
+        for i in 0..8 {
+            let fd = (s_hi[i] - s_lo[i]) / (2.0 * h);
+            assert!(
+                (ds[i] - fd).abs() < 2e-2 * (1.0 + fd.abs()),
+                "CP {i}: theorem {} vs fd {fd}",
+                ds[i]
+            );
+        }
+    }
+
+    #[test]
+    fn ds_dv_matches_finite_difference_of_equilibria() {
+        // Theorem 5's direction: bump one provider's profitability and
+        // compare the whole equilibrium response against the directional
+        // derivative ∂s/∂v_j.
+        let game = paper_game(0.6, 0.35);
+        let s = solve(&game);
+        let sens = Sensitivity::compute(&game, &s).unwrap();
+        let h = 1e-4;
+        // One interior provider (its own subsidy responds) and one pinned
+        // provider (its neighbours still respond through the Jacobian).
+        let mut probes = Vec::new();
+        if let Some(&j) = sens.active.interior.first() {
+            probes.push(j);
+        }
+        if let Some(&j) = sens.active.upper.first() {
+            probes.push(j);
+        }
+        assert!(!probes.is_empty(), "test setting must populate at least one probe set");
+        for j in probes {
+            let ds = Sensitivity::directional(&game, &s, Axis::Profitability(j)).unwrap();
+            let v = game.profitability(j);
+            let s_hi = solve(&game.with_profitability(j, v + h).unwrap());
+            let s_lo = solve(&game.with_profitability(j, v - h).unwrap());
+            for i in 0..8 {
+                let fd = (s_hi[i] - s_lo[i]) / (2.0 * h);
+                assert!(
+                    (ds[i] - fd).abs() < 2e-2 * (1.0 + fd.abs()),
+                    "v[{j}], CP {i}: theorem {} vs fd {fd}",
+                    ds[i]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn directional_rejects_degenerate_equilibrium() {
+        // Build a genuinely degenerate equilibrium: solve an interior best
+        // response, then set the cap exactly there — the provider is
+        // pinned at q with u_i ≈ 0, violating strict complementarity.
+        use subcomp_model::aggregation::ExpCpSpec;
+        let sys = build_system(&[ExpCpSpec::unit(8.0, 2.0, 1.0)], 1.0).unwrap();
+        let free = SubsidyGame::new(sys.clone(), 1.0, 2.0).unwrap();
+        let s_star = NashSolver::default().with_tol(1e-10).solve(&free).unwrap().subsidies[0];
+        assert!(s_star > 0.1 && s_star < 2.0 - 0.1, "interior by construction");
+        let pinned = SubsidyGame::new(sys, 1.0, s_star).unwrap();
+        let s = solve(&pinned);
+        assert!((s[0] - s_star).abs() < 1e-6, "the cap now binds exactly at the old optimum");
+        // compute() flags it; directional() refuses to differentiate it.
+        let sens = Sensitivity::compute(&pinned, &s).unwrap();
+        assert!(!sens.regular, "pinned provider with u = 0 must be flagged degenerate");
+        for axis in [Axis::Cap, Axis::Price, Axis::Mu, Axis::Profitability(0)] {
+            let err = Sensitivity::directional(&pinned, &s, axis);
+            assert!(err.is_err(), "degenerate equilibrium must error along {}", axis.describe());
+        }
+    }
+
+    #[test]
+    fn directional_validates_inputs() {
+        let game = paper_game(0.6, 0.35);
+        let s = solve(&game);
+        assert!(Sensitivity::directional(&game, &s, Axis::Profitability(99)).is_err());
+        assert!(Sensitivity::directional(&game, &[0.0; 3], Axis::Mu).is_err());
     }
 
     #[test]

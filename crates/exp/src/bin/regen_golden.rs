@@ -1,21 +1,24 @@
-//! Regenerates the golden snapshots for the scenario corpus.
+//! Regenerates the golden snapshots for the scenario corpus and the
+//! figure-series pipelines (Figures 4 and 5).
 //!
 //! Usage:
 //!   `cargo run --release -p subcomp-exp --bin regen_golden [-- <out_dir>]`
 //!
-//! Writes one `<scenario>.json` per corpus entry (default output:
+//! Writes one `<scenario>.json` per corpus entry plus one
+//! `figure-<name>.json` per figure snapshot (default output:
 //! `tests/golden/` at the workspace root) and removes stale snapshots for
-//! scenarios that no longer exist. The output directory is treated as
-//! wholly owned by the corpus: any `*.json` in it that does not match a
-//! current scenario is pruned, so don't point it at a directory holding
-//! unrelated JSON. The corpus and the codec are fully
-//! deterministic: running this twice produces byte-identical files. Only
-//! run it to *intentionally* move the pinned numbers, and say why in the
-//! commit message (see `tests/README.md`).
+//! entries that no longer exist. The output directory is treated as
+//! wholly owned by this binary: any `*.json` in it that does not match a
+//! current scenario or figure snapshot is pruned, so don't point it at a
+//! directory holding unrelated JSON. The corpus, the figure pipelines and
+//! the codec are fully deterministic: running this twice produces
+//! byte-identical files. Only run it to *intentionally* move the pinned
+//! numbers, and say why in the commit message (see `tests/README.md`).
 
 use std::collections::BTreeSet;
 use std::path::PathBuf;
 use subcomp_exp::corpus::run_corpus;
+use subcomp_exp::figures::snapshots::figure_snapshots;
 
 fn main() {
     let out_dir: PathBuf = std::env::args()
@@ -44,10 +47,26 @@ fn main() {
         }
     }
 
-    // Drop snapshots whose scenario left the corpus — but only from a
-    // fully successful run: after a partial failure, a missing name means
-    // "scenario broke", not "scenario removed", and its committed golden
-    // must survive.
+    match figure_snapshots() {
+        Ok(snaps) => {
+            for (name, json) in snaps {
+                let path = out_dir.join(format!("{name}.json"));
+                std::fs::write(&path, json.render())
+                    .unwrap_or_else(|e| panic!("cannot write {}: {e}", path.display()));
+                println!("wrote {}", path.display());
+                fresh.insert(format!("{name}.json"));
+            }
+        }
+        Err(e) => {
+            eprintln!("FAILED figure snapshots: {e}");
+            failures += 1;
+        }
+    }
+
+    // Drop snapshots whose scenario (or figure) left the registry — but
+    // only from a fully successful run: after a partial failure, a missing
+    // name means "entry broke", not "entry removed", and its committed
+    // golden must survive.
     if failures == 0 {
         prune_stale(&out_dir, &fresh);
     }

@@ -83,6 +83,15 @@ pub struct ScenarioSpec {
     pub damping: f64,
     /// Market-simulator leg (None skips the sim for this scenario).
     pub sim: Option<SimParams>,
+    /// Capacity applied *after* the base system builds, through the
+    /// in-place [`SubsidyGame::set_mu`] — the µ-axis reparameterization
+    /// path of the continuation engine, exercised inside the corpus
+    /// pipeline (bit-identical to building at this µ directly).
+    pub mu_patch: Option<f64>,
+    /// Per-provider profitability shocks applied through the in-place
+    /// [`SubsidyGame::set_profitability`] — the Theorem 5 `v`-axis
+    /// counterpart of [`ScenarioSpec::mu_patch`].
+    pub v_patches: Vec<(usize, f64)>,
 }
 
 impl ScenarioSpec {
@@ -98,6 +107,8 @@ impl ScenarioSpec {
             utilization: UtilizationKind::Linear,
             damping: 1.0,
             sim: Some(SimParams { days: 1500, seed: 0xC0FFEE }),
+            mu_patch: None,
+            v_patches: Vec::new(),
         }
     }
 
@@ -132,15 +143,36 @@ impl ScenarioSpec {
         self
     }
 
-    /// Builds the physical system.
+    fn expand_mu(mut self, mu: f64) -> Self {
+        self.mu_patch = Some(mu);
+        self
+    }
+
+    fn vshock(mut self, i: usize, v: f64) -> Self {
+        self.v_patches.push((i, v));
+        self
+    }
+
+    /// Builds the physical system (the *base* system — the µ/v patches of
+    /// [`ScenarioSpec::mu_patch`]/[`ScenarioSpec::v_patches`] land on the
+    /// game in [`ScenarioSpec::build_game`], through the in-place axis
+    /// mutators).
     pub fn build_system(&self) -> NumResult<System> {
         build_system_with(&self.specs, self.mu, self.utilization.build()?)
     }
 
-    /// Builds the subsidization game.
+    /// Builds the subsidization game, applying the µ/v reparameterization
+    /// patches through the continuation engine's in-place mutators.
     pub fn build_game(&self) -> NumResult<SubsidyGame> {
-        Ok(SubsidyGame::new(self.build_system()?, self.price, self.cap)?
-            .with_clamped_price(self.clamp_price))
+        let mut game = SubsidyGame::new(self.build_system()?, self.price, self.cap)?
+            .with_clamped_price(self.clamp_price);
+        if let Some(mu) = self.mu_patch {
+            game.set_mu(mu)?;
+        }
+        for &(i, v) in &self.v_patches {
+            game.set_profitability(i, v)?;
+        }
+        Ok(game)
     }
 }
 
@@ -415,6 +447,54 @@ pub fn corpus() -> Vec<ScenarioSpec> {
         )
         .pq(0.55, 0.8)
         .mu(32.0)
+        .no_sim(),
+    );
+
+    // --- µ/v axis reparameterization (the axis-continuation corpus leg) --
+    //
+    // A capacity-expansion ladder and a per-provider profitability shock,
+    // each built by patching the base §5 system *in place* through the
+    // axis mutators (`set_mu`/`set_profitability`) — the same path the
+    // continuation engine sweeps, so a kernel-patch regression shifts
+    // these goldens even if every from-scratch scenario stays put.
+    list.push(
+        ScenarioSpec::new(
+            "mu-ladder-half",
+            "§5 system re-capacitated in place to µ = 0.5 (set_mu patch path)",
+            section5_specs(),
+        )
+        .pq(0.5, 0.8)
+        .expand_mu(0.5)
+        .no_sim(),
+    );
+    list.push(
+        ScenarioSpec::new(
+            "mu-ladder-x2",
+            "§5 system expanded in place to µ = 2 (set_mu patch path)",
+            section5_specs(),
+        )
+        .pq(0.5, 0.8)
+        .expand_mu(2.0)
+        .no_sim(),
+    );
+    list.push(
+        ScenarioSpec::new(
+            "mu-ladder-x4",
+            "§5 system expanded in place to µ = 4 (set_mu patch path)",
+            section5_specs(),
+        )
+        .pq(0.5, 0.8)
+        .expand_mu(4.0)
+        .no_sim(),
+    );
+    list.push(
+        ScenarioSpec::new(
+            "vshock-deep-pocket",
+            "§5 system with CP 7's profitability shocked 1 → 2 in place (Theorem 5 axis)",
+            section5_specs(),
+        )
+        .pq(0.6, 1.0)
+        .vshock(7, 2.0)
         .no_sim(),
     );
 
@@ -694,6 +774,32 @@ mod tests {
             let game = spec.build_game().unwrap_or_else(|e| panic!("{}: {e}", spec.name));
             assert_eq!(game.n(), spec.specs.len(), "{}", spec.name);
         }
+    }
+
+    #[test]
+    fn patched_scenarios_match_rebuilt_parameterizations() {
+        // The µ/v scenarios parameterize through the in-place axis
+        // mutators; the equilibria must be bit-identical to building the
+        // same market from scratch (the kernel-patch contract).
+        use subcomp_core::nash::NashSolver;
+        let specs = corpus();
+        let ladder = specs.iter().find(|s| s.name == "mu-ladder-x2").unwrap();
+        assert_eq!(ladder.mu_patch, Some(2.0));
+        let patched = ladder.build_game().unwrap();
+        let mut direct = ladder.clone();
+        direct.mu_patch = None;
+        direct.mu = 2.0;
+        let rebuilt = direct.build_game().unwrap();
+        let solver = NashSolver::default().with_tol(1e-9);
+        let a = solver.solve(&patched).unwrap();
+        let b = solver.solve(&rebuilt).unwrap();
+        assert_eq!(a.subsidies, b.subsidies);
+        assert_eq!(a.state.phi.to_bits(), b.state.phi.to_bits());
+
+        let shock = specs.iter().find(|s| s.name == "vshock-deep-pocket").unwrap();
+        let game = shock.build_game().unwrap();
+        assert_eq!(game.profitability(7), 2.0);
+        assert_eq!(game.profitability(6), 1.0, "only the shocked provider moves");
     }
 
     #[test]

@@ -7,8 +7,8 @@
 
 use crate::report::{sparkline, write_csv, Table};
 use crate::scenarios::section3_system;
+use crate::sweep::{one_sided_sweep, Axis};
 use std::path::Path;
-use subcomp_model::pricing::OneSidedMarket;
 use subcomp_num::NumResult;
 
 /// The data behind Figure 4.
@@ -30,11 +30,15 @@ pub fn default_prices(points: usize) -> Vec<f64> {
     (0..n).map(|k| 2.5 * k as f64 / (n - 1) as f64).collect()
 }
 
-/// Computes the figure on a price grid.
+/// Computes the figure on a price grid — routed through the axis-generic
+/// continuation module's one-sided sweep
+/// ([`crate::sweep::one_sided_sweep`] on [`Axis::Price`]): one reused
+/// scratch/state buffer across the whole grid, values bit-identical to the
+/// historical per-point `OneSidedMarket` evaluation and pinned by the
+/// `figure-fig4` golden snapshot.
 pub fn compute(prices: &[f64]) -> NumResult<Fig4> {
     let system = section3_system();
-    let market = OneSidedMarket::new(&system);
-    let sweep = market.sweep(prices)?;
+    let sweep = one_sided_sweep(&system, 0.0, Axis::Price, prices)?;
     Ok(Fig4 {
         prices: prices.to_vec(),
         theta: sweep.iter().map(|pt| pt.state.theta()).collect(),

@@ -16,3 +16,4 @@ pub mod fig8;
 pub mod fig9;
 pub mod panel;
 pub mod shapes;
+pub mod snapshots;

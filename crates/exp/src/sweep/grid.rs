@@ -1,606 +1,9 @@
-//! 2-D continuation over a `(q, p)` parameter grid — the engine behind
-//! the §5 figure panel, the price sweeps and the grid benchmarks.
-//!
-//! The paper's entire evaluation is a dense grid of Nash solves, and
-//! Theorem 6 (comparative statics) guarantees that equilibria at adjacent
-//! grid points are close. [`GridSolver`] exploits that twice:
-//!
-//! 1. **Price-axis continuation** — the first row is swept left to right,
-//!    each solve warm-started from its neighbour's equilibrium.
-//! 2. **Row seeding** — every later cap row starts each point from the
-//!    *adjacent row's* solution at the same price, so only one point of
-//!    the whole grid ever solves cold (per block; see below). A seeded
-//!    solve that fails to converge automatically falls back to a cold
-//!    solve, and a cold threshold-BR solve that fails falls back to the
-//!    robust grid-scan engine — continuation can never *lose* a point,
-//!    only speed it up.
-//!
-//! Reparameterizing a grid point is two scalar writes
-//! ([`SubsidyGame::set_price`] / [`SubsidyGame::set_cap`]): the `System`
-//! and its precompiled kernel are built once per worker and never cloned
-//! again, and all transients live in a caller-owned [`GridContext`], so
-//! after warm-up the sequential engine performs **zero heap allocation
-//! per grid point** (pinned by `tests/alloc_free.rs`).
-//!
-//! Parallelism follows the [`BatchSolver`](super::BatchSolver) recipe:
-//! the grid is split into fixed-width *column blocks*, each block is one
-//! self-contained continuation (its first row starts cold), and blocks —
-//! not points — are fanned across workers. Because the block structure
-//! depends only on [`GridSolver::block`], results are **bit-identical for
-//! any thread count**.
+//! The historical home of the `(q, p)` grid engine, kept as a thin
+//! re-export: the engine itself now lives in
+//! [`continuation`](super::continuation), generalized to arbitrary
+//! parameter axes ([`Axis`](super::continuation::Axis)). [`GridSolver`] is
+//! an alias for the default `Cap × Price` parameterization of
+//! [`ContinuationSolver`](super::continuation::ContinuationSolver), so
+//! every pre-existing `(q, p)` caller is untouched and bit-identical.
 
-use subcomp_core::game::SubsidyGame;
-use subcomp_core::nash::{NashSolver, SolveStats, WarmStart};
-use subcomp_core::welfare::welfare;
-use subcomp_core::workspace::SolveWorkspace;
-use subcomp_model::system::System;
-use subcomp_num::{NumError, NumResult};
-
-/// A solved equilibrium grid in flat, column-major storage.
-///
-/// Per-point scalars (`phi`, `revenue`, …) live at index `c·R + r` and
-/// per-CP vectors at `(c·R + r)·n`, where `R` is the number of cap rows —
-/// column-major so a column block occupies one contiguous slab, which is
-/// what lets the parallel solver hand disjoint `&mut` slices to workers
-/// with no locking. Use [`EqGrid::point`] for ergonomic access; the grid
-/// doubles as a reusable output buffer for [`GridSolver::solve_into`]
-/// (buffers only grow, so re-solving a same-shape grid allocates nothing).
-#[derive(Debug, Clone, Default, PartialEq)]
-pub struct EqGrid {
-    qs: Vec<f64>,
-    prices: Vec<f64>,
-    n: usize,
-    subsidies: Vec<f64>,
-    m: Vec<f64>,
-    theta: Vec<f64>,
-    utilities: Vec<f64>,
-    phi: Vec<f64>,
-    revenue: Vec<f64>,
-    welfare: Vec<f64>,
-    iterations: Vec<u32>,
-    cold: Vec<bool>,
-}
-
-/// A borrowed view of one solved grid point — every quantity the figure
-/// extractors read, without per-point allocation.
-#[derive(Debug, Clone, Copy)]
-pub struct EqPointView<'a> {
-    /// Policy cap at this point.
-    pub q: f64,
-    /// ISP price at this point.
-    pub p: f64,
-    /// Equilibrium subsidies per CP.
-    pub subsidies: &'a [f64],
-    /// Equilibrium populations per CP.
-    pub m: &'a [f64],
-    /// Equilibrium throughput per CP.
-    pub theta: &'a [f64],
-    /// Equilibrium utilities per CP.
-    pub utilities: &'a [f64],
-    /// System utilization.
-    pub phi: f64,
-    /// ISP revenue `p · θ`.
-    pub revenue: f64,
-    /// System welfare `W = Σ v_i θ_i`.
-    pub welfare: f64,
-    /// Best-response sweeps this point's solve took.
-    pub iterations: usize,
-    /// Whether the point solved cold (block start or continuation
-    /// fallback) rather than from a continuation seed.
-    pub cold: bool,
-}
-
-impl EqGrid {
-    /// An empty grid to use as a reusable output buffer.
-    pub fn empty() -> EqGrid {
-        EqGrid::default()
-    }
-
-    /// Cap rows.
-    pub fn qs(&self) -> &[f64] {
-        &self.qs
-    }
-
-    /// Price columns.
-    pub fn prices(&self) -> &[f64] {
-        &self.prices
-    }
-
-    /// Number of cap rows.
-    pub fn n_rows(&self) -> usize {
-        self.qs.len()
-    }
-
-    /// Number of price columns.
-    pub fn n_cols(&self) -> usize {
-        self.prices.len()
-    }
-
-    /// Number of CP types.
-    pub fn n_cps(&self) -> usize {
-        self.n
-    }
-
-    #[inline]
-    fn idx(&self, r: usize, c: usize) -> usize {
-        debug_assert!(r < self.n_rows() && c < self.n_cols());
-        c * self.qs.len() + r
-    }
-
-    /// The solved point at cap row `r`, price column `c`.
-    pub fn point(&self, r: usize, c: usize) -> EqPointView<'_> {
-        let o = self.idx(r, c);
-        let n = self.n;
-        EqPointView {
-            q: self.qs[r],
-            p: self.prices[c],
-            subsidies: &self.subsidies[o * n..(o + 1) * n],
-            m: &self.m[o * n..(o + 1) * n],
-            theta: &self.theta[o * n..(o + 1) * n],
-            utilities: &self.utilities[o * n..(o + 1) * n],
-            phi: self.phi[o],
-            revenue: self.revenue[o],
-            welfare: self.welfare[o],
-            iterations: self.iterations[o] as usize,
-            cold: self.cold[o],
-        }
-    }
-
-    /// Number of points that solved cold (block starts plus continuation
-    /// fallbacks) — the continuation health indicator the grid benches
-    /// track.
-    pub fn cold_solves(&self) -> usize {
-        self.cold.iter().filter(|&&c| c).count()
-    }
-
-    /// Total best-response sweeps spent over the whole grid.
-    pub fn total_sweeps(&self) -> usize {
-        self.iterations.iter().map(|&k| k as usize).sum()
-    }
-
-    /// Sizes every buffer for an `R × C × n` grid, retaining capacity.
-    fn prepare(&mut self, qs: &[f64], prices: &[f64], n: usize) {
-        self.qs.clear();
-        self.qs.extend_from_slice(qs);
-        self.prices.clear();
-        self.prices.extend_from_slice(prices);
-        self.n = n;
-        let points = qs.len() * prices.len();
-        for buf in [&mut self.subsidies, &mut self.m, &mut self.theta, &mut self.utilities] {
-            buf.resize(points * n, 0.0);
-        }
-        for buf in [&mut self.phi, &mut self.revenue, &mut self.welfare] {
-            buf.resize(points, 0.0);
-        }
-        self.iterations.resize(points, 0);
-        self.cold.resize(points, false);
-    }
-}
-
-/// Per-worker continuation state: the mutable game being reparameterized
-/// (one `System` clone at construction — the only one the grid ever
-/// pays), the solver workspace, and the row-seed buffer. Reusable across
-/// [`GridSolver::solve_into`] calls; zero allocation once warm.
-#[derive(Debug, Clone)]
-pub struct GridContext {
-    game: SubsidyGame,
-    ws: SolveWorkspace,
-    seed: Vec<f64>,
-}
-
-impl GridContext {
-    /// A context for grids over `system`.
-    pub fn new(system: &System) -> GridContext {
-        let game = SubsidyGame::new(system.clone(), 0.0, 0.0)
-            .expect("p = q = 0 is always a valid parameterization");
-        let ws = SolveWorkspace::for_game(&game);
-        let n = game.n();
-        GridContext { game, ws, seed: vec![0.0; n] }
-    }
-}
-
-/// The 2-D continuation grid solver (module docs).
-#[derive(Debug, Clone)]
-pub struct GridSolver {
-    /// The continuation solver. The default runs the Theorem 3 threshold
-    /// best response at tolerance `1e-8` — the panel's historical
-    /// tolerance; every answer agrees with the grid-scan engine to root
-    /// tolerance (`tests/grid_continuation.rs` pins this on random grids).
-    pub solver: NashSolver,
-    /// Worker threads for block fan-out (`<= 1` runs sequentially;
-    /// results are bit-identical either way).
-    pub threads: usize,
-    /// Price columns per continuation block — the unit of parallel
-    /// distribution. Results depend on this, never on `threads`.
-    pub block: usize,
-    /// Process cap rows last-to-first (seeding row `r` from row `r + 1`).
-    /// Exists to demonstrate continuation-path independence; results
-    /// agree with forward order to solver tolerance.
-    pub reverse_rows: bool,
-}
-
-impl Default for GridSolver {
-    fn default() -> Self {
-        GridSolver {
-            solver: NashSolver::default().with_tol(1e-8).with_threshold_br(true),
-            threads: 1,
-            block: 16,
-            reverse_rows: false,
-        }
-    }
-}
-
-/// One block task: a contiguous range of price columns plus the matching
-/// slabs of every output buffer.
-struct BlockTask<'a> {
-    prices: &'a [f64],
-    subsidies: &'a mut [f64],
-    m: &'a mut [f64],
-    theta: &'a mut [f64],
-    utilities: &'a mut [f64],
-    phi: &'a mut [f64],
-    revenue: &'a mut [f64],
-    welfare: &'a mut [f64],
-    iterations: &'a mut [u32],
-    cold: &'a mut [bool],
-}
-
-impl GridSolver {
-    /// Returns a copy fanning blocks across `threads` workers.
-    pub fn with_threads(mut self, threads: usize) -> Self {
-        self.threads = threads;
-        self
-    }
-
-    /// Returns a copy with a different block width (minimum 1).
-    pub fn with_block(mut self, block: usize) -> Self {
-        self.block = block.max(1);
-        self
-    }
-
-    /// Returns a copy with a different continuation solver.
-    pub fn with_solver(mut self, solver: NashSolver) -> Self {
-        self.solver = solver;
-        self
-    }
-
-    /// Returns a copy processing cap rows in reverse order.
-    pub fn with_reverse_rows(mut self, reverse: bool) -> Self {
-        self.reverse_rows = reverse;
-        self
-    }
-
-    /// Solves the full grid, allocating the result.
-    pub fn solve(&self, system: &System, qs: &[f64], prices: &[f64]) -> NumResult<EqGrid> {
-        let mut out = EqGrid::empty();
-        self.solve_into(system, qs, prices, &mut out)?;
-        Ok(out)
-    }
-
-    /// Solves the full grid into a reusable [`EqGrid`], fanning column
-    /// blocks across [`GridSolver::threads`] workers (one [`GridContext`]
-    /// each). Bit-identical to the sequential engine for any thread count.
-    pub fn solve_into(
-        &self,
-        system: &System,
-        qs: &[f64],
-        prices: &[f64],
-        out: &mut EqGrid,
-    ) -> NumResult<()> {
-        validate_grid(qs, prices)?;
-        out.prepare(qs, prices, system.n());
-        let mut tasks: Vec<BlockTask<'_>> = block_tasks(out, self.block.max(1), prices).collect();
-        if self.threads <= 1 || tasks.len() <= 1 {
-            let mut ctx = GridContext::new(system);
-            for task in &mut tasks {
-                self.solve_block(qs, &mut ctx, task)?;
-            }
-            return Ok(());
-        }
-        let workers = self.threads.min(tasks.len());
-        let chunk = tasks.len().div_ceil(workers);
-        let mut results: Vec<NumResult<()>> = Vec::new();
-        std::thread::scope(|scope| {
-            let mut handles = Vec::with_capacity(workers);
-            for slab in tasks.chunks_mut(chunk) {
-                handles.push(scope.spawn(move || {
-                    let mut ctx = GridContext::new(system);
-                    for task in slab.iter_mut() {
-                        self.solve_block(qs, &mut ctx, task)?;
-                    }
-                    Ok(())
-                }));
-            }
-            results =
-                handles.into_iter().map(|h| h.join().expect("grid worker panicked")).collect();
-        });
-        results.into_iter().collect()
-    }
-
-    /// The sequential, allocation-free engine: solves the whole grid
-    /// through one caller-owned context into `out`. After a first call of
-    /// a given shape (warm-up), repeated calls perform zero heap
-    /// allocation — the contract `tests/alloc_free.rs` pins. Results are
-    /// bit-identical to [`GridSolver::solve_into`] at any thread count.
-    pub fn solve_seq_into(
-        &self,
-        ctx: &mut GridContext,
-        qs: &[f64],
-        prices: &[f64],
-        out: &mut EqGrid,
-    ) -> NumResult<()> {
-        validate_grid(qs, prices)?;
-        out.prepare(qs, prices, ctx.game.n());
-        for mut task in block_tasks(out, self.block.max(1), prices) {
-            self.solve_block(qs, ctx, &mut task)?;
-        }
-        Ok(())
-    }
-
-    /// Solves one column block: price continuation along the first
-    /// processed row, row seeding for every later row, cold fallback on
-    /// non-convergence.
-    fn solve_block(
-        &self,
-        qs: &[f64],
-        ctx: &mut GridContext,
-        blk: &mut BlockTask<'_>,
-    ) -> NumResult<()> {
-        let rows = qs.len();
-        let n = ctx.game.n();
-        ctx.seed.resize(n, 0.0);
-        for step in 0..rows {
-            let r = if self.reverse_rows { rows - 1 - step } else { step };
-            ctx.game.set_cap(qs[r])?;
-            for (cl, &p) in blk.prices.iter().enumerate() {
-                ctx.game.set_price(p)?;
-                let o = cl * rows + r;
-                let (stats, cold) = if step == 0 {
-                    if cl == 0 {
-                        (self.solve_cold(ctx)?, true)
-                    } else {
-                        // Price-axis continuation: the workspace still
-                        // holds the previous column's equilibrium.
-                        self.solve_seeded(ctx, WarmStart::Previous)?
-                    }
-                } else {
-                    // Row seeding: start from the adjacent row's solution
-                    // at this price, re-clamped into the new cap's box.
-                    let prev = if self.reverse_rows { r + 1 } else { r - 1 };
-                    let po = (cl * rows + prev) * n;
-                    for i in 0..n {
-                        ctx.seed[i] = blk.subsidies[po + i].clamp(0.0, ctx.game.effective_cap(i));
-                    }
-                    let seed = std::mem::take(&mut ctx.seed);
-                    let result = self.solve_seeded(ctx, WarmStart::Profile(&seed));
-                    ctx.seed = seed;
-                    result?
-                };
-                blk.subsidies[o * n..(o + 1) * n].copy_from_slice(ctx.ws.subsidies());
-                let state = ctx.ws.state();
-                blk.m[o * n..(o + 1) * n].copy_from_slice(&state.m);
-                blk.theta[o * n..(o + 1) * n].copy_from_slice(&state.theta_i);
-                blk.utilities[o * n..(o + 1) * n].copy_from_slice(ctx.ws.utilities());
-                blk.phi[o] = state.phi;
-                blk.revenue[o] = p * state.theta();
-                blk.welfare[o] = welfare(&ctx.game, state);
-                blk.iterations[o] = stats.iterations as u32;
-                blk.cold[o] = cold;
-            }
-        }
-        Ok(())
-    }
-
-    /// A continuation-seeded solve with automatic cold fallback.
-    fn solve_seeded(
-        &self,
-        ctx: &mut GridContext,
-        start: WarmStart<'_>,
-    ) -> NumResult<(SolveStats, bool)> {
-        match self.solver.solve_into(&ctx.game, start, &mut ctx.ws) {
-            Ok(stats) => Ok((stats, false)),
-            Err(_) => Ok((self.solve_cold(ctx)?, true)),
-        }
-    }
-
-    /// A cold solve; if the continuation solver itself fails from zero,
-    /// retry once on the robust grid-scan best response.
-    fn solve_cold(&self, ctx: &mut GridContext) -> NumResult<SolveStats> {
-        match self.solver.solve_into(&ctx.game, WarmStart::Zero, &mut ctx.ws) {
-            Ok(stats) => Ok(stats),
-            Err(err) => {
-                if !self.solver.threshold_br {
-                    return Err(err);
-                }
-                self.solver.with_threshold_br(false).solve_into(
-                    &ctx.game,
-                    WarmStart::Zero,
-                    &mut ctx.ws,
-                )
-            }
-        }
-    }
-}
-
-fn validate_grid(qs: &[f64], prices: &[f64]) -> NumResult<()> {
-    for &q in qs {
-        if !(q >= 0.0) || !q.is_finite() {
-            return Err(NumError::Domain { what: "grid cap must be non-negative", value: q });
-        }
-    }
-    for &p in prices {
-        if !(p >= 0.0) || !p.is_finite() {
-            return Err(NumError::Domain { what: "grid price must be non-negative", value: p });
-        }
-    }
-    Ok(())
-}
-
-/// Lazily splits the grid's output buffers into per-block mutable slabs
-/// (the column-major layout makes every block contiguous in every
-/// buffer). An iterator rather than a `Vec` so the sequential engine can
-/// walk blocks without allocating — `tests/alloc_free.rs` counts on it.
-fn block_tasks<'a>(
-    out: &'a mut EqGrid,
-    block: usize,
-    prices: &'a [f64],
-) -> impl Iterator<Item = BlockTask<'a>> {
-    let rows = out.qs.len();
-    let n = out.n;
-    let per_cp = (block * rows * n).max(1);
-    let per_pt = (block * rows).max(1);
-    prices
-        .chunks(block)
-        .zip(out.subsidies.chunks_mut(per_cp))
-        .zip(out.m.chunks_mut(per_cp))
-        .zip(out.theta.chunks_mut(per_cp))
-        .zip(out.utilities.chunks_mut(per_cp))
-        .zip(out.phi.chunks_mut(per_pt))
-        .zip(out.revenue.chunks_mut(per_pt))
-        .zip(out.welfare.chunks_mut(per_pt))
-        .zip(out.iterations.chunks_mut(per_pt))
-        .zip(out.cold.chunks_mut(per_pt))
-        .map(
-            |(
-                (
-                    (((((((prices, subsidies), m), theta), utilities), phi), revenue), welfare),
-                    iterations,
-                ),
-                cold,
-            )| {
-                BlockTask {
-                    prices,
-                    subsidies,
-                    m,
-                    theta,
-                    utilities,
-                    phi,
-                    revenue,
-                    welfare,
-                    iterations,
-                    cold,
-                }
-            },
-        )
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use crate::scenarios::section5_system;
-
-    fn small_grid() -> (Vec<f64>, Vec<f64>) {
-        (vec![0.0, 0.6, 1.2], vec![0.2, 0.5, 0.8, 1.1, 1.5])
-    }
-
-    #[test]
-    fn grid_matches_independent_cold_solves() {
-        let sys = section5_system();
-        let (qs, prices) = small_grid();
-        let grid = GridSolver::default().solve(&sys, &qs, &prices).unwrap();
-        assert_eq!(grid.n_rows(), 3);
-        assert_eq!(grid.n_cols(), 5);
-        assert_eq!(grid.n_cps(), 8);
-        let solver = NashSolver::default().with_tol(1e-8);
-        for (r, &q) in qs.iter().enumerate() {
-            for (c, &p) in prices.iter().enumerate() {
-                let game = SubsidyGame::new(sys.clone(), p, q).unwrap();
-                let cold = solver.solve(&game).unwrap();
-                let pt = grid.point(r, c);
-                assert_eq!(pt.q, q);
-                assert_eq!(pt.p, p);
-                for i in 0..8 {
-                    assert!(
-                        (pt.subsidies[i] - cold.subsidies[i]).abs() < 1e-6,
-                        "(q={q}, p={p}) CP {i}: grid {} vs cold {}",
-                        pt.subsidies[i],
-                        cold.subsidies[i]
-                    );
-                }
-                assert!((pt.phi - cold.state.phi).abs() < 1e-6);
-                assert!((pt.revenue - cold.isp_revenue(&game)).abs() < 1e-6);
-                assert!((pt.welfare - cold.welfare(&game)).abs() < 1e-6);
-            }
-        }
-    }
-
-    #[test]
-    fn results_bit_identical_across_thread_counts() {
-        let sys = section5_system();
-        let (qs, prices) = small_grid();
-        let base = GridSolver::default().with_block(2);
-        let one = base.clone().with_threads(1).solve(&sys, &qs, &prices).unwrap();
-        let four = base.with_threads(4).solve(&sys, &qs, &prices).unwrap();
-        assert_eq!(one, four);
-    }
-
-    #[test]
-    fn sequential_engine_matches_parallel() {
-        let sys = section5_system();
-        let (qs, prices) = small_grid();
-        let solver = GridSolver::default().with_block(2);
-        let parallel = solver.clone().with_threads(3).solve(&sys, &qs, &prices).unwrap();
-        let mut ctx = GridContext::new(&sys);
-        let mut seq = EqGrid::empty();
-        solver.solve_seq_into(&mut ctx, &qs, &prices, &mut seq).unwrap();
-        assert_eq!(parallel, seq);
-        // And the context + buffer are reusable: a second run reproduces
-        // the same grid byte for byte.
-        let mut again = EqGrid::empty();
-        solver.solve_seq_into(&mut ctx, &qs, &prices, &mut again).unwrap();
-        assert_eq!(seq, again);
-    }
-
-    #[test]
-    fn reverse_row_order_agrees_within_tolerance() {
-        let sys = section5_system();
-        let (qs, prices) = small_grid();
-        let fwd = GridSolver::default().solve(&sys, &qs, &prices).unwrap();
-        let rev = GridSolver::default().with_reverse_rows(true).solve(&sys, &qs, &prices).unwrap();
-        for r in 0..qs.len() {
-            for c in 0..prices.len() {
-                let (a, b) = (fwd.point(r, c), rev.point(r, c));
-                for i in 0..8 {
-                    assert!(
-                        (a.subsidies[i] - b.subsidies[i]).abs() < 1e-6,
-                        "(r={r}, c={c}) CP {i}"
-                    );
-                }
-            }
-        }
-    }
-
-    #[test]
-    fn continuation_solves_mostly_warm() {
-        let sys = section5_system();
-        let (qs, prices) = small_grid();
-        let grid = GridSolver::default().with_block(8).solve(&sys, &qs, &prices).unwrap();
-        // One block => exactly one planned cold solve; fallbacks would
-        // push the count up (and flag a continuation regression).
-        assert_eq!(grid.cold_solves(), 1, "continuation fell back to cold solves");
-        assert!(grid.point(0, 0).cold);
-        assert!(!grid.point(2, 4).cold);
-        assert!(grid.total_sweeps() > 0);
-    }
-
-    #[test]
-    fn zero_cap_row_pins_subsidies() {
-        let sys = section5_system();
-        let grid = GridSolver::default().solve(&sys, &[0.0, 1.0], &[0.4, 0.9]).unwrap();
-        for c in 0..2 {
-            assert!(grid.point(0, c).subsidies.iter().all(|&s| s == 0.0));
-            assert!(grid.point(1, c).subsidies.iter().any(|&s| s > 0.0));
-        }
-    }
-
-    #[test]
-    fn empty_and_invalid_grids() {
-        let sys = section5_system();
-        let grid = GridSolver::default().solve(&sys, &[], &[0.5]).unwrap();
-        assert_eq!(grid.n_rows(), 0);
-        let grid = GridSolver::default().solve(&sys, &[0.5], &[]).unwrap();
-        assert_eq!(grid.n_cols(), 0);
-        assert!(GridSolver::default().solve(&sys, &[-0.1], &[0.5]).is_err());
-        assert!(GridSolver::default().solve(&sys, &[0.5], &[f64::NAN]).is_err());
-    }
-}
+pub use super::continuation::*;

@@ -15,9 +15,13 @@
 //! bit-identical for *any* thread count while the solver loop itself
 //! performs zero heap allocation after warm-up.
 
+pub mod continuation;
 pub mod grid;
 
-pub use grid::{EqGrid, EqPointView, GridContext, GridSolver};
+pub use continuation::{
+    axis_equilibrium_sweep, one_sided_sweep, Axis, AxisSweepPoint, ContinuationSolver, EqGrid,
+    EqPointView, GridContext, GridSolver, StatePoint,
+};
 
 use subcomp_core::game::SubsidyGame;
 use subcomp_core::nash::{NashSolution, NashSolver, SolveStats, WarmStart};
@@ -225,30 +229,27 @@ pub struct SweepPoint {
 /// Sweeps a price grid at fixed cap `q`, warm-starting each solve from the
 /// previous equilibrium.
 ///
-/// The system is cloned exactly once: each point reparameterizes the same
-/// game through [`SubsidyGame::set_price`] and solves through one reused
-/// [`SolveWorkspace`], so only the returned [`NashSolution`]s allocate.
-/// Iterates (and therefore results) are bit-identical to the historical
-/// clone-per-point implementation — `WarmStart::Previous` re-clamps the
-/// prior equilibrium exactly as `solve_from` did.
+/// A thin wrapper over the axis-generic
+/// [`axis_equilibrium_sweep`](continuation::axis_equilibrium_sweep) on
+/// [`Axis::Price`]: the system is cloned exactly once, each point
+/// reparameterizes the same game through [`SubsidyGame::set_price`] and
+/// solves through one reused [`SolveWorkspace`], so only the returned
+/// [`NashSolution`]s allocate. Iterates (and therefore results) are
+/// bit-identical to the historical clone-per-point implementation —
+/// `WarmStart::Previous` re-clamps the prior equilibrium exactly as
+/// `solve_from` did.
 pub fn equilibrium_price_sweep(
     system: &System,
     q: f64,
     prices: &[f64],
     solver: &NashSolver,
 ) -> NumResult<Vec<SweepPoint>> {
-    let mut out = Vec::with_capacity(prices.len());
-    let mut game = SubsidyGame::new(system.clone(), 0.0, q)?;
-    let mut ws = SolveWorkspace::for_game(&game);
-    let mut warm = false;
-    for &p in prices {
-        game.set_price(p)?;
-        let start = if warm { WarmStart::Previous } else { WarmStart::Zero };
-        let stats = solver.solve_into(&game, start, &mut ws)?;
-        warm = true;
-        out.push(SweepPoint { p, equilibrium: ws.solution(stats) });
-    }
-    Ok(out)
+    let base = SubsidyGame::new(system.clone(), 0.0, q)?;
+    let points = axis_equilibrium_sweep(&base, Axis::Price, prices, solver)?;
+    Ok(points
+        .into_iter()
+        .map(|pt| SweepPoint { p: pt.value, equilibrium: pt.equilibrium })
+        .collect())
 }
 
 #[cfg(test)]

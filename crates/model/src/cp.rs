@@ -75,6 +75,16 @@ impl ContentProvider {
         assert!(v >= 0.0 && v.is_finite(), "profitability must be non-negative");
         ContentProvider { profitability: v, ..self.clone() }
     }
+
+    /// Replaces the profitability in place — a single scalar write, no
+    /// cloning of the demand/throughput primitives. This is the mutator
+    /// behind the allocation-free `v`-axis continuation sweeps
+    /// (`System::set_profitability`); [`ContentProvider::with_profitability`]
+    /// is the cloning convenience on top of the same invariant.
+    pub fn set_profitability(&mut self, v: f64) {
+        assert!(v >= 0.0 && v.is_finite(), "profitability must be non-negative");
+        self.profitability = v;
+    }
 }
 
 impl std::fmt::Debug for ContentProvider {

@@ -87,6 +87,42 @@ impl SystemKernel {
         }
         SystemKernel { peaks, lambda0, beta_idx, betas, all_exp, linear: utilization.is_linear() }
     }
+
+    /// Re-derives the kernel slot of provider `idx` after `cps[idx]` was
+    /// replaced: cached peak, `λ₀`, and the distinct-`β` assignment. A new
+    /// `β` is appended to the table (results do not depend on table order:
+    /// every provider's `λ_j = λ₀_j e^{-β_j φ}` is computed from its own
+    /// slot and accumulated in provider order, so any table holding the
+    /// right bits is bit-identical to a fresh
+    /// [`SystemKernel::build`]). Returns `true` when the provider's *old*
+    /// `β` slot became unreferenced — the caller should then rebuild the
+    /// kernel so the distinct-`β` table does not accumulate dead entries
+    /// across long patch sequences.
+    fn patch_slot(&mut self, idx: usize, cp: &ContentProvider) -> bool {
+        let old_slot = self.beta_idx[idx];
+        self.peaks[idx] = cp.throughput().peak();
+        match cp.throughput().exp_coeffs() {
+            Some((l0, beta)) => {
+                let slot =
+                    self.betas.iter().position(|b| b.to_bits() == beta.to_bits()).unwrap_or_else(
+                        || {
+                            self.betas.push(beta);
+                            self.betas.len() - 1
+                        },
+                    );
+                self.lambda0[idx] = l0;
+                self.beta_idx[idx] = slot;
+            }
+            None => {
+                self.lambda0[idx] = 0.0;
+                self.beta_idx[idx] = GENERIC_CP;
+            }
+        }
+        self.all_exp = self.beta_idx.iter().all(|&s| s != GENERIC_CP);
+        old_slot != GENERIC_CP
+            && old_slot != self.beta_idx[idx]
+            && !self.beta_idx.contains(&old_slot)
+    }
 }
 
 /// Reusable scratch space for the allocation-free state solvers
@@ -167,16 +203,82 @@ impl System {
         self.utilization.as_ref()
     }
 
-    /// Returns a copy with capacity `µ'` — Theorem 1 capacity sweeps and
-    /// the ISP's investment extension both use this.
-    pub fn with_capacity(&self, mu: f64) -> NumResult<System> {
+    /// Sets the capacity `µ` in place — a single scalar write. The
+    /// precompiled [`SystemKernel`] caches only provider-side quantities
+    /// (peaks, `λ₀`, the distinct-`β` table) plus the utilization-family
+    /// flag, none of which depend on `µ`, so reparameterizing a `µ`-sweep
+    /// point costs nothing beyond validation and results are bit-identical
+    /// to rebuilding the system at the new capacity (pinned by
+    /// `tests/axis_continuation.rs`).
+    pub fn set_mu(&mut self, mu: f64) -> NumResult<()> {
         if !(mu > 0.0) || !mu.is_finite() {
             return Err(NumError::Domain {
                 what: "capacity must be positive and finite",
                 value: mu,
             });
         }
-        Ok(System { mu, ..self.clone() })
+        self.mu = mu;
+        Ok(())
+    }
+
+    /// Sets provider `i`'s profitability `v_i` in place — a single scalar
+    /// write. Profitability never enters the congestion kernel (it only
+    /// scales utilities downstream), so the kernel is untouched and the
+    /// write is allocation-free; the `v`-axis continuation sweeps rely on
+    /// this.
+    pub fn set_profitability(&mut self, i: usize, v: f64) -> NumResult<()> {
+        if i >= self.n() {
+            return Err(NumError::DimensionMismatch { expected: self.n(), actual: i });
+        }
+        if !(v >= 0.0) || !v.is_finite() {
+            return Err(NumError::Domain {
+                what: "profitability must be non-negative and finite",
+                value: v,
+            });
+        }
+        self.cps[i].set_profitability(v);
+        Ok(())
+    }
+
+    /// Replaces whole providers in place, surgically patching the
+    /// precompiled kernel instead of rebuilding it: only the affected
+    /// slots' cached peaks, `λ₀`s and distinct-`β` assignments are
+    /// re-derived (a genuinely new `β` appends one table entry; the one
+    /// slow path — a patch orphaning the *last* reference to an old `β` —
+    /// falls back to a full kernel rebuild so the table stays minimal).
+    /// Results are bit-identical to `System::new` on the patched provider
+    /// list for any patch sequence, pinned by `tests/axis_continuation.rs`.
+    ///
+    /// Indices are validated up front; an out-of-range index leaves the
+    /// system untouched.
+    pub fn patch_cps(
+        &mut self,
+        patches: impl IntoIterator<Item = (usize, ContentProvider)>,
+    ) -> NumResult<()> {
+        let patches: Vec<(usize, ContentProvider)> = patches.into_iter().collect();
+        for &(i, _) in &patches {
+            if i >= self.n() {
+                return Err(NumError::DimensionMismatch { expected: self.n(), actual: i });
+            }
+        }
+        let mut needs_rebuild = false;
+        for (i, cp) in patches {
+            self.cps[i] = cp;
+            needs_rebuild |= self.kernel.patch_slot(i, &self.cps[i]);
+        }
+        if needs_rebuild {
+            self.kernel = SystemKernel::build(&self.cps, self.utilization.as_ref());
+        }
+        Ok(())
+    }
+
+    /// Returns a copy with capacity `µ'` — Theorem 1 capacity sweeps and
+    /// the ISP's investment extension both use this. A thin shim over the
+    /// in-place [`System::set_mu`].
+    pub fn with_capacity(&self, mu: f64) -> NumResult<System> {
+        let mut sys = self.clone();
+        sys.set_mu(mu)?;
+        Ok(sys)
     }
 
     /// Returns a copy with the fixed-point solver tolerance replaced.
@@ -614,6 +716,101 @@ mod tests {
         assert!(System::new(vec![], -1.0, LinearUtilization).is_err());
         let sys = paper_section3_system();
         assert!(sys.with_capacity(0.0).is_err());
+        let mut sys = paper_section3_system();
+        assert!(sys.set_mu(0.0).is_err());
+        assert!(sys.set_mu(f64::NAN).is_err());
+        assert_eq!(sys.mu(), 1.0, "failed set_mu must leave the capacity unchanged");
+    }
+
+    #[test]
+    fn set_mu_matches_rebuild_bit_exactly() {
+        let base = paper_section3_system();
+        let m = base.populations(&[0.4; 9]).unwrap();
+        let mut patched = base.clone();
+        for mu in [0.25, 0.8, 2.0, 7.5] {
+            patched.set_mu(mu).unwrap();
+            let fresh = {
+                let mut cps = Vec::new();
+                for &alpha in &[1.0, 3.0, 5.0] {
+                    for &beta in &[1.0, 3.0, 5.0] {
+                        cps.push(
+                            ContentProvider::builder(format!("a{alpha}-b{beta}"))
+                                .demand(ExpDemand::new(1.0, alpha))
+                                .throughput(ExpThroughput::new(1.0, beta))
+                                .profitability(1.0)
+                                .build(),
+                        );
+                    }
+                }
+                System::new(cps, mu, LinearUtilization).unwrap()
+            };
+            let a = patched.solve_state(&m).unwrap();
+            let b = fresh.solve_state(&m).unwrap();
+            assert_eq!(a.phi.to_bits(), b.phi.to_bits(), "mu = {mu}");
+            for j in 0..9 {
+                assert_eq!(a.theta_i[j].to_bits(), b.theta_i[j].to_bits(), "mu = {mu}, cp {j}");
+            }
+        }
+    }
+
+    #[test]
+    fn set_profitability_validates_and_writes_in_place() {
+        let mut sys = paper_section3_system();
+        sys.set_profitability(3, 2.5).unwrap();
+        assert_eq!(sys.cp(3).profitability(), 2.5);
+        assert_eq!(sys.cp(2).profitability(), 1.0, "other providers untouched");
+        assert!(sys.set_profitability(99, 1.0).is_err());
+        assert!(sys.set_profitability(0, -0.1).is_err());
+        assert!(sys.set_profitability(0, f64::INFINITY).is_err());
+        // The congestion fixed point is independent of profitability.
+        let m = sys.populations(&[0.4; 9]).unwrap();
+        let before = paper_section3_system().solve_state(&m).unwrap();
+        let after = sys.solve_state(&m).unwrap();
+        assert_eq!(before.phi.to_bits(), after.phi.to_bits());
+    }
+
+    #[test]
+    fn patch_cps_matches_rebuild_bit_exactly() {
+        // Three patch flavours: β reused from the table, a genuinely new β
+        // (appends a distinct-β slot), and one orphaning the last use of an
+        // old β (forces the compaction rebuild) — each must be
+        // bit-identical to System::new on the patched provider list.
+        let mk = |beta: f64| {
+            ContentProvider::builder(format!("b{beta}"))
+                .demand(ExpDemand::new(1.0, 2.0))
+                .throughput(ExpThroughput::new(1.2, beta))
+                .profitability(0.8)
+                .build()
+        };
+        let base = vec![mk(2.0), mk(5.0), mk(2.0)];
+        let m = [0.5, 0.3, 0.4];
+        for (idx, new_beta) in [(2usize, 5.0), (0, 7.0), (1, 2.0)] {
+            let mut patched_sys = System::new(base.clone(), 1.0, LinearUtilization).unwrap();
+            patched_sys.patch_cps([(idx, mk(new_beta))]).unwrap();
+            let mut cps = base.clone();
+            cps[idx] = mk(new_beta);
+            let fresh = System::new(cps, 1.0, LinearUtilization).unwrap();
+            let a = patched_sys.solve_state(&m).unwrap();
+            let b = fresh.solve_state(&m).unwrap();
+            assert_eq!(a.phi.to_bits(), b.phi.to_bits(), "patch cp {idx} -> beta {new_beta}");
+            for j in 0..3 {
+                assert_eq!(a.theta_i[j].to_bits(), b.theta_i[j].to_bits());
+                assert_eq!(a.lambda[j].to_bits(), b.lambda[j].to_bits());
+            }
+            assert_eq!(a.dg_dphi.to_bits(), b.dg_dphi.to_bits());
+        }
+    }
+
+    #[test]
+    fn patch_cps_rejects_out_of_range_and_leaves_system_intact() {
+        let mut sys = paper_section3_system();
+        let cp = sys.cp(0).clone();
+        assert!(sys.patch_cps([(0, cp.clone()), (99, cp)]).is_err());
+        // Nothing was applied: state solves are unchanged.
+        let m = sys.populations(&[0.4; 9]).unwrap();
+        let a = sys.solve_state(&m).unwrap();
+        let b = paper_section3_system().solve_state(&m).unwrap();
+        assert_eq!(a.phi.to_bits(), b.phi.to_bits());
     }
 
     #[test]

@@ -190,6 +190,35 @@ fn grid_solver_is_allocation_free_after_warmup() {
 }
 
 #[test]
+fn mu_axis_sweep_is_allocation_free_after_warmup() {
+    // The axis-generic continuation engine on a non-(q, p) axis: a warm
+    // µ-sweep — capacity reparameterized in place via set_mu per point,
+    // warm-started solves, result writes — performs zero heap allocation,
+    // extending the PR-4 zero-allocation contract to the µ/v writes.
+    use subcomp::exp::scenarios::section5_system;
+    use subcomp::exp::sweep::{Axis, ContinuationSolver, EqGrid, GridContext};
+
+    let base = SubsidyGame::new(section5_system(), 0.6, 0.9).unwrap();
+    let mus: [f64; 8] = std::array::from_fn(|k| 0.5 + 0.35 * k as f64);
+    let solver = ContinuationSolver::over(Axis::Cap, Axis::Mu);
+    let mut ctx = GridContext::for_game(&base);
+    let mut grid = EqGrid::empty();
+    // Warm-up: sizes the context, the workspace and every output buffer.
+    solver.solve_seq_into(&mut ctx, &[0.9], &mus, &mut grid).unwrap();
+    let reference = grid.clone();
+    let (allocs, ()) = allocations_during(|| {
+        solver.solve_seq_into(&mut ctx, &[0.9], &mus, &mut grid).unwrap();
+    });
+    assert_eq!(
+        allocs, 0,
+        "a warm 8-point mu sweep must not touch the heap, saw {allocs} allocations"
+    );
+    assert_eq!(grid, reference, "the warm re-solve must reproduce the sweep exactly");
+    assert_eq!(grid.n_cols(), 8);
+    assert!(grid.cold_solves() >= 1);
+}
+
+#[test]
 fn counter_actually_counts() {
     // Sanity check on the harness itself: an allocating closure must be
     // visible, otherwise the zero assertions above are vacuous.

@@ -11,6 +11,7 @@
 use std::collections::BTreeSet;
 use std::path::{Path, PathBuf};
 use subcomp_exp::corpus::{corpus, run_scenario, ScenarioSpec};
+use subcomp_exp::figures::snapshots::{figure_snapshot_names, figure_snapshots};
 use subcomp_exp::golden::{diff_snapshots, render_diff, snapshot_tolerances, Json};
 use subcomp_exp::sweep::parallel_map;
 
@@ -47,9 +48,17 @@ fn threads() -> usize {
     std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4)
 }
 
+/// Every golden file stem this repository pins: the scenario corpus plus
+/// the figure-series snapshots.
+fn golden_stems() -> Vec<String> {
+    let mut stems: Vec<String> = corpus().iter().map(|s| s.name.to_string()).collect();
+    stems.extend(figure_snapshot_names().iter().map(|n| n.to_string()));
+    stems
+}
+
 #[test]
-fn golden_files_cover_exactly_the_corpus() {
-    let expected: BTreeSet<String> = corpus().iter().map(|s| format!("{}.json", s.name)).collect();
+fn golden_files_cover_exactly_the_corpus_and_figures() {
+    let expected: BTreeSet<String> = golden_stems().iter().map(|s| format!("{s}.json")).collect();
     let on_disk: BTreeSet<String> = std::fs::read_dir(golden_dir())
         .expect("tests/golden/ must exist — run the regen_golden binary")
         .flatten()
@@ -60,9 +69,54 @@ fn golden_files_cover_exactly_the_corpus() {
     let stale: Vec<&String> = on_disk.difference(&expected).collect();
     assert!(
         missing.is_empty() && stale.is_empty(),
-        "golden set out of sync with the corpus \
+        "golden set out of sync with the corpus + figure snapshots \
          (missing: {missing:?}, stale: {stale:?}) — \
          run `cargo run --release -p subcomp-exp --bin regen_golden`"
+    );
+}
+
+#[test]
+fn figure_series_match_committed_goldens() {
+    // The figure pipelines (now routed through the axis-generic
+    // continuation module) are pinned series-by-series exactly like the
+    // scenario equilibria: a within-shape drift fails with a field diff.
+    let dir = golden_dir();
+    let mut report = String::new();
+    let mut failed = 0usize;
+    for (name, actual) in figure_snapshots().expect("figure snapshots compute") {
+        let path = dir.join(format!("{name}.json"));
+        let text = match std::fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) => {
+                report.push_str(&format!(
+                    "figure `{name}`: golden {} unreadable ({e}) — run regen_golden\n",
+                    path.display()
+                ));
+                failed += 1;
+                continue;
+            }
+        };
+        let golden = match Json::parse(&text) {
+            Ok(j) => j,
+            Err(e) => {
+                report.push_str(&format!("figure `{name}`: golden is corrupt: {e}\n"));
+                failed += 1;
+                continue;
+            }
+        };
+        let diffs = diff_snapshots(&golden, &actual, &snapshot_tolerances);
+        if !diffs.is_empty() {
+            report.push_str(&render_diff(name, &diffs));
+            report.push('\n');
+            failed += 1;
+        }
+    }
+    assert!(
+        failed == 0,
+        "{failed} figure snapshot(s) diverged:\n\n{report}\n\
+         If the shift is intentional, regenerate with \
+         `cargo run --release -p subcomp-exp --bin regen_golden` and explain why \
+         in the commit message."
     );
 }
 
@@ -126,16 +180,15 @@ fn goldens_are_canonical_renderings() {
     // Byte-level determinism guard: every committed file must be exactly
     // what the codec renders for its own parse. This keeps regen runs
     // diff-clean and catches hand-edited snapshots.
-    for spec in corpus() {
-        let path = golden_dir().join(format!("{}.json", spec.name));
+    for stem in golden_stems() {
+        let path = golden_dir().join(format!("{stem}.json"));
         let text = std::fs::read_to_string(&path)
             .unwrap_or_else(|e| panic!("{}: {e} — run regen_golden", path.display()));
-        let parsed = Json::parse(&text).unwrap_or_else(|e| panic!("{}: {e}", spec.name));
+        let parsed = Json::parse(&text).unwrap_or_else(|e| panic!("{stem}: {e}"));
         assert_eq!(
             text,
             parsed.render(),
-            "golden for `{}` is not in canonical codec form — run regen_golden",
-            spec.name
+            "golden for `{stem}` is not in canonical codec form — run regen_golden"
         );
     }
 }
