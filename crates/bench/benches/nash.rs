@@ -15,6 +15,8 @@ use subcomp_core::game::SubsidyGame;
 use subcomp_core::nash::{NashSolver, WarmStart};
 use subcomp_core::vi::{extragradient_solve_into, projection_solve_into, ViConfig};
 use subcomp_core::workspace::SolveWorkspace;
+use subcomp_exp::scenarios::farm_game;
+use subcomp_exp::sweep::BatchSolver;
 
 fn bench_solvers(c: &mut Criterion) {
     let mut g = c.benchmark_group("nash/solver");
@@ -98,9 +100,41 @@ fn bench_warm_start(c: &mut Criterion) {
     g.finish();
 }
 
+/// The farm engines at ensemble scale: the scalar warm-chain
+/// `BatchSolver` against the SoA lane engine, on the exact `solve_farm`
+/// ensemble definition ([`subcomp_exp::scenarios::farm_game`], seed 7,
+/// n ∈ 2..12). 100k games per iteration — each iteration IS one farm
+/// run, so `sample_size(2)` keeps the suite tractable; under
+/// `SUBCOMP_BENCH_QUICK=1` the ensemble shrinks to 200 games so the CI
+/// smoke still exercises both engines and emits both ids.
+fn bench_farm(c: &mut Criterion) {
+    let mut g = c.benchmark_group("nash/farm");
+    g.sample_size(2);
+    let quick =
+        std::env::var("SUBCOMP_BENCH_QUICK").map(|v| v != "0" && !v.is_empty()).unwrap_or(false);
+    let games: u64 = if quick { 200 } else { 100_000 };
+    let indices: Vec<u64> = (0..games).collect();
+    let run = |batch: &BatchSolver| -> usize {
+        batch
+            .run(&indices, |&k| farm_game(7, k, 2, 12), |_, _, stats| stats.iterations)
+            .into_iter()
+            .map(|r| r.expect("farm ensemble solves"))
+            .sum()
+    };
+    g.bench_function("scalar", |b| {
+        let batch = BatchSolver::default();
+        b.iter(|| run(std::hint::black_box(&batch)))
+    });
+    g.bench_function("lanes", |b| {
+        let batch = BatchSolver::default().with_lanes(16);
+        b.iter(|| run(std::hint::black_box(&batch)))
+    });
+    g.finish();
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().warm_up_time(Duration::from_millis(400)).measurement_time(Duration::from_secs(2));
-    targets = bench_solvers, bench_scaling, bench_warm_start
+    targets = bench_solvers, bench_scaling, bench_warm_start, bench_farm
 }
 criterion_main!(benches);

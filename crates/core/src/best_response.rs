@@ -57,6 +57,43 @@ pub fn best_response(
     best_response_into(game, i, s, cfg, &mut m, &mut scratch)
 }
 
+/// A single-provider objective the two best-response engines below
+/// maximize: the utility `U_i(s_i; s_{-i})` and its analytic marginal
+/// `u_i(s_i)`, with every other coordinate frozen. The scalar solvers
+/// implement it over a [`SubsidyGame`] plus cached populations; the lane
+/// engine implements it over one lane of a structure-of-arrays batch.
+/// Both run the *identical* engine bodies, so the lane path cannot drift
+/// from the scalar reference by construction.
+pub(crate) trait BrObjective {
+    /// Search upper bound `min(q, v_i)`.
+    fn cap(&self) -> f64;
+    /// `U_i` at `s_i` (solves the congestion fixed point).
+    fn utility(&mut self, si: f64) -> NumResult<f64>;
+    /// `u_i = ∂U_i/∂s_i` at `s_i` (solves the fixed point).
+    fn marginal(&mut self, si: f64) -> NumResult<f64>;
+}
+
+/// [`BrObjective`] over a scalar game: probes overwrite `m[i]` only (the
+/// frozen components' populations are precomputed by the caller).
+struct GameBrObjective<'a> {
+    game: &'a SubsidyGame,
+    i: usize,
+    m: &'a mut Vec<f64>,
+    scratch: &'a mut StateScratch,
+}
+
+impl BrObjective for GameBrObjective<'_> {
+    fn cap(&self) -> f64 {
+        self.game.effective_cap(self.i)
+    }
+    fn utility(&mut self, si: f64) -> NumResult<f64> {
+        self.game.utility_probe(self.i, si, self.m, self.scratch)
+    }
+    fn marginal(&mut self, si: f64) -> NumResult<f64> {
+        self.game.marginal_probe(self.i, si, self.m, self.scratch)
+    }
+}
+
 /// The allocation-free best-response engine: grid localization, Brent
 /// polish of the cell, then (for interior maximizers, which
 /// value-comparison locates only to ~sqrt(eps)) a root-finding refinement
@@ -75,7 +112,6 @@ pub(crate) fn best_response_into(
     m: &mut Vec<f64>,
     scratch: &mut StateScratch,
 ) -> NumResult<BestResponse> {
-    let hi = game.effective_cap(i);
     // The allocating path validates the probed profile on every objective
     // evaluation; the components other than `i` never change, so validate
     // once. A failure maps to the same error the allocating path surfaces
@@ -84,19 +120,21 @@ pub(crate) fn best_response_into(
         return Err(NumError::NonFinite { what: "grid_scan objective", at: 0.0 });
     }
     game.populations_for(s, m);
-    let buffers = RefCell::new((m, scratch));
-    let f = |si: f64| {
-        let (m, scratch) = &mut *buffers.borrow_mut();
-        game.utility_probe(i, si, m, scratch).unwrap_or(f64::NEG_INFINITY)
-    };
+    grid_br_core(GameBrObjective { game, i, m, scratch }, cfg)
+}
+
+/// The grid-scan engine body, generic over the objective (see
+/// [`BrObjective`]). Probe sequence, constants and acceptance rules are
+/// the literal former `best_response_into` body — goldens pin the bits.
+pub(crate) fn grid_br_core<O: BrObjective>(obj: O, cfg: &BrConfig) -> NumResult<BestResponse> {
+    let hi = obj.cap();
+    let buffers = RefCell::new(obj);
+    let f = |si: f64| buffers.borrow_mut().utility(si).unwrap_or(f64::NEG_INFINITY);
     let m = maximize_scalar_reusing_ends(&f, 0.0, hi, cfg.grid, cfg.tol)?;
     let mut best = BestResponse { s: m.x, utility: m.value, evaluations: m.evaluations };
     let interior_margin = 1e-5 * (1.0 + hi);
     if m.x > interior_margin && m.x < hi - interior_margin {
-        let u_of = |si: f64| {
-            let (m, scratch) = &mut *buffers.borrow_mut();
-            game.marginal_probe(i, si, m, scratch).unwrap_or(f64::NAN)
-        };
+        let u_of = |si: f64| buffers.borrow_mut().marginal(si).unwrap_or(f64::NAN);
         let mut delta = 16.0 * interior_margin;
         let mut bracket = None;
         for _ in 0..8 {
@@ -156,21 +194,30 @@ pub(crate) fn best_response_threshold_into(
     m: &mut Vec<f64>,
     scratch: &mut StateScratch,
 ) -> NumResult<Option<BestResponse>> {
-    let hi = game.effective_cap(i);
     if game.validate(s).is_err() {
         return Err(NumError::NonFinite { what: "threshold_br profile", at: 0.0 });
     }
     game.populations_for(s, m);
+    threshold_br_core(GameBrObjective { game, i, m, scratch }, hint)
+}
+
+/// The threshold engine body, generic over the objective (see
+/// [`BrObjective`]). Probe sequence, constants and corner logic are the
+/// literal former `best_response_threshold_into` body.
+pub(crate) fn threshold_br_core<O: BrObjective>(
+    obj: O,
+    hint: f64,
+) -> NumResult<Option<BestResponse>> {
+    let hi = obj.cap();
+    let buffers = RefCell::new(obj);
     if hi <= 0.0 {
-        let utility = game.utility_probe(i, 0.0, m, scratch)?;
+        let utility = buffers.borrow_mut().utility(0.0)?;
         return Ok(Some(BestResponse { s: 0.0, utility, evaluations: 1 }));
     }
-    let buffers = RefCell::new((m, scratch));
     let evals = std::cell::Cell::new(0usize);
     let mut u_of = |si: f64| {
         evals.set(evals.get() + 1);
-        let (m, scratch) = &mut *buffers.borrow_mut();
-        game.marginal_probe(i, si, m, scratch).unwrap_or(f64::NAN)
+        buffers.borrow_mut().marginal(si).unwrap_or(f64::NAN)
     };
     // Corner classification (Theorem 3's KKT cases).
     let u0 = u_of(0.0);
@@ -179,8 +226,7 @@ pub(crate) fn best_response_threshold_into(
     }
     if u0 <= 0.0 {
         // τ_i ≤ 0: the margin loss dominates from the start.
-        let (m, scratch) = &mut *buffers.borrow_mut();
-        let utility = game.utility_probe(i, 0.0, m, scratch)?;
+        let utility = buffers.borrow_mut().utility(0.0)?;
         return Ok(Some(BestResponse { s: 0.0, utility, evaluations: evals.get() + 1 }));
     }
     let u_hi = u_of(hi);
@@ -189,8 +235,7 @@ pub(crate) fn best_response_threshold_into(
     }
     if u_hi >= 0.0 {
         // τ_i ≥ min(q, v_i): pinned at the effective cap.
-        let (m, scratch) = &mut *buffers.borrow_mut();
-        let utility = game.utility_probe(i, hi, m, scratch)?;
+        let utility = buffers.borrow_mut().utility(hi)?;
         return Ok(Some(BestResponse { s: hi, utility, evaluations: evals.get() + 1 }));
     }
     // Interior threshold: u(0) > 0 > u(hi). Shrink the bracket around the
@@ -203,8 +248,7 @@ pub(crate) fn best_response_threshold_into(
         return Ok(None);
     }
     if u_hint == 0.0 {
-        let (m, scratch) = &mut *buffers.borrow_mut();
-        let utility = game.utility_probe(i, hint, m, scratch)?;
+        let utility = buffers.borrow_mut().utility(hint)?;
         return Ok(Some(BestResponse { s: hint, utility, evaluations: evals.get() + 1 }));
     }
     let delta = 1e-2 * (1.0 + hi);
@@ -235,8 +279,7 @@ pub(crate) fn best_response_threshold_into(
         return Ok(None);
     };
     let s_star = root.x.clamp(0.0, hi);
-    let (m, scratch) = &mut *buffers.borrow_mut();
-    let utility = game.utility_probe(i, s_star, m, scratch)?;
+    let utility = buffers.borrow_mut().utility(s_star)?;
     Ok(Some(BestResponse { s: s_star, utility, evaluations: evals.get() + 1 }))
 }
 

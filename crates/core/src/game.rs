@@ -228,6 +228,13 @@ impl SubsidyGame {
         self.cap
     }
 
+    /// Whether the non-paper clamped-price convention is enabled
+    /// (see [`SubsidyGame::with_clamped_price`]). The lane engine only
+    /// accepts the paper's unclamped convention and checks this.
+    pub fn clamps_effective_price(&self) -> bool {
+        self.clamp_effective_price
+    }
+
     /// Provider `i`'s profitability `v_i`.
     pub fn profitability(&self, i: usize) -> f64 {
         self.system.cp(i).profitability()

@@ -12,6 +12,9 @@
 //!   utilities `U_i = (v_i − s_i) θ_i(s)` and analytic marginal utilities;
 //! * [`best_response`], [`nash`] — Gauss–Seidel/Jacobi best-response
 //!   solvers for the Nash equilibrium of Definition 3;
+//! * [`lane`] — the SoA lane engine: K same-shape games solved in
+//!   lockstep with per-lane convergence masking, bit-identical per lane
+//!   to the scalar threshold solver;
 //! * [`workspace`] — caller-owned [`workspace::SolveWorkspace`] buffers
 //!   behind the allocation-free `solve_into` engines (batch/ensemble
 //!   solving without per-solve heap traffic);
@@ -65,6 +68,7 @@ pub mod duopoly;
 pub mod dynamics;
 pub mod equilibrium;
 pub mod game;
+pub mod lane;
 pub mod nash;
 pub mod policy;
 pub mod pricing;
@@ -79,6 +83,7 @@ pub mod workspace;
 pub mod prelude {
     pub use crate::equilibrium::{verify_equilibrium, EquilibriumReport};
     pub use crate::game::{Axis, SubsidyGame};
+    pub use crate::lane::{LaneGame, LaneSolver, LaneWorkspace};
     pub use crate::nash::{NashSolution, NashSolver, SolveStats, SweepMode, WarmStart};
     pub use crate::pricing::optimal_price;
     pub use crate::sensitivity::{ActiveSet, Sensitivity};

@@ -21,83 +21,124 @@
 //!                   BatchSolver block-structure guarantee).
 //!   `--seed S`      master seed (default 7)
 //!   `--block B`     warm-start block size (default 32)
+//!   `--lanes K`     route through the SoA lane engine with K-game lane
+//!                   blocks (default: off — scalar warm-started chains).
+//!                   Lane assignment is fixed by the ensemble definition,
+//!                   so the bit-identity-across-threads contract holds in
+//!                   this mode too.
 //!   `--n-min A` / `--n-max B`  provider-count range (default 2..12)
 //!
+//! Bad arguments (zero threads/lanes/block, an inverted provider range,
+//! a malformed value) exit with a one-line usage error on stderr.
+//!
 //! Everything above the `timing` line is deterministic for a given
-//! `(games, seed, block, n-min, n-max)` — thread count does not change a
-//! single digit — so the report can be diffed across machines and
-//! revisions; only the throughput lines vary.
+//! `(games, seed, block, lanes, n-min, n-max)` — thread count does not
+//! change a single digit — so the report can be diffed across machines
+//! and revisions; only the throughput lines vary.
 //!
 //! [`SolveWorkspace`]: subcomp_core::workspace::SolveWorkspace
 
 use std::time::{Duration, Instant};
 use subcomp_core::equilibrium::verify_equilibrium;
 use subcomp_core::game::SubsidyGame;
-use subcomp_core::structure::SplitMix64;
 use subcomp_core::welfare::welfare;
-use subcomp_exp::scenarios::random_specs;
+use subcomp_exp::scenarios::farm_game;
 use subcomp_exp::sweep::BatchSolver;
-use subcomp_model::aggregation::build_system;
 
+#[derive(Debug)]
 struct Args {
     games: usize,
     threads: Vec<usize>,
     seed: u64,
     block: usize,
+    /// Lane-block size for the SoA engine; 0 = scalar mode.
+    lanes: usize,
     n_min: usize,
     n_max: usize,
 }
 
-fn parse_args() -> Args {
+/// Parses and validates the flag list (everything after the binary name).
+/// Every rejected input — malformed values, zero thread/lane/block counts,
+/// an inverted provider range — comes back as a one-line message for the
+/// usage error path; nothing in here panics.
+fn parse_args_from<I: IntoIterator<Item = String>>(argv: I) -> Result<Args, String> {
     let mut args = Args {
         games: 10_000,
         threads: vec![std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)],
         seed: 7,
         block: 32,
+        lanes: 0,
         n_min: 2,
         n_max: 12,
     };
-    let mut it = std::env::args().skip(1);
+    let mut it = argv.into_iter();
     while let Some(flag) = it.next() {
-        let mut take = |what: &str| -> String {
-            it.next().unwrap_or_else(|| panic!("{what} requires a value"))
+        let mut take = |what: &str| -> Result<String, String> {
+            it.next().ok_or_else(|| format!("{what} requires a value"))
+        };
+        let positive = |what: &str, raw: String| -> Result<usize, String> {
+            match raw.parse::<usize>() {
+                Ok(0) => Err(format!("{what} must be at least 1 (got 0)")),
+                Ok(v) => Ok(v),
+                Err(_) => Err(format!("{what}: expected a positive integer, got {raw:?}")),
+            }
         };
         match flag.as_str() {
-            "--games" => args.games = take("--games").parse().expect("--games: integer"),
-            "--threads" => {
-                args.threads = take("--threads")
-                    .split(',')
-                    .map(|t| t.trim().parse().expect("--threads: integer or comma list"))
-                    .collect();
-                assert!(!args.threads.is_empty(), "--threads: need at least one count");
+            "--games" => {
+                args.games = take("--games")?
+                    .parse()
+                    .map_err(|_| "--games: expected an integer".to_string())?;
             }
-            "--seed" => args.seed = take("--seed").parse().expect("--seed: integer"),
-            "--block" => args.block = take("--block").parse().expect("--block: integer"),
-            "--n-min" => args.n_min = take("--n-min").parse().expect("--n-min: integer"),
-            "--n-max" => args.n_max = take("--n-max").parse().expect("--n-max: integer"),
-            other => panic!("unknown flag {other} (see the module docs)"),
+            "--threads" => {
+                let raw = take("--threads")?;
+                args.threads = raw
+                    .split(',')
+                    .map(|t| positive("--threads", t.trim().to_string()))
+                    .collect::<Result<Vec<usize>, String>>()?;
+                if args.threads.is_empty() {
+                    return Err("--threads: need at least one count".to_string());
+                }
+            }
+            "--seed" => {
+                args.seed = take("--seed")?
+                    .parse()
+                    .map_err(|_| "--seed: expected an integer".to_string())?;
+            }
+            "--block" => args.block = positive("--block", take("--block")?)?,
+            "--lanes" => args.lanes = positive("--lanes", take("--lanes")?)?,
+            "--n-min" => args.n_min = positive("--n-min", take("--n-min")?)?,
+            "--n-max" => args.n_max = positive("--n-max", take("--n-max")?)?,
+            other => return Err(format!("unknown flag {other} (see the module docs)")),
         }
     }
-    assert!(args.n_min >= 1 && args.n_max >= args.n_min, "need 1 <= n-min <= n-max");
-    args
+    if args.n_min > args.n_max {
+        return Err(format!(
+            "provider range is inverted: --n-min {} > --n-max {}",
+            args.n_min, args.n_max
+        ));
+    }
+    Ok(args)
 }
 
-/// Deterministic per-item game parameters: provider count, price, cap and
-/// capacity are drawn from a SplitMix64 stream keyed by `(seed, index)`.
+fn parse_args() -> Args {
+    match parse_args_from(std::env::args().skip(1)) {
+        Ok(args) => args,
+        Err(msg) => {
+            eprintln!("solve_farm: {msg}");
+            std::process::exit(2);
+        }
+    }
+}
+
+/// Deterministic per-item game parameters — the shared ensemble
+/// definition in [`subcomp_exp::scenarios::farm_game`].
 fn build_game(
     seed: u64,
     index: u64,
     n_min: usize,
     n_max: usize,
 ) -> subcomp_num::NumResult<SubsidyGame> {
-    let mut rng = SplitMix64::new(seed ^ index.wrapping_mul(0x9E37_79B9_7F4A_7C15));
-    let span = (n_max - n_min + 1) as u64;
-    let n = n_min + (rng.next_u64() % span) as usize;
-    let specs = random_specs(n, rng.next_u64());
-    let mu = 0.5 + 1.5 * rng.next_f64();
-    let p = 0.3 + 0.9 * rng.next_f64();
-    let q = 0.2 + 0.8 * rng.next_f64();
-    SubsidyGame::new(build_system(&specs, mu)?, p, q)
+    farm_game(seed, index, n_min, n_max)
 }
 
 /// What the farm keeps per game — small and `Copy`, so the reduction is
@@ -147,7 +188,8 @@ impl FarmAggregate {
 /// Runs the ensemble on `threads` workers and reduces it.
 fn run_farm(args: &Args, threads: usize) -> (FarmAggregate, Duration) {
     let indices: Vec<u64> = (0..args.games as u64).collect();
-    let batch = BatchSolver::default().with_threads(threads).with_block(args.block);
+    let batch =
+        BatchSolver::default().with_threads(threads).with_block(args.block).with_lanes(args.lanes);
     let start = Instant::now();
     let results = batch.run(
         &indices,
@@ -213,9 +255,10 @@ fn run_farm(args: &Args, threads: usize) -> (FarmAggregate, Duration) {
 }
 
 fn print_aggregate(args: &Args, agg: &FarmAggregate) {
+    let engine = if args.lanes > 0 { format!("lanes={}", args.lanes) } else { "scalar".into() };
     println!(
-        "config: games={} seed={} block={} n={}..{}",
-        args.games, args.seed, args.block, args.n_min, args.n_max
+        "config: games={} seed={} block={} engine={} n={}..{}",
+        args.games, args.seed, args.block, engine, args.n_min, args.n_max
     );
     println!("solved: {} ({} failed)", agg.solved, agg.failed);
     println!("providers total: {}", agg.providers);
@@ -288,5 +331,49 @@ fn main() {
     );
     if reference.failed > 0 || reference.uncertified > 0 {
         std::process::exit(1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::parse_args_from;
+
+    fn parse(flags: &[&str]) -> Result<super::Args, String> {
+        parse_args_from(flags.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn bad_arguments_are_usage_errors_not_panics() {
+        // The cases ISSUE 6 names: each must come back as Err, never
+        // panic, never be silently accepted.
+        assert!(parse(&["--threads", "0"]).is_err());
+        assert!(parse(&["--threads", "4,0,2"]).is_err());
+        assert!(parse(&["--lanes", "0"]).is_err());
+        assert!(parse(&["--block", "0"]).is_err());
+        assert!(parse(&["--n-min", "9", "--n-max", "3"]).is_err());
+        // Malformed values and structural mistakes too.
+        assert!(parse(&["--games", "many"]).is_err());
+        assert!(parse(&["--seed"]).is_err());
+        assert!(parse(&["--wat", "1"]).is_err());
+        // Every message is a single line (the usage-error contract).
+        for bad in [
+            parse(&["--lanes", "0"]).unwrap_err(),
+            parse(&["--n-min", "9", "--n-max", "3"]).unwrap_err(),
+        ] {
+            assert!(!bad.contains('\n'), "multi-line usage error: {bad:?}");
+        }
+    }
+
+    #[test]
+    fn good_arguments_parse() {
+        let args =
+            parse(&["--games", "64", "--threads", "1,2", "--lanes", "8", "--block", "4"]).unwrap();
+        assert_eq!(args.games, 64);
+        assert_eq!(args.threads, vec![1, 2]);
+        assert_eq!(args.lanes, 8);
+        assert_eq!(args.block, 4);
+        let defaults = parse(&[]).unwrap();
+        assert_eq!(defaults.lanes, 0, "scalar engine is the default");
+        assert_eq!((defaults.n_min, defaults.n_max), (2, 12));
     }
 }

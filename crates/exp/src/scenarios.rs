@@ -83,6 +83,27 @@ pub fn random_system(n: usize, seed: u64, mu: f64) -> System {
     build_system(&random_specs(n, seed), mu).expect("random specs are valid")
 }
 
+/// One game of the `solve_farm` ensemble: provider count, market specs,
+/// capacity, price and cap are drawn from a SplitMix64 stream keyed by
+/// `(seed, index)`. This is *the* ensemble definition — the farm binary
+/// and the `nash/farm/*` benches both call it, so their workloads are
+/// identical game for game.
+pub fn farm_game(
+    seed: u64,
+    index: u64,
+    n_min: usize,
+    n_max: usize,
+) -> subcomp_num::NumResult<subcomp_core::game::SubsidyGame> {
+    let mut rng = SplitMix64::new(seed ^ index.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    let span = (n_max - n_min + 1) as u64;
+    let n = n_min + (rng.next_u64() % span) as usize;
+    let specs = random_specs(n, rng.next_u64());
+    let mu = 0.5 + 1.5 * rng.next_f64();
+    let p = 0.3 + 0.9 * rng.next_f64();
+    let q = 0.2 + 0.8 * rng.next_f64();
+    subcomp_core::game::SubsidyGame::new(build_system(&specs, mu)?, p, q)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -24,6 +24,7 @@ pub use continuation::{
 };
 
 use subcomp_core::game::SubsidyGame;
+use subcomp_core::lane::{LaneGame, LaneSolver, LaneWorkspace};
 use subcomp_core::nash::{NashSolution, NashSolver, SolveStats, WarmStart};
 use subcomp_core::workspace::SolveWorkspace;
 use subcomp_model::system::System;
@@ -133,11 +134,28 @@ pub struct BatchSolver {
     /// Warm-start consecutive items within a block (`false` solves every
     /// item cold — the reference the equivalence tests compare against).
     pub warm_start: bool,
+    /// Lane-block size `K` for the SoA lane engine (`0` = scalar mode,
+    /// the default). In lane mode, games of equal provider count are
+    /// grouped in encounter order and chunked into [`LaneGame`]s of up to
+    /// `K` lanes, each solved in lockstep by [`LaneSolver`] (threshold
+    /// best responses, cold start — `warm_start` is ignored). Lane
+    /// assignment depends only on the item list and `K`, and lanes never
+    /// read each other's state, so per-game results are bit-identical
+    /// across thread counts *and* lane-block sizes; games the lane engine
+    /// cannot pack (non-exponential families, clamped pricing) fall back
+    /// to cold scalar solves.
+    pub lanes: usize,
 }
 
 impl Default for BatchSolver {
     fn default() -> Self {
-        BatchSolver { solver: NashSolver::default(), threads: 1, block: 32, warm_start: true }
+        BatchSolver {
+            solver: NashSolver::default(),
+            threads: 1,
+            block: 32,
+            warm_start: true,
+            lanes: 0,
+        }
     }
 }
 
@@ -160,6 +178,13 @@ impl BatchSolver {
         self
     }
 
+    /// Returns a copy routing through the SoA lane engine with lane
+    /// blocks of up to `lanes` games (`0` restores scalar mode).
+    pub fn with_lanes(mut self, lanes: usize) -> Self {
+        self.lanes = lanes;
+        self
+    }
+
     /// Solves one game per item: `build` yields the game — owned (the
     /// only per-item allocation site) or borrowed straight from the item —
     /// and `summarize` reduces the solved workspace to whatever the caller
@@ -177,10 +202,13 @@ impl BatchSolver {
     where
         T: Sync,
         R: Send,
-        B: std::borrow::Borrow<SubsidyGame>,
+        B: std::borrow::Borrow<SubsidyGame> + Sync,
         G: Fn(&'a T) -> NumResult<B> + Sync,
         S: Fn(&SubsidyGame, &SolveWorkspace, SolveStats) -> R + Sync,
     {
+        if self.lanes > 0 {
+            return self.run_lanes(items, build, summarize);
+        }
         let block = self.block.max(1);
         let blocks: Vec<&[T]> = items.chunks(block).collect();
         let nested = parallel_map_with(
@@ -214,6 +242,119 @@ impl BatchSolver {
     /// [`NashSolution`]s (games are borrowed, never cloned).
     pub fn solve_games(&self, games: &[SubsidyGame]) -> Vec<NumResult<NashSolution>> {
         self.run(games, Ok, |_, ws, stats| ws.solution(stats))
+    }
+
+    /// The lane-mode body of [`BatchSolver::run`].
+    ///
+    /// Unlike scalar mode, the whole batch is materialized up front —
+    /// lane grouping needs every game's shape before any solve starts
+    /// (a few floats per provider per game; ~10 MB per million games).
+    /// Work units are lane blocks plus the scalar stragglers, distributed
+    /// through [`parallel_map_with`] with one `(LaneWorkspace,
+    /// SolveWorkspace)` pair per worker; per-lane failures (probe errors,
+    /// sweep exhaustion) surface as that game's `Err` without poisoning
+    /// lane-mates. Lane solves mirror `self.solver`'s damping, tolerance,
+    /// sweep budget and grid-fallback config but always use threshold
+    /// best responses — the scalar engine they are bit-identical to is
+    /// `self.solver.with_threshold_br(true)` from a cold start.
+    fn run_lanes<'a, T, R, B, G, S>(
+        &self,
+        items: &'a [T],
+        build: G,
+        summarize: S,
+    ) -> Vec<NumResult<R>>
+    where
+        T: Sync,
+        R: Send,
+        B: std::borrow::Borrow<SubsidyGame> + Sync,
+        G: Fn(&'a T) -> NumResult<B> + Sync,
+        S: Fn(&SubsidyGame, &SolveWorkspace, SolveStats) -> R + Sync,
+    {
+        enum Work {
+            /// Indices of one lane block (equal provider counts).
+            Lanes(Vec<usize>),
+            /// Index of one game the lane engine cannot pack.
+            Scalar(usize),
+        }
+
+        let k = self.lanes.max(1);
+        let built: Vec<NumResult<B>> = items.iter().map(&build).collect();
+        let game_at = |idx: usize| -> &SubsidyGame {
+            built[idx].as_ref().expect("only Ok items are scheduled").borrow()
+        };
+
+        // Fixed work assignment: same-n games grouped in encounter order,
+        // chunked into K-lane blocks. Depends only on the item list and K.
+        let mut groups: Vec<(usize, Vec<usize>)> = Vec::new();
+        let mut work: Vec<Work> = Vec::new();
+        for (idx, b) in built.iter().enumerate() {
+            let Ok(game) = b else { continue };
+            let game = game.borrow();
+            if LaneGame::from_games(&[game]).is_some() {
+                match groups.iter_mut().find(|(n, _)| *n == game.n()) {
+                    Some((_, members)) => members.push(idx),
+                    None => groups.push((game.n(), vec![idx])),
+                }
+            } else {
+                work.push(Work::Scalar(idx));
+            }
+        }
+        for (_, members) in &groups {
+            for chunk in members.chunks(k) {
+                work.push(Work::Lanes(chunk.to_vec()));
+            }
+        }
+
+        let lane_solver = LaneSolver {
+            damping: self.solver.damping,
+            tol: self.solver.tol,
+            max_sweeps: self.solver.max_sweeps,
+            br: self.solver.br,
+        };
+        let scalar_solver = self.solver.with_threshold_br(true);
+        let solved = parallel_map_with(
+            &work,
+            self.threads,
+            || (LaneWorkspace::new(), SolveWorkspace::new()),
+            |(lw, ws): &mut (LaneWorkspace, SolveWorkspace), unit: &Work| match unit {
+                Work::Scalar(idx) => {
+                    let game = game_at(*idx);
+                    let result = scalar_solver
+                        .solve_into(game, WarmStart::Zero, ws)
+                        .map(|stats| summarize(game, ws, stats));
+                    vec![(*idx, result)]
+                }
+                Work::Lanes(idxs) => {
+                    let games: Vec<&SubsidyGame> = idxs.iter().map(|&i| game_at(i)).collect();
+                    let lane_game = LaneGame::from_games(&games)
+                        .expect("blocks are built from individually eligible same-n games");
+                    lane_solver.solve_into(&lane_game, lw);
+                    idxs.iter()
+                        .enumerate()
+                        .map(|(lane, &idx)| {
+                            let result = lw.result_of(lane).map(|stats| {
+                                lw.export_into(&lane_game, lane, ws);
+                                summarize(games[lane], ws, stats)
+                            });
+                            (idx, result)
+                        })
+                        .collect()
+                }
+            },
+        );
+
+        // Scatter back to item order; build failures keep their slots.
+        let mut out: Vec<Option<NumResult<R>>> = built
+            .iter()
+            .map(|b| match b {
+                Err(e) => Some(Err(e.clone())),
+                Ok(_) => None,
+            })
+            .collect();
+        for (idx, result) in solved.into_iter().flatten() {
+            out[idx] = Some(result);
+        }
+        out.into_iter().map(|slot| slot.expect("every item solved or errored")).collect()
     }
 }
 
@@ -460,6 +601,44 @@ mod tests {
             )
         }));
         assert!(result.is_err(), "worker panic must reach the caller");
+    }
+
+    #[test]
+    fn lane_mode_is_bit_identical_to_scalar_threshold_solves() {
+        let games = farm_games(13); // mixed n ∈ {2..5}, not a lane multiple
+        let lanes = BatchSolver::default().with_lanes(4).with_threads(3);
+        let results = lanes.solve_games(&games);
+        let reference = NashSolver::default().with_threshold_br(true);
+        for (game, result) in games.iter().zip(&results) {
+            let got = result.as_ref().expect("lane batch converged");
+            let want = reference.solve(game).unwrap();
+            assert_eq!(got.subsidies, want.subsidies, "lane result diverged");
+            assert_eq!(got.iterations, want.iterations);
+            assert_eq!(got.residual.to_bits(), want.residual.to_bits());
+        }
+    }
+
+    #[test]
+    fn lane_mode_build_failures_keep_their_slots() {
+        let games = farm_games(6);
+        let batch = BatchSolver::default().with_lanes(2).with_threads(2);
+        let results = batch.run(
+            &[0usize, 1, 2, 3, 4, 5],
+            |&k| {
+                if k == 3 {
+                    Err(subcomp_num::NumError::Empty { what: "synthetic build failure" })
+                } else {
+                    Ok(games[k].clone())
+                }
+            },
+            |_, ws, stats| (ws.subsidies().to_vec(), stats.converged),
+        );
+        assert!(results[3].is_err());
+        for (k, r) in results.iter().enumerate() {
+            if k != 3 {
+                assert!(r.as_ref().unwrap().1, "item {k} should converge");
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,396 @@
+//! Structure-of-arrays view of K same-shape systems — the model half of
+//! the lane-batched farm engine.
+//!
+//! A *lane* is one game's physical system; a [`LaneSystem`] packs K lanes
+//! of identical market shape (same provider count `n`, the paper's
+//! exponential demand/throughput families on the linear utilization) into
+//! contiguous per-field arrays, lane-major: field `x` of provider `j` in
+//! lane `l` lives at `x[l * n + j]`. The batch solver in `subcomp-core`
+//! then sweeps best responses across all lanes in lockstep, touching
+//! nothing but these flat arrays.
+//!
+//! **Bit-exactness contract.** Every per-lane computation here mirrors the
+//! scalar [`crate::system::System`] kernel expression-for-expression: the
+//! same merged domain-check/peak pass, the same bracket seed, the same
+//! specialized `g(φ) = φµ − Σ_j m_j (λ₀_j e^{-β_j φ})` closure evaluated
+//! through a per-lane distinct-`β` table built with the same bitwise
+//! first-appearance deduplication, and the same root-finder tolerance
+//! copied from the source system. `exp` is a pure function, so a lane
+//! solve produces the identical bits the scalar solve of that lane's
+//! system would — pinned by `tests/lane_equivalence.rs`.
+//!
+//! **Tiling note.** The pinned stable toolchain has no `std::simd`, so the
+//! lane-wide array loops in the solver (copy, residual, mask bookkeeping)
+//! are hand-tiled scalar chunks the autovectorizer handles; the per-lane
+//! root iterations are inherently data-dependent and stay scalar.
+
+use crate::system::System;
+use subcomp_num::roots::solve_increasing_seeded;
+use subcomp_num::{NumError, NumResult, Tolerance};
+
+/// Per-lane distinct-`β` tables, flattened. Mirrors the scalar
+/// `SystemKernel`'s deduplication: within a lane, `β` values are compared
+/// bitwise and kept in first-appearance order, so providers sharing a `β`
+/// read the identical `e^{-βφ}` the scalar kernel hands them.
+#[derive(Debug, Clone, Default)]
+pub struct LaneKernel {
+    /// Local slot of provider `(lane, j)` within its lane's `β` table
+    /// (lane-major, `lanes * n`).
+    beta_idx: Vec<usize>,
+    /// Distinct `β` values, lane after lane.
+    betas: Vec<f64>,
+    /// `betas` offsets per lane (`lanes + 1` entries).
+    beta_off: Vec<usize>,
+    /// Peak throughput `λ_j(0)` per provider (lane-major) — for the
+    /// exponential family this is exactly `λ₀ · e^0 = λ₀`, the same bits
+    /// the scalar kernel caches.
+    peaks: Vec<f64>,
+    /// Widest per-lane `β` table (scratch sizing).
+    max_distinct: usize,
+}
+
+/// K same-shape systems as contiguous per-field arrays.
+#[derive(Debug, Clone)]
+pub struct LaneSystem {
+    lanes: usize,
+    n: usize,
+    /// Demand scale `m₀` per provider (lane-major).
+    m0: Vec<f64>,
+    /// Demand sensitivity `α` per provider (lane-major).
+    alpha: Vec<f64>,
+    /// Throughput scale `λ₀` per provider (lane-major).
+    lambda0: Vec<f64>,
+    /// Profitability `v` per provider (lane-major).
+    v: Vec<f64>,
+    /// Capacity `µ` per lane.
+    mu: Vec<f64>,
+    /// Fixed-point tolerance per lane (copied from the source system so
+    /// batched φ-solves stop at exactly the scalar criterion).
+    tol: Vec<Tolerance>,
+    kernel: LaneKernel,
+}
+
+impl LaneSystem {
+    /// Packs systems into lanes. Returns `None` when the batch is not
+    /// lane-eligible: mixed provider counts, an empty batch, `n = 0`, a
+    /// non-exponential demand or throughput family, or a non-linear
+    /// utilization. Declining is always safe — callers fall back to the
+    /// scalar path.
+    pub fn from_systems(systems: &[&System]) -> Option<LaneSystem> {
+        let (first, rest) = systems.split_first()?;
+        let n = first.n();
+        if n == 0 || rest.iter().any(|s| s.n() != n) {
+            return None;
+        }
+        let lanes = systems.len();
+        let mut m0 = Vec::with_capacity(lanes * n);
+        let mut alpha = Vec::with_capacity(lanes * n);
+        let mut lambda0 = Vec::with_capacity(lanes * n);
+        let mut v = Vec::with_capacity(lanes * n);
+        let mut mu = Vec::with_capacity(lanes);
+        let mut tol = Vec::with_capacity(lanes);
+        let mut kernel = LaneKernel {
+            beta_idx: Vec::with_capacity(lanes * n),
+            betas: Vec::new(),
+            beta_off: Vec::with_capacity(lanes + 1),
+            peaks: Vec::with_capacity(lanes * n),
+            max_distinct: 0,
+        };
+        kernel.beta_off.push(0);
+        for sys in systems {
+            if !sys.utilization_fn().is_linear() {
+                return None;
+            }
+            let lane_base = kernel.betas.len();
+            for cp in sys.cps() {
+                let (dm0, dalpha) = cp.demand().exp_coeffs()?;
+                let (l0, beta) = cp.throughput().exp_coeffs()?;
+                m0.push(dm0);
+                alpha.push(dalpha);
+                lambda0.push(l0);
+                v.push(cp.profitability());
+                kernel.peaks.push(cp.throughput().peak());
+                // Same dedup as the scalar kernel: bitwise, first wins.
+                let lane_betas = &kernel.betas[lane_base..];
+                let slot = lane_betas
+                    .iter()
+                    .position(|b| b.to_bits() == beta.to_bits())
+                    .unwrap_or_else(|| {
+                        kernel.betas.push(beta);
+                        kernel.betas.len() - 1 - lane_base
+                    });
+                kernel.beta_idx.push(slot);
+            }
+            kernel.beta_off.push(kernel.betas.len());
+            kernel.max_distinct = kernel.max_distinct.max(kernel.betas.len() - lane_base);
+            mu.push(sys.mu());
+            tol.push(sys.tolerance());
+        }
+        Some(LaneSystem { lanes, n, m0, alpha, lambda0, v, mu, tol, kernel })
+    }
+
+    /// Number of lanes K.
+    pub fn lanes(&self) -> usize {
+        self.lanes
+    }
+
+    /// Providers per lane.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Widest per-lane distinct-`β` table — size one shared `exp` scratch
+    /// to this and every lane fits.
+    pub fn max_distinct_betas(&self) -> usize {
+        self.kernel.max_distinct
+    }
+
+    /// Capacity of one lane.
+    pub fn mu_of(&self, lane: usize) -> f64 {
+        self.mu[lane]
+    }
+
+    /// Profitability `v_j` of provider `j` in `lane`.
+    pub fn profitability(&self, lane: usize, j: usize) -> f64 {
+        self.v[lane * self.n + j]
+    }
+
+    #[inline]
+    fn lane_betas(&self, lane: usize) -> &[f64] {
+        &self.kernel.betas[self.kernel.beta_off[lane]..self.kernel.beta_off[lane + 1]]
+    }
+
+    #[inline]
+    fn field(&self, xs: &[f64], lane: usize, j: usize) -> f64 {
+        xs[lane * self.n + j]
+    }
+
+    /// Population `m_j(t) = m₀ e^{-αt}` — the identical expression
+    /// `ExpDemand::m` computes.
+    #[inline]
+    pub fn population(&self, lane: usize, j: usize, t: f64) -> f64 {
+        self.field(&self.m0, lane, j) * (-self.field(&self.alpha, lane, j) * t).exp()
+    }
+
+    /// `dm/dt = -α m(t)` — the identical expression `ExpDemand::dm_dt`
+    /// computes (including the recomputation of `m(t)`).
+    #[inline]
+    pub fn dm_dt(&self, lane: usize, j: usize, t: f64) -> f64 {
+        -self.field(&self.alpha, lane, j) * self.population(lane, j, t)
+    }
+
+    /// `λ_j(φ) = λ₀ e^{-βφ}` — the identical expression the scalar kernel's
+    /// `lambda_of` computes.
+    #[inline]
+    pub fn lambda_of(&self, lane: usize, j: usize, phi: f64) -> f64 {
+        let beta = self.lane_betas(lane)[self.kernel.beta_idx[lane * self.n + j]];
+        self.field(&self.lambda0, lane, j) * (-beta * phi).exp()
+    }
+
+    /// `dλ/dφ = -β λ(φ)` — the identical expression `ExpThroughput`
+    /// computes.
+    #[inline]
+    pub fn dlambda_dphi(&self, lane: usize, j: usize, phi: f64) -> f64 {
+        let beta = self.lane_betas(lane)[self.kernel.beta_idx[lane * self.n + j]];
+        -beta * self.lambda_of(lane, j, phi)
+    }
+
+    /// Solves one lane's congestion fixed point (Definition 1) given that
+    /// lane's populations. Mirrors the scalar `System::solve_phi_with`
+    /// specialization for the exponential/linear setting line by line, so
+    /// the returned root carries identical bits. `exp` must hold at least
+    /// [`LaneSystem::max_distinct_betas`] slots.
+    pub fn solve_phi(&self, lane: usize, m: &[f64], exp: &mut [f64]) -> NumResult<f64> {
+        if m.len() != self.n {
+            return Err(NumError::DimensionMismatch { expected: self.n, actual: m.len() });
+        }
+        let base = lane * self.n;
+        let lambda0 = &self.lambda0[base..base + self.n];
+        let beta_idx = &self.kernel.beta_idx[base..base + self.n];
+        let peaks = &self.kernel.peaks[base..base + self.n];
+        let betas = self.lane_betas(lane);
+        let exp = &mut exp[..betas.len()];
+        // One pass merges the population domain checks with the peak-demand
+        // accumulation, exactly as the scalar kernel does.
+        let mut peak_demand = 0.0;
+        for (&mi, &pk) in m.iter().zip(peaks) {
+            if !(mi >= 0.0) || !mi.is_finite() {
+                return Err(NumError::Domain {
+                    what: "populations must be non-negative and finite",
+                    value: mi,
+                });
+            }
+            peak_demand += mi * pk;
+        }
+        if peak_demand == 0.0 {
+            return Ok(0.0);
+        }
+        let mu = self.mu[lane];
+        // Initial bracket guess: Φ(peak, µ) = peak/µ on the linear family.
+        let guess = peak_demand / mu;
+        let step = if guess.is_finite() && guess > 0.0 { guess } else { 1.0 };
+        // g(0) in closed form: Θ(0, µ) − peak_demand, with Θ(0, µ) written
+        // as `0.0 * µ` so the bits match the scalar `theta_inv(0.0)`.
+        let g0 = 0.0 * mu - peak_demand;
+        let mut g = |phi: f64| {
+            for (e, &b) in exp.iter_mut().zip(betas) {
+                *e = (-b * phi).exp();
+            }
+            let mut demand = 0.0;
+            for j in 0..m.len() {
+                demand += m[j] * (lambda0[j] * exp[beta_idx[j]]);
+            }
+            phi * mu - demand
+        };
+        Ok(solve_increasing_seeded(&mut g, 0.0, g0, step, self.tol[lane])?.x)
+    }
+
+    /// The gap slope `dg/dφ = µ − Σ_j m_j dλ_j/dφ` of one lane — the
+    /// scalar `dgap_dphi_with` on the lane's table (fills `exp` at `phi`,
+    /// accumulates in provider order).
+    pub fn dgap_dphi(&self, lane: usize, phi: f64, m: &[f64], exp: &mut [f64]) -> f64 {
+        let base = lane * self.n;
+        let lambda0 = &self.lambda0[base..base + self.n];
+        let beta_idx = &self.kernel.beta_idx[base..base + self.n];
+        let betas = self.lane_betas(lane);
+        let exp = &mut exp[..betas.len()];
+        for (e, &b) in exp.iter_mut().zip(betas) {
+            *e = (-b * phi).exp();
+        }
+        let mut demand_slope = 0.0;
+        for j in 0..m.len() {
+            let dl = -betas[beta_idx[j]] * (lambda0[j] * exp[beta_idx[j]]);
+            demand_slope += m[j] * dl;
+        }
+        self.mu[lane] - demand_slope
+    }
+
+    /// Assembles one lane's converged state — `λ_j` and `θ_j = m_j λ_j`
+    /// per provider plus the gap slope — exactly as the scalar
+    /// `state_at_phi_into` does (one exp fill shared by all three).
+    /// Returns `dg/dφ`.
+    pub fn state_into(
+        &self,
+        lane: usize,
+        phi: f64,
+        m: &[f64],
+        exp: &mut [f64],
+        lambda_out: &mut [f64],
+        theta_out: &mut [f64],
+    ) -> f64 {
+        let base = lane * self.n;
+        let lambda0 = &self.lambda0[base..base + self.n];
+        let beta_idx = &self.kernel.beta_idx[base..base + self.n];
+        let betas = self.lane_betas(lane);
+        let exp = &mut exp[..betas.len()];
+        for (e, &b) in exp.iter_mut().zip(betas) {
+            *e = (-b * phi).exp();
+        }
+        for j in 0..self.n {
+            lambda_out[j] = lambda0[j] * exp[beta_idx[j]];
+        }
+        for j in 0..self.n {
+            theta_out[j] = m[j] * lambda_out[j];
+        }
+        let mut demand_slope = 0.0;
+        for j in 0..m.len() {
+            let dl = -betas[beta_idx[j]] * (lambda0[j] * exp[beta_idx[j]]);
+            demand_slope += m[j] * dl;
+        }
+        self.mu[lane] - demand_slope
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::aggregation::{build_system, ExpCpSpec};
+    use crate::cp::ContentProvider;
+    use crate::demand::LinearDemand;
+    use crate::throughput::ExpThroughput;
+    use crate::utilization::LinearUtilization;
+
+    fn sys(mu: f64, seedish: f64) -> System {
+        let specs = [
+            ExpCpSpec::unit(1.0 + seedish, 2.0, 1.0),
+            ExpCpSpec::unit(3.0, 2.0, 0.5),
+            ExpCpSpec::unit(5.0, 4.0 + seedish, 1.0),
+        ];
+        build_system(&specs, mu).unwrap()
+    }
+
+    #[test]
+    fn packs_and_solves_bit_identically() {
+        let systems = [sys(1.0, 0.0), sys(1.4, 0.25), sys(0.8, 1.5)];
+        let refs: Vec<&System> = systems.iter().collect();
+        let lane = LaneSystem::from_systems(&refs).expect("exp/linear systems are eligible");
+        assert_eq!(lane.lanes(), 3);
+        assert_eq!(lane.n(), 3);
+        let mut exp = vec![0.0; lane.max_distinct_betas()];
+        for (l, s) in systems.iter().enumerate() {
+            let t = [0.3, 0.5, 0.1];
+            let m: Vec<f64> = (0..3).map(|j| s.cp(j).population(t[j])).collect();
+            let mut scratch = s.make_scratch();
+            let scalar_phi = s.solve_phi_with(&m, &mut scratch).unwrap();
+            let lane_phi = lane.solve_phi(l, &m, &mut exp).unwrap();
+            assert_eq!(lane_phi.to_bits(), scalar_phi.to_bits(), "lane {l} phi drifted");
+            // Populations, throughputs and slopes match bitwise too.
+            for j in 0..3 {
+                assert_eq!(
+                    lane.population(l, j, t[j]).to_bits(),
+                    s.cp(j).population(t[j]).to_bits()
+                );
+                assert_eq!(
+                    lane.lambda_of(l, j, scalar_phi).to_bits(),
+                    s.lambda_of(j, scalar_phi).to_bits()
+                );
+            }
+            assert_eq!(
+                lane.dgap_dphi(l, scalar_phi, &m, &mut exp).to_bits(),
+                s.dgap_dphi_with(scalar_phi, &m, &mut scratch).to_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn beta_dedup_matches_scalar_kernel() {
+        // Two providers share β = 2.0: the lane table must hold 2 distinct
+        // betas for that lane, in first-appearance order.
+        let systems = [sys(1.0, 0.0)];
+        let refs: Vec<&System> = systems.iter().collect();
+        let lane = LaneSystem::from_systems(&refs).unwrap();
+        assert_eq!(lane.max_distinct_betas(), 2);
+    }
+
+    #[test]
+    fn declines_mixed_shapes_and_families() {
+        let a = sys(1.0, 0.0);
+        let small = build_system(&[ExpCpSpec::unit(2.0, 2.0, 1.0)], 1.0).unwrap();
+        assert!(LaneSystem::from_systems(&[&a, &small]).is_none(), "mixed n must decline");
+        assert!(LaneSystem::from_systems(&[]).is_none(), "empty batch must decline");
+        let generic = System::new(
+            vec![ContentProvider::builder("lin")
+                .demand(LinearDemand::new(1.0, 2.0).unwrap())
+                .throughput(ExpThroughput::new(1.0, 2.0))
+                .profitability(1.0)
+                .build()],
+            1.0,
+            LinearUtilization,
+        )
+        .unwrap();
+        assert!(
+            LaneSystem::from_systems(&[&generic]).is_none(),
+            "non-exponential demand must decline"
+        );
+    }
+
+    #[test]
+    fn zero_demand_lane_is_phi_zero() {
+        let systems = [sys(1.0, 0.0)];
+        let refs: Vec<&System> = systems.iter().collect();
+        let lane = LaneSystem::from_systems(&refs).unwrap();
+        let mut exp = vec![0.0; lane.max_distinct_betas()];
+        assert_eq!(lane.solve_phi(0, &[0.0, 0.0, 0.0], &mut exp).unwrap(), 0.0);
+        assert!(lane.solve_phi(0, &[f64::NAN, 0.0, 0.0], &mut exp).is_err());
+    }
+}

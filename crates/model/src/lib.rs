@@ -59,6 +59,7 @@ pub mod cp;
 pub mod demand;
 pub mod effects;
 pub mod elasticity;
+pub mod lane;
 pub mod pricing;
 pub mod system;
 pub mod throughput;

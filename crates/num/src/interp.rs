@@ -25,18 +25,22 @@ impl LinearInterp {
     }
 
     /// Evaluates with constant extrapolation beyond the knot range.
-    pub fn eval(&self, x: f64) -> f64 {
+    ///
+    /// Non-finite queries are rejected with [`NumError::NonFinite`] (a NaN
+    /// would otherwise defeat the ordered binary search).
+    pub fn eval(&self, x: f64) -> NumResult<f64> {
+        validate_query(x)?;
         let n = self.xs.len();
         if x <= self.xs[0] {
-            return self.ys[0];
+            return Ok(self.ys[0]);
         }
         if x >= self.xs[n - 1] {
-            return self.ys[n - 1];
+            return Ok(self.ys[n - 1]);
         }
         let k = upper_index(&self.xs, x);
         let (x0, x1) = (self.xs[k - 1], self.xs[k]);
         let (y0, y1) = (self.ys[k - 1], self.ys[k]);
-        y0 + (y1 - y0) * (x - x0) / (x1 - x0)
+        Ok(y0 + (y1 - y0) * (x - x0) / (x1 - x0))
     }
 
     /// Knot range `[min, max]`.
@@ -93,13 +97,16 @@ impl MonotoneCubic {
     }
 
     /// Evaluates with constant extrapolation beyond the knot range.
-    pub fn eval(&self, x: f64) -> f64 {
+    ///
+    /// Non-finite queries are rejected with [`NumError::NonFinite`].
+    pub fn eval(&self, x: f64) -> NumResult<f64> {
+        validate_query(x)?;
         let n = self.xs.len();
         if x <= self.xs[0] {
-            return self.ys[0];
+            return Ok(self.ys[0]);
         }
         if x >= self.xs[n - 1] {
-            return self.ys[n - 1];
+            return Ok(self.ys[n - 1]);
         }
         let k = upper_index(&self.xs, x) - 1;
         let h = self.xs[k + 1] - self.xs[k];
@@ -109,20 +116,23 @@ impl MonotoneCubic {
         let h10 = t3 - 2.0 * t2 + t;
         let h01 = -2.0 * t3 + 3.0 * t2;
         let h11 = t3 - t2;
-        h00 * self.ys[k]
+        Ok(h00 * self.ys[k]
             + h10 * h * self.tangents[k]
             + h01 * self.ys[k + 1]
-            + h11 * h * self.tangents[k + 1]
+            + h11 * h * self.tangents[k + 1])
     }
 
     /// Derivative of the interpolant (C⁰).
-    pub fn derivative(&self, x: f64) -> f64 {
+    ///
+    /// Non-finite queries are rejected with [`NumError::NonFinite`].
+    pub fn derivative(&self, x: f64) -> NumResult<f64> {
+        validate_query(x)?;
         let n = self.xs.len();
         if x <= self.xs[0] {
-            return self.tangents[0];
+            return Ok(self.tangents[0]);
         }
         if x >= self.xs[n - 1] {
-            return self.tangents[n - 1];
+            return Ok(self.tangents[n - 1]);
         }
         let k = upper_index(&self.xs, x) - 1;
         let h = self.xs[k + 1] - self.xs[k];
@@ -132,11 +142,20 @@ impl MonotoneCubic {
         let dh10 = 3.0 * t2 - 4.0 * t + 1.0;
         let dh01 = (-6.0 * t2 + 6.0 * t) / h;
         let dh11 = 3.0 * t2 - 2.0 * t;
-        dh00 * self.ys[k]
+        Ok(dh00 * self.ys[k]
             + dh10 * self.tangents[k]
             + dh01 * self.ys[k + 1]
-            + dh11 * self.tangents[k + 1]
+            + dh11 * self.tangents[k + 1])
     }
+}
+
+/// Rejects NaN/infinite query points before they reach `upper_index`,
+/// whose ordered binary search would panic on an incomparable value.
+fn validate_query(x: f64) -> NumResult<()> {
+    if !x.is_finite() {
+        return Err(NumError::NonFinite { what: "interpolation query", at: x });
+    }
+    Ok(())
 }
 
 fn validate_knots(xs: &[f64], ys: &[f64]) -> NumResult<()> {
@@ -175,16 +194,16 @@ mod tests {
     #[test]
     fn linear_exact_on_line() {
         let li = LinearInterp::new(vec![0.0, 1.0, 2.0], vec![1.0, 3.0, 5.0]).unwrap();
-        assert_eq!(li.eval(0.5), 2.0);
-        assert_eq!(li.eval(1.5), 4.0);
-        assert_eq!(li.eval(1.0), 3.0);
+        assert_eq!(li.eval(0.5).unwrap(), 2.0);
+        assert_eq!(li.eval(1.5).unwrap(), 4.0);
+        assert_eq!(li.eval(1.0).unwrap(), 3.0);
     }
 
     #[test]
     fn linear_constant_extrapolation() {
         let li = LinearInterp::new(vec![0.0, 1.0], vec![2.0, 4.0]).unwrap();
-        assert_eq!(li.eval(-5.0), 2.0);
-        assert_eq!(li.eval(9.0), 4.0);
+        assert_eq!(li.eval(-5.0).unwrap(), 2.0);
+        assert_eq!(li.eval(9.0).unwrap(), 4.0);
         assert_eq!(li.range(), (0.0, 1.0));
     }
 
@@ -202,7 +221,7 @@ mod tests {
         let ys = vec![1.0, 0.6, 0.35, 0.1];
         let mc = MonotoneCubic::new(xs.clone(), ys.clone()).unwrap();
         for (x, y) in xs.iter().zip(&ys) {
-            assert!((mc.eval(*x) - y).abs() < 1e-14);
+            assert!((mc.eval(*x).unwrap() - y).abs() < 1e-14);
         }
     }
 
@@ -213,10 +232,10 @@ mod tests {
         let xs: Vec<f64> = (0..=10).map(|i| i as f64 * 0.3).collect();
         let ys: Vec<f64> = xs.iter().map(|x| (-2.0 * x).exp()).collect();
         let mc = MonotoneCubic::new(xs, ys).unwrap();
-        let mut prev = mc.eval(0.0);
+        let mut prev = mc.eval(0.0).unwrap();
         let mut x = 0.01;
         while x < 3.0 {
-            let y = mc.eval(x);
+            let y = mc.eval(x).unwrap();
             assert!(y <= prev + 1e-12, "not monotone at {x}: {y} > {prev}");
             prev = y;
             x += 0.01;
@@ -232,7 +251,7 @@ mod tests {
         // 1e-3 of absolute error is the expected accuracy class.
         for i in 0..100 {
             let x = i as f64 * 0.029;
-            assert!((mc.eval(x) - (-x).exp()).abs() < 3e-3);
+            assert!((mc.eval(x).unwrap() - (-x).exp()).abs() < 3e-3);
         }
     }
 
@@ -243,13 +262,37 @@ mod tests {
         let mc = MonotoneCubic::new(xs, ys).unwrap();
         for i in 1..19 {
             let x = i as f64 * 0.1;
-            assert!(mc.derivative(x) <= 1e-12, "derivative positive at {x}");
+            assert!(mc.derivative(x).unwrap() <= 1e-12, "derivative positive at {x}");
         }
+    }
+
+    #[test]
+    fn non_finite_query_is_an_error_not_a_panic() {
+        // Regression: a NaN query used to reach `upper_index` and panic in
+        // `partial_cmp(..).unwrap()`; it must surface as `NonFinite`.
+        let li = LinearInterp::new(vec![0.0, 1.0, 2.0], vec![1.0, 3.0, 5.0]).unwrap();
+        let mc = MonotoneCubic::new(vec![0.0, 1.0, 2.0], vec![1.0, 0.5, 0.2]).unwrap();
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            assert!(matches!(
+                li.eval(bad),
+                Err(NumError::NonFinite { what: "interpolation query", .. })
+            ));
+            assert!(matches!(
+                mc.eval(bad),
+                Err(NumError::NonFinite { what: "interpolation query", .. })
+            ));
+            assert!(matches!(
+                mc.derivative(bad),
+                Err(NumError::NonFinite { what: "interpolation query", .. })
+            ));
+        }
+        // Finite queries are untouched by the screen.
+        assert_eq!(li.eval(0.5).unwrap(), 2.0);
     }
 
     #[test]
     fn monotone_cubic_flat_segment() {
         let mc = MonotoneCubic::new(vec![0.0, 1.0, 2.0], vec![1.0, 1.0, 0.5]).unwrap();
-        assert!((mc.eval(0.5) - 1.0).abs() < 1e-14);
+        assert!((mc.eval(0.5).unwrap() - 1.0).abs() < 1e-14);
     }
 }

@@ -103,14 +103,21 @@ impl Running {
 }
 
 /// Arithmetic mean of a slice.
+///
+/// Non-finite data is rejected with [`NumError::NonFinite`] so farm-scale
+/// reports fail loudly instead of propagating NaN aggregates.
 pub fn mean(xs: &[f64]) -> NumResult<f64> {
     if xs.is_empty() {
         return Err(NumError::Empty { what: "mean" });
     }
+    screen_finite(xs, "mean")?;
     Ok(xs.iter().sum::<f64>() / xs.len() as f64)
 }
 
 /// Linear-interpolated quantile `q ∈ [0, 1]` of a slice (copies + sorts).
+///
+/// Non-finite data is rejected with [`NumError::NonFinite`] (a NaN would
+/// otherwise panic the comparison sort).
 pub fn quantile(xs: &[f64], q: f64) -> NumResult<f64> {
     if xs.is_empty() {
         return Err(NumError::Empty { what: "quantile" });
@@ -118,8 +125,9 @@ pub fn quantile(xs: &[f64], q: f64) -> NumResult<f64> {
     if !(0.0..=1.0).contains(&q) {
         return Err(NumError::Domain { what: "quantile must lie in [0, 1]", value: q });
     }
+    screen_finite(xs, "quantile")?;
     let mut v = xs.to_vec();
-    v.sort_by(|a, b| a.partial_cmp(b).expect("quantile: NaN in data"));
+    v.sort_by(|a, b| a.partial_cmp(b).expect("screened above"));
     let pos = q * (v.len() - 1) as f64;
     let lo = pos.floor() as usize;
     let hi = pos.ceil() as usize;
@@ -127,6 +135,14 @@ pub fn quantile(xs: &[f64], q: f64) -> NumResult<f64> {
         Ok(v[lo])
     } else {
         Ok(v[lo] + (v[hi] - v[lo]) * (pos - lo as f64))
+    }
+}
+
+/// Returns the first non-finite element of `xs` as a [`NumError::NonFinite`].
+fn screen_finite(xs: &[f64], what: &'static str) -> NumResult<()> {
+    match xs.iter().find(|v| !v.is_finite()) {
+        Some(&bad) => Err(NumError::NonFinite { what, at: bad }),
+        None => Ok(()),
     }
 }
 
@@ -207,6 +223,25 @@ mod tests {
     fn mean_and_errors() {
         assert_eq!(mean(&[1.0, 2.0, 3.0]).unwrap(), 2.0);
         assert!(mean(&[]).is_err());
+    }
+
+    #[test]
+    fn nan_data_is_an_error_not_a_panic() {
+        // Regression: `quantile` used to panic via the sort comparator on
+        // NaN data, and `mean` silently returned NaN; both must surface
+        // `NonFinite` instead.
+        let with_nan = [1.0, f64::NAN, 3.0];
+        assert!(matches!(
+            quantile(&with_nan, 0.5),
+            Err(NumError::NonFinite { what: "quantile", .. })
+        ));
+        assert!(matches!(mean(&with_nan), Err(NumError::NonFinite { what: "mean", .. })));
+        let with_inf = [1.0, f64::INFINITY];
+        assert!(quantile(&with_inf, 0.5).is_err());
+        assert!(mean(&with_inf).is_err());
+        // Clean data is unaffected.
+        assert_eq!(quantile(&[2.0, 1.0], 1.0).unwrap(), 2.0);
+        assert_eq!(mean(&[2.0, 4.0]).unwrap(), 3.0);
     }
 
     #[test]

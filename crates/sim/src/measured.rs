@@ -90,7 +90,9 @@ impl MeasuredThroughput {
 impl ThroughputFn for MeasuredThroughput {
     fn lambda(&self, phi: f64) -> f64 {
         if phi <= self.phi_max {
-            self.curve.eval(phi)
+            // The trait returns a bare f64; a non-finite query propagates
+            // as NaN, matching the analytic `ThroughputFn` families.
+            self.curve.eval(phi).unwrap_or(f64::NAN)
         } else {
             self.lambda_end * (-self.tail_rate * (phi - self.phi_max)).exp()
         }
@@ -100,7 +102,7 @@ impl ThroughputFn for MeasuredThroughput {
             // The monotone cubic derivative can be exactly zero on flat
             // segments; nudge it negative so Lemma 1's strict monotonicity
             // survives.
-            let d = self.curve.derivative(phi);
+            let d = self.curve.derivative(phi).unwrap_or(f64::NAN);
             if d < -1e-12 {
                 d
             } else {

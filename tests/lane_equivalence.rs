@@ -1,0 +1,141 @@
+//! Lane-engine equivalence tier: the SoA lane engine against the scalar
+//! reference, on randomized ensembles.
+//!
+//! Three contracts (see `tests/README.md`, "The lane tier"):
+//!
+//! 1. **Bit-identity vs the same-engine scalar solver.** Per lane, a
+//!    `LaneSolver` solve is bit-for-bit the scalar
+//!    `NashSolver::default().with_threshold_br(true)` solve of that
+//!    lane's game from the zero profile — same probe sequence through the
+//!    shared best-response engine bodies, same φ-solves, same population
+//!    cache bits.
+//! 2. **Documented tolerance vs the grid-scan default.** Against the
+//!    default `BatchSolver` (grid-scan best responses, cold) the lane
+//!    engine agrees to the threshold-vs-grid bound of 1e-7 — the same
+//!    bound the scalar threshold solver is held to.
+//! 3. **Structural determinism.** Lane-mode batch results are
+//!    bit-identical across thread counts AND lane-block sizes: lane
+//!    assignment is a pure function of the item list and `K`, and lanes
+//!    never read each other's state.
+
+use proptest::prelude::*;
+use subcomp::exp::scenarios::{farm_game, random_specs};
+use subcomp::exp::sweep::BatchSolver;
+use subcomp::game::game::SubsidyGame;
+use subcomp::game::lane::{LaneGame, LaneSolver, LaneWorkspace};
+use subcomp::game::nash::{NashSolver, WarmStart};
+use subcomp::game::structure::SplitMix64;
+use subcomp::game::workspace::SolveWorkspace;
+use subcomp::model::aggregation::build_system;
+
+/// A random same-shape ensemble: `lanes` games of `n` providers each,
+/// with independent specs, capacity, price and cap per lane.
+fn ensemble(n: usize, lanes: usize, seed: u64) -> Vec<SubsidyGame> {
+    let mut rng = SplitMix64::new(seed);
+    (0..lanes)
+        .map(|_| {
+            let specs = random_specs(n, rng.next_u64());
+            let mu = 0.4 + 1.6 * rng.next_f64();
+            let p = 0.2 + 1.0 * rng.next_f64();
+            let q = 0.1 + 0.9 * rng.next_f64();
+            SubsidyGame::new(build_system(&specs, mu).unwrap(), p, q).unwrap()
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn lane_solve_is_bit_identical_to_scalar_threshold_solver(
+        n in 2usize..=5,
+        lanes in 2usize..=6,
+        seed in 0u64..(1u64 << 48),
+    ) {
+        let games = ensemble(n, lanes, seed);
+        let refs: Vec<&SubsidyGame> = games.iter().collect();
+        let lane_game = LaneGame::from_games(&refs).expect("exp-family games are lane-eligible");
+        let mut lw = LaneWorkspace::new();
+        LaneSolver::default().solve_into(&lane_game, &mut lw);
+
+        let scalar = NashSolver::default().with_threshold_br(true);
+        let mut ws = SolveWorkspace::new();
+        for (l, game) in games.iter().enumerate() {
+            match (scalar.solve_into(game, WarmStart::Zero, &mut ws), lw.result_of(l)) {
+                (Ok(stats), Ok(lane_stats)) => {
+                    prop_assert_eq!(lane_stats.iterations, stats.iterations);
+                    prop_assert_eq!(lane_stats.residual.to_bits(), stats.residual.to_bits());
+                    for (a, b) in lw.subsidies_of(l, n).iter().zip(ws.subsidies()) {
+                        prop_assert_eq!(a.to_bits(), b.to_bits());
+                    }
+                    for (a, b) in lw.utilities_of(l, n).iter().zip(ws.utilities()) {
+                        prop_assert_eq!(a.to_bits(), b.to_bits());
+                    }
+                    prop_assert_eq!(lw.phi_of(l).to_bits(), ws.state().phi.to_bits());
+                }
+                // A lane that fails must fail exactly like its scalar twin.
+                (Err(scalar_err), Err(lane_err)) => prop_assert_eq!(scalar_err, lane_err),
+                (scalar_out, lane_out) => prop_assert!(
+                    false,
+                    "lane {} outcome diverged: scalar {:?} vs lane {:?}",
+                    l, scalar_out, lane_out
+                ),
+            }
+        }
+    }
+
+    #[test]
+    fn lane_batch_matches_grid_scan_batch_to_documented_tolerance(
+        n in 2usize..=5,
+        lanes in 2usize..=6,
+        seed in 0u64..(1u64 << 48),
+    ) {
+        let games = ensemble(n, lanes, seed);
+        let lane_results = BatchSolver::default().with_lanes(4).solve_games(&games);
+        // Cold scalar grid-scan solves: the historical reference engine.
+        let grid_results = BatchSolver::default().cold().solve_games(&games);
+        for (l, (lane, grid)) in lane_results.iter().zip(&grid_results).enumerate() {
+            let (lane, grid) = (lane.as_ref().unwrap(), grid.as_ref().unwrap());
+            prop_assert!(lane.converged && grid.converged);
+            for i in 0..n {
+                prop_assert!(
+                    (lane.subsidies[i] - grid.subsidies[i]).abs() < 1e-7,
+                    "lane {} CP {}: threshold {} vs grid {}",
+                    l, i, lane.subsidies[i], grid.subsidies[i]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn lane_mode_is_bit_identical_across_threads_and_lane_blocks(
+        count in 6usize..=24,
+        seed in 0u64..(1u64 << 32),
+    ) {
+        // A mixed-shape ensemble (the farm definition: n varies per game),
+        // so lane grouping, short trailing blocks and the scalar-fallback
+        // scatter path are all exercised.
+        let indices: Vec<u64> = (0..count as u64).collect();
+        let solve = |threads: usize, k: usize| {
+            BatchSolver::default().with_threads(threads).with_lanes(k).run(
+                &indices,
+                |&i| farm_game(seed, i, 2, 6),
+                |_, ws, stats| (ws.subsidies().to_vec(), stats.iterations),
+            )
+        };
+        let reference = solve(1, 4);
+        for (threads, k) in [(1, 1), (1, 7), (1, 64), (4, 4), (8, 1), (3, 64)] {
+            let other = solve(threads, k);
+            for (a, b) in reference.iter().zip(&other) {
+                let (a, b) = (a.as_ref().unwrap(), b.as_ref().unwrap());
+                prop_assert!(a.1 == b.1, "iteration count drifted at threads={} lanes={}", threads, k);
+                for (x, y) in a.0.iter().zip(&b.0) {
+                    prop_assert!(
+                        x.to_bits() == y.to_bits(),
+                        "subsidy bits drifted at threads={} lanes={}", threads, k
+                    );
+                }
+            }
+        }
+    }
+}
