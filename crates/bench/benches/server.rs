@@ -1,0 +1,131 @@
+//! Equilibrium-server latency suite: per-request p50/p99 and sustained
+//! throughput for the resident service, by answer path.
+//!
+//! `Bencher::iter` measures *mean* cost per iteration, which is the wrong
+//! statistic for a server: the question is the latency *distribution* a
+//! client sees, and the cache-hit fast path only matters if its tail stays
+//! an order of magnitude under a solve. So this suite times individual
+//! [`EquilibriumServer::serve`] calls itself and publishes computed
+//! quantiles through [`criterion::record_metric`], landing in the same
+//! `SUBCOMP_BENCH_JSON` trajectory file as every timed id.
+//!
+//! Four request mixes over the paper's §5 market, worst to best case:
+//!
+//! * `server/cold/*` — warm state and cache wiped before every read: each
+//!   request pays a zero-seeded Nash solve (the batch-engine baseline).
+//! * `server/warm_pool/*` — cache wiped before every read, slot iterates
+//!   kept: each request pays a warm re-solve from the previous iterate.
+//! * `server/cache_hit/*` — the fingerprint cache holds the answer: each
+//!   request pays one fingerprint pass and an `Arc` clone, no solve.
+//! * `server/mixed/*` — the deterministic load-generator stream (80%
+//!   reads over 8 hot keys, Zipf skew): the end-to-end client view.
+//!
+//! Each mix records `p50`, `p99` and `mean` per-request ns plus a
+//! `throughput` id: sustained wall-clock ns per request over the whole
+//! loop (requests/s = 1e9 / value), the inverse-throughput form that
+//! keeps the trajectory file in a single unit.
+
+use std::time::Instant;
+use subcomp_core::game::SubsidyGame;
+use subcomp_exp::scenarios::section5_system;
+use subcomp_exp::server::{generate, EquilibriumServer, LoadGenConfig, Request, Source};
+use subcomp_num::stats::{mean, quantile};
+
+use criterion::{criterion_group, criterion_main, record_metric, Criterion};
+
+fn quick() -> bool {
+    std::env::var("SUBCOMP_BENCH_QUICK").map(|v| v != "0" && !v.is_empty()).unwrap_or(false)
+}
+
+/// A fresh server over the §5 market (p = 0.6, q = 0.8) — the same
+/// operating point `serve_market` defaults to.
+fn section5_server() -> EquilibriumServer {
+    let game = SubsidyGame::new(section5_system(), 0.6, 0.8).expect("§5 market is valid");
+    EquilibriumServer::new(game, 2, 64)
+}
+
+/// Publishes the four ids for one mix: latency quantiles from the
+/// per-request samples, plus the sustained inverse throughput.
+fn publish(mix: &str, samples: &[f64], ns_per_req: f64) {
+    record_metric(&format!("server/{mix}/p50"), quantile(samples, 0.50).expect("samples"));
+    record_metric(&format!("server/{mix}/p99"), quantile(samples, 0.99).expect("samples"));
+    record_metric(&format!("server/{mix}/mean"), mean(samples).expect("samples"));
+    record_metric(&format!("server/{mix}/throughput"), ns_per_req);
+}
+
+/// Times `reads` equilibrium reads, resetting server state before each
+/// one via `reset` (untimed). Asserts every answer came from `expect` so
+/// a regression in the warm-start ladder fails the suite instead of
+/// silently shifting an id onto a different path.
+fn time_reads(
+    server: &mut EquilibriumServer,
+    reads: usize,
+    expect: Source,
+    mut reset: impl FnMut(&mut EquilibriumServer),
+) -> (Vec<f64>, f64) {
+    let mut samples = Vec::with_capacity(reads);
+    let mut wall_ns = 0.0;
+    for _ in 0..reads {
+        reset(server);
+        let t0 = Instant::now();
+        let (_, source) = server.equilibrium().expect("§5 equilibrium solves");
+        let dt = t0.elapsed().as_nanos() as f64;
+        assert_eq!(source, expect, "mix drifted off its answer path");
+        samples.push(dt);
+        wall_ns += dt;
+    }
+    let ns_per_req = wall_ns / reads as f64;
+    (samples, ns_per_req)
+}
+
+fn bench_cold(_c: &mut Criterion) {
+    let reads = if quick() { 40 } else { 600 };
+    let mut server = section5_server();
+    let (samples, wall) = time_reads(&mut server, reads, Source::Cold, |s| {
+        s.cool();
+        s.invalidate_cache();
+    });
+    publish("cold", &samples, wall);
+}
+
+fn bench_warm_pool(_c: &mut Criterion) {
+    let reads = if quick() { 60 } else { 1_500 };
+    let mut server = section5_server();
+    server.equilibrium().expect("priming solve"); // slot iterate now warm
+    let (samples, wall) = time_reads(&mut server, reads, Source::Warm, |s| s.invalidate_cache());
+    publish("warm_pool", &samples, wall);
+}
+
+fn bench_cache_hit(_c: &mut Criterion) {
+    let reads = if quick() { 2_000 } else { 50_000 };
+    let mut server = section5_server();
+    server.equilibrium().expect("priming solve"); // answer now cached
+    let (samples, wall) = time_reads(&mut server, reads, Source::CacheHit, |_| {});
+    publish("cache_hit", &samples, wall);
+}
+
+/// The load-generator stream end to end: updates, equilibrium reads and
+/// sensitivity reads over a skewed hot-key table. Only read latencies are
+/// summarized (updates are deferred writes, ~free by design), but the
+/// sustained throughput covers every request served.
+fn bench_mixed(_c: &mut Criterion) {
+    let requests = if quick() { 600 } else { 12_000 };
+    let warmup = requests / 10;
+    let mut server = section5_server();
+    let stream = generate(&LoadGenConfig { requests, ..LoadGenConfig::default() });
+    let mut samples = Vec::with_capacity(stream.len());
+    let t_all = Instant::now();
+    for (i, req) in stream.iter().enumerate() {
+        let t0 = Instant::now();
+        server.serve(*req).expect("load-generator requests are valid");
+        let dt = t0.elapsed().as_nanos() as f64;
+        if i >= warmup && !matches!(req, Request::Update { .. }) {
+            samples.push(dt);
+        }
+    }
+    let ns_per_req = t_all.elapsed().as_nanos() as f64 / stream.len() as f64;
+    publish("mixed", &samples, ns_per_req);
+}
+
+criterion_group!(benches, bench_cold, bench_warm_pool, bench_cache_hit, bench_mixed);
+criterion_main!(benches);

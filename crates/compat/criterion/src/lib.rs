@@ -43,6 +43,20 @@ fn quick_mode() -> bool {
     std::env::var("SUBCOMP_BENCH_QUICK").map(|v| v != "0" && !v.is_empty()).unwrap_or(false)
 }
 
+/// Records a computed metric under `name` (ns units), printing it like a
+/// timed benchmark and including it in the [`finalize`] JSON.
+///
+/// The timing loop in [`Bencher::iter`] can only measure *mean* cost per
+/// iteration; suites that need distribution statistics — the equilibrium
+/// server's p50/p99 request latencies — time individual operations
+/// themselves and publish the computed quantiles through this entry
+/// point, so they land in the same `SUBCOMP_BENCH_JSON` trajectory file
+/// as every timed id.
+pub fn record_metric(name: &str, ns: f64) {
+    println!("{name:<48} metric: {}", format_ns(ns));
+    RECORDED.lock().expect("bench registry poisoned").push((name.to_owned(), ns));
+}
+
 /// Writes the recorded medians as JSON if `SUBCOMP_BENCH_JSON` is set.
 /// Called automatically by [`criterion_main!`] after all groups finish;
 /// public so custom `main`s can opt in too.
@@ -486,6 +500,14 @@ mod tests {
         let recorded = RECORDED.lock().unwrap();
         let entry = recorded.iter().find(|(n, _)| n == "smoke");
         assert!(entry.is_some_and(|(_, median)| *median > 0.0));
+    }
+
+    #[test]
+    fn record_metric_lands_in_the_registry() {
+        record_metric("server/test/p50", 123.5);
+        let recorded = RECORDED.lock().unwrap();
+        let entry = recorded.iter().find(|(n, _)| n == "server/test/p50");
+        assert!(entry.is_some_and(|(_, ns)| *ns == 123.5));
     }
 
     #[test]

@@ -29,6 +29,9 @@
 //!   via the inverse Jacobian `Ψ = (∇_s̃ ũ)^{-1}`, generalized to
 //!   directional derivatives along any [`game::Axis`] (`∂s/∂µ`,
 //!   `∂s/∂v_i`) for predictor-corrector continuation;
+//! * [`snapshot`] — immutable, concurrent-reader-safe copies of solved
+//!   equilibria plus the tangent warm-start admission policy (the state
+//!   layer under the `exp` equilibrium server);
 //! * [`dynamics`] — discrete and continuous best-response dynamics
 //!   (off-equilibrium behaviour, §6);
 //! * [`revenue`] — ISP revenue under equilibrium response and Theorem 7's
@@ -74,6 +77,7 @@ pub mod policy;
 pub mod pricing;
 pub mod revenue;
 pub mod sensitivity;
+pub mod snapshot;
 pub mod structure;
 pub mod vi;
 pub mod welfare;
@@ -87,6 +91,7 @@ pub mod prelude {
     pub use crate::nash::{NashSolution, NashSolver, SolveStats, SweepMode, WarmStart};
     pub use crate::pricing::optimal_price;
     pub use crate::sensitivity::{ActiveSet, Sensitivity};
+    pub use crate::snapshot::{EqSnapshot, TangentPolicy};
     pub use crate::welfare::{welfare, WelfareBreakdown};
     pub use crate::workspace::SolveWorkspace;
 }

@@ -10,6 +10,12 @@
 //! corrector-sweep comparison. Prints the equilibrium series, a shape
 //! check (aggregate throughput must rise with capacity), and writes
 //! `results/mu_sweep.csv`.
+//!
+//! A degenerate equilibrium mid-ladder (a pinned provider with `u ≈ 0`,
+//! where `Sensitivity::directional` refuses to differentiate) does NOT
+//! abort the sweep: the continuation engine degrades that step to
+//! previous-iterate seeding, the affected row is marked in the `fallback`
+//! column, and the table and CSV stay complete.
 
 use subcomp_core::game::SubsidyGame;
 use subcomp_exp::report::{results_dir, sparkline, write_csv, Table};
@@ -38,6 +44,11 @@ fn main() {
         let pt = grid.point(0, c);
         pt.subsidies.iter().zip(pt.theta).map(|(s, th)| s * th).sum()
     });
+    // Where the tangent ladder degraded to previous-iterate seeding
+    // (derivative unavailable at the preceding equilibrium): 1 = fell
+    // back. All-zero on the paper's ladder; the column exists so a
+    // degenerate point can never silently skew the predictor comparison.
+    let fallback = col(&|c| tangent.point(0, c).tangent_fallback as u8 as f64);
 
     println!("mu sweep — §5 equilibrium vs ISP capacity (p = {p}, q = {q})");
     println!("  phi(mu):     {}", sparkline(&phi));
@@ -45,10 +56,20 @@ fn main() {
     println!("  revenue(mu): {}", sparkline(&revenue));
     println!("  welfare(mu): {}", sparkline(&welfare));
     println!();
-    let mut t = Table::new(&["mu", "phi", "theta", "revenue", "welfare", "outlay", "sweeps"]);
+    let mut t =
+        Table::new(&["mu", "phi", "theta", "revenue", "welfare", "outlay", "sweeps", "fallback"]);
     for (c, &mu) in mus.iter().enumerate() {
         let pt = grid.point(0, c);
-        t.row(&[mu, pt.phi, theta[c], pt.revenue, pt.welfare, outlay[c], pt.iterations as f64]);
+        t.row(&[
+            mu,
+            pt.phi,
+            theta[c],
+            pt.revenue,
+            pt.welfare,
+            outlay[c],
+            pt.iterations as f64,
+            fallback[c],
+        ]);
     }
     println!("{}", t.render());
 
@@ -66,9 +87,11 @@ fn main() {
 
     let report = |label: &str, g: &EqGrid| {
         println!(
-            "  {label:<22} cold solves: {:>2}   total corrector sweeps: {:>4}",
+            "  {label:<22} cold solves: {:>2}   total corrector sweeps: {:>4}   \
+             tangent fallbacks: {:>2}",
             g.cold_solves(),
-            g.total_sweeps()
+            g.total_sweeps(),
+            g.tangent_fallbacks()
         );
     };
     println!("continuation engines over the same {}-point ladder:", mus.len());
@@ -85,6 +108,7 @@ fn main() {
             ("revenue", &revenue),
             ("welfare", &welfare),
             ("outlay", &outlay),
+            ("fallback", &fallback),
         ],
     )
     .expect("write csv");

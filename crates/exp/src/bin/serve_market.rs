@@ -1,0 +1,302 @@
+//! `serve_market` — the equilibrium server under deterministic load.
+//!
+//! Stands up a resident [`EquilibriumServer`] over the paper's §5 market
+//! and drives it with the stream-split load generator: mixed read/update
+//! traffic over a hot-key table with Zipf-like skew. The report shows how
+//! the request mix decomposed into answer sources (cache hit / tangent /
+//! warm / cold), the cache counters, and a bit-level response checksum —
+//! everything above the `timing` line is deterministic for a given
+//! configuration, so the output diffs cleanly across machines.
+//!
+//! Usage:
+//!   `cargo run --release -p subcomp-exp --bin serve_market [-- OPTIONS]`
+//!
+//! Options (all with defaults):
+//!   `--requests N`    requests to serve (default 2000)
+//!   `--keys K`        hot operating points (default 8)
+//!   `--skew Z`        Zipf-like skew over the keys (default 1.0)
+//!   `--read-frac F`   fraction of read steps (default 0.8)
+//!   `--sens-frac F`   fraction of reads asking for a sensitivity (default 0.1)
+//!   `--pool P`        warm workspaces (default 2)
+//!   `--cache C`       cache capacity in equilibria (default 64)
+//!   `--seed S`        master seed (default 7)
+//!   `--warmup W`      requests excluded from the latency window (default 100)
+//!
+//! Latency percentiles come from `num::stats::quantile`, which reports an
+//! explicit error on an empty window (e.g. `--warmup` ≥ `--requests`);
+//! the report prints `n/a` for that window instead of dying.
+//!
+//! Bad arguments exit with a one-line usage error on stderr; any request
+//! the server rejects exits 1 after the report.
+//!
+//! [`EquilibriumServer`]: subcomp_exp::server::EquilibriumServer
+
+use std::time::Instant;
+use subcomp_core::game::SubsidyGame;
+use subcomp_exp::scenarios::section5_system;
+use subcomp_exp::server::{
+    generate, summarize_latencies, EquilibriumServer, LoadGenConfig, Reply, Source,
+};
+
+#[derive(Debug)]
+struct Args {
+    requests: usize,
+    keys: usize,
+    skew: f64,
+    read_frac: f64,
+    sens_frac: f64,
+    pool: usize,
+    cache: usize,
+    seed: u64,
+    warmup: usize,
+}
+
+/// Parses and validates the flag list; every rejection is a one-line
+/// message for the usage-error path, nothing panics.
+fn parse_args_from<I: IntoIterator<Item = String>>(argv: I) -> Result<Args, String> {
+    let mut args = Args {
+        requests: 2000,
+        keys: 8,
+        skew: 1.0,
+        read_frac: 0.8,
+        sens_frac: 0.1,
+        pool: 2,
+        cache: 64,
+        seed: 7,
+        warmup: 100,
+    };
+    let mut it = argv.into_iter();
+    while let Some(flag) = it.next() {
+        let mut take = |what: &str| -> Result<String, String> {
+            it.next().ok_or_else(|| format!("{what} requires a value"))
+        };
+        let positive = |what: &str, raw: String| -> Result<usize, String> {
+            match raw.parse::<usize>() {
+                Ok(0) => Err(format!("{what} must be at least 1 (got 0)")),
+                Ok(v) => Ok(v),
+                Err(_) => Err(format!("{what}: expected a positive integer, got {raw:?}")),
+            }
+        };
+        let fraction = |what: &str, raw: String| -> Result<f64, String> {
+            match raw.parse::<f64>() {
+                Ok(v) if (0.0..=1.0).contains(&v) => Ok(v),
+                Ok(v) => Err(format!("{what} must lie in [0, 1] (got {v})")),
+                Err(_) => Err(format!("{what}: expected a number, got {raw:?}")),
+            }
+        };
+        match flag.as_str() {
+            "--requests" => args.requests = positive("--requests", take("--requests")?)?,
+            "--keys" => args.keys = positive("--keys", take("--keys")?)?,
+            "--skew" => {
+                let raw = take("--skew")?;
+                args.skew =
+                    raw.parse::<f64>().ok().filter(|z| z.is_finite() && *z >= 0.0).ok_or_else(
+                        || format!("--skew: expected a finite number ≥ 0, got {raw:?}"),
+                    )?;
+            }
+            "--read-frac" => args.read_frac = fraction("--read-frac", take("--read-frac")?)?,
+            "--sens-frac" => args.sens_frac = fraction("--sens-frac", take("--sens-frac")?)?,
+            "--pool" => args.pool = positive("--pool", take("--pool")?)?,
+            "--cache" => args.cache = positive("--cache", take("--cache")?)?,
+            "--seed" => {
+                args.seed = take("--seed")?
+                    .parse()
+                    .map_err(|_| "--seed: expected an integer".to_string())?;
+            }
+            "--warmup" => {
+                args.warmup = take("--warmup")?
+                    .parse()
+                    .map_err(|_| "--warmup: expected an integer".to_string())?;
+            }
+            other => return Err(format!("unknown flag {other} (see the module docs)")),
+        }
+    }
+    Ok(args)
+}
+
+fn parse_args() -> Args {
+    match parse_args_from(std::env::args().skip(1)) {
+        Ok(args) => args,
+        Err(msg) => {
+            eprintln!("serve_market: {msg}");
+            std::process::exit(2);
+        }
+    }
+}
+
+/// Folds a reply into the running bit-level checksum: XOR of the bits of
+/// every float the client would see. Order-sensitive enough to catch any
+/// drift in the served sequence, cheap enough to be free.
+fn checksum(acc: u64, reply: &Reply) -> u64 {
+    let mut acc = acc.rotate_left(1);
+    match reply {
+        Reply::Updated { value, .. } => acc ^= value.to_bits(),
+        Reply::Equilibrium { snap, .. } => {
+            for s in snap.subsidies() {
+                acc ^= s.to_bits();
+            }
+            acc ^= snap.state().phi.to_bits();
+        }
+        Reply::Sensitivity { ds, snap, .. } => {
+            for d in ds {
+                acc ^= d.to_bits();
+            }
+            acc ^= snap.state().phi.to_bits();
+        }
+    }
+    acc
+}
+
+fn print_window(label: &str, samples: &[f64]) {
+    match summarize_latencies(samples) {
+        Ok(s) => println!(
+            "latency ({label}, non-deterministic): p50 {:.1} ns, p99 {:.1} ns, mean {:.1} ns \
+             over {} requests",
+            s.p50, s.p99, s.mean, s.count
+        ),
+        Err(e) => println!("latency ({label}): n/a ({e})"),
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    println!("serve_market: resident equilibrium server under deterministic load");
+    println!(
+        "config: requests={} keys={} skew={} read-frac={} sens-frac={} pool={} cache={} \
+         seed={} warmup={}",
+        args.requests,
+        args.keys,
+        args.skew,
+        args.read_frac,
+        args.sens_frac,
+        args.pool,
+        args.cache,
+        args.seed,
+        args.warmup
+    );
+
+    let game = SubsidyGame::new(section5_system(), 0.6, 0.8).expect("§5 market is valid");
+    let mut server = EquilibriumServer::new(game, args.pool, args.cache);
+    let requests = generate(&LoadGenConfig {
+        requests: args.requests,
+        seed: args.seed,
+        read_fraction: args.read_frac,
+        sensitivity_fraction: args.sens_frac,
+        hot_keys: args.keys,
+        skew: args.skew,
+    });
+
+    let mut sum = 0u64;
+    let mut failures = 0usize;
+    let mut sources = [0usize; 4]; // cache-hit, tangent, warm, cold
+    let mut latencies = Vec::with_capacity(requests.len());
+    let start = Instant::now();
+    for req in &requests {
+        let t0 = Instant::now();
+        match server.serve(*req) {
+            Ok(reply) => {
+                latencies.push(t0.elapsed().as_nanos() as f64);
+                let source = match &reply {
+                    Reply::Equilibrium { source, .. } | Reply::Sensitivity { source, .. } => {
+                        Some(*source)
+                    }
+                    Reply::Updated { .. } => None,
+                };
+                if let Some(source) = source {
+                    sources[match source {
+                        Source::CacheHit => 0,
+                        Source::Tangent => 1,
+                        Source::Warm => 2,
+                        Source::Cold => 3,
+                    }] += 1;
+                }
+                sum = checksum(sum, &reply);
+            }
+            Err(e) => {
+                latencies.push(t0.elapsed().as_nanos() as f64);
+                eprintln!("serve_market: request failed: {e}");
+                failures += 1;
+            }
+        }
+    }
+    let elapsed = start.elapsed();
+
+    let st = server.stats();
+    let cs = server.cache_stats();
+    println!(
+        "served: {} requests ({} updates, {} equilibria, {} sensitivities, {} failed)",
+        requests.len(),
+        st.updates,
+        st.equilibria,
+        st.sensitivities,
+        failures
+    );
+    println!(
+        "answer sources: {} cache-hit, {} tangent, {} warm, {} cold",
+        sources[0], sources[1], sources[2], sources[3]
+    );
+    println!(
+        "cache: {} hits, {} misses, {} insertions, {} evictions, {}/{} resident",
+        cs.hits, cs.misses, cs.insertions, cs.evictions, cs.len, cs.capacity
+    );
+    println!("response checksum: {sum:016x}");
+    let measured = &latencies[args.warmup.min(latencies.len())..];
+    print_window("steady state", measured);
+    println!(
+        "timing (non-deterministic): {:.3}s wall, {:.0} requests/s",
+        elapsed.as_secs_f64(),
+        requests.len() as f64 / elapsed.as_secs_f64().max(1e-9)
+    );
+    if failures > 0 {
+        std::process::exit(1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::parse_args_from;
+
+    fn parse(flags: &[&str]) -> Result<super::Args, String> {
+        parse_args_from(flags.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn bad_arguments_are_usage_errors_not_panics() {
+        assert!(parse(&["--requests", "0"]).is_err());
+        assert!(parse(&["--keys", "0"]).is_err());
+        assert!(parse(&["--read-frac", "1.5"]).is_err());
+        assert!(parse(&["--sens-frac", "-0.1"]).is_err());
+        assert!(parse(&["--skew", "-1"]).is_err());
+        assert!(parse(&["--skew", "inf"]).is_err());
+        assert!(parse(&["--pool"]).is_err());
+        assert!(parse(&["--wat", "1"]).is_err());
+        for bad in [parse(&["--keys", "0"]).unwrap_err(), parse(&["--skew", "-1"]).unwrap_err()] {
+            assert!(!bad.contains('\n'), "multi-line usage error: {bad:?}");
+        }
+    }
+
+    #[test]
+    fn good_arguments_parse() {
+        let args = parse(&[
+            "--requests",
+            "500",
+            "--keys",
+            "4",
+            "--skew",
+            "1.5",
+            "--pool",
+            "3",
+            "--cache",
+            "16",
+        ])
+        .unwrap();
+        assert_eq!(args.requests, 500);
+        assert_eq!(args.keys, 4);
+        assert_eq!(args.skew, 1.5);
+        assert_eq!(args.pool, 3);
+        assert_eq!(args.cache, 16);
+        let defaults = parse(&[]).unwrap();
+        assert_eq!(defaults.warmup, 100);
+        assert_eq!(defaults.cache, 64);
+    }
+}

@@ -108,6 +108,39 @@ impl Json {
         out
     }
 
+    /// Renders like [`Json::render`], but rejects non-finite numbers with
+    /// an explicit [`JsonError`] naming the offending path instead of
+    /// panicking (and instead of ever emitting `NaN`/`inf` tokens that no
+    /// JSON parser — including [`Json::parse`] — would accept back).
+    ///
+    /// Use this on values built from untrusted or runtime data (e.g. the
+    /// server cache serializer); the panicking [`Json::render`] stays for
+    /// snapshot builders whose inputs are validated upstream.
+    pub fn try_render(&self) -> Result<String, JsonError> {
+        self.check_finite("$")?;
+        Ok(self.render())
+    }
+
+    /// Pre-walks the value for non-finite numbers, tracking a dotted path
+    /// (`$.rows[3].phi`) for the error message. Offset is 0: the error
+    /// describes the value tree, not a byte position in rendered output.
+    fn check_finite(&self, path: &str) -> Result<(), JsonError> {
+        match self {
+            Json::Num(x) if !x.is_finite() => Err(JsonError {
+                message: format!("cannot encode non-finite number {x} at {path}"),
+                offset: 0,
+            }),
+            Json::Arr(items) => items
+                .iter()
+                .enumerate()
+                .try_for_each(|(k, item)| item.check_finite(&format!("{path}[{k}]"))),
+            Json::Obj(fields) => fields
+                .iter()
+                .try_for_each(|(key, value)| value.check_finite(&format!("{path}.{key}"))),
+            _ => Ok(()),
+        }
+    }
+
     fn render_into(&self, out: &mut String, indent: usize) {
         match self {
             Json::Null => out.push_str("null"),
@@ -575,6 +608,55 @@ mod tests {
         assert_eq!(text, "0.1\n");
         let tiny = Json::Num(6.123233995736766e-17).render();
         assert_eq!(Json::parse(&tiny).unwrap().as_num().unwrap(), 6.123233995736766e-17);
+    }
+
+    #[test]
+    fn negative_zero_roundtrips_bit_exact() {
+        // `-0.0` must survive render → parse with its sign bit: the server
+        // cache serializer reuses this codec, and a codec that collapsed
+        // `-0.0` to `0.0` would silently alias two distinct snapshots.
+        let text = Json::Num(-0.0).render();
+        assert_eq!(text, "-0.0\n");
+        let back = Json::parse(&text).unwrap().as_num().unwrap();
+        assert_eq!(back.to_bits(), (-0.0f64).to_bits());
+        // And +0.0 stays +0.0 — the two zeros remain distinguishable.
+        let pos = Json::parse(&Json::Num(0.0).render()).unwrap().as_num().unwrap();
+        assert_eq!(pos.to_bits(), 0.0f64.to_bits());
+        // Nested round-trip through an array keeps both signs.
+        let doc = Json::nums(&[-0.0, 0.0]);
+        let bits: Vec<u64> = match Json::parse(&doc.render()).unwrap() {
+            Json::Arr(items) => items.iter().map(|i| i.as_num().unwrap().to_bits()).collect(),
+            other => panic!("expected array, got {other:?}"),
+        };
+        assert_eq!(bits, vec![(-0.0f64).to_bits(), 0.0f64.to_bits()]);
+    }
+
+    #[test]
+    fn try_render_rejects_non_finite_with_path() {
+        let mut eq = Json::obj();
+        eq.set("phi", Json::Num(0.5));
+        eq.set("subsidies", Json::nums(&[0.1, f64::NAN]));
+        let mut root = Json::obj();
+        root.set("equilibrium", eq);
+        let err = root.try_render().unwrap_err();
+        assert!(
+            err.message.contains("$.equilibrium.subsidies[1]"),
+            "error must name the offending path, got: {}",
+            err.message
+        );
+        let inf = Json::Num(f64::INFINITY).try_render().unwrap_err();
+        assert!(inf.message.contains("non-finite"), "got: {}", inf.message);
+        // Finite trees render identically to the panicking path.
+        let ok = sample();
+        assert_eq!(ok.try_render().unwrap(), ok.render());
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot encode non-finite number")]
+    fn render_panics_on_non_finite() {
+        // The panicking path stays panicking: snapshot builders validate
+        // upstream, and silently emitting `NaN` would be invalid JSON.
+        Json::Num(f64::NAN).render();
     }
 
     #[test]

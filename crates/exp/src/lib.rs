@@ -30,6 +30,11 @@
 //! non-neutral regimes — and [`golden`] pins every corpus run to a
 //! committed JSON snapshot under `tests/golden/` (regenerate with the
 //! `regen_golden` binary; see `tests/README.md` for the tolerance policy).
+//!
+//! The [`server`] module turns the batch engines into a resident service:
+//! a long-running in-process equilibrium server over warm workspaces with
+//! a fingerprint cache and a deterministic load generator (the
+//! `serve_market` binary drives it end to end).
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -40,4 +45,5 @@ pub mod figures;
 pub mod golden;
 pub mod report;
 pub mod scenarios;
+pub mod server;
 pub mod sweep;

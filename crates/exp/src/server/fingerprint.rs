@@ -1,0 +1,121 @@
+//! Canonical game fingerprints — the cache key of the equilibrium server.
+//!
+//! Two games that are the same market must hash to the same 64-bit key,
+//! and any parameter the equilibrium depends on must perturb it. The
+//! fingerprint therefore covers:
+//!
+//! * the scalar parameters every [`Axis`] can write — price `p`, cap `q`,
+//!   capacity `µ`, and each provider's profitability `v_i`;
+//! * the clamp-at-zero flag (two games differing only there have
+//!   different equilibria);
+//! * a *behavioral probe* of each provider's demand and throughput
+//!   curves: `n_i(t)` and `λ_i(φ)` sampled at fixed probe points. The
+//!   curves live behind trait objects, so structural hashing is
+//!   impossible — but two CPs that agree on profitability and on all
+//!   probe responses are (for cache purposes) the same provider, and a
+//!   full-game submission with different curves lands on a different key.
+//!
+//! Float bits are canonicalized so `-0.0` and `0.0` — equal as market
+//! parameters — produce the same key (the golden-codec round-trip keeps
+//! the two distinguishable as *bytes*; the fingerprint must not).
+//! Hashing is FNV-1a over the canonical bit stream: deterministic across
+//! runs and platforms, and allocation-free.
+
+use subcomp_core::game::SubsidyGame;
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Fingerprint format version — bump when the probe set or field order
+/// changes, so stale cache keys can never alias new ones.
+const VERSION: u64 = 1;
+
+/// Effective prices at which each provider's demand curve is probed.
+const PROBE_PRICES: [f64; 3] = [0.25, 0.75, 1.5];
+
+/// Utilizations at which each provider's throughput curve is probed.
+const PROBE_PHIS: [f64; 3] = [0.2, 0.5, 0.9];
+
+/// `-0.0` and `0.0` are the same market parameter; give them one bit
+/// pattern. (Non-finite values cannot reach here — every game parameter
+/// is validated at write time.)
+fn canonical_bits(x: f64) -> u64 {
+    if x == 0.0 {
+        0
+    } else {
+        x.to_bits()
+    }
+}
+
+/// FNV-1a over one 64-bit word, byte by byte.
+fn mix(mut h: u64, word: u64) -> u64 {
+    for byte in word.to_le_bytes() {
+        h ^= byte as u64;
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// The canonical 64-bit fingerprint of a game. Allocation-free.
+pub fn fingerprint(game: &SubsidyGame) -> u64 {
+    let mut h = mix(FNV_OFFSET, VERSION);
+    h = mix(h, game.n() as u64);
+    h = mix(h, game.clamps_effective_price() as u64);
+    h = mix(h, canonical_bits(game.system().mu()));
+    h = mix(h, canonical_bits(game.price()));
+    h = mix(h, canonical_bits(game.cap()));
+    for cp in game.system().cps() {
+        h = mix(h, canonical_bits(cp.profitability()));
+        for t in PROBE_PRICES {
+            h = mix(h, canonical_bits(cp.population(t)));
+        }
+        for phi in PROBE_PHIS {
+            h = mix(h, canonical_bits(cp.lambda(phi)));
+        }
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenarios::{random_system, section3_system};
+    use subcomp_core::game::Axis;
+
+    fn game() -> SubsidyGame {
+        SubsidyGame::new(section3_system(), 0.6, 0.8).unwrap()
+    }
+
+    #[test]
+    fn deterministic_and_axis_sensitive() {
+        let base = fingerprint(&game());
+        assert_eq!(base, fingerprint(&game()), "same game, same key");
+        for axis in [Axis::Price, Axis::Cap, Axis::Mu, Axis::Profitability(0)] {
+            let mut g = game();
+            let v = axis.value(&g);
+            axis.apply(&mut g, v + 0.05).unwrap();
+            assert_ne!(base, fingerprint(&g), "{} must perturb the key", axis.describe());
+            // Writing the original value back restores the key exactly.
+            axis.apply(&mut g, v).unwrap();
+            assert_eq!(base, fingerprint(&g));
+        }
+    }
+
+    #[test]
+    fn clamp_flag_and_market_shape_are_covered() {
+        let base = fingerprint(&game());
+        let clamped = game().with_clamped_price(true);
+        assert_ne!(base, fingerprint(&clamped));
+        let other = SubsidyGame::new(random_system(4, 99, 1.0), 0.6, 0.8).unwrap();
+        assert_ne!(base, fingerprint(&other));
+    }
+
+    #[test]
+    fn negative_zero_price_aliases_positive_zero() {
+        // A cap of -0.0 and 0.0 describe the same regulation; the cache
+        // must not solve the market twice.
+        let a = SubsidyGame::new(section3_system(), 0.6, 0.0).unwrap();
+        let b = SubsidyGame::new(section3_system(), 0.6, -0.0).unwrap();
+        assert_eq!(fingerprint(&a), fingerprint(&b));
+    }
+}

@@ -1,0 +1,370 @@
+//! The equilibrium server: equilibrium-as-a-service over warm workspaces.
+//!
+//! Batch entry points (`BatchSolver`, the continuation grids) answer "solve
+//! these N games"; the production framing of the paper's market — an ISP
+//! tracking millions of users while prices, caps, capacity and provider
+//! profitabilities drift — is a *query stream*: small parameter writes
+//! interleaved with equilibrium and sensitivity reads. [`EquilibriumServer`]
+//! is that layer, in process:
+//!
+//! * it **owns the market**: a resident [`SubsidyGame`] (precompiled
+//!   congestion kernel included) mutated in place by [`Axis`] writes — no
+//!   rebuild per request — plus full-game submissions via
+//!   [`EquilibriumServer::submit`];
+//! * it **owns a pool of warm [`SolveWorkspace`]s**, so every solve starts
+//!   from the previous iterate of its slot (or a Theorem 6 tangent
+//!   extrapolation when a stored sensitivity admits one — see
+//!   [`TangentPolicy`]) instead of from zero;
+//! * it **caches by canonical fingerprint** ([`fingerprint`]): a repeated
+//!   query returns an [`Arc`] clone of the stored [`EqSnapshot`] —
+//!   O(lookup), allocation-free, bit-identical to the solve that produced
+//!   it.
+//!
+//! Replies carry their [`Source`] (cache hit / tangent / warm / cold), so
+//! callers, benches and tests can audit exactly which path served them.
+//! The whole service is deterministic: same construction, same request
+//! stream, same replies — the property the [`loadgen`] replay tests pin.
+//!
+//! [`fingerprint`]: fingerprint::fingerprint
+
+pub mod cache;
+pub mod fingerprint;
+pub mod loadgen;
+
+use std::sync::Arc;
+use subcomp_core::game::{Axis, SubsidyGame};
+use subcomp_core::nash::{NashSolver, WarmStart};
+use subcomp_core::sensitivity::Sensitivity;
+use subcomp_core::snapshot::{EqSnapshot, TangentPolicy};
+use subcomp_core::workspace::SolveWorkspace;
+use subcomp_num::error::{NumError, NumResult};
+
+pub use cache::{CacheStats, EqCache};
+pub use fingerprint::fingerprint;
+pub use loadgen::{generate, LoadGenConfig};
+
+/// One request in a client stream.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Request {
+    /// Write `value` onto a parameter axis of the resident market.
+    Update {
+        /// The parameter to write.
+        axis: Axis,
+        /// The new value.
+        value: f64,
+    },
+    /// Read the equilibrium of the market as currently parameterized.
+    Equilibrium,
+    /// Read the equilibrium plus its directional sensitivity `∂s*/∂axis`.
+    Sensitivity {
+        /// The direction to differentiate along.
+        axis: Axis,
+    },
+}
+
+/// Which path produced an equilibrium answer, from cheapest to dearest.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Source {
+    /// Fingerprint cache hit — no solve at all.
+    CacheHit,
+    /// Solved, seeded by a Theorem 6 tangent extrapolation.
+    Tangent,
+    /// Solved, seeded by the slot workspace's previous iterate.
+    Warm,
+    /// Solved from the zero profile.
+    Cold,
+}
+
+/// A server reply, paired with the [`Request`] variant that caused it.
+#[derive(Debug, Clone)]
+pub enum Reply {
+    /// The axis write was validated and applied.
+    Updated {
+        /// The axis written.
+        axis: Axis,
+        /// The value now in force.
+        value: f64,
+    },
+    /// An equilibrium answer.
+    Equilibrium {
+        /// The (shared, immutable) solved state.
+        snap: Arc<EqSnapshot>,
+        /// Which path produced it.
+        source: Source,
+    },
+    /// An equilibrium answer plus a directional derivative.
+    Sensitivity {
+        /// `∂s*/∂axis` at the answered equilibrium.
+        ds: Vec<f64>,
+        /// The equilibrium the derivative was taken at.
+        snap: Arc<EqSnapshot>,
+        /// Which path produced the equilibrium.
+        source: Source,
+    },
+}
+
+/// Per-source answer counts and request totals.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ServerStats {
+    /// Axis writes applied.
+    pub updates: u64,
+    /// Equilibrium answers (including those inside sensitivity replies).
+    pub equilibria: u64,
+    /// Sensitivity answers.
+    pub sensitivities: u64,
+    /// Answers served from the cache.
+    pub cache_hits: u64,
+    /// Solves seeded by tangent extrapolation.
+    pub tangent_solves: u64,
+    /// Solves seeded from a warm slot iterate.
+    pub warm_solves: u64,
+    /// Solves from the zero profile.
+    pub cold_solves: u64,
+}
+
+/// A stored sensitivity that may seed the next solve along its axis.
+struct TangentSeed {
+    axis: Axis,
+    at: f64,
+    ds: Vec<f64>,
+    base_key: u64,
+}
+
+/// What has been written since the last answered equilibrium.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Dirty {
+    Clean,
+    One(Axis),
+    Many,
+}
+
+/// The resident market service. See the module docs for the design.
+pub struct EquilibriumServer {
+    game: SubsidyGame,
+    solver: NashSolver,
+    pool: Vec<SolveWorkspace>,
+    /// Fingerprint of the equilibrium whose iterate each slot holds.
+    slot_state: Vec<Option<u64>>,
+    cache: EqCache,
+    tangent: TangentPolicy,
+    seed: Option<TangentSeed>,
+    /// Fingerprint at the last answered equilibrium.
+    base: Option<u64>,
+    dirty: Dirty,
+    stats: ServerStats,
+}
+
+impl std::fmt::Debug for EquilibriumServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EquilibriumServer")
+            .field("n", &self.game.n())
+            .field("pool", &self.pool.len())
+            .field("cache", &self.cache)
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+impl EquilibriumServer {
+    /// A server over `game` with `pool_size` warm workspaces and a
+    /// `cache_capacity`-entry fingerprint cache.
+    pub fn new(game: SubsidyGame, pool_size: usize, cache_capacity: usize) -> EquilibriumServer {
+        let pool_size = pool_size.max(1);
+        let pool = (0..pool_size).map(|_| SolveWorkspace::for_game(&game)).collect();
+        EquilibriumServer {
+            game,
+            solver: NashSolver::default().with_tol(1e-10),
+            pool,
+            slot_state: vec![None; pool_size],
+            cache: EqCache::new(cache_capacity),
+            tangent: TangentPolicy::default(),
+            seed: None,
+            base: None,
+            dirty: Dirty::Many,
+            stats: ServerStats::default(),
+        }
+    }
+
+    /// Replaces the solver configuration (builder style).
+    pub fn with_solver(mut self, solver: NashSolver) -> EquilibriumServer {
+        self.solver = solver;
+        self
+    }
+
+    /// Replaces the tangent admission policy (builder style).
+    pub fn with_tangent_policy(mut self, policy: TangentPolicy) -> EquilibriumServer {
+        self.tangent = policy;
+        self
+    }
+
+    /// The resident market as currently parameterized.
+    pub fn game(&self) -> &SubsidyGame {
+        &self.game
+    }
+
+    /// Request/answer counters.
+    pub fn stats(&self) -> ServerStats {
+        self.stats
+    }
+
+    /// Cache counters and occupancy.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// Dispatches one request.
+    pub fn serve(&mut self, req: Request) -> NumResult<Reply> {
+        match req {
+            Request::Update { axis, value } => {
+                self.update(axis, value)?;
+                Ok(Reply::Updated { axis, value })
+            }
+            Request::Equilibrium => {
+                let (snap, source) = self.equilibrium()?;
+                Ok(Reply::Equilibrium { snap, source })
+            }
+            Request::Sensitivity { axis } => {
+                let (ds, snap, source) = self.sensitivity(axis)?;
+                Ok(Reply::Sensitivity { ds, snap, source })
+            }
+        }
+    }
+
+    /// Applies a validated axis write to the resident market. No solve
+    /// happens until the next read.
+    pub fn update(&mut self, axis: Axis, value: f64) -> NumResult<()> {
+        axis.apply(&mut self.game, value)?;
+        self.stats.updates += 1;
+        self.dirty = match self.dirty {
+            Dirty::Clean => Dirty::One(axis),
+            Dirty::One(a) if a == axis => Dirty::One(axis),
+            _ => Dirty::Many,
+        };
+        Ok(())
+    }
+
+    /// Replaces the resident market wholesale (a full-game submission).
+    /// Workspace shapes adapt on the next solve; the cache is kept — a
+    /// submission that fingerprints to a cached market stays O(lookup).
+    pub fn submit(&mut self, game: SubsidyGame) -> NumResult<(Arc<EqSnapshot>, Source)> {
+        self.game = game;
+        self.seed = None;
+        self.base = None;
+        self.dirty = Dirty::Many;
+        self.equilibrium()
+    }
+
+    /// Answers the equilibrium of the market as currently parameterized.
+    pub fn equilibrium(&mut self) -> NumResult<(Arc<EqSnapshot>, Source)> {
+        let key = fingerprint(&self.game);
+        self.stats.equilibria += 1;
+        if let Some(snap) = self.cache.get(key) {
+            self.stats.cache_hits += 1;
+            self.base = Some(key);
+            self.dirty = Dirty::Clean;
+            return Ok((snap, Source::CacheHit));
+        }
+        let slot = self.game.n() % self.pool.len();
+        // Pick the best admissible warm start, cheapest-to-verify last:
+        // a stored tangent along the single dirty axis, else the slot's
+        // previous iterate (only if its shape matches), else cold.
+        let tangent_dtheta = self.seed.as_ref().and_then(|seed| {
+            let applicable = self.base == Some(seed.base_key)
+                && self.dirty == Dirty::One(seed.axis)
+                && self.slot_state[slot] == Some(seed.base_key);
+            if !applicable {
+                return None;
+            }
+            let dtheta = seed.axis.value(&self.game) - seed.at;
+            self.tangent.admits(&seed.ds, dtheta).then_some(dtheta)
+        });
+        let ws = &mut self.pool[slot];
+        let (start, source) = match tangent_dtheta {
+            Some(dtheta) => {
+                let seed = self.seed.as_ref().expect("checked above");
+                (WarmStart::Tangent { ds_dtheta: &seed.ds, dtheta }, Source::Tangent)
+            }
+            None if self.slot_state[slot].is_some() && ws.subsidies().len() == self.game.n() => {
+                (WarmStart::Previous, Source::Warm)
+            }
+            None => (WarmStart::Zero, Source::Cold),
+        };
+        let stats = self.solver.solve_into(&self.game, start, ws)?;
+        if !stats.converged {
+            return Err(NumError::MaxIterations {
+                max_iter: stats.iterations,
+                residual: stats.residual,
+            });
+        }
+        match source {
+            Source::Tangent => self.stats.tangent_solves += 1,
+            Source::Warm => self.stats.warm_solves += 1,
+            _ => self.stats.cold_solves += 1,
+        }
+        let mut arc = self.cache.blank();
+        Arc::get_mut(&mut arc)
+            .expect("blank snapshots are unique")
+            .capture_into(&self.game, ws, stats);
+        let reply = Arc::clone(&arc);
+        self.cache.insert(key, arc);
+        self.slot_state[slot] = Some(key);
+        self.base = Some(key);
+        self.dirty = Dirty::Clean;
+        Ok((reply, source))
+    }
+
+    /// Answers the equilibrium plus `∂s*/∂axis`, and stores the derivative
+    /// as a tangent seed for subsequent small writes along `axis`.
+    pub fn sensitivity(&mut self, axis: Axis) -> NumResult<(Vec<f64>, Arc<EqSnapshot>, Source)> {
+        let (snap, source) = self.equilibrium()?;
+        let ds = Sensitivity::directional(&self.game, snap.subsidies(), axis)?;
+        self.stats.sensitivities += 1;
+        self.seed = Some(TangentSeed {
+            axis,
+            at: axis.value(&self.game),
+            ds: ds.clone(),
+            base_key: self.base.expect("equilibrium just answered"),
+        });
+        Ok((ds, snap, source))
+    }
+
+    /// Forgets all warm state (slot iterates, tangent seed, dirty
+    /// tracking) without touching the cache — benches use this to force
+    /// cold solves.
+    pub fn cool(&mut self) {
+        self.slot_state.iter_mut().for_each(|s| *s = None);
+        self.seed = None;
+        self.base = None;
+        self.dirty = Dirty::Many;
+    }
+
+    /// Drops every cached equilibrium (retiring snapshots for recycling).
+    pub fn invalidate_cache(&mut self) {
+        self.cache.clear();
+    }
+}
+
+/// p50/p99/mean over one latency window, in the unit of the samples.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LatencySummary {
+    /// Median latency.
+    pub p50: f64,
+    /// 99th-percentile latency.
+    pub p99: f64,
+    /// Mean latency (its inverse is throughput).
+    pub mean: f64,
+    /// Number of samples summarized.
+    pub count: usize,
+}
+
+/// Summarizes a latency window. A zero-request window (e.g. a warmup
+/// phase that saw no traffic) is an explicit [`NumError::Empty`], not a
+/// panic — callers print "n/a" and move on.
+pub fn summarize_latencies(samples: &[f64]) -> NumResult<LatencySummary> {
+    Ok(LatencySummary {
+        p50: subcomp_num::stats::quantile(samples, 0.50)?,
+        p99: subcomp_num::stats::quantile(samples, 0.99)?,
+        mean: subcomp_num::stats::mean(samples)?,
+        count: samples.len(),
+    })
+}

@@ -83,6 +83,7 @@ pub struct EqGrid {
     welfare: Vec<f64>,
     iterations: Vec<u32>,
     cold: Vec<bool>,
+    tangent_fallback: Vec<bool>,
 }
 
 impl Default for EqGrid {
@@ -102,6 +103,7 @@ impl Default for EqGrid {
             welfare: Vec::new(),
             iterations: Vec::new(),
             cold: Vec::new(),
+            tangent_fallback: Vec::new(),
         }
     }
 }
@@ -136,6 +138,13 @@ pub struct EqPointView<'a> {
     /// Whether the point solved cold (block start or continuation
     /// fallback) rather than from a continuation seed.
     pub cold: bool,
+    /// Whether this point wanted a Theorem 6 tangent start but degraded
+    /// to previous-iterate seeding because the derivative was unavailable
+    /// at the preceding equilibrium (degenerate equilibrium — a provider
+    /// exactly at its utility threshold). Always `false` outside tangent
+    /// mode. The solution itself is unaffected; this marks where the
+    /// predictor could not be trusted.
+    pub tangent_fallback: bool,
 }
 
 impl EqGrid {
@@ -213,6 +222,7 @@ impl EqGrid {
             welfare: self.welfare[o],
             iterations: self.iterations[o] as usize,
             cold: self.cold[o],
+            tangent_fallback: self.tangent_fallback[o],
         }
     }
 
@@ -226,6 +236,13 @@ impl EqGrid {
     /// Total best-response sweeps spent over the whole grid.
     pub fn total_sweeps(&self) -> usize {
         self.iterations.iter().map(|&k| k as usize).sum()
+    }
+
+    /// Number of points where the tangent predictor degraded to
+    /// previous-iterate seeding (see [`EqPointView::tangent_fallback`]).
+    /// Zero outside tangent mode.
+    pub fn tangent_fallbacks(&self) -> usize {
+        self.tangent_fallback.iter().filter(|&&f| f).count()
     }
 
     /// Sizes every buffer for an `R × C × n` grid, retaining capacity.
@@ -246,6 +263,7 @@ impl EqGrid {
         }
         self.iterations.resize(points, 0);
         self.cold.resize(points, false);
+        self.tangent_fallback.resize(points, false);
     }
 }
 
@@ -347,6 +365,7 @@ struct BlockTask<'a> {
     welfare: &'a mut [f64],
     iterations: &'a mut [u32],
     cold: &'a mut [bool],
+    tangent_fallback: &'a mut [bool],
 }
 
 impl ContinuationSolver {
@@ -542,6 +561,11 @@ impl ContinuationSolver {
             for (cl, &cv) in blk.cols.iter().enumerate() {
                 self.col_axis.apply(&mut ctx.game, cv)?;
                 let o = cl * n_rows + r;
+                // This point wanted a tangent start (tangent mode, on the
+                // continuation row, not the block-start column) but the
+                // preceding equilibrium had no derivative — the graceful
+                // degradation the mark below surfaces.
+                let fell_back = self.tangent && step == 0 && cl > 0 && !have_tangent;
                 let (stats, cold) = if step == 0 {
                     if cl == 0 {
                         (self.solve_cold(ctx)?, true)
@@ -599,6 +623,7 @@ impl ContinuationSolver {
                 blk.welfare[o] = welfare(&ctx.game, state);
                 blk.iterations[o] = stats.iterations as u32;
                 blk.cold[o] = cold;
+                blk.tangent_fallback[o] = fell_back;
             }
         }
         Ok(())
@@ -710,13 +735,17 @@ fn block_tasks<'a>(
         .zip(out.welfare.chunks_mut(per_pt))
         .zip(out.iterations.chunks_mut(per_pt))
         .zip(out.cold.chunks_mut(per_pt))
+        .zip(out.tangent_fallback.chunks_mut(per_pt))
         .map(
             |(
                 (
-                    (((((((cols, subsidies), m), theta), utilities), phi), revenue), welfare),
-                    iterations,
+                    (
+                        (((((((cols, subsidies), m), theta), utilities), phi), revenue), welfare),
+                        iterations,
+                    ),
+                    cold,
                 ),
-                cold,
+                tangent_fallback,
             )| {
                 BlockTask {
                     cols,
@@ -729,6 +758,7 @@ fn block_tasks<'a>(
                     welfare,
                     iterations,
                     cold,
+                    tangent_fallback,
                 }
             },
         )
@@ -1020,6 +1050,45 @@ mod tests {
             }
         }
         assert_eq!(tangent.cold_solves(), 1, "the tangent path must not fall back cold");
+    }
+
+    #[test]
+    fn tangent_sweep_degrades_gracefully_at_a_degenerate_equilibrium() {
+        // A degenerate equilibrium *mid-sweep*: a monopolist whose cap is
+        // set exactly at its interior optimum at µ = 1 (the recipe the
+        // sensitivity tests use — the pinned provider has u ≈ 0, so
+        // `Sensitivity::directional` refuses to differentiate there). The
+        // tangent-mode sweep must NOT abort the ladder: it marks the next
+        // point as a tangent fallback, seeds it from the previous iterate,
+        // and completes the sweep in full.
+        use subcomp_model::aggregation::{build_system, ExpCpSpec};
+        let sys = build_system(&[ExpCpSpec::unit(8.0, 2.0, 1.0)], 1.0).unwrap();
+        let free = SubsidyGame::new(sys.clone(), 1.0, 2.0).unwrap();
+        let s_star = NashSolver::default().with_tol(1e-10).solve(&free).unwrap().subsidies[0];
+        let base = SubsidyGame::new(sys, 1.0, s_star).unwrap();
+        let mus = [0.9, 0.95, 1.0, 1.05, 1.1];
+        let solver = ContinuationSolver::over(Axis::Cap, Axis::Mu)
+            .with_solver(NashSolver::default().with_tol(1e-10))
+            .with_block(8);
+        let tangent = solver.clone().with_tangent(true).solve_game(&base, &[s_star], &mus).unwrap();
+        // The ladder is complete and finite at every µ.
+        for c in 0..mus.len() {
+            let pt = tangent.point(0, c);
+            assert!(pt.phi.is_finite() && pt.subsidies[0].is_finite(), "µ = {}", mus[c]);
+        }
+        // The point after µ = 1 wanted a tangent but had no derivative.
+        assert!(tangent.point(0, 3).tangent_fallback, "fallback at µ = 1.05 must be marked");
+        assert!(tangent.tangent_fallbacks() >= 1);
+        assert!(!tangent.point(0, 1).tangent_fallback, "regular points keep their tangent");
+        // Degradation, not divergence: the marked ladder agrees with the
+        // plain previous-iterate sweep.
+        let previous = solver.solve_game(&base, &[s_star], &mus).unwrap();
+        assert_eq!(previous.tangent_fallbacks(), 0, "marks exist only in tangent mode");
+        for c in 0..mus.len() {
+            let (a, b) = (previous.point(0, c), tangent.point(0, c));
+            assert!((a.subsidies[0] - b.subsidies[0]).abs() < 1e-6, "µ = {}", mus[c]);
+            assert!((a.phi - b.phi).abs() < 1e-6);
+        }
     }
 
     #[test]

@@ -255,6 +255,17 @@ mod tests {
     }
 
     #[test]
+    fn empty_slices_are_explicit_errors_not_panics() {
+        // Regression pin for the report paths (latency windows, farm
+        // summaries): a zero-sample window must surface as
+        // `NumError::Empty` naming the statistic, never a panic and
+        // never a NaN that poisons downstream aggregates.
+        assert!(matches!(mean(&[]), Err(NumError::Empty { what: "mean" })));
+        assert!(matches!(quantile(&[], 0.5), Err(NumError::Empty { what: "quantile" })));
+        assert!(matches!(quantile(&[], 0.0), Err(NumError::Empty { what: "quantile" })));
+    }
+
+    #[test]
     fn ci_shrinks_with_samples() {
         let mut small = Running::new();
         let mut large = Running::new();

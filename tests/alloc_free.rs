@@ -262,6 +262,54 @@ fn lane_solve_into_is_allocation_free_after_warmup() {
 }
 
 #[test]
+fn warm_equilibrium_server_is_allocation_free_after_warmup() {
+    // The resident service: after warm-up, both fast paths stay off the
+    // heap — a cache hit (fingerprint pass + shared-snapshot clone) and
+    // a warm re-solve (eviction retires a unique snapshot to the
+    // freelist, `blank()` recycles it, `capture_into` refills the same
+    // buffers). Sensitivity reads are excluded: the returned derivative
+    // is a fresh `Vec` by contract.
+    use subcomp::exp::server::{EquilibriumServer, Request, Source};
+    use subcomp::game::game::Axis;
+
+    let game = games().into_iter().next().unwrap();
+    let p0 = Axis::Price.value(&game);
+
+    let cycle = |server: &mut EquilibriumServer, expect: Option<Source>| {
+        for p in [p0, p0 * 1.05] {
+            server.serve(Request::Update { axis: Axis::Price, value: p }).unwrap();
+            let (_, src) = server.equilibrium().unwrap();
+            if let Some(expect) = expect {
+                assert_eq!(src, expect);
+            }
+        }
+    };
+
+    // Cache-hit path: both operating points resident, reads alternate.
+    let mut hits = EquilibriumServer::new(game.clone(), 1, 4);
+    cycle(&mut hits, None); // warm-up solves size every buffer
+    let (allocs, ()) = allocations_during(|| {
+        for _ in 0..5 {
+            cycle(&mut hits, Some(Source::CacheHit));
+        }
+    });
+    assert_eq!(allocs, 0, "cache hits must not touch the heap, saw {allocs} allocations");
+
+    // Warm re-solve path: a 1-entry cache, so alternating points always
+    // miss, evict the resident snapshot to the freelist and re-solve
+    // from the slot's previous iterate.
+    let mut warm = EquilibriumServer::new(game, 1, 1);
+    cycle(&mut warm, None);
+    cycle(&mut warm, Some(Source::Warm));
+    let (allocs, ()) = allocations_during(|| {
+        for _ in 0..5 {
+            cycle(&mut warm, Some(Source::Warm));
+        }
+    });
+    assert_eq!(allocs, 0, "warm re-solves must not touch the heap, saw {allocs} allocations");
+}
+
+#[test]
 fn counter_actually_counts() {
     // Sanity check on the harness itself: an allocating closure must be
     // visible, otherwise the zero assertions above are vacuous.

@@ -108,6 +108,30 @@ proptest! {
     }
 
     #[test]
+    fn lane_blocking_edge_cases_are_bit_identical(
+        n in 2usize..=4,
+        count in 1usize..=9,
+        seed in 0u64..(1u64 << 40),
+    ) {
+        // K exceeding the ensemble (one undersized block), K=1 (every
+        // block partial relative to any larger K), and a K that leaves a
+        // partial trailing chunk all pack the same games — results must
+        // not depend on the chunking at all.
+        let games = ensemble(n, count, seed);
+        let reference = BatchSolver::default().with_lanes(64).solve_games(&games);
+        for k in [1, 2, count, count + 1] {
+            let other = BatchSolver::default().with_lanes(k).solve_games(&games);
+            for (l, (a, b)) in reference.iter().zip(&other).enumerate() {
+                let (a, b) = (a.as_ref().unwrap(), b.as_ref().unwrap());
+                prop_assert!(a.iterations == b.iterations, "K={} game {}", k, l);
+                for (x, y) in a.subsidies.iter().zip(&b.subsidies) {
+                    prop_assert!(x.to_bits() == y.to_bits(), "K={} game {}", k, l);
+                }
+            }
+        }
+    }
+
+    #[test]
     fn lane_mode_is_bit_identical_across_threads_and_lane_blocks(
         count in 6usize..=24,
         seed in 0u64..(1u64 << 32),
@@ -135,6 +159,76 @@ proptest! {
                         "subsidy bits drifted at threads={} lanes={}", threads, k
                     );
                 }
+            }
+        }
+    }
+}
+
+/// Deterministic pins for the lane-blocking edge cases, cheap enough to
+/// read as documentation: an oversized `K` collapses to one undersized
+/// block, a trailing partial chunk stays in the lane engine, and
+/// lane-ineligible games (the non-paper clamped-price convention) fall
+/// back to scalar threshold solves without disturbing result order.
+mod blocking_pins {
+    use super::*;
+
+    /// Bit-compares two batch outcomes game by game.
+    fn assert_bit_identical(
+        a: &[subcomp::num::error::NumResult<subcomp::game::nash::NashSolution>],
+        b: &[subcomp::num::error::NumResult<subcomp::game::nash::NashSolution>],
+        label: &str,
+    ) {
+        assert_eq!(a.len(), b.len(), "{label}: result count");
+        for (l, (x, y)) in a.iter().zip(b).enumerate() {
+            let (x, y) = (x.as_ref().unwrap(), y.as_ref().unwrap());
+            assert_eq!(x.iterations, y.iterations, "{label}: game {l} iterations");
+            assert!(x.converged && y.converged, "{label}: game {l} convergence");
+            for (s, t) in x.subsidies.iter().zip(&y.subsidies) {
+                assert_eq!(s.to_bits(), t.to_bits(), "{label}: game {l} subsidy bits");
+            }
+        }
+    }
+
+    #[test]
+    fn oversized_lane_block_collapses_to_one_undersized_block() {
+        let games = ensemble(3, 5, 41);
+        let exact = BatchSolver::default().with_lanes(5).solve_games(&games);
+        let oversized = BatchSolver::default().with_lanes(64).solve_games(&games);
+        assert_bit_identical(&exact, &oversized, "K=64 over 5 games");
+    }
+
+    #[test]
+    fn partial_trailing_block_stays_in_the_lane_engine() {
+        // 7 same-shape games with K=4: blocks of 4 and 3. The trailing
+        // 3-lane block must produce the same bits as an exact-fit run —
+        // short blocks are first-class, not a scalar detour.
+        let games = ensemble(3, 7, 43);
+        let chunked = BatchSolver::default().with_lanes(4).solve_games(&games);
+        let exact = BatchSolver::default().with_lanes(7).solve_games(&games);
+        assert_bit_identical(&chunked, &exact, "K=4 over 7 games");
+    }
+
+    #[test]
+    fn ineligible_games_fall_back_to_scalar_threshold_solves_in_order() {
+        // Alternate eligible and clamped-price (lane-ineligible) games.
+        // Every game — either path — must match its own cold scalar
+        // threshold solve bit for bit, in the original order.
+        let games: Vec<SubsidyGame> = ensemble(3, 6, 47)
+            .into_iter()
+            .enumerate()
+            .map(|(i, g)| if i % 2 == 0 { g.with_clamped_price(true) } else { g })
+            .collect();
+        assert!(games[0].clamps_effective_price() && !games[1].clamps_effective_price());
+
+        let batch = BatchSolver::default().with_lanes(4).solve_games(&games);
+        let scalar = NashSolver::default().with_threshold_br(true);
+        let mut ws = SolveWorkspace::new();
+        for (l, (game, got)) in games.iter().zip(&batch).enumerate() {
+            let stats = scalar.solve_into(game, WarmStart::Zero, &mut ws).unwrap();
+            let got = got.as_ref().unwrap();
+            assert_eq!(got.iterations, stats.iterations, "game {l}");
+            for (s, t) in got.subsidies.iter().zip(ws.subsidies()) {
+                assert_eq!(s.to_bits(), t.to_bits(), "game {l} subsidy bits");
             }
         }
     }

@@ -1,0 +1,209 @@
+//! Server tier: the resident equilibrium service end to end.
+//!
+//! Five contracts (see `tests/README.md`, "The server tier"):
+//!
+//! 1. **Cache hits are bit-identical to the solve that filled them.** A
+//!    repeated query returns the *same* shared snapshot (`Arc::ptr_eq`),
+//!    and that snapshot matches an independent cold solve of the same
+//!    market with the server's solver configuration bit for bit.
+//! 2. **The fingerprint sees every parameter.** A write on any [`Axis`]
+//!    — price, cap, capacity, any single provider's profitability —
+//!    forces a re-solve; writing the old value back restores the cache
+//!    hit.
+//! 3. **Eviction under pressure is deterministic LRU.** With a
+//!    `capacity`-entry cache, the least-recently-answered equilibrium is
+//!    the one that pays a re-solve.
+//! 4. **The warm-start ladder serves tangent steps.** After a
+//!    sensitivity read, a small write along the same axis is solved from
+//!    the Theorem 6 tangent extrapolation (and still converges onto the
+//!    true equilibrium); an oversized write is refused by the trust
+//!    region and degrades to the previous-iterate seed.
+//! 5. **Load-generator replay is deterministic.** Two servers fed the
+//!    same stream produce identical replies (bit-level checksum),
+//!    identical source mixes and identical cache counters.
+
+use std::sync::Arc;
+use subcomp::exp::scenarios::section5_system;
+use subcomp::exp::server::{
+    fingerprint, generate, summarize_latencies, EquilibriumServer, LoadGenConfig, Reply, Source,
+};
+use subcomp::game::game::{Axis, SubsidyGame};
+use subcomp::game::nash::{NashSolver, WarmStart};
+use subcomp::game::workspace::SolveWorkspace;
+use subcomp::num::error::NumError;
+
+/// The §5 market at the `serve_market` default operating point.
+fn section5_game() -> SubsidyGame {
+    SubsidyGame::new(section5_system(), 0.6, 0.8).expect("§5 market is valid")
+}
+
+#[test]
+fn cache_hit_is_bit_identical_to_the_cold_solve_that_filled_it() {
+    let mut server = EquilibriumServer::new(section5_game(), 2, 16);
+    let (cold, src) = server.equilibrium().unwrap();
+    assert_eq!(src, Source::Cold);
+    let (hit, src) = server.equilibrium().unwrap();
+    assert_eq!(src, Source::CacheHit);
+    assert!(Arc::ptr_eq(&cold, &hit), "a cache hit must return the shared snapshot");
+
+    // Independent reference: the server's solver configuration, cold,
+    // outside the server. Same market, same engine — same bits.
+    let game = section5_game();
+    let mut ws = SolveWorkspace::new();
+    let stats =
+        NashSolver::default().with_tol(1e-10).solve_into(&game, WarmStart::Zero, &mut ws).unwrap();
+    assert!(stats.converged);
+    assert_eq!(hit.subsidies().len(), ws.subsidies().len());
+    for (a, b) in hit.subsidies().iter().zip(ws.subsidies()) {
+        assert_eq!(a.to_bits(), b.to_bits(), "cached subsidies drifted off the cold solve");
+    }
+    for (a, b) in hit.utilities().iter().zip(ws.utilities()) {
+        assert_eq!(a.to_bits(), b.to_bits(), "cached utilities drifted off the cold solve");
+    }
+    assert_eq!(hit.state().phi.to_bits(), ws.state().phi.to_bits());
+}
+
+#[test]
+fn every_axis_write_changes_the_fingerprint_and_reverting_restores_the_hit() {
+    let n = section5_game().n();
+    let axes =
+        [Axis::Price, Axis::Cap, Axis::Mu, Axis::Profitability(0), Axis::Profitability(n - 1)];
+    let mut server = EquilibriumServer::new(section5_game(), 2, 64);
+    server.equilibrium().unwrap(); // prime the base point
+
+    for axis in axes {
+        let held = axis.value(server.game());
+        server.update(axis, held * 1.01).unwrap();
+        let (_, src) = server.equilibrium().unwrap();
+        assert_ne!(src, Source::CacheHit, "{axis:?}: a parameter write must force a re-solve");
+        server.update(axis, held).unwrap();
+        let (_, src) = server.equilibrium().unwrap();
+        assert_eq!(src, Source::CacheHit, "{axis:?}: reverting the write must restore the hit");
+    }
+}
+
+#[test]
+fn eviction_under_capacity_pressure_is_lru() {
+    let mut server = EquilibriumServer::new(section5_game(), 1, 2);
+    let prices = [0.5, 0.6, 0.7];
+    let mut answer_at = |p: f64| {
+        server.update(Axis::Price, p).unwrap();
+        let (_, src) = server.equilibrium().unwrap();
+        src
+    };
+    assert_eq!(answer_at(prices[0]), Source::Cold);
+    assert_ne!(answer_at(prices[1]), Source::CacheHit);
+    assert_ne!(answer_at(prices[2]), Source::CacheHit); // evicts prices[0]
+    assert_ne!(
+        answer_at(prices[0]),
+        Source::CacheHit,
+        "the least-recently-answered point must have been evicted"
+    ); // re-solving it evicts prices[1]
+    assert_eq!(answer_at(prices[2]), Source::CacheHit, "the hot tail must survive eviction");
+    let cs = server.cache_stats();
+    assert_eq!(cs.len, 2);
+    assert!(cs.evictions >= 2, "expected eviction traffic, saw {}", cs.evictions);
+}
+
+#[test]
+fn tangent_ladder_serves_small_steps_and_refuses_large_ones() {
+    let mut server = EquilibriumServer::new(section5_game(), 1, 16);
+    let (_, _, src) = server.sensitivity(Axis::Mu).unwrap();
+    assert_eq!(src, Source::Cold);
+
+    // A small step along the differentiated axis rides the tangent.
+    let mu = Axis::Mu.value(server.game());
+    server.update(Axis::Mu, mu + 0.05).unwrap();
+    let (snap, src) = server.equilibrium().unwrap();
+    assert_eq!(src, Source::Tangent, "a small single-axis step must use the tangent seed");
+
+    // And the tangent-seeded answer is the true equilibrium: compare to
+    // an independent cold solve at the stepped market.
+    let mut stepped = section5_game();
+    stepped.set_mu(mu + 0.05).unwrap();
+    let mut ws = SolveWorkspace::new();
+    NashSolver::default().with_tol(1e-10).solve_into(&stepped, WarmStart::Zero, &mut ws).unwrap();
+    for (a, b) in snap.subsidies().iter().zip(ws.subsidies()) {
+        assert!((a - b).abs() < 1e-8, "tangent-seeded solve landed off the equilibrium");
+    }
+
+    // An oversized step is outside the trust region: the policy refuses
+    // the extrapolation and the solve degrades to the warm slot iterate.
+    let (_, _, _) = server.sensitivity(Axis::Mu).unwrap();
+    let mu = Axis::Mu.value(server.game());
+    server.update(Axis::Mu, mu + 1.0).unwrap();
+    let (_, src) = server.equilibrium().unwrap();
+    assert_eq!(src, Source::Warm, "an out-of-trust-region step must not be extrapolated");
+}
+
+#[test]
+fn full_game_submission_keeps_the_fingerprint_cache() {
+    let mut server = EquilibriumServer::new(section5_game(), 2, 16);
+    let (first, src) = server.equilibrium().unwrap();
+    assert_eq!(src, Source::Cold);
+    // Submitting a market that fingerprints to a cached equilibrium is
+    // O(lookup), even though every warm seed was discarded.
+    let (resub, src) = server.submit(section5_game()).unwrap();
+    assert_eq!(src, Source::CacheHit);
+    assert!(Arc::ptr_eq(&first, &resub));
+    assert_eq!(fingerprint(server.game()), fingerprint(&section5_game()));
+}
+
+/// Folds a reply into a bit-level checksum, mirroring `serve_market`.
+fn checksum(acc: u64, reply: &Reply) -> u64 {
+    let mut acc = acc.rotate_left(1);
+    match reply {
+        Reply::Updated { value, .. } => acc ^= value.to_bits(),
+        Reply::Equilibrium { snap, .. } => {
+            for s in snap.subsidies() {
+                acc ^= s.to_bits();
+            }
+            acc ^= snap.state().phi.to_bits();
+        }
+        Reply::Sensitivity { ds, snap, .. } => {
+            for d in ds {
+                acc ^= d.to_bits();
+            }
+            acc ^= snap.state().phi.to_bits();
+        }
+    }
+    acc
+}
+
+#[test]
+fn load_generator_replay_through_the_server_is_deterministic() {
+    let config = LoadGenConfig { requests: 400, ..LoadGenConfig::default() };
+    let stream = generate(&config);
+    assert_eq!(stream, generate(&config), "the load generator itself must replay bit-identically");
+
+    let run = || {
+        let mut server = EquilibriumServer::new(section5_game(), 2, 8);
+        let mut sum = 0u64;
+        for req in &stream {
+            sum = checksum(sum, &server.serve(*req).unwrap());
+        }
+        (sum, server.stats(), server.cache_stats())
+    };
+    let (sum_a, stats_a, cache_a) = run();
+    let (sum_b, stats_b, cache_b) = run();
+    assert_eq!(sum_a, sum_b, "served replies diverged across identical replays");
+    assert_eq!(stats_a, stats_b, "server counters diverged across identical replays");
+    assert_eq!(cache_a, cache_b, "cache counters diverged across identical replays");
+    // The mix exercised every tier of interest: reads hit the cache
+    // (skewed hot keys revisit), and some writes forced real solves.
+    assert!(stats_a.cache_hits > 0, "no cache traffic: {stats_a:?}");
+    assert!(stats_a.cold_solves + stats_a.warm_solves > 0, "no solves: {stats_a:?}");
+    assert!(stats_a.updates > 0 && stats_a.sensitivities > 0, "mix collapsed: {stats_a:?}");
+}
+
+#[test]
+fn empty_latency_windows_are_errors_not_panics() {
+    // The report path regression behind `serve_market --warmup N` with
+    // N ≥ requests: an empty window is an explicit `NumError::Empty`
+    // from the stats primitives, which the binary renders as "n/a".
+    assert!(matches!(summarize_latencies(&[]), Err(NumError::Empty { .. })));
+    let s = summarize_latencies(&[5.0, 1.0, 3.0]).unwrap();
+    assert_eq!(s.count, 3);
+    assert_eq!(s.p50, 3.0);
+    assert_eq!(s.mean, 3.0);
+}
