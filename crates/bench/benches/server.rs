@@ -24,11 +24,25 @@
 //! `throughput` id: sustained wall-clock ns per request over the whole
 //! loop (requests/s = 1e9 / value), the inverse-throughput form that
 //! keeps the trajectory file in a single unit.
+//!
+//! The sharded tier rides the same conventions:
+//!
+//! * `server/sharded/S{1,2,4}/{p50,p99,throughput}` — the multi-market
+//!   interleaved stream (8 resident §5 markets) through a
+//!   [`ShardedServer`] at 1, 2 and 4 worker shards; read-latency
+//!   quantiles plus sustained inverse throughput over all requests.
+//! * `server/sharded/read_path/{locked,lockfree}` — median ns for the
+//!   same already-cached equilibrium read answered through the owning
+//!   shard's channel round-trip (`serve_direct`, `Source::CacheHit`) vs
+//!   the router's lock-free snapshot-index path (`Source::LockFree`).
 
 use std::time::Instant;
 use subcomp_core::game::SubsidyGame;
 use subcomp_exp::scenarios::section5_system;
-use subcomp_exp::server::{generate, EquilibriumServer, LoadGenConfig, Request, Source};
+use subcomp_exp::server::{
+    generate, generate_multi, EquilibriumServer, LoadGenConfig, Reply, Request, ShardedConfig,
+    ShardedServer, Source,
+};
 use subcomp_num::stats::{mean, quantile};
 
 use criterion::{criterion_group, criterion_main, record_metric, Criterion};
@@ -112,7 +126,8 @@ fn bench_mixed(_c: &mut Criterion) {
     let requests = if quick() { 600 } else { 12_000 };
     let warmup = requests / 10;
     let mut server = section5_server();
-    let stream = generate(&LoadGenConfig { requests, ..LoadGenConfig::default() });
+    let stream = generate(&LoadGenConfig { requests, ..LoadGenConfig::default() })
+        .expect("default load-generator config is valid");
     let mut samples = Vec::with_capacity(stream.len());
     let t_all = Instant::now();
     for (i, req) in stream.iter().enumerate() {
@@ -127,5 +142,96 @@ fn bench_mixed(_c: &mut Criterion) {
     publish("mixed", &samples, ns_per_req);
 }
 
-criterion_group!(benches, bench_cold, bench_warm_pool, bench_cache_hit, bench_mixed);
+/// Fresh copies of the §5 market as resident sharded-server markets.
+fn section5_markets(n: usize) -> Vec<(u64, SubsidyGame)> {
+    (0..n as u64)
+        .map(|id| (id, SubsidyGame::new(section5_system(), 0.6, 0.8).expect("§5 market is valid")))
+        .collect()
+}
+
+/// The multi-market interleaved stream through the sharded router at
+/// S = 1, 2, 4 worker shards. Per-market traffic is bit-identical across
+/// the three runs (the loadgen contract), so the ids differ only by the
+/// serving topology.
+fn bench_sharded(_c: &mut Criterion) {
+    let requests = if quick() { 120 } else { 2_500 }; // per market
+    let markets = 8;
+    let stream = generate_multi(&LoadGenConfig { requests, ..LoadGenConfig::default() }, markets)
+        .expect("default load-generator config is valid");
+    let warmup = stream.len() / 10;
+    for shards in [1usize, 2, 4] {
+        let mut server = ShardedServer::new(
+            section5_markets(markets),
+            &ShardedConfig { shards, pool: 2, cache: 64 },
+        )
+        .expect("sharded config is valid");
+        let mut samples = Vec::with_capacity(stream.len());
+        let t_all = Instant::now();
+        for (i, (market, req)) in stream.iter().enumerate() {
+            let t0 = Instant::now();
+            server.serve(*market, *req).expect("load-generator requests are valid");
+            let dt = t0.elapsed().as_nanos() as f64;
+            if i >= warmup && !matches!(req, Request::Update { .. }) {
+                samples.push(dt);
+            }
+        }
+        let ns_per_req = t_all.elapsed().as_nanos() as f64 / stream.len() as f64;
+        record_metric(
+            &format!("server/sharded/S{shards}/p50"),
+            quantile(&samples, 0.50).expect("samples"),
+        );
+        record_metric(
+            &format!("server/sharded/S{shards}/p99"),
+            quantile(&samples, 0.99).expect("samples"),
+        );
+        record_metric(&format!("server/sharded/S{shards}/throughput"), ns_per_req);
+    }
+}
+
+/// Reading the *same* already-cached equilibrium two ways: through the
+/// owning shard's channel round-trip vs the router's lock-free snapshot
+/// index. The source assertions keep both loops honest.
+fn bench_read_path(_c: &mut Criterion) {
+    let reads = if quick() { 1_000 } else { 30_000 };
+    let mut server = ShardedServer::new(section5_markets(1), &ShardedConfig::default())
+        .expect("sharded config is valid");
+    server.serve(0, Request::Equilibrium).expect("priming solve"); // solved + published
+    let time_path = |server: &mut ShardedServer,
+                     expect: Source,
+                     via: fn(&mut ShardedServer) -> Reply|
+     -> Vec<f64> {
+        let mut samples = Vec::with_capacity(reads);
+        for _ in 0..reads {
+            let t0 = Instant::now();
+            let reply = via(server);
+            let dt = t0.elapsed().as_nanos() as f64;
+            match reply {
+                Reply::Equilibrium { source, .. } => {
+                    assert_eq!(source, expect, "read path drifted")
+                }
+                other => panic!("equilibrium read answered {other:?}"),
+            }
+            samples.push(dt);
+        }
+        samples
+    };
+    let locked = time_path(&mut server, Source::CacheHit, |s| {
+        s.serve_direct(0, Request::Equilibrium).expect("cached read")
+    });
+    let lockfree = time_path(&mut server, Source::LockFree, |s| {
+        s.serve(0, Request::Equilibrium).expect("cached read")
+    });
+    record_metric("server/sharded/read_path/locked", quantile(&locked, 0.50).expect("samples"));
+    record_metric("server/sharded/read_path/lockfree", quantile(&lockfree, 0.50).expect("samples"));
+}
+
+criterion_group!(
+    benches,
+    bench_cold,
+    bench_warm_pool,
+    bench_cache_hit,
+    bench_mixed,
+    bench_sharded,
+    bench_read_path
+);
 criterion_main!(benches);

@@ -1,46 +1,56 @@
-//! `serve_market` — the equilibrium server under deterministic load.
+//! `serve_market` — the (sharded) equilibrium service under deterministic
+//! load.
 //!
-//! Stands up a resident [`EquilibriumServer`] over the paper's §5 market
-//! and drives it with the stream-split load generator: mixed read/update
-//! traffic over a hot-key table with Zipf-like skew. The report shows how
-//! the request mix decomposed into answer sources (cache hit / tangent /
-//! warm / cold), the cache counters, and a bit-level response checksum —
-//! everything above the `timing` line is deterministic for a given
-//! configuration, so the output diffs cleanly across machines.
+//! Stands up a [`ShardedServer`] over one or more resident copies of the
+//! paper's §5 market and drives it with the stream-split load generator:
+//! mixed read/update traffic over a hot-key table with Zipf-like skew,
+//! interleaved across markets, each market pinned to a worker shard by
+//! stable hash. The report shows how the request mix decomposed into
+//! answer sources (lock-free / cache hit / tangent / warm / cold), the
+//! per-shard counters, and a bit-level response checksum — everything
+//! above the `timing` line is deterministic for a given configuration,
+//! so the output diffs cleanly across machines *and across shard counts*
+//! (per-market streams and replies do not depend on `--shards`).
 //!
 //! Usage:
 //!   `cargo run --release -p subcomp-exp --bin serve_market [-- OPTIONS]`
 //!
 //! Options (all with defaults):
-//!   `--requests N`    requests to serve (default 2000)
+//!   `--requests N`    requests to serve per market (default 2000)
+//!   `--markets M`     resident markets (default 1)
+//!   `--shards S`      worker shards (default 1)
 //!   `--keys K`        hot operating points (default 8)
 //!   `--skew Z`        Zipf-like skew over the keys (default 1.0)
-//!   `--read-frac F`   fraction of read steps (default 0.8)
-//!   `--sens-frac F`   fraction of reads asking for a sensitivity (default 0.1)
-//!   `--pool P`        warm workspaces (default 2)
-//!   `--cache C`       cache capacity in equilibria (default 64)
+//!   `--read-frac F`   probability a step is a plain read (default 0.8)
+//!   `--sens-frac F`   probability a step is a sensitivity read (default 0.1)
+//!                     (the fractions must sum to at most 1; the
+//!                     remainder switches the operating point)
+//!   `--pool P`        warm workspaces per market (default 2)
+//!   `--cache C`       cache capacity per market, 0 = always-miss (default 64)
 //!   `--seed S`        master seed (default 7)
 //!   `--warmup W`      requests excluded from the latency window (default 100)
 //!
 //! Latency percentiles come from `num::stats::quantile`, which reports an
-//! explicit error on an empty window (e.g. `--warmup` ≥ `--requests`);
+//! explicit error on an empty window (e.g. `--warmup` ≥ total requests);
 //! the report prints `n/a` for that window instead of dying.
 //!
 //! Bad arguments exit with a one-line usage error on stderr; any request
 //! the server rejects exits 1 after the report.
 //!
-//! [`EquilibriumServer`]: subcomp_exp::server::EquilibriumServer
+//! [`ShardedServer`]: subcomp_exp::server::ShardedServer
 
 use std::time::Instant;
 use subcomp_core::game::SubsidyGame;
 use subcomp_exp::scenarios::section5_system;
 use subcomp_exp::server::{
-    generate, summarize_latencies, EquilibriumServer, LoadGenConfig, Reply, Source,
+    generate_multi, summarize_latencies, LoadGenConfig, Reply, ShardedConfig, ShardedServer, Source,
 };
 
 #[derive(Debug)]
 struct Args {
     requests: usize,
+    markets: usize,
+    shards: usize,
     keys: usize,
     skew: f64,
     read_frac: f64,
@@ -56,6 +66,8 @@ struct Args {
 fn parse_args_from<I: IntoIterator<Item = String>>(argv: I) -> Result<Args, String> {
     let mut args = Args {
         requests: 2000,
+        markets: 1,
+        shards: 1,
         keys: 8,
         skew: 1.0,
         read_frac: 0.8,
@@ -77,6 +89,10 @@ fn parse_args_from<I: IntoIterator<Item = String>>(argv: I) -> Result<Args, Stri
                 Err(_) => Err(format!("{what}: expected a positive integer, got {raw:?}")),
             }
         };
+        let count = |what: &str, raw: String| -> Result<usize, String> {
+            raw.parse::<usize>()
+                .map_err(|_| format!("{what}: expected a non-negative integer, got {raw:?}"))
+        };
         let fraction = |what: &str, raw: String| -> Result<f64, String> {
             match raw.parse::<f64>() {
                 Ok(v) if (0.0..=1.0).contains(&v) => Ok(v),
@@ -86,6 +102,8 @@ fn parse_args_from<I: IntoIterator<Item = String>>(argv: I) -> Result<Args, Stri
         };
         match flag.as_str() {
             "--requests" => args.requests = positive("--requests", take("--requests")?)?,
+            "--markets" => args.markets = positive("--markets", take("--markets")?)?,
+            "--shards" => args.shards = positive("--shards", take("--shards")?)?,
             "--keys" => args.keys = positive("--keys", take("--keys")?)?,
             "--skew" => {
                 let raw = take("--skew")?;
@@ -97,7 +115,7 @@ fn parse_args_from<I: IntoIterator<Item = String>>(argv: I) -> Result<Args, Stri
             "--read-frac" => args.read_frac = fraction("--read-frac", take("--read-frac")?)?,
             "--sens-frac" => args.sens_frac = fraction("--sens-frac", take("--sens-frac")?)?,
             "--pool" => args.pool = positive("--pool", take("--pool")?)?,
-            "--cache" => args.cache = positive("--cache", take("--cache")?)?,
+            "--cache" => args.cache = count("--cache", take("--cache")?)?,
             "--seed" => {
                 args.seed = take("--seed")?
                     .parse()
@@ -110,6 +128,17 @@ fn parse_args_from<I: IntoIterator<Item = String>>(argv: I) -> Result<Args, Stri
             }
             other => return Err(format!("unknown flag {other} (see the module docs)")),
         }
+    }
+    // The two fractions are disjoint shares of one categorical draw; a
+    // sum above 1 would silently skew the mix (the old behavior) — reject
+    // it at the door instead.
+    if args.read_frac + args.sens_frac > 1.0 {
+        return Err(format!(
+            "--read-frac + --sens-frac must not exceed 1 (got {} + {} = {})",
+            args.read_frac,
+            args.sens_frac,
+            args.read_frac + args.sens_frac
+        ));
     }
     Ok(args)
 }
@@ -125,10 +154,11 @@ fn parse_args() -> Args {
 }
 
 /// Folds a reply into the running bit-level checksum: XOR of the bits of
-/// every float the client would see. Order-sensitive enough to catch any
-/// drift in the served sequence, cheap enough to be free.
-fn checksum(acc: u64, reply: &Reply) -> u64 {
-    let mut acc = acc.rotate_left(1);
+/// every float the client would see, salted with the market the reply
+/// belongs to. Order-sensitive enough to catch any drift in the served
+/// sequence, cheap enough to be free.
+fn checksum(acc: u64, market: u64, reply: &Reply) -> u64 {
+    let mut acc = acc.rotate_left(1) ^ market.wrapping_mul(0x9E37_79B9_7F4A_7C15);
     match reply {
         Reply::Updated { value, .. } => acc ^= value.to_bits(),
         Reply::Equilibrium { snap, .. } => {
@@ -160,11 +190,13 @@ fn print_window(label: &str, samples: &[f64]) {
 
 fn main() {
     let args = parse_args();
-    println!("serve_market: resident equilibrium server under deterministic load");
+    println!("serve_market: sharded equilibrium service under deterministic load");
     println!(
-        "config: requests={} keys={} skew={} read-frac={} sens-frac={} pool={} cache={} \
-         seed={} warmup={}",
+        "config: requests={}/market markets={} shards={} keys={} skew={} read-frac={} \
+         sens-frac={} pool={} cache={} seed={} warmup={}",
         args.requests,
+        args.markets,
+        args.shards,
         args.keys,
         args.skew,
         args.read_frac,
@@ -175,25 +207,41 @@ fn main() {
         args.warmup
     );
 
-    let game = SubsidyGame::new(section5_system(), 0.6, 0.8).expect("§5 market is valid");
-    let mut server = EquilibriumServer::new(game, args.pool, args.cache);
-    let requests = generate(&LoadGenConfig {
-        requests: args.requests,
-        seed: args.seed,
-        read_fraction: args.read_frac,
-        sensitivity_fraction: args.sens_frac,
-        hot_keys: args.keys,
-        skew: args.skew,
+    let markets: Vec<(u64, SubsidyGame)> = (0..args.markets as u64)
+        .map(|id| (id, SubsidyGame::new(section5_system(), 0.6, 0.8).expect("§5 market is valid")))
+        .collect();
+    let mut server = ShardedServer::new(
+        markets,
+        &ShardedConfig { shards: args.shards, pool: args.pool, cache: args.cache },
+    )
+    .unwrap_or_else(|e| {
+        eprintln!("serve_market: {e}");
+        std::process::exit(2);
+    });
+    let stream = generate_multi(
+        &LoadGenConfig {
+            requests: args.requests,
+            seed: args.seed,
+            read_fraction: args.read_frac,
+            sensitivity_fraction: args.sens_frac,
+            hot_keys: args.keys,
+            skew: args.skew,
+        },
+        args.markets,
+    )
+    .unwrap_or_else(|e| {
+        eprintln!("serve_market: {e}");
+        std::process::exit(2);
     });
 
     let mut sum = 0u64;
     let mut failures = 0usize;
-    let mut sources = [0usize; 4]; // cache-hit, tangent, warm, cold
-    let mut latencies = Vec::with_capacity(requests.len());
+    let mut sources = [0usize; 5]; // lock-free, cache-hit, tangent, warm, cold
+    let mut latencies = Vec::with_capacity(stream.len());
     let start = Instant::now();
-    for req in &requests {
+    for (market, req) in &stream {
         let t0 = Instant::now();
-        match server.serve(*req) {
+        match server.serve(*market, *req) {
             Ok(reply) => {
                 latencies.push(t0.elapsed().as_nanos() as f64);
                 let source = match &reply {
@@ -204,13 +252,14 @@ fn main() {
                 };
                 if let Some(source) = source {
                     sources[match source {
-                        Source::CacheHit => 0,
-                        Source::Tangent => 1,
-                        Source::Warm => 2,
-                        Source::Cold => 3,
+                        Source::LockFree => 0,
+                        Source::CacheHit => 1,
+                        Source::Tangent => 2,
+                        Source::Warm => 3,
+                        Source::Cold => 4,
                     }] += 1;
                 }
-                sum = checksum(sum, &reply);
+                sum = checksum(sum, *market, &reply);
             }
             Err(e) => {
                 latencies.push(t0.elapsed().as_nanos() as f64);
@@ -221,31 +270,57 @@ fn main() {
     }
     let elapsed = start.elapsed();
 
-    let st = server.stats();
-    let cs = server.cache_stats();
+    let reports = server.shard_reports().unwrap_or_else(|e| {
+        eprintln!("serve_market: {e}");
+        std::process::exit(1);
+    });
+    let total =
+        |f: fn(&subcomp_exp::server::ShardReport) -> u64| -> u64 { reports.iter().map(f).sum() };
     println!(
-        "served: {} requests ({} updates, {} equilibria, {} sensitivities, {} failed)",
-        requests.len(),
-        st.updates,
-        st.equilibria,
-        st.sensitivities,
+        "served: {} requests ({} updates, {} equilibria, {} sensitivities on shards, \
+         {} lock-free, {} failed)",
+        stream.len(),
+        total(|r| r.stats.updates),
+        total(|r| r.stats.equilibria),
+        total(|r| r.stats.sensitivities),
+        server.lockfree_hits(),
         failures
     );
     println!(
-        "answer sources: {} cache-hit, {} tangent, {} warm, {} cold",
-        sources[0], sources[1], sources[2], sources[3]
+        "answer sources: {} lock-free, {} cache-hit, {} tangent, {} warm, {} cold",
+        sources[0], sources[1], sources[2], sources[3], sources[4]
     );
     println!(
-        "cache: {} hits, {} misses, {} insertions, {} evictions, {}/{} resident",
-        cs.hits, cs.misses, cs.insertions, cs.evictions, cs.len, cs.capacity
+        "cache (all shards): {} hits, {} misses, {} insertions, {} evictions, {}/{} resident",
+        total(|r| r.cache.hits),
+        total(|r| r.cache.misses),
+        total(|r| r.cache.insertions),
+        total(|r| r.cache.evictions),
+        reports.iter().map(|r| r.cache.len).sum::<usize>(),
+        reports.iter().map(|r| r.cache.capacity).sum::<usize>(),
     );
+    for r in &reports {
+        println!(
+            "shard {}: markets={}, {} updates, {} equilibria, {} sensitivities, \
+             {} cache-hit, {} tangent, {} warm, {} cold",
+            r.shard,
+            r.markets,
+            r.stats.updates,
+            r.stats.equilibria,
+            r.stats.sensitivities,
+            r.stats.cache_hits,
+            r.stats.tangent_solves,
+            r.stats.warm_solves,
+            r.stats.cold_solves
+        );
+    }
     println!("response checksum: {sum:016x}");
     let measured = &latencies[args.warmup.min(latencies.len())..];
     print_window("steady state", measured);
     println!(
         "timing (non-deterministic): {:.3}s wall, {:.0} requests/s",
         elapsed.as_secs_f64(),
-        requests.len() as f64 / elapsed.as_secs_f64().max(1e-9)
+        stream.len() as f64 / elapsed.as_secs_f64().max(1e-9)
     );
     if failures > 0 {
         std::process::exit(1);
@@ -264,15 +339,36 @@ mod tests {
     fn bad_arguments_are_usage_errors_not_panics() {
         assert!(parse(&["--requests", "0"]).is_err());
         assert!(parse(&["--keys", "0"]).is_err());
+        assert!(parse(&["--markets", "0"]).is_err());
+        assert!(parse(&["--shards", "0"]).is_err());
         assert!(parse(&["--read-frac", "1.5"]).is_err());
         assert!(parse(&["--sens-frac", "-0.1"]).is_err());
         assert!(parse(&["--skew", "-1"]).is_err());
         assert!(parse(&["--skew", "inf"]).is_err());
         assert!(parse(&["--pool"]).is_err());
+        assert!(parse(&["--cache", "-1"]).is_err());
         assert!(parse(&["--wat", "1"]).is_err());
         for bad in [parse(&["--keys", "0"]).unwrap_err(), parse(&["--skew", "-1"]).unwrap_err()] {
             assert!(!bad.contains('\n'), "multi-line usage error: {bad:?}");
         }
+    }
+
+    #[test]
+    fn fraction_sum_above_one_is_a_usage_error() {
+        // The regression: 0.8 + 0.3 used to be silently accepted and
+        // skewed the op mix; it must be a one-line usage error now.
+        let bad = parse(&["--read-frac", "0.8", "--sens-frac", "0.3"]).unwrap_err();
+        assert!(bad.contains("must not exceed 1"), "unexpected message: {bad}");
+        assert!(!bad.contains('\n'), "multi-line usage error: {bad:?}");
+        // Each flag alone stays within its own [0, 1] check (the sens
+        // value must still clear the 0.8 default read fraction).
+        assert!(parse(&["--read-frac", "0.8"]).is_ok());
+        assert!(parse(&["--sens-frac", "0.2"]).is_ok());
+        // The default read fraction participates in the sum check too.
+        assert!(parse(&["--sens-frac", "0.3"]).unwrap_err().contains("must not exceed 1"));
+        // Summing exactly to 1 is valid (a switch-free workload).
+        let ok = parse(&["--read-frac", "0.75", "--sens-frac", "0.25"]).unwrap();
+        assert_eq!(ok.read_frac + ok.sens_frac, 1.0);
     }
 
     #[test]
@@ -288,6 +384,10 @@ mod tests {
             "3",
             "--cache",
             "16",
+            "--shards",
+            "4",
+            "--markets",
+            "8",
         ])
         .unwrap();
         assert_eq!(args.requests, 500);
@@ -295,8 +395,14 @@ mod tests {
         assert_eq!(args.skew, 1.5);
         assert_eq!(args.pool, 3);
         assert_eq!(args.cache, 16);
+        assert_eq!(args.shards, 4);
+        assert_eq!(args.markets, 8);
         let defaults = parse(&[]).unwrap();
         assert_eq!(defaults.warmup, 100);
         assert_eq!(defaults.cache, 64);
+        assert_eq!(defaults.markets, 1);
+        assert_eq!(defaults.shards, 1);
+        // Capacity 0 is the documented always-miss configuration.
+        assert_eq!(parse(&["--cache", "0"]).unwrap().cache, 0);
     }
 }

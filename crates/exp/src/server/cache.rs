@@ -69,9 +69,12 @@ impl std::fmt::Debug for EqCache {
 }
 
 impl EqCache {
-    /// A cache holding at most `capacity` equilibria (at least 1).
+    /// A cache holding at most `capacity` equilibria. Capacity 0 is a
+    /// valid **always-miss** cache: every lookup misses and every insert
+    /// retires its snapshot straight to the freelist (counted as an
+    /// insertion plus an immediate eviction), so capture-buffer recycling
+    /// keeps working with caching disabled.
     pub fn new(capacity: usize) -> EqCache {
-        let capacity = capacity.max(1);
         EqCache {
             capacity,
             clock: 0,
@@ -118,6 +121,17 @@ impl EqCache {
     /// evicted snapshot retires to the freelist for [`EqCache::blank`].
     pub fn insert(&mut self, key: u64, snap: Arc<EqSnapshot>) {
         self.clock += 1;
+        if self.capacity == 0 {
+            // Always-miss mode: nothing can reside, so the snapshot is
+            // evicted at birth — but it still retires to the freelist so
+            // the blank()/capture recycling loop stays allocation-free.
+            if self.free.len() < self.free.capacity() {
+                self.free.push(snap);
+            }
+            self.insertions += 1;
+            self.evictions += 1;
+            return;
+        }
         if self.map.len() >= self.capacity && !self.map.contains_key(&key) {
             let victim = self
                 .map
@@ -125,7 +139,7 @@ impl EqCache {
                 .map(|(&k, e)| (e.last_used, k))
                 .min()
                 .map(|(_, k)| k)
-                .expect("cache is full, so non-empty");
+                .expect("cache is full with capacity >= 1, so non-empty");
             let entry = self.map.remove(&victim).expect("victim key just found");
             self.free.push(entry.snap);
             self.evictions += 1;
@@ -137,6 +151,14 @@ impl EqCache {
     /// Whether `key` is resident (no recency touch, no counter bump).
     pub fn contains(&self, key: u64) -> bool {
         self.map.contains_key(&key)
+    }
+
+    /// The resident snapshot for `key`, with **no** recency touch and no
+    /// counter bump — introspection for tests and the sharded router's
+    /// identity checks, never a serving path (it would perturb LRU
+    /// replay determinism).
+    pub fn peek(&self, key: u64) -> Option<Arc<EqSnapshot>> {
+        self.map.get(&key).map(|entry| Arc::clone(&entry.snap))
     }
 
     /// Drops every entry (retiring snapshots to the freelist) while
@@ -227,10 +249,51 @@ mod tests {
     }
 
     #[test]
-    fn zero_capacity_is_clamped_to_one() {
+    fn zero_capacity_is_a_valid_always_miss_cache() {
+        // The regression behind `.expect("cache is full, so non-empty")`:
+        // inserting into a capacity-0 cache used to look for an eviction
+        // victim in an empty map and panic. It is now a well-defined
+        // always-miss cache.
         let mut cache = EqCache::new(0);
         cache.insert(1, snap());
+        assert!(cache.get(1).is_none(), "nothing can reside at capacity 0");
+        let st = cache.stats();
+        assert_eq!((st.capacity, st.len), (0, 0));
+        assert_eq!((st.insertions, st.evictions), (1, 1), "insert counts as evict-at-birth");
+        assert_eq!((st.hits, st.misses), (0, 1));
+        // The recycling loop still works: the retired snapshot comes
+        // back as the next capture buffer.
+        let recycled = cache.blank();
+        assert_eq!(Arc::strong_count(&recycled), 1);
+        cache.insert(2, recycled);
+        assert!(!cache.contains(2));
+    }
+
+    #[test]
+    fn eviction_at_capacity_one_keeps_only_the_newest_entry() {
+        let mut cache = EqCache::new(1);
+        cache.insert(1, snap());
         assert!(cache.get(1).is_some());
-        assert_eq!(cache.stats().capacity, 1);
+        cache.insert(2, snap());
+        assert!(!cache.contains(1), "capacity 1 evicts the previous entry");
+        assert!(cache.get(2).is_some());
+        let st = cache.stats();
+        assert_eq!((st.len, st.insertions, st.evictions), (1, 2, 1));
+        // Re-inserting the resident key replaces in place, no eviction.
+        cache.insert(2, snap());
+        assert_eq!(cache.stats().evictions, 1);
+        assert_eq!(cache.stats().len, 1);
+    }
+
+    #[test]
+    fn peek_is_counterless_introspection() {
+        let mut cache = EqCache::new(2);
+        let s = snap();
+        cache.insert(7, Arc::clone(&s));
+        let before = cache.stats();
+        let peeked = cache.peek(7).expect("resident");
+        assert!(Arc::ptr_eq(&peeked, &s), "peek hands out the shared snapshot");
+        assert!(cache.peek(8).is_none());
+        assert_eq!(cache.stats(), before, "peek must not move any counter");
     }
 }

@@ -17,11 +17,22 @@
 //!
 //! Float bits are canonicalized so `-0.0` and `0.0` — equal as market
 //! parameters — produce the same key (the golden-codec round-trip keeps
-//! the two distinguishable as *bytes*; the fingerprint must not).
+//! the two distinguishable as *bytes*; the fingerprint must not). A
+//! **non-finite** probe response is a typed [`NumError::NonFinite`]
+//! instead of a key: NaN never compares equal to itself, so a NaN-bearing
+//! fingerprint would never match its own cache entry and every lookup of
+//! that market would silently miss. Scalar parameters are validated at
+//! write time, but the probed curves are caller-supplied trait objects
+//! and can return anything — the fingerprint is where that surface is
+//! screened, and the server turns the error into a failed request.
+//!
 //! Hashing is FNV-1a over the canonical bit stream: deterministic across
 //! runs and platforms, and allocation-free.
+//!
+//! [`Axis`]: subcomp_core::game::Axis
 
 use subcomp_core::game::SubsidyGame;
+use subcomp_num::error::{NumError, NumResult};
 
 const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
 const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
@@ -37,14 +48,14 @@ const PROBE_PRICES: [f64; 3] = [0.25, 0.75, 1.5];
 const PROBE_PHIS: [f64; 3] = [0.2, 0.5, 0.9];
 
 /// `-0.0` and `0.0` are the same market parameter; give them one bit
-/// pattern. (Non-finite values cannot reach here — every game parameter
-/// is validated at write time.)
-fn canonical_bits(x: f64) -> u64 {
-    if x == 0.0 {
-        0
-    } else {
-        x.to_bits()
+/// pattern. A non-finite value has no canonical pattern at all — it
+/// would poison the key (see the module docs), so it is rejected here
+/// with the name of the quantity that produced it.
+fn canonical_bits(what: &'static str, x: f64) -> NumResult<u64> {
+    if !x.is_finite() {
+        return Err(NumError::NonFinite { what, at: x });
     }
+    Ok(if x == 0.0 { 0 } else { x.to_bits() })
 }
 
 /// FNV-1a over one 64-bit word, byte by byte.
@@ -56,24 +67,25 @@ fn mix(mut h: u64, word: u64) -> u64 {
     h
 }
 
-/// The canonical 64-bit fingerprint of a game. Allocation-free.
-pub fn fingerprint(game: &SubsidyGame) -> u64 {
+/// The canonical 64-bit fingerprint of a game, or a typed error if any
+/// covered parameter or probe response is non-finite. Allocation-free.
+pub fn fingerprint(game: &SubsidyGame) -> NumResult<u64> {
     let mut h = mix(FNV_OFFSET, VERSION);
     h = mix(h, game.n() as u64);
     h = mix(h, game.clamps_effective_price() as u64);
-    h = mix(h, canonical_bits(game.system().mu()));
-    h = mix(h, canonical_bits(game.price()));
-    h = mix(h, canonical_bits(game.cap()));
+    h = mix(h, canonical_bits("fingerprint: capacity µ", game.system().mu())?);
+    h = mix(h, canonical_bits("fingerprint: price p", game.price())?);
+    h = mix(h, canonical_bits("fingerprint: cap q", game.cap())?);
     for cp in game.system().cps() {
-        h = mix(h, canonical_bits(cp.profitability()));
+        h = mix(h, canonical_bits("fingerprint: profitability v_i", cp.profitability())?);
         for t in PROBE_PRICES {
-            h = mix(h, canonical_bits(cp.population(t)));
+            h = mix(h, canonical_bits("fingerprint: demand probe n_i(t)", cp.population(t))?);
         }
         for phi in PROBE_PHIS {
-            h = mix(h, canonical_bits(cp.lambda(phi)));
+            h = mix(h, canonical_bits("fingerprint: throughput probe λ_i(φ)", cp.lambda(phi))?);
         }
     }
-    h
+    Ok(h)
 }
 
 #[cfg(test)]
@@ -86,28 +98,32 @@ mod tests {
         SubsidyGame::new(section3_system(), 0.6, 0.8).unwrap()
     }
 
+    fn key(game: &SubsidyGame) -> u64 {
+        fingerprint(game).expect("finite market fingerprints cleanly")
+    }
+
     #[test]
     fn deterministic_and_axis_sensitive() {
-        let base = fingerprint(&game());
-        assert_eq!(base, fingerprint(&game()), "same game, same key");
+        let base = key(&game());
+        assert_eq!(base, key(&game()), "same game, same key");
         for axis in [Axis::Price, Axis::Cap, Axis::Mu, Axis::Profitability(0)] {
             let mut g = game();
             let v = axis.value(&g);
             axis.apply(&mut g, v + 0.05).unwrap();
-            assert_ne!(base, fingerprint(&g), "{} must perturb the key", axis.describe());
+            assert_ne!(base, key(&g), "{} must perturb the key", axis.describe());
             // Writing the original value back restores the key exactly.
             axis.apply(&mut g, v).unwrap();
-            assert_eq!(base, fingerprint(&g));
+            assert_eq!(base, key(&g));
         }
     }
 
     #[test]
     fn clamp_flag_and_market_shape_are_covered() {
-        let base = fingerprint(&game());
+        let base = key(&game());
         let clamped = game().with_clamped_price(true);
-        assert_ne!(base, fingerprint(&clamped));
+        assert_ne!(base, key(&clamped));
         let other = SubsidyGame::new(random_system(4, 99, 1.0), 0.6, 0.8).unwrap();
-        assert_ne!(base, fingerprint(&other));
+        assert_ne!(base, key(&other));
     }
 
     #[test]
@@ -117,5 +133,21 @@ mod tests {
         let a = SubsidyGame::new(section3_system(), 0.6, 0.0).unwrap();
         let b = SubsidyGame::new(section3_system(), 0.6, -0.0).unwrap();
         assert_eq!(fingerprint(&a), fingerprint(&b));
+    }
+
+    #[test]
+    fn non_finite_canonical_bits_are_typed_errors() {
+        // The scalar screening primitive itself: NaN and both infinities
+        // are rejected with the quantity's name; finite values pass.
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            match canonical_bits("fingerprint: demand probe n_i(t)", bad) {
+                Err(NumError::NonFinite { what, .. }) => {
+                    assert!(what.contains("fingerprint"), "error lost its context: {what}");
+                }
+                other => panic!("non-finite value produced {other:?}"),
+            }
+        }
+        assert_eq!(canonical_bits("x", -0.0).unwrap(), 0);
+        assert_eq!(canonical_bits("x", 1.5).unwrap(), 1.5f64.to_bits());
     }
 }

@@ -9,27 +9,56 @@
 //! hit rate is governed by `hot_keys`, `skew` and the cache capacity —
 //! not by float jitter.
 //!
+//! The operation mix is a three-way categorical split per step:
+//! sensitivity read with probability `sensitivity_fraction`, plain
+//! equilibrium read with probability `read_fraction`, operating-point
+//! switch with the remainder — so the two configured fractions must sum
+//! to at most 1, which [`LoadGenConfig::validate`] enforces with a typed
+//! error instead of silently skewing the mix. Discrete choices (the
+//! sensitivity axis) use the exact integer draw [`SimRng::below`], never
+//! a float-range cast.
+//!
 //! Determinism follows the sim crate's stream-split discipline
 //! ([`SimRng::stream`]): the key table, the key-choice sequence and the
 //! operation-choice sequence each draw from an independent sub-stream of
 //! one master seed, so changing (say) the read fraction cannot perturb
 //! *which* keys the stream visits. Same config, same requests — the
 //! replay property the server tier tests pin.
+//!
+//! [`generate_multi`] extends the discipline to several resident
+//! markets: market `m` derives its own *master* seed from the
+//! config seed via [`SimRng::stream_seed`] and generates exactly the
+//! single-market stream for that seed, while a separate scheduler
+//! sub-stream interleaves the per-market queues. Each market's
+//! subsequence is therefore bit-identical to its standalone stream —
+//! independent of how many markets ride along or how many shards serve
+//! them, the replay contract of the sharded server tier.
 
 use super::Request;
 use subcomp_core::game::Axis;
+use subcomp_num::error::{NumError, NumResult};
 use subcomp_sim::rng::SimRng;
+
+/// Sub-stream indices of the master seed. Markets beyond the first get
+/// their own derived master seeds starting at `STREAM_MARKET_BASE`.
+const STREAM_KEY_TABLE: u64 = 0;
+const STREAM_KEY_CHOICE: u64 = 1;
+const STREAM_OP_CHOICE: u64 = 2;
+const STREAM_SCHEDULER: u64 = 3;
+const STREAM_MARKET_BASE: u64 = 4;
 
 /// Configuration of one generated request stream.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LoadGenConfig {
-    /// Total requests to emit.
+    /// Total requests to emit (per market, for [`generate_multi`]).
     pub requests: usize,
     /// Master seed; all sub-streams derive from it.
     pub seed: u64,
-    /// Fraction of steps that read (vs. switch operating point).
+    /// Probability that a step is a plain equilibrium read.
     pub read_fraction: f64,
-    /// Fraction of reads that also ask for a sensitivity.
+    /// Probability that a step is a sensitivity read. Together with
+    /// `read_fraction` this must not exceed 1; the remainder switches
+    /// the operating point.
     pub sensitivity_fraction: f64,
     /// Number of hot operating points.
     pub hot_keys: usize,
@@ -47,6 +76,33 @@ impl Default for LoadGenConfig {
             hot_keys: 8,
             skew: 1.0,
         }
+    }
+}
+
+impl LoadGenConfig {
+    /// Checks the configuration is a well-defined workload: both
+    /// fractions in `[0, 1]`, their sum at most 1 (they are disjoint
+    /// shares of one categorical draw), and a finite non-negative skew.
+    pub fn validate(&self) -> NumResult<()> {
+        for (what, f) in [
+            ("load generator: read fraction", self.read_fraction),
+            ("load generator: sensitivity fraction", self.sensitivity_fraction),
+        ] {
+            if !f.is_finite() || !(0.0..=1.0).contains(&f) {
+                return Err(NumError::Domain { what, value: f });
+            }
+        }
+        let sum = self.read_fraction + self.sensitivity_fraction;
+        if sum > 1.0 {
+            return Err(NumError::Domain {
+                what: "load generator: read + sensitivity fractions exceed 1",
+                value: sum,
+            });
+        }
+        if !self.skew.is_finite() || self.skew < 0.0 {
+            return Err(NumError::Domain { what: "load generator: skew", value: self.skew });
+        }
+        Ok(())
     }
 }
 
@@ -72,7 +128,7 @@ impl KeyPoint {
 /// Draws the hot-key table from its own sub-stream. Ranges stay inside
 /// every scenario's validated parameter domain.
 fn key_table(cfg: &LoadGenConfig) -> Vec<KeyPoint> {
-    let mut rng = SimRng::stream(cfg.seed, 0);
+    let mut rng = SimRng::stream(cfg.seed, STREAM_KEY_TABLE);
     (0..cfg.hot_keys.max(1))
         .map(|_| KeyPoint {
             price: rng.uniform_in(0.3, 0.9),
@@ -96,28 +152,31 @@ fn pick_key(rng: &mut SimRng, n: usize, skew: f64) -> usize {
 }
 
 /// Generates the request stream for `cfg`. Deterministic: equal configs
-/// produce equal streams.
-pub fn generate(cfg: &LoadGenConfig) -> Vec<Request> {
+/// produce equal streams. A malformed config (fractions outside `[0, 1]`
+/// or summing above it) is a typed error, never a silently skewed mix.
+pub fn generate(cfg: &LoadGenConfig) -> NumResult<Vec<Request>> {
+    cfg.validate()?;
     let keys = key_table(cfg);
-    let mut key_rng = SimRng::stream(cfg.seed, 1);
-    let mut op_rng = SimRng::stream(cfg.seed, 2);
+    let mut key_rng = SimRng::stream(cfg.seed, STREAM_KEY_CHOICE);
+    let mut op_rng = SimRng::stream(cfg.seed, STREAM_OP_CHOICE);
     let mut out = Vec::with_capacity(cfg.requests + 3);
     // Start on a definite operating point so the first read is solvable
     // state, not whatever the server was constructed with.
     let mut current = pick_key(&mut key_rng, keys.len(), cfg.skew);
     out.extend(keys[current].writes());
     while out.len() < cfg.requests {
-        if op_rng.bernoulli(cfg.read_fraction) {
-            if op_rng.bernoulli(cfg.sensitivity_fraction) {
-                let axis = match op_rng.uniform_in(0.0, 3.0) as usize {
-                    0 => Axis::Price,
-                    1 => Axis::Cap,
-                    _ => Axis::Mu,
-                };
-                out.push(Request::Sensitivity { axis });
-            } else {
-                out.push(Request::Equilibrium);
-            }
+        // One categorical draw per step: [0, sens) → sensitivity read,
+        // [sens, sens + read) → plain read, the rest → key switch.
+        let u = op_rng.uniform();
+        if u < cfg.sensitivity_fraction {
+            let axis = match op_rng.below(3) {
+                0 => Axis::Price,
+                1 => Axis::Cap,
+                _ => Axis::Mu,
+            };
+            out.push(Request::Sensitivity { axis });
+        } else if u < cfg.sensitivity_fraction + cfg.read_fraction {
+            out.push(Request::Equilibrium);
         } else {
             let next = pick_key(&mut key_rng, keys.len(), cfg.skew);
             if next == current {
@@ -131,7 +190,47 @@ pub fn generate(cfg: &LoadGenConfig) -> Vec<Request> {
         }
     }
     out.truncate(cfg.requests);
-    out
+    Ok(out)
+}
+
+/// Generates interleaved traffic over `markets` resident markets:
+/// `(market id, request)` pairs, `cfg.requests` requests per market.
+///
+/// Market `m` (ids `0..markets`) runs the single-market generator under
+/// its own derived master seed, so its subsequence is bit-identical to
+/// `generate` with that seed — regardless of `markets` or of how many
+/// shards later serve the stream. A dedicated scheduler sub-stream picks
+/// which market's queue advances next (uniformly over the markets that
+/// still have requests), preserving per-market order by construction.
+pub fn generate_multi(cfg: &LoadGenConfig, markets: usize) -> NumResult<Vec<(u64, Request)>> {
+    cfg.validate()?;
+    if markets == 0 {
+        return Err(NumError::Empty { what: "load generator: markets" });
+    }
+    let mut queues: Vec<std::collections::VecDeque<Request>> = (0..markets)
+        .map(|m| {
+            let market_cfg = LoadGenConfig {
+                seed: SimRng::stream_seed(cfg.seed, STREAM_MARKET_BASE + m as u64),
+                ..*cfg
+            };
+            generate(&market_cfg).map(Into::into)
+        })
+        .collect::<NumResult<_>>()?;
+    let mut sched = SimRng::stream(cfg.seed, STREAM_SCHEDULER);
+    let mut alive: Vec<usize> = (0..markets).collect();
+    let mut out = Vec::with_capacity(markets * cfg.requests);
+    while !alive.is_empty() {
+        let pick = sched.below(alive.len() as u64) as usize;
+        let market = alive[pick];
+        match queues[market].pop_front() {
+            Some(req) => out.push((market as u64, req)),
+            None => unreachable!("drained markets leave the alive list"),
+        }
+        if queues[market].is_empty() {
+            alive.swap_remove(pick);
+        }
+    }
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -141,15 +240,15 @@ mod tests {
     #[test]
     fn replay_is_bit_identical() {
         let cfg = LoadGenConfig { requests: 500, ..Default::default() };
-        assert_eq!(generate(&cfg), generate(&cfg));
+        assert_eq!(generate(&cfg).unwrap(), generate(&cfg).unwrap());
         let other = LoadGenConfig { seed: 8, ..cfg };
-        assert_ne!(generate(&cfg), generate(&other));
+        assert_ne!(generate(&cfg).unwrap(), generate(&other).unwrap());
     }
 
     #[test]
     fn respects_request_count_and_mix() {
         let cfg = LoadGenConfig { requests: 2000, ..Default::default() };
-        let reqs = generate(&cfg);
+        let reqs = generate(&cfg).unwrap();
         assert_eq!(reqs.len(), 2000);
         let reads = reqs
             .iter()
@@ -162,6 +261,88 @@ mod tests {
         assert!(frac > 0.5 && frac < 0.99, "read fraction {frac}");
         assert!(reqs.iter().any(|r| matches!(r, Request::Sensitivity { .. })));
         assert!(reqs.iter().any(|r| matches!(r, Request::Update { .. })));
+    }
+
+    #[test]
+    fn op_mix_follows_the_configured_three_way_split() {
+        // The distribution pin behind the integer-draw bugfix: per
+        // *step*, sensitivity reads fire with probability `sens`, plain
+        // reads with `read`, and the remainder switches keys. Steps are
+        // reconstructed by folding each three-write switch burst into
+        // one step (same-key re-lands surface as an extra plain read, so
+        // the plain-read share is checked as a floor).
+        let cfg = LoadGenConfig {
+            requests: 30_000,
+            read_fraction: 0.5,
+            sensitivity_fraction: 0.3,
+            hot_keys: 32,
+            skew: 0.3,
+            ..Default::default()
+        };
+        let reqs = generate(&cfg).unwrap();
+        let mut sens = 0usize;
+        let mut plain = 0usize;
+        let mut switches = 0usize;
+        let mut axis_counts = [0usize; 3];
+        let mut i = 0;
+        while i < reqs.len() {
+            match reqs[i] {
+                Request::Sensitivity { axis } => {
+                    sens += 1;
+                    axis_counts[match axis {
+                        Axis::Price => 0,
+                        Axis::Cap => 1,
+                        _ => 2,
+                    }] += 1;
+                    i += 1;
+                }
+                Request::Equilibrium => {
+                    plain += 1;
+                    i += 1;
+                }
+                Request::Update { .. } => {
+                    switches += 1;
+                    i += 3; // a switch is a burst of three axis writes
+                }
+            }
+        }
+        let steps = (sens + plain + switches) as f64;
+        let sens_share = sens as f64 / steps;
+        let switch_share = switches as f64 / steps;
+        assert!((sens_share - 0.3).abs() < 0.02, "sensitivity share {sens_share}");
+        // Same-key re-lands convert switch steps into plain reads, so the
+        // switch share is bounded above by 0.2 and the plain share below
+        // by 0.5; with 32 near-uniform keys the conversion is small.
+        assert!(switch_share > 0.15 && switch_share <= 0.21, "switch share {switch_share}");
+        assert!(plain as f64 / steps >= 0.49, "plain-read share {}", plain as f64 / steps);
+        // The axis choice is an exact three-arm integer draw: all arms
+        // present in roughly equal shares — the `uniform_in(0.0, 3.0) as
+        // usize` draw this replaces starved no arm but could alias 3.0.
+        for (arm, &c) in axis_counts.iter().enumerate() {
+            let share = c as f64 / sens as f64;
+            assert!((share - 1.0 / 3.0).abs() < 0.03, "axis arm {arm} share {share}");
+        }
+    }
+
+    #[test]
+    fn malformed_configs_are_typed_errors() {
+        let over =
+            LoadGenConfig { read_fraction: 0.8, sensitivity_fraction: 0.3, ..Default::default() };
+        assert!(matches!(generate(&over), Err(NumError::Domain { .. })));
+        let negative = LoadGenConfig { read_fraction: -0.1, ..Default::default() };
+        assert!(matches!(generate(&negative), Err(NumError::Domain { .. })));
+        let nan = LoadGenConfig { sensitivity_fraction: f64::NAN, ..Default::default() };
+        assert!(matches!(generate(&nan), Err(NumError::Domain { .. })));
+        let bad_skew = LoadGenConfig { skew: -1.0, ..Default::default() };
+        assert!(matches!(generate(&bad_skew), Err(NumError::Domain { .. })));
+        // Exactly summing to 1 is a valid (switch-free) workload.
+        let exact = LoadGenConfig {
+            requests: 50,
+            read_fraction: 0.9,
+            sensitivity_fraction: 0.1,
+            ..Default::default()
+        };
+        assert_eq!(generate(&exact).unwrap().len(), 50);
     }
 
     #[test]
@@ -187,7 +368,7 @@ mod tests {
     fn updates_land_exactly_on_table_points() {
         let cfg = LoadGenConfig { requests: 400, read_fraction: 0.2, ..Default::default() };
         let keys = key_table(&cfg);
-        let reqs = generate(&cfg);
+        let reqs = generate(&cfg).unwrap();
         for req in &reqs {
             if let Request::Update { axis, value } = req {
                 let on_table = keys.iter().any(|k| match axis {
@@ -199,5 +380,35 @@ mod tests {
                 assert!(on_table, "update {axis:?}={value} off the hot-key table");
             }
         }
+    }
+
+    #[test]
+    fn multi_market_subsequences_match_standalone_streams() {
+        // The sharded replay substrate: market m's subsequence of the
+        // interleaved stream is bit-identical to the standalone stream
+        // under its derived master seed — and does not depend on how
+        // many markets ride along.
+        let cfg = LoadGenConfig { requests: 300, ..Default::default() };
+        let interleaved = generate_multi(&cfg, 3).unwrap();
+        assert_eq!(interleaved.len(), 3 * 300);
+        for m in 0..3u64 {
+            let standalone = generate(&LoadGenConfig {
+                seed: SimRng::stream_seed(cfg.seed, STREAM_MARKET_BASE + m),
+                ..cfg
+            })
+            .unwrap();
+            let sub: Vec<Request> =
+                interleaved.iter().filter(|(id, _)| *id == m).map(|(_, r)| *r).collect();
+            assert_eq!(sub, standalone, "market {m} drifted off its standalone stream");
+        }
+        // Growing the market count leaves market 0's subsequence alone.
+        let wider = generate_multi(&cfg, 5).unwrap();
+        let sub_of = |stream: &[(u64, Request)]| -> Vec<Request> {
+            stream.iter().filter(|(id, _)| *id == 0).map(|(_, r)| *r).collect()
+        };
+        assert_eq!(sub_of(&interleaved), sub_of(&wider));
+        // Replay of the interleaving itself is bit-identical too.
+        assert_eq!(interleaved, generate_multi(&cfg, 3).unwrap());
+        assert!(matches!(generate_multi(&cfg, 0), Err(NumError::Empty { .. })));
     }
 }

@@ -30,6 +30,7 @@
 pub mod cache;
 pub mod fingerprint;
 pub mod loadgen;
+pub mod sharded;
 
 use std::sync::Arc;
 use subcomp_core::game::{Axis, SubsidyGame};
@@ -41,7 +42,8 @@ use subcomp_num::error::{NumError, NumResult};
 
 pub use cache::{CacheStats, EqCache};
 pub use fingerprint::fingerprint;
-pub use loadgen::{generate, LoadGenConfig};
+pub use loadgen::{generate, generate_multi, LoadGenConfig};
+pub use sharded::{ShardReport, ShardedConfig, ShardedServer};
 
 /// One request in a client stream.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -65,6 +67,9 @@ pub enum Request {
 /// Which path produced an equilibrium answer, from cheapest to dearest.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Source {
+    /// Served lock-free out of the shared snapshot index by the sharded
+    /// router — the owning shard's solver state was never consulted.
+    LockFree,
     /// Fingerprint cache hit — no solve at all.
     CacheHit,
     /// Solved, seeded by a Theorem 6 tangent extrapolation.
@@ -256,7 +261,7 @@ impl EquilibriumServer {
 
     /// Answers the equilibrium of the market as currently parameterized.
     pub fn equilibrium(&mut self) -> NumResult<(Arc<EqSnapshot>, Source)> {
-        let key = fingerprint(&self.game);
+        let key = fingerprint(&self.game)?;
         self.stats.equilibria += 1;
         if let Some(snap) = self.cache.get(key) {
             self.stats.cache_hits += 1;
@@ -341,6 +346,15 @@ impl EquilibriumServer {
     /// Drops every cached equilibrium (retiring snapshots for recycling).
     pub fn invalidate_cache(&mut self) {
         self.cache.clear();
+    }
+
+    /// The cached snapshot for the market **as currently parameterized**,
+    /// if resident — counterless, recency-free introspection (the sharded
+    /// tier's identity tests compare it against lock-free reads). `None`
+    /// when the current parameterization is uncached or unfingerprintable.
+    pub fn peek_current(&self) -> Option<Arc<EqSnapshot>> {
+        let key = fingerprint(&self.game).ok()?;
+        self.cache.peek(key)
     }
 }
 

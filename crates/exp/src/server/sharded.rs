@@ -1,0 +1,497 @@
+//! Sharded multi-market serving: session multiplexing over resident
+//! markets with a lock-free read path.
+//!
+//! [`ShardedServer`] hosts many resident markets on `S` worker shards,
+//! each shard a thread owning a full [`EquilibriumServer`] per market it
+//! is pinned to — resident [`SubsidyGame`], warm workspace pool,
+//! fingerprint cache, tangent ladder, all of it. The router in front
+//! does two things:
+//!
+//! * **Pins each market/session id to a shard by stable hash** (FNV-1a
+//!   over the id, mod `S`), and serves every request for a market
+//!   synchronously through its shard's command channel — so per-market
+//!   request order is preserved exactly, and a market's replies are
+//!   bit-identical to a standalone `EquilibriumServer` fed the same
+//!   subsequence, **whatever the shard count** (markets never share
+//!   solver state, caches or workspaces; a shard is an execution host,
+//!   nothing more).
+//! * **Serves pure reads of already-published equilibria lock-free**:
+//!   after a shard answers an equilibrium or sensitivity read, it
+//!   publishes the answering snapshot into a shared
+//!   [`SnapshotIndex`] (and retracts the market on any write) *before*
+//!   replying. A later `Request::Equilibrium` for that market is then
+//!   answered by the router as an `Arc` clone out of the index —
+//!   [`Source::LockFree`], one atomic generation check plus a hash
+//!   lookup, never touching the owning shard's solver state or its
+//!   queue.
+//!
+//! The lock-free path is **deterministic** under the synchronous serve
+//! discipline: publication happens before the shard's reply is sent, the
+//! channel reply synchronizes-with the router's receive, and only the
+//! market's own requests can change its published entry — so whether a
+//! given request fires the fast path is a pure function of the request
+//! stream, independent of shard count and thread timing. It is also
+//! **answer-preserving**: the fast path fires only when the owning
+//! market server's last answer for the current parameterization is still
+//! current (any intervening write retracted the entry), and a skipped
+//! cache-hit request would not have changed that server's solver state —
+//! so the served bits match the standalone serve exactly. What *does*
+//! diverge is bookkeeping: requests absorbed by the router never reach
+//! the shard, so per-shard `ServerStats`/cache counters count only the
+//! traffic the shard actually saw, and the router tallies
+//! [`ShardedServer::lockfree_hits`] separately.
+//!
+//! [`SnapshotIndex`]: subcomp_core::snapshot::SnapshotIndex
+
+use std::collections::HashMap;
+use std::sync::mpsc::{Receiver, SyncSender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use subcomp_core::game::SubsidyGame;
+use subcomp_core::snapshot::{EqSnapshot, SnapshotIndex, SnapshotReader};
+use subcomp_num::error::{NumError, NumResult};
+
+use super::{CacheStats, EquilibriumServer, Reply, Request, ServerStats, Source};
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// The stable market → shard pinning: FNV-1a over the market id's bytes,
+/// reduced mod the shard count. Pure, so tests can predict placements.
+pub fn shard_of_market(market: u64, shards: usize) -> usize {
+    debug_assert!(shards > 0);
+    let mut h = FNV_OFFSET;
+    for byte in market.to_le_bytes() {
+        h ^= byte as u64;
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    (h % shards as u64) as usize
+}
+
+/// Construction parameters of a [`ShardedServer`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardedConfig {
+    /// Worker shards (threads). At least 1.
+    pub shards: usize,
+    /// Warm workspaces per resident market.
+    pub pool: usize,
+    /// Fingerprint-cache capacity per resident market (0 = always-miss).
+    pub cache: usize,
+}
+
+impl Default for ShardedConfig {
+    fn default() -> Self {
+        ShardedConfig { shards: 1, pool: 2, cache: 64 }
+    }
+}
+
+/// One shard's aggregate view for the deterministic report: how many
+/// markets it hosts and the sums of their server/cache counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardReport {
+    /// Shard index (0-based).
+    pub shard: usize,
+    /// Resident markets pinned to this shard.
+    pub markets: usize,
+    /// Request/answer counters summed over the shard's markets.
+    pub stats: ServerStats,
+    /// Cache counters summed over the shard's markets (`len`/`capacity`
+    /// are summed occupancy, not a single cache's).
+    pub cache: CacheStats,
+}
+
+/// Commands the router sends a shard. Every command gets exactly one
+/// reply on the shard's response channel.
+enum ShardCmd {
+    Serve { market: u64, req: Request },
+    Peek { market: u64 },
+    Report,
+    Shutdown,
+}
+
+/// Shard → router replies, matched 1:1 with commands.
+enum ShardReply {
+    Served(NumResult<Reply>),
+    Peeked(Option<Arc<EqSnapshot>>),
+    Reported { markets: usize, stats: ServerStats, cache: CacheStats },
+    Stopping,
+}
+
+struct ShardHandle {
+    cmd: SyncSender<ShardCmd>,
+    resp: Receiver<ShardReply>,
+    thread: Option<JoinHandle<()>>,
+}
+
+fn closed(context: &'static str) -> NumError {
+    NumError::Empty { what: context }
+}
+
+/// The sharded multi-market service. See the module docs for the design.
+pub struct ShardedServer {
+    shards: Vec<ShardHandle>,
+    /// market id → shard index, fixed at construction.
+    pinning: HashMap<u64, usize>,
+    reader: SnapshotReader,
+    lockfree_hits: u64,
+}
+
+impl std::fmt::Debug for ShardedServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedServer")
+            .field("shards", &self.shards.len())
+            .field("markets", &self.pinning.len())
+            .field("lockfree_hits", &self.lockfree_hits)
+            .finish()
+    }
+}
+
+impl ShardedServer {
+    /// Builds the service over `markets` (id, game) pairs with `cfg.shards`
+    /// worker threads. Ids must be unique; each market becomes a full
+    /// resident [`EquilibriumServer`] on its pinned shard.
+    pub fn new(markets: Vec<(u64, SubsidyGame)>, cfg: &ShardedConfig) -> NumResult<ShardedServer> {
+        if cfg.shards == 0 {
+            return Err(NumError::Domain { what: "sharded server: shards", value: 0.0 });
+        }
+        if markets.is_empty() {
+            return Err(NumError::Empty { what: "sharded server: markets" });
+        }
+        let mut pinning = HashMap::with_capacity(markets.len());
+        let mut per_shard: Vec<Vec<(u64, EquilibriumServer)>> =
+            (0..cfg.shards).map(|_| Vec::new()).collect();
+        for (id, game) in markets {
+            let shard = shard_of_market(id, cfg.shards);
+            if pinning.insert(id, shard).is_some() {
+                return Err(NumError::Domain {
+                    what: "sharded server: duplicate market id",
+                    value: id as f64,
+                });
+            }
+            per_shard[shard].push((id, EquilibriumServer::new(game, cfg.pool, cfg.cache)));
+        }
+
+        let index = SnapshotIndex::new();
+        let reader = index.reader();
+        let shards =
+            per_shard.into_iter().map(|servers| spawn_shard(servers, index.clone())).collect();
+        Ok(ShardedServer { shards, pinning, reader, lockfree_hits: 0 })
+    }
+
+    /// Number of worker shards.
+    pub fn shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Number of resident markets across all shards.
+    pub fn markets(&self) -> usize {
+        self.pinning.len()
+    }
+
+    /// The shard `market` is pinned to, if it is resident.
+    pub fn shard_of(&self, market: u64) -> Option<usize> {
+        self.pinning.get(&market).copied()
+    }
+
+    /// Equilibrium reads the router answered lock-free, bypassing shards.
+    pub fn lockfree_hits(&self) -> u64 {
+        self.lockfree_hits
+    }
+
+    /// Serves one request for `market`, trying the lock-free snapshot
+    /// path first for pure equilibrium reads and falling back to the
+    /// owning shard. Per-market order is preserved: the call returns
+    /// only after the request is fully answered.
+    pub fn serve(&mut self, market: u64, req: Request) -> NumResult<Reply> {
+        if matches!(req, Request::Equilibrium) {
+            if let Some(snap) = self.reader.get(market) {
+                self.lockfree_hits += 1;
+                return Ok(Reply::Equilibrium { snap, source: Source::LockFree });
+            }
+        }
+        self.serve_direct(market, req)
+    }
+
+    /// Serves one request for `market` through its owning shard,
+    /// bypassing the lock-free fast path (benches compare the two).
+    pub fn serve_direct(&mut self, market: u64, req: Request) -> NumResult<Reply> {
+        let shard = self.shard_checked(market)?;
+        let handle = &self.shards[shard];
+        handle
+            .cmd
+            .send(ShardCmd::Serve { market, req })
+            .map_err(|_| closed("sharded server: shard command channel"))?;
+        match handle.resp.recv() {
+            Ok(ShardReply::Served(result)) => result,
+            Ok(_) => Err(closed("sharded server: shard protocol desync")),
+            Err(_) => Err(closed("sharded server: shard reply channel")),
+        }
+    }
+
+    /// The pure lock-free read: the published snapshot for `market`, if
+    /// any — one atomic generation check plus a hash lookup and an `Arc`
+    /// clone, no shard round-trip, no lock in the steady state.
+    pub fn read_cached(&mut self, market: u64) -> Option<Arc<EqSnapshot>> {
+        self.reader.get(market)
+    }
+
+    /// The owning shard's resident cache entry for `market` as currently
+    /// parameterized (counterless introspection via
+    /// [`EquilibriumServer::peek_current`]) — identity tests compare it
+    /// with [`ShardedServer::read_cached`] by `Arc::ptr_eq`.
+    pub fn peek_shard_cache(&self, market: u64) -> NumResult<Option<Arc<EqSnapshot>>> {
+        let shard = self.shard_checked(market)?;
+        let handle = &self.shards[shard];
+        handle
+            .cmd
+            .send(ShardCmd::Peek { market })
+            .map_err(|_| closed("sharded server: shard command channel"))?;
+        match handle.resp.recv() {
+            Ok(ShardReply::Peeked(snap)) => Ok(snap),
+            Ok(_) => Err(closed("sharded server: shard protocol desync")),
+            Err(_) => Err(closed("sharded server: shard reply channel")),
+        }
+    }
+
+    /// Per-shard aggregate counters, in shard order — the deterministic
+    /// per-shard section of the `serve_market` report.
+    pub fn shard_reports(&self) -> NumResult<Vec<ShardReport>> {
+        self.shards
+            .iter()
+            .enumerate()
+            .map(|(shard, handle)| {
+                handle
+                    .cmd
+                    .send(ShardCmd::Report)
+                    .map_err(|_| closed("sharded server: shard command channel"))?;
+                match handle.resp.recv() {
+                    Ok(ShardReply::Reported { markets, stats, cache }) => {
+                        Ok(ShardReport { shard, markets, stats, cache })
+                    }
+                    Ok(_) => Err(closed("sharded server: shard protocol desync")),
+                    Err(_) => Err(closed("sharded server: shard reply channel")),
+                }
+            })
+            .collect()
+    }
+
+    fn shard_checked(&self, market: u64) -> NumResult<usize> {
+        self.shard_of(market).ok_or(NumError::Domain {
+            what: "sharded server: unknown market id",
+            value: market as f64,
+        })
+    }
+}
+
+impl Drop for ShardedServer {
+    fn drop(&mut self) {
+        for handle in &mut self.shards {
+            // A dead shard thread has already dropped its receiver; both
+            // sends and the join stay best-effort during teardown.
+            if handle.cmd.send(ShardCmd::Shutdown).is_ok() {
+                let _ = handle.resp.recv();
+            }
+            if let Some(thread) = handle.thread.take() {
+                let _ = thread.join();
+            }
+        }
+    }
+}
+
+/// Spawns one shard thread over its pinned market servers. Channels are
+/// bounded rendezvous-style (`sync_channel(1)`): the router serves
+/// synchronously, so depth 1 never blocks, and sends move only the
+/// fixed-size command/reply values — no allocation per request on the
+/// router side.
+fn spawn_shard(servers: Vec<(u64, EquilibriumServer)>, index: SnapshotIndex) -> ShardHandle {
+    let (cmd_tx, cmd_rx) = std::sync::mpsc::sync_channel::<ShardCmd>(1);
+    let (resp_tx, resp_rx) = std::sync::mpsc::sync_channel::<ShardReply>(1);
+    let thread = std::thread::spawn(move || shard_loop(servers, index, cmd_rx, resp_tx));
+    ShardHandle { cmd: cmd_tx, resp: resp_rx, thread: Some(thread) }
+}
+
+/// The shard event loop: serve, publish/retract, reply — in that order,
+/// so a published snapshot is visible to the router before the reply
+/// that acknowledges the request it answered.
+fn shard_loop(
+    servers: Vec<(u64, EquilibriumServer)>,
+    index: SnapshotIndex,
+    cmd_rx: Receiver<ShardCmd>,
+    resp_tx: SyncSender<ShardReply>,
+) {
+    let mut servers: HashMap<u64, EquilibriumServer> = servers.into_iter().collect();
+    while let Ok(cmd) = cmd_rx.recv() {
+        let reply = match cmd {
+            ShardCmd::Serve { market, req } => {
+                let result = match servers.get_mut(&market) {
+                    Some(server) => server.serve(req),
+                    None => Err(NumError::Domain {
+                        what: "sharded server: market not on this shard",
+                        value: market as f64,
+                    }),
+                };
+                match &result {
+                    // Any write (or failure) invalidates the published
+                    // entry: the router must stop serving the old answer.
+                    Ok(Reply::Updated { .. }) | Err(_) => index.retract(market),
+                    // A served read publishes its snapshot — the answer
+                    // for this market's *current* parameterization, kept
+                    // until the next write retracts it.
+                    Ok(Reply::Equilibrium { snap, .. }) | Ok(Reply::Sensitivity { snap, .. }) => {
+                        index.publish(market, Arc::clone(snap));
+                    }
+                }
+                ShardReply::Served(result)
+            }
+            ShardCmd::Peek { market } => {
+                ShardReply::Peeked(servers.get(&market).and_then(|s| s.peek_current()))
+            }
+            ShardCmd::Report => {
+                let mut stats = ServerStats::default();
+                let mut cache = CacheStats::default();
+                // Deterministic order for the *sums* is automatic
+                // (addition commutes); iterate however the map likes.
+                for server in servers.values() {
+                    let s = server.stats();
+                    stats.updates += s.updates;
+                    stats.equilibria += s.equilibria;
+                    stats.sensitivities += s.sensitivities;
+                    stats.cache_hits += s.cache_hits;
+                    stats.tangent_solves += s.tangent_solves;
+                    stats.warm_solves += s.warm_solves;
+                    stats.cold_solves += s.cold_solves;
+                    let c = server.cache_stats();
+                    cache.hits += c.hits;
+                    cache.misses += c.misses;
+                    cache.insertions += c.insertions;
+                    cache.evictions += c.evictions;
+                    cache.len += c.len;
+                    cache.capacity += c.capacity;
+                }
+                ShardReply::Reported { markets: servers.len(), stats, cache }
+            }
+            ShardCmd::Shutdown => {
+                let _ = resp_tx.send(ShardReply::Stopping);
+                return;
+            }
+        };
+        if resp_tx.send(reply).is_err() {
+            return; // router gone; nothing left to serve
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenarios::section5_system;
+    use subcomp_core::game::Axis;
+
+    fn market() -> SubsidyGame {
+        SubsidyGame::new(section5_system(), 0.6, 0.8).expect("§5 market is valid")
+    }
+
+    fn markets(n: usize) -> Vec<(u64, SubsidyGame)> {
+        (0..n as u64).map(|id| (id, market())).collect()
+    }
+
+    #[test]
+    fn pinning_is_stable_and_total() {
+        for shards in [1usize, 2, 4, 7] {
+            for id in 0..64u64 {
+                let s = shard_of_market(id, shards);
+                assert!(s < shards);
+                assert_eq!(s, shard_of_market(id, shards), "pinning must be pure");
+            }
+        }
+        // With one shard everything lands on it.
+        assert_eq!(shard_of_market(123456, 1), 0);
+    }
+
+    #[test]
+    fn construction_rejects_degenerate_configs() {
+        let cfg = ShardedConfig::default();
+        assert!(matches!(ShardedServer::new(Vec::new(), &cfg), Err(NumError::Empty { .. })));
+        assert!(matches!(
+            ShardedServer::new(markets(1), &ShardedConfig { shards: 0, ..cfg }),
+            Err(NumError::Domain { .. })
+        ));
+        let dup = vec![(3u64, market()), (3u64, market())];
+        assert!(matches!(ShardedServer::new(dup, &cfg), Err(NumError::Domain { .. })));
+    }
+
+    #[test]
+    fn unknown_market_is_a_typed_error() {
+        let mut server = ShardedServer::new(markets(2), &ShardedConfig::default()).unwrap();
+        assert!(matches!(server.serve(99, Request::Equilibrium), Err(NumError::Domain { .. })));
+        assert!(server.shard_of(99).is_none());
+    }
+
+    #[test]
+    fn first_read_solves_then_reads_go_lockfree() {
+        let mut server =
+            ShardedServer::new(markets(2), &ShardedConfig { shards: 2, ..Default::default() })
+                .unwrap();
+        // First read pays a solve on the shard.
+        let first = server.serve(0, Request::Equilibrium).unwrap();
+        let Reply::Equilibrium { snap: solved, source } = &first else {
+            panic!("equilibrium request answered {first:?}")
+        };
+        assert_eq!(*source, Source::Cold);
+        // Second read rides the published snapshot, same allocation.
+        let second = server.serve(0, Request::Equilibrium).unwrap();
+        let Reply::Equilibrium { snap, source } = &second else {
+            panic!("equilibrium request answered {second:?}")
+        };
+        assert_eq!(*source, Source::LockFree);
+        assert!(Arc::ptr_eq(snap, solved));
+        assert_eq!(server.lockfree_hits(), 1);
+        // The other market is untouched: its first read still solves.
+        let other = server.serve(1, Request::Equilibrium).unwrap();
+        let Reply::Equilibrium { source, .. } = &other else { unreachable!() };
+        assert_eq!(*source, Source::Cold);
+    }
+
+    #[test]
+    fn writes_retract_the_published_snapshot() {
+        let mut server = ShardedServer::new(markets(1), &ShardedConfig::default()).unwrap();
+        server.serve(0, Request::Equilibrium).unwrap();
+        assert!(server.read_cached(0).is_some(), "read published its answer");
+        server.serve(0, Request::Update { axis: Axis::Price, value: 0.7 }).unwrap();
+        assert!(server.read_cached(0).is_none(), "a write must retract the published snapshot");
+        // The next read re-solves (the shard sees it) and re-publishes.
+        let reply = server.serve(0, Request::Equilibrium).unwrap();
+        let Reply::Equilibrium { source, .. } = &reply else { unreachable!() };
+        assert_ne!(*source, Source::LockFree);
+        assert!(server.read_cached(0).is_some());
+    }
+
+    #[test]
+    fn sensitivity_reads_always_go_to_the_shard() {
+        let mut server = ShardedServer::new(markets(1), &ShardedConfig::default()).unwrap();
+        server.serve(0, Request::Equilibrium).unwrap();
+        let reply = server.serve(0, Request::Sensitivity { axis: Axis::Mu }).unwrap();
+        let Reply::Sensitivity { source, .. } = &reply else {
+            panic!("sensitivity request answered {reply:?}")
+        };
+        assert_ne!(*source, Source::LockFree, "derivatives need the shard's solver state");
+    }
+
+    #[test]
+    fn shard_reports_cover_every_market() {
+        let cfg = ShardedConfig { shards: 4, ..Default::default() };
+        let mut server = ShardedServer::new(markets(8), &cfg).unwrap();
+        for id in 0..8u64 {
+            server.serve(id, Request::Equilibrium).unwrap();
+        }
+        let reports = server.shard_reports().unwrap();
+        assert_eq!(reports.len(), 4);
+        assert_eq!(reports.iter().map(|r| r.markets).sum::<usize>(), 8);
+        let solves: u64 = reports.iter().map(|r| r.stats.cold_solves).sum();
+        assert_eq!(solves, 8, "every market paid exactly one cold solve");
+        for (i, r) in reports.iter().enumerate() {
+            assert_eq!(r.shard, i, "reports arrive in shard order");
+        }
+    }
+}

@@ -31,10 +31,19 @@ impl SimRng {
     /// `(master, stream)` through a SplitMix64-style avalanche, the same
     /// discipline the farm ensemble uses for per-game seeds.
     pub fn stream(master: u64, stream: u64) -> Self {
+        SimRng::new(SimRng::stream_seed(master, stream))
+    }
+
+    /// The derived child seed [`SimRng::stream`] builds its generator
+    /// from. Exposed so layered generators (e.g. a multi-market load
+    /// generator handing each market its own *master* seed, which that
+    /// market then splits into sub-streams of its own) can compose the
+    /// avalanche without chaining `SimRng` constructions.
+    pub fn stream_seed(master: u64, stream: u64) -> u64 {
         let mut z = master ^ stream.wrapping_mul(0x9E37_79B9_7F4A_7C15);
         z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
         z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-        SimRng::new(z ^ (z >> 31))
+        z ^ (z >> 31)
     }
 
     /// Uniform sample in `[0, 1)`.
@@ -95,6 +104,29 @@ impl SimRng {
     pub fn bernoulli(&mut self, p: f64) -> bool {
         self.uniform() < p
     }
+
+    /// Uniform integer in `[0, n)` by rejection sampling on the raw
+    /// 64-bit output — exact, with no float rounding, so a discrete
+    /// choice over `n` arms can never alias an out-of-range arm the way
+    /// `uniform_in(0.0, n as f64) as usize` can.
+    ///
+    /// # Panics
+    /// If `n` is zero.
+    pub fn below(&mut self, n: u64) -> u64 {
+        assert!(n > 0, "below requires a non-empty range");
+        // Reject the top partial copy of [0, n) so every residue is
+        // equally likely. At most one value in 2^64 is rejected per
+        // iteration for small n, so the loop terminates immediately in
+        // practice.
+        let rem = (u64::MAX % n + 1) % n;
+        let limit = u64::MAX - rem;
+        loop {
+            let x = self.inner.next_u64();
+            if x <= limit {
+                return x % n;
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -134,6 +166,56 @@ mod tests {
         assert_ne!(s0, root);
         // Nearby masters do not collide on the same stream index.
         assert_ne!(first(SimRng::stream(7, 1)), first(SimRng::stream(8, 1)));
+    }
+
+    #[test]
+    fn stream_seed_matches_stream() {
+        // `stream(m, s)` is exactly `new(stream_seed(m, s))`, so layered
+        // generators composing the avalanche by hand stay bit-compatible.
+        let mut via_stream = SimRng::stream(7, 3);
+        let mut via_seed = SimRng::new(SimRng::stream_seed(7, 3));
+        for _ in 0..50 {
+            assert_eq!(via_stream.uniform(), via_seed.uniform());
+        }
+        assert_ne!(SimRng::stream_seed(7, 3), SimRng::stream_seed(7, 4));
+        assert_ne!(SimRng::stream_seed(7, 3), SimRng::stream_seed(8, 3));
+    }
+
+    #[test]
+    fn below_is_in_range_and_roughly_uniform() {
+        let mut rng = SimRng::new(6);
+        for n in [1u64, 2, 3, 7, 100] {
+            for _ in 0..500 {
+                assert!(rng.below(n) < n);
+            }
+        }
+        // n = 1 is the degenerate single-arm choice.
+        assert_eq!(rng.below(1), 0);
+        // Every arm of a 3-way choice is drawn with frequency ~1/3.
+        let mut counts = [0usize; 3];
+        for _ in 0..30_000 {
+            counts[rng.below(3) as usize] += 1;
+        }
+        for (arm, &c) in counts.iter().enumerate() {
+            let freq = c as f64 / 30_000.0;
+            assert!((freq - 1.0 / 3.0).abs() < 0.02, "arm {arm} frequency {freq}");
+        }
+    }
+
+    #[test]
+    fn below_is_deterministic() {
+        let draws = |seed: u64| -> Vec<u64> {
+            let mut rng = SimRng::new(seed);
+            (0..100).map(|_| rng.below(10)).collect()
+        };
+        assert_eq!(draws(9), draws(9));
+        assert_ne!(draws(9), draws(10));
+    }
+
+    #[test]
+    #[should_panic(expected = "below requires a non-empty range")]
+    fn below_rejects_empty_range() {
+        SimRng::new(0).below(0);
     }
 
     #[test]

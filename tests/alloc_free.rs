@@ -310,6 +310,103 @@ fn warm_equilibrium_server_is_allocation_free_after_warmup() {
 }
 
 #[test]
+fn snapshot_index_publish_cycle_is_allocation_free_after_warmup() {
+    // The epoch-published snapshot index: once the retired freelist holds
+    // a recyclable map buffer for every key-set shape in rotation, a
+    // publish (copy-on-write rebuild into a recycled buffer + generation
+    // bump) and the reader's refresh-and-get both stay off the heap.
+    use subcomp::game::snapshot::{EqSnapshot, SnapshotIndex};
+
+    let snaps: Vec<std::sync::Arc<EqSnapshot>> = {
+        let game = games().into_iter().next().unwrap();
+        let solver = NashSolver::default().with_tol(1e-7);
+        let mut ws = SolveWorkspace::new();
+        (0..2)
+            .map(|_| {
+                let stats = solver.solve_into(&game, WarmStart::Zero, &mut ws).unwrap();
+                std::sync::Arc::new(EqSnapshot::capture(&game, &ws, stats))
+            })
+            .collect()
+    };
+
+    let index = SnapshotIndex::new();
+    let mut reader = index.reader();
+    let cycle = |index: &SnapshotIndex, reader: &mut subcomp::game::snapshot::SnapshotReader| {
+        for (key, snap) in snaps.iter().enumerate() {
+            index.publish(key as u64, std::sync::Arc::clone(snap));
+            let got = reader.get(key as u64).expect("just published");
+            assert!(std::sync::Arc::ptr_eq(&got, snap));
+        }
+    };
+    // Warm-up: fills the retired freelist with unique buffers of the
+    // steady-state shape (the HashMap only ever holds 2 keys here).
+    for _ in 0..4 {
+        cycle(&index, &mut reader);
+    }
+    let (allocs, ()) = allocations_during(|| {
+        for _ in 0..8 {
+            cycle(&index, &mut reader);
+        }
+    });
+    assert_eq!(
+        allocs, 0,
+        "warm snapshot-index publish/read cycles must not touch the heap, saw {allocs} allocations"
+    );
+}
+
+#[test]
+fn sharded_router_warm_serve_is_allocation_free_after_warmup() {
+    // The router side of the sharded serve path. The counting allocator
+    // is thread-local, so shard-thread work is invisible here by design —
+    // the shard's own warm path is pinned by
+    // `warm_equilibrium_server_is_allocation_free_after_warmup` above.
+    // What this proves: the router's request dispatch (lock-free index
+    // probe, channel send/recv over the persistent sync channels, reply
+    // plumbing) adds zero allocations of its own, for both the lock-free
+    // read and the update/re-read cycle through the owning shard.
+    use subcomp::exp::server::{Request, ShardedConfig, ShardedServer, Source};
+    use subcomp::game::game::Axis;
+
+    let game = games().into_iter().next().unwrap();
+    let p0 = Axis::Price.value(&game);
+    let mut server =
+        ShardedServer::new(vec![(0, game)], &ShardedConfig { shards: 1, pool: 1, cache: 4 })
+            .unwrap();
+
+    let cycle = |server: &mut ShardedServer| {
+        for p in [p0, p0 * 1.05] {
+            server.serve(0, Request::Update { axis: Axis::Price, value: p }).unwrap();
+            // First read after a write goes to the shard (the write
+            // retracted the published snapshot)…
+            let reply = server.serve(0, Request::Equilibrium).unwrap();
+            let subcomp::exp::server::Reply::Equilibrium { source, .. } = reply else {
+                panic!("equilibrium read answered a non-equilibrium reply");
+            };
+            assert_ne!(source, Source::LockFree);
+            // …and the re-read is served lock-free off the index.
+            let reply = server.serve(0, Request::Equilibrium).unwrap();
+            let subcomp::exp::server::Reply::Equilibrium { source, .. } = reply else {
+                panic!("equilibrium read answered a non-equilibrium reply");
+            };
+            assert_eq!(source, Source::LockFree);
+        }
+    };
+    for _ in 0..3 {
+        cycle(&mut server); // warm-up: shard buffers + index freelist
+    }
+    let (allocs, ()) = allocations_during(|| {
+        for _ in 0..5 {
+            cycle(&mut server);
+        }
+    });
+    assert_eq!(
+        allocs, 0,
+        "the warm sharded router path must not allocate on the serving thread, \
+         saw {allocs} allocations"
+    );
+}
+
+#[test]
 fn counter_actually_counts() {
     // Sanity check on the harness itself: an allocating closure must be
     // visible, otherwise the zero assertions above are vacuous.

@@ -25,7 +25,8 @@
 use std::sync::Arc;
 use subcomp::exp::scenarios::section5_system;
 use subcomp::exp::server::{
-    fingerprint, generate, summarize_latencies, EquilibriumServer, LoadGenConfig, Reply, Source,
+    fingerprint, generate, generate_multi, summarize_latencies, EquilibriumServer, LoadGenConfig,
+    Reply, ShardedConfig, ShardedServer, Source,
 };
 use subcomp::game::game::{Axis, SubsidyGame};
 use subcomp::game::nash::{NashSolver, WarmStart};
@@ -146,7 +147,7 @@ fn full_game_submission_keeps_the_fingerprint_cache() {
     let (resub, src) = server.submit(section5_game()).unwrap();
     assert_eq!(src, Source::CacheHit);
     assert!(Arc::ptr_eq(&first, &resub));
-    assert_eq!(fingerprint(server.game()), fingerprint(&section5_game()));
+    assert_eq!(fingerprint(server.game()).unwrap(), fingerprint(&section5_game()).unwrap());
 }
 
 /// Folds a reply into a bit-level checksum, mirroring `serve_market`.
@@ -173,8 +174,12 @@ fn checksum(acc: u64, reply: &Reply) -> u64 {
 #[test]
 fn load_generator_replay_through_the_server_is_deterministic() {
     let config = LoadGenConfig { requests: 400, ..LoadGenConfig::default() };
-    let stream = generate(&config);
-    assert_eq!(stream, generate(&config), "the load generator itself must replay bit-identically");
+    let stream = generate(&config).unwrap();
+    assert_eq!(
+        stream,
+        generate(&config).unwrap(),
+        "the load generator itself must replay bit-identically"
+    );
 
     let run = || {
         let mut server = EquilibriumServer::new(section5_game(), 2, 8);
@@ -194,6 +199,181 @@ fn load_generator_replay_through_the_server_is_deterministic() {
     assert!(stats_a.cache_hits > 0, "no cache traffic: {stats_a:?}");
     assert!(stats_a.cold_solves + stats_a.warm_solves > 0, "no solves: {stats_a:?}");
     assert!(stats_a.updates > 0 && stats_a.sensitivities > 0, "mix collapsed: {stats_a:?}");
+}
+
+/// The multi-market stream used by the sharded contracts: enough markets
+/// to land on several shards, cache capacity comfortably above the
+/// hot-key count so LRU recency (which lock-free serving does not touch)
+/// can never drive an eviction difference.
+fn sharded_fixture() -> (Vec<(u64, SubsidyGame)>, Vec<(u64, subcomp::exp::server::Request)>) {
+    let markets: Vec<(u64, SubsidyGame)> = (0..4u64).map(|id| (id, section5_game())).collect();
+    let cfg = LoadGenConfig { requests: 150, hot_keys: 6, ..LoadGenConfig::default() };
+    let stream = generate_multi(&cfg, markets.len()).unwrap();
+    (markets, stream)
+}
+
+#[test]
+fn sharded_replay_is_bit_identical_across_shard_counts() {
+    // The tentpole contract: shards are execution hosts, not state — the
+    // same interleaved stream produces bit-identical replies (per-market
+    // checksums), the same lock-free hit count and the same per-market
+    // answer content at 1, 2 and 4 shards.
+    let (_, stream) = sharded_fixture();
+    let run = |shards: usize| -> (Vec<u64>, u64) {
+        let (markets, _) = sharded_fixture();
+        let n_markets = markets.len();
+        let mut server =
+            ShardedServer::new(markets, &ShardedConfig { shards, pool: 2, cache: 64 }).unwrap();
+        let mut sums = vec![0u64; n_markets];
+        for (market, req) in &stream {
+            let reply = server.serve(*market, *req).unwrap();
+            let m = *market as usize;
+            sums[m] = checksum(sums[m], &reply);
+        }
+        (sums, server.lockfree_hits())
+    };
+    let (sums_1, hits_1) = run(1);
+    let (sums_2, hits_2) = run(2);
+    let (sums_4, hits_4) = run(4);
+    assert_eq!(sums_1, sums_2, "replies diverged between 1 and 2 shards");
+    assert_eq!(sums_1, sums_4, "replies diverged between 1 and 4 shards");
+    assert_eq!(hits_1, hits_2, "lock-free fast-path firing depends on shard count");
+    assert_eq!(hits_1, hits_4, "lock-free fast-path firing depends on shard count");
+    assert!(hits_1 > 0, "the stream never exercised the lock-free path");
+}
+
+#[test]
+fn lockfree_read_is_the_owning_shards_cache_entry() {
+    // The published snapshot the router serves lock-free is the *same*
+    // allocation as the owning shard's resident cache entry — an Arc
+    // clone out of the index, never a copy.
+    let mut server = ShardedServer::new(
+        (0..3u64).map(|id| (id, section5_game())).collect(),
+        &ShardedConfig { shards: 2, pool: 2, cache: 16 },
+    )
+    .unwrap();
+    for id in 0..3u64 {
+        server.serve(id, subcomp::exp::server::Request::Equilibrium).unwrap();
+    }
+    for id in 0..3u64 {
+        let lockfree = server.read_cached(id).expect("read published its answer");
+        let resident = server.peek_shard_cache(id).unwrap().expect("the shard cached its solve");
+        assert!(
+            Arc::ptr_eq(&lockfree, &resident),
+            "market {id}: lock-free read is not the shard's cache entry"
+        );
+        // And the serving path hands out that same allocation.
+        let reply = server.serve(id, subcomp::exp::server::Request::Equilibrium).unwrap();
+        let Reply::Equilibrium { snap, source } = reply else { unreachable!() };
+        assert_eq!(source, Source::LockFree);
+        assert!(Arc::ptr_eq(&snap, &resident));
+    }
+}
+
+#[test]
+fn per_market_order_is_preserved_under_interleaved_load() {
+    // Session multiplexing must not reorder any market's requests: each
+    // market's replies under the interleaved sharded run are bit-identical
+    // to a standalone EquilibriumServer fed that market's subsequence in
+    // isolation (same pool/cache configuration).
+    let (markets, stream) = sharded_fixture();
+    let n_markets = markets.len();
+    let mut server =
+        ShardedServer::new(markets, &ShardedConfig { shards: 3, pool: 2, cache: 64 }).unwrap();
+    let mut sharded_sums = vec![0u64; n_markets];
+    for (market, req) in &stream {
+        let reply = server.serve(*market, *req).unwrap();
+        let m = *market as usize;
+        sharded_sums[m] = checksum(sharded_sums[m], &reply);
+    }
+    assert!(server.lockfree_hits() > 0, "interleaved load never went lock-free");
+
+    for m in 0..n_markets {
+        let mut standalone = EquilibriumServer::new(section5_game(), 2, 64);
+        let mut sum = 0u64;
+        for (market, req) in &stream {
+            if *market as usize == m {
+                sum = checksum(sum, &standalone.serve(*req).unwrap());
+            }
+        }
+        assert_eq!(
+            sharded_sums[m], sum,
+            "market {m}: interleaved replies drifted off the standalone serve"
+        );
+    }
+}
+
+/// A demand curve that answers NaN above a price threshold — legal to
+/// construct (scalar parameters all validate), poisonous to fingerprint.
+#[derive(Clone)]
+struct NanAboveDemand {
+    threshold: f64,
+}
+
+impl subcomp::model::demand::DemandFn for NanAboveDemand {
+    fn m(&self, t: f64) -> f64 {
+        if t >= self.threshold {
+            f64::NAN
+        } else {
+            2.0 * (-t).exp()
+        }
+    }
+    fn dm_dt(&self, t: f64) -> f64 {
+        if t >= self.threshold {
+            f64::NAN
+        } else {
+            -2.0 * (-t).exp()
+        }
+    }
+    fn name(&self) -> &'static str {
+        "nan-above"
+    }
+    fn boxed_clone(&self) -> Box<dyn subcomp::model::demand::DemandFn> {
+        Box::new(self.clone())
+    }
+    fn scaled(&self, _kappa: f64) -> Box<dyn subcomp::model::demand::DemandFn> {
+        Box::new(self.clone())
+    }
+}
+
+#[test]
+fn nan_probing_curves_are_failed_requests_not_poisoned_cache_keys() {
+    // The fingerprint regression: NaN never equals itself, so a
+    // NaN-bearing key would never match its own cache entry and every
+    // lookup of that market would silently re-solve. The fingerprint now
+    // rejects non-finite probe responses with a typed error, and the
+    // server surfaces it as a failed request — then recovers when a
+    // well-behaved market is submitted.
+    use subcomp::model::cp::ContentProvider;
+    use subcomp::model::system::System;
+    use subcomp::model::throughput::ExpThroughput;
+    use subcomp::model::utilization::LinearUtilization;
+
+    // The demand probe grid reaches t = 1.5; NaN starts at 1.4, so
+    // construction-time scalar validation sees nothing wrong.
+    let cp = ContentProvider::builder("poisoned")
+        .demand(NanAboveDemand { threshold: 1.4 })
+        .throughput(ExpThroughput::new(3.0, 1.0))
+        .profitability(0.8)
+        .build();
+    let system = System::new(vec![cp], 1.2, LinearUtilization).unwrap();
+    let game = SubsidyGame::new(system, 0.6, 0.8).unwrap();
+
+    assert!(
+        matches!(fingerprint(&game), Err(NumError::NonFinite { .. })),
+        "a NaN probe response must be a typed fingerprint error"
+    );
+
+    let mut server = EquilibriumServer::new(game, 1, 8);
+    assert!(
+        matches!(server.equilibrium(), Err(NumError::NonFinite { .. })),
+        "an unfingerprintable market must be a failed request"
+    );
+    // Submitting a sane market recovers the server.
+    let (_, source) = server.submit(section5_game()).unwrap();
+    assert_ne!(source, Source::CacheHit);
+    let (_, source) = server.equilibrium().unwrap();
+    assert_eq!(source, Source::CacheHit);
 }
 
 #[test]
