@@ -225,6 +225,53 @@ fn bench_read_path(_c: &mut Criterion) {
     record_metric("server/sharded/read_path/lockfree", quantile(&lockfree, 0.50).expect("samples"));
 }
 
+/// The fault-recovery paths, timed end to end:
+///
+/// * `server/recovery/restart/*` — one whole-shard kill through the
+///   router's channel-failure path: reap the dead thread, retract,
+///   respawn, rehydrate every resident market (4 markets, 2 shards).
+///   The timed call is the sabotaged serve itself, which returns the
+///   typed `ShardRestarted` only after recovery completed.
+/// * `server/recovery/degraded/*` — one budget-starved solve: a
+///   one-sweep [`SolveBudget`] forces the deterministic partial-answer
+///   path (best iterate + residual, never cached), the latency floor a
+///   pathological market costs under deadlines.
+fn bench_recovery(_c: &mut Criterion) {
+    use subcomp_core::workspace::SolveBudget;
+    use subcomp_exp::server::Sabotage;
+
+    let kills = if quick() { 8 } else { 120 };
+    let mut server =
+        ShardedServer::new(section5_markets(4), &ShardedConfig { shards: 2, pool: 2, cache: 16 })
+            .expect("sharded config is valid");
+    for id in 0..4u64 {
+        server.serve(id, Request::Equilibrium).expect("priming solve");
+    }
+    let mut samples = Vec::with_capacity(kills);
+    let mut wall_ns = 0.0;
+    for _ in 0..kills {
+        let t0 = Instant::now();
+        let err = server.serve_sabotaged(0, Request::Equilibrium, Sabotage::Kill);
+        let dt = t0.elapsed().as_nanos() as f64;
+        assert!(err.is_err(), "a killed shard must fail the in-flight request");
+        samples.push(dt);
+        wall_ns += dt;
+    }
+    publish("recovery/restart", &samples, wall_ns / kills as f64);
+
+    let reads = if quick() { 60 } else { 1_500 };
+    let game = SubsidyGame::new(section5_system(), 0.6, 0.8).expect("§5 market is valid");
+    let mut starved = EquilibriumServer::new(game, 2, 0).with_budget(SolveBudget::sweeps(1));
+    let (samples, wall) = time_reads(&mut starved, reads, Source::Partial, |s| {
+        // Untimed re-arm: a submit resets the strike counter so quarantine
+        // never gates the loop, and wipes the warm state so every timed
+        // read is the same budget-capped cold solve.
+        let game = s.game().clone();
+        s.submit(game).expect("starved submit still answers a partial");
+    });
+    publish("recovery/degraded", &samples, wall);
+}
+
 criterion_group!(
     benches,
     bench_cold,
@@ -232,6 +279,7 @@ criterion_group!(
     bench_cache_hit,
     bench_mixed,
     bench_sharded,
-    bench_read_path
+    bench_read_path,
+    bench_recovery
 );
 criterion_main!(benches);

@@ -14,7 +14,7 @@
 
 use crate::best_response::{best_response_into, best_response_threshold_into, BrConfig};
 use crate::game::SubsidyGame;
-use crate::workspace::SolveWorkspace;
+use crate::workspace::{SolveBudget, SolveWorkspace};
 use subcomp_model::system::SystemState;
 use subcomp_num::linalg::vector::{copy_clamped, sub_inf_norm};
 use subcomp_num::{NumError, NumResult};
@@ -208,6 +208,28 @@ impl NashSolver {
         start: WarmStart<'_>,
         ws: &mut SolveWorkspace,
     ) -> NumResult<SolveStats> {
+        self.solve_into_budgeted(game, start, ws, SolveBudget::unlimited())
+    }
+
+    /// [`NashSolver::solve_into`] under a deterministic [`SolveBudget`].
+    ///
+    /// The budget is a sweep-count ceiling checked inside the iteration
+    /// loop (an integer compare — no allocation, no clock). When it fires
+    /// before convergence the engine does **not** error: it assembles the
+    /// full state and utilities at the best iterate and returns
+    /// `Ok(SolveStats { converged: false, .. })`, so a serving layer can
+    /// degrade to a partial answer instead of spinning or failing. A
+    /// budget at or above the solver's own `max_sweeps` never fires —
+    /// running out of `max_sweeps` stays the usual
+    /// [`NumError::MaxIterations`] — and an unlimited budget makes this
+    /// bit-identical to [`NashSolver::solve_into`].
+    pub fn solve_into_budgeted(
+        &self,
+        game: &SubsidyGame,
+        start: WarmStart<'_>,
+        ws: &mut SolveWorkspace,
+        budget: SolveBudget,
+    ) -> NumResult<SolveStats> {
         if let WarmStart::Profile(s0) = start {
             game.validate(s0)?;
         }
@@ -293,6 +315,19 @@ impl NashSolver {
                     ws.utilities[i] = game.utility_at_state(i, &ws.s, &ws.state);
                 }
                 return Ok(SolveStats { iterations: sweep + 1, residual, converged: true });
+            }
+            // A budget at or above max_sweeps defers to the MaxIterations
+            // error below, so unlimited budgets stay bit-identical to the
+            // un-budgeted engine.
+            if sweep + 1 >= budget.max_sweeps() && budget.max_sweeps() < self.max_sweeps {
+                // Budget exhausted before convergence: degrade, don't
+                // error. The best iterate is a legitimate (partial)
+                // answer, so assemble the full state for it.
+                game.state_into(&ws.s, &mut ws.prices, &mut ws.scratch, &mut ws.state)?;
+                for i in 0..n {
+                    ws.utilities[i] = game.utility_at_state(i, &ws.s, &ws.state);
+                }
+                return Ok(SolveStats { iterations: sweep + 1, residual, converged: false });
             }
         }
         Err(NumError::MaxIterations { max_iter: self.max_sweeps, residual })
@@ -516,6 +551,49 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn budgeted_solve_degrades_to_partial_instead_of_erroring() {
+        use crate::workspace::SolveBudget;
+        let game = paper_game(0.5, 1.0);
+        let solver = NashSolver::default();
+        let mut ws = SolveWorkspace::for_game(&game);
+        let full = solver.solve_into(&game, WarmStart::Zero, &mut ws).unwrap();
+        assert!(full.converged);
+        assert!(full.iterations > 2, "need a multi-sweep solve for the budget to bite");
+
+        // A starved budget returns the best iterate, fully assembled.
+        let mut starved_ws = SolveWorkspace::for_game(&game);
+        let partial = solver
+            .solve_into_budgeted(&game, WarmStart::Zero, &mut starved_ws, SolveBudget::sweeps(2))
+            .unwrap();
+        assert!(!partial.converged);
+        assert_eq!(partial.iterations, 2);
+        assert!(partial.residual > solver.tol);
+        assert!(partial.residual.is_finite());
+        // The partial state/utilities are assembled at the best iterate.
+        assert!(starved_ws.state().phi.is_finite());
+        assert!(starved_ws.utilities().iter().all(|u| u.is_finite()));
+
+        // An unlimited budget is bit-identical to the un-budgeted engine.
+        let mut ws2 = SolveWorkspace::for_game(&game);
+        let unlimited = solver
+            .solve_into_budgeted(&game, WarmStart::Zero, &mut ws2, SolveBudget::unlimited())
+            .unwrap();
+        assert_eq!(unlimited.iterations, full.iterations);
+        assert_eq!(unlimited.residual.to_bits(), full.residual.to_bits());
+        for i in 0..ws.subsidies().len() {
+            assert_eq!(ws.subsidies()[i].to_bits(), ws2.subsidies()[i].to_bits());
+        }
+
+        // A budget at or above max_sweeps defers to the MaxIterations
+        // error path (never a silent partial).
+        let tight = NashSolver::default().with_tol(0.0).with_max_sweeps(3);
+        let mut ws3 = SolveWorkspace::for_game(&game);
+        let err =
+            tight.solve_into_budgeted(&game, WarmStart::Zero, &mut ws3, SolveBudget::sweeps(3));
+        assert!(matches!(err, Err(NumError::MaxIterations { max_iter: 3, .. })));
     }
 
     #[test]

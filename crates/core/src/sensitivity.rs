@@ -105,12 +105,7 @@ impl Sensitivity {
 
         // Regularity (strict complementarity): pinned providers must have
         // strictly one-sided marginal utility.
-        let mut regular = true;
-        for &i in active.lower.iter().chain(&active.upper) {
-            if u[i].abs() <= DEGENERATE_U_TOL {
-                regular = false;
-            }
-        }
+        let regular = degenerate_pin(&active, &u).is_none();
 
         let mut ds_dq = vec![0.0; n];
         let mut ds_dp = vec![0.0; n];
@@ -176,14 +171,12 @@ impl Sensitivity {
         let q = game.cap();
         let active = ActiveSet::classify(s, q);
         let u = game.marginal_utilities(s)?;
-        for &i in active.lower.iter().chain(&active.upper) {
-            if u[i].abs() <= DEGENERATE_U_TOL {
-                return Err(NumError::Domain {
-                    what: "degenerate equilibrium: pinned provider with u_i = 0 \
-                           (strict complementarity fails; derivatives are one-sided)",
-                    value: u[i],
-                });
-            }
+        if let Some(&i) = degenerate_pin(&active, &u) {
+            return Err(NumError::Domain {
+                what: "degenerate equilibrium: pinned provider with u_i = 0 \
+                       (strict complementarity fails; derivatives are one-sided)",
+                value: u[i],
+            });
         }
 
         let mut ds = vec![0.0; n];
@@ -208,6 +201,28 @@ impl Sensitivity {
         }
         Ok(ds)
     }
+
+    /// Tests the equilibrium `s` for degeneracy *without* differentiating:
+    /// `Ok(Some(active_set))` when a pinned provider violates strict
+    /// complementarity (the exact condition [`Sensitivity::directional`]
+    /// refuses with a domain error), `Ok(None)` when differentiation is
+    /// admissible. The serving layer answers degenerate sensitivity reads
+    /// with the returned partition (a typed, recoverable reply) instead of
+    /// failing the request — the same fallback ladder the µ-sweep uses.
+    pub fn degeneracy(game: &SubsidyGame, s: &[f64]) -> NumResult<Option<ActiveSet>> {
+        game.validate(s)?;
+        let active = ActiveSet::classify(s, game.cap());
+        let u = game.marginal_utilities(s)?;
+        Ok(degenerate_pin(&active, &u).is_some().then_some(active))
+    }
+}
+
+/// The first pinned provider violating strict complementarity, if any —
+/// the one degeneracy test [`Sensitivity::compute`],
+/// [`Sensitivity::directional`] and [`Sensitivity::degeneracy`] all share,
+/// so their verdicts can never drift apart.
+fn degenerate_pin<'a>(active: &'a ActiveSet, u: &[f64]) -> Option<&'a usize> {
+    active.lower.iter().chain(&active.upper).find(|&&i| u[i].abs() <= DEGENERATE_U_TOL)
 }
 
 /// The Theorem 6 right-hand side `(∂u_k/∂θ)_{k ∈ Ñ}` for one axis — the
@@ -499,6 +514,15 @@ mod tests {
             let err = Sensitivity::directional(&pinned, &s, axis);
             assert!(err.is_err(), "degenerate equilibrium must error along {}", axis.describe());
         }
+        // degeneracy() agrees with both, returning the partition instead
+        // of an error — the serving layer's typed-reply source.
+        let active = Sensitivity::degeneracy(&pinned, &s)
+            .unwrap()
+            .expect("degenerate equilibrium must be detected");
+        assert_eq!(active, ActiveSet::classify(&s, pinned.cap()));
+        assert!(active.upper.contains(&0), "the pinned provider sits in N+");
+        // A regular equilibrium reports None.
+        assert!(Sensitivity::degeneracy(&free, &solve(&free)).unwrap().is_none());
     }
 
     #[test]

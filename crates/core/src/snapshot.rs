@@ -160,10 +160,13 @@ fn copy_slice_into(dst: &mut Vec<f64>, src: &[f64]) {
     dst.copy_from_slice(src);
 }
 
-/// The shared map type behind a [`SnapshotIndex`]: key → published
-/// snapshot. The whole map lives behind an `Arc` so readers can hold a
+/// The shared map type behind a [`SnapshotIndex`]: key → (publishing
+/// fingerprint, published snapshot). The fingerprint names the market
+/// parameterization the snapshot answers — the supervision layer uses it
+/// to re-seed a rebuilt server's cache under the right key after a shard
+/// restart. The whole map lives behind an `Arc` so readers can hold a
 /// consistent version without any lock.
-type SnapMap = HashMap<u64, Arc<EqSnapshot>>;
+type SnapMap = HashMap<u64, (u64, Arc<EqSnapshot>)>;
 
 /// Retired map versions kept for buffer recycling. Two suffice for one
 /// writer and steadily-refreshing readers; a few extra absorb readers
@@ -240,10 +243,22 @@ impl SnapshotIndex {
     }
 
     /// Publishes `snap` under `key`, replacing any previous entry.
-    pub fn publish(&self, key: u64, snap: Arc<EqSnapshot>) {
+    /// `fingerprint` names the parameterization the snapshot answers (see
+    /// [`SnapshotIndex::published`]).
+    pub fn publish(&self, key: u64, fingerprint: u64, snap: Arc<EqSnapshot>) {
         self.rebuild(|map| {
-            map.insert(key, snap);
+            map.insert(key, (fingerprint, snap));
         });
+    }
+
+    /// The published (fingerprint, snapshot) pair for `key`, if any — the
+    /// supervision layer's rehydration source: a respawned shard preloads
+    /// each market's rebuilt cache with exactly this pair, so post-restart
+    /// reads at an unchanged parameterization stay bit-identical cache
+    /// hits instead of fresh solves.
+    pub fn published(&self, key: u64) -> Option<(u64, Arc<EqSnapshot>)> {
+        let state = self.shared.state.lock().expect("snapshot index lock poisoned");
+        state.map.get(&key).map(|(fp, snap)| (*fp, Arc::clone(snap)))
     }
 
     /// Removes `key` from the index (a no-op if absent). Readers holding
@@ -285,8 +300,8 @@ impl SnapshotIndex {
         {
             let buf = Arc::get_mut(&mut next).expect("recycled map versions are unique");
             buf.clear();
-            for (k, v) in state.map.iter() {
-                buf.insert(*k, Arc::clone(v));
+            for (k, (fp, snap)) in state.map.iter() {
+                buf.insert(*k, (*fp, Arc::clone(snap)));
             }
             edit(buf);
         }
@@ -341,7 +356,14 @@ impl SnapshotReader {
             // we hold it, so `seen` exactly labels the version we cached.
             self.seen = self.shared.generation.load(Ordering::Acquire);
         }
-        self.map.get(&key).map(Arc::clone)
+        self.map.get(&key).map(|(_, snap)| Arc::clone(snap))
+    }
+
+    /// The index generation this reader last synchronized with — test
+    /// hooks use it to assert that a retraction was observed (the
+    /// generation moved) rather than merely that a lookup missed.
+    pub fn seen_generation(&self) -> u64 {
+        self.seen
     }
 }
 
@@ -455,19 +477,25 @@ mod tests {
         assert!(index.is_empty());
 
         let snap = std::sync::Arc::new(EqSnapshot::empty());
-        index.publish(1, std::sync::Arc::clone(&snap));
+        index.publish(1, 0xfeed, std::sync::Arc::clone(&snap));
         assert_eq!(index.len(), 1);
         // The pre-existing reader observes the new generation and the
         // published entry is the *same* allocation, not a copy.
         let got = reader.get(1).expect("published entry visible");
         assert!(std::sync::Arc::ptr_eq(&got, &snap));
+        // The publishing fingerprint rides along for rehydration.
+        let (fp, published) = index.published(1).expect("entry present");
+        assert_eq!(fp, 0xfeed);
+        assert!(std::sync::Arc::ptr_eq(&published, &snap));
 
         // Replacing a key swaps the entry readers see.
         let newer = std::sync::Arc::new(EqSnapshot::empty());
-        index.publish(1, std::sync::Arc::clone(&newer));
+        index.publish(1, 0xbeef, std::sync::Arc::clone(&newer));
         assert!(std::sync::Arc::ptr_eq(&reader.get(1).unwrap(), &newer));
+        assert_eq!(index.published(1).unwrap().0, 0xbeef);
 
         index.retract(1);
+        assert!(index.published(1).is_none());
         assert!(reader.get(1).is_none());
         assert!(index.is_empty());
         // Retracting an absent key is a harmless no-op.
@@ -479,7 +507,7 @@ mod tests {
         // Between publications, repeated gets return the same allocation
         // — the steady-state fast path never rebuilds anything.
         let index = SnapshotIndex::new();
-        index.publish(5, std::sync::Arc::new(EqSnapshot::empty()));
+        index.publish(5, 0, std::sync::Arc::new(EqSnapshot::empty()));
         let mut reader = index.reader();
         let a = reader.get(5).unwrap();
         let b = reader.get(5).unwrap();
@@ -496,7 +524,7 @@ mod tests {
         let phi = snap.state().phi;
 
         let index = SnapshotIndex::new();
-        index.publish(9, std::sync::Arc::clone(&snap));
+        index.publish(9, 0, std::sync::Arc::clone(&snap));
         std::thread::scope(|scope| {
             for _ in 0..4 {
                 let mut reader = index.reader();

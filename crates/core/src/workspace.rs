@@ -19,6 +19,54 @@
 use crate::game::SubsidyGame;
 use subcomp_model::system::{StateScratch, SystemState};
 
+/// A deterministic per-solve iteration budget.
+///
+/// The serving layer needs a way to stop a pathological solve from
+/// spinning without giving up determinism, so the budget is counted in
+/// **best-response sweeps, never wall-clock time**: the same game under
+/// the same budget always stops at the same iterate with the same
+/// residual, on any machine. Checking it is an integer compare inside
+/// the sweep loop — no boxing, no cloning, no allocation (the
+/// counting-allocator suite pins the budgeted happy path at zero warm
+/// allocations).
+///
+/// [`SolveBudget::unlimited`] (the default) never fires: the solver's
+/// own `max_sweeps` bound is always reached first, so an unlimited
+/// budget is bit-identical to the un-budgeted engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SolveBudget {
+    max_sweeps: usize,
+}
+
+impl Default for SolveBudget {
+    fn default() -> Self {
+        SolveBudget::unlimited()
+    }
+}
+
+impl SolveBudget {
+    /// No budget: the solver runs to its own `max_sweeps` bound.
+    pub fn unlimited() -> SolveBudget {
+        SolveBudget { max_sweeps: usize::MAX }
+    }
+
+    /// At most `n` sweeps (clamped to at least 1: a zero budget would
+    /// forbid even looking at the start iterate).
+    pub fn sweeps(n: usize) -> SolveBudget {
+        SolveBudget { max_sweeps: n.max(1) }
+    }
+
+    /// The sweep ceiling this budget imposes.
+    pub fn max_sweeps(&self) -> usize {
+        self.max_sweeps
+    }
+
+    /// Whether this budget can never fire.
+    pub fn is_unlimited(&self) -> bool {
+        self.max_sweeps == usize::MAX
+    }
+}
+
 /// Reusable buffers for the Nash and VI solvers.
 ///
 /// Create one per worker thread with [`SolveWorkspace::for_game`] (or
@@ -137,6 +185,15 @@ mod tests {
         assert!(ws.s.capacity() >= cap5);
         ws.ensure(&tiny_game(5));
         assert_eq!(ws.s.len(), 5);
+    }
+
+    #[test]
+    fn solve_budget_clamps_and_classifies() {
+        assert!(SolveBudget::default().is_unlimited());
+        assert!(SolveBudget::unlimited().is_unlimited());
+        assert_eq!(SolveBudget::sweeps(0).max_sweeps(), 1, "zero budgets clamp to one sweep");
+        assert_eq!(SolveBudget::sweeps(7).max_sweeps(), 7);
+        assert!(!SolveBudget::sweeps(7).is_unlimited());
     }
 
     #[test]

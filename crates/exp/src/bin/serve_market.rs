@@ -6,44 +6,58 @@
 //! mixed read/update traffic over a hot-key table with Zipf-like skew,
 //! interleaved across markets, each market pinned to a worker shard by
 //! stable hash. The report shows how the request mix decomposed into
-//! answer sources (lock-free / cache hit / tangent / warm / cold), the
-//! per-shard counters, and a bit-level response checksum — everything
+//! answer sources (lock-free / cache hit / tangent / warm / cold /
+//! partial), the per-shard counters, a failure summary by typed error
+//! kind and by market, and a bit-level response checksum — everything
 //! above the `timing` line is deterministic for a given configuration,
 //! so the output diffs cleanly across machines *and across shard counts*
 //! (per-market streams and replies do not depend on `--shards`).
+//!
+//! With `--chaos SEED` the same workload runs under the deterministic
+//! fault harness instead: panics, shard kills, NaN-poisoned curves and
+//! budget starvation are injected on a schedule derived purely from the
+//! seed, every market is healed at the end, and the report pins the
+//! fault-inclusive checksum plus the recovery counters. Replaying the
+//! same seed — at any shard count — reproduces the report byte for byte.
 //!
 //! Usage:
 //!   `cargo run --release -p subcomp-exp --bin serve_market [-- OPTIONS]`
 //!
 //! Options (all with defaults):
-//!   `--requests N`    requests to serve per market (default 2000)
-//!   `--markets M`     resident markets (default 1)
-//!   `--shards S`      worker shards (default 1)
-//!   `--keys K`        hot operating points (default 8)
-//!   `--skew Z`        Zipf-like skew over the keys (default 1.0)
-//!   `--read-frac F`   probability a step is a plain read (default 0.8)
-//!   `--sens-frac F`   probability a step is a sensitivity read (default 0.1)
-//!                     (the fractions must sum to at most 1; the
-//!                     remainder switches the operating point)
-//!   `--pool P`        warm workspaces per market (default 2)
-//!   `--cache C`       cache capacity per market, 0 = always-miss (default 64)
-//!   `--seed S`        master seed (default 7)
-//!   `--warmup W`      requests excluded from the latency window (default 100)
+//!   `--requests N`      requests to serve per market (default 2000)
+//!   `--markets M`       resident markets (default 1)
+//!   `--shards S`        worker shards (default 1)
+//!   `--keys K`          hot operating points (default 8)
+//!   `--skew Z`          Zipf-like skew over the keys (default 1.0)
+//!   `--read-frac F`     probability a step is a plain read (default 0.8)
+//!   `--sens-frac F`     probability a step is a sensitivity read (default 0.1)
+//!                       (the fractions must sum to at most 1; the
+//!                       remainder switches the operating point)
+//!   `--pool P`          warm workspaces per market (default 2)
+//!   `--cache C`         cache capacity per market, 0 = always-miss (default 64)
+//!   `--seed S`          master seed (default 7)
+//!   `--warmup W`        requests excluded from the latency window (default 100)
+//!   `--chaos SEED`      run under the fault-injection harness
+//!   `--max-fail-frac F` tolerated failed-request fraction (default 0)
 //!
 //! Latency percentiles come from `num::stats::quantile`, which reports an
 //! explicit error on an empty window (e.g. `--warmup` ≥ total requests);
 //! the report prints `n/a` for that window instead of dying.
 //!
-//! Bad arguments exit with a one-line usage error on stderr; any request
-//! the server rejects exits 1 after the report.
+//! Bad arguments exit with a one-line usage error on stderr. The exit
+//! code is 1 when the failed-request fraction exceeds `--max-fail-frac`,
+//! or — under `--chaos` — when any market remains unrecovered after the
+//! final heal sweep; 0 otherwise.
 //!
 //! [`ShardedServer`]: subcomp_exp::server::ShardedServer
 
+use std::collections::BTreeMap;
 use std::time::Instant;
 use subcomp_core::game::SubsidyGame;
 use subcomp_exp::scenarios::section5_system;
 use subcomp_exp::server::{
-    generate_multi, summarize_latencies, LoadGenConfig, Reply, ShardedConfig, ShardedServer, Source,
+    error_kind, fold_reply, generate_multi, run_chaos, summarize_latencies, ChaosConfig,
+    LoadGenConfig, Reply, ShardedConfig, ShardedServer, Source,
 };
 
 #[derive(Debug)]
@@ -59,6 +73,8 @@ struct Args {
     cache: usize,
     seed: u64,
     warmup: usize,
+    chaos: Option<u64>,
+    max_fail_frac: f64,
 }
 
 /// Parses and validates the flag list; every rejection is a one-line
@@ -76,6 +92,8 @@ fn parse_args_from<I: IntoIterator<Item = String>>(argv: I) -> Result<Args, Stri
         cache: 64,
         seed: 7,
         warmup: 100,
+        chaos: None,
+        max_fail_frac: 0.0,
     };
     let mut it = argv.into_iter();
     while let Some(flag) = it.next() {
@@ -126,6 +144,16 @@ fn parse_args_from<I: IntoIterator<Item = String>>(argv: I) -> Result<Args, Stri
                     .parse()
                     .map_err(|_| "--warmup: expected an integer".to_string())?;
             }
+            "--chaos" => {
+                args.chaos = Some(
+                    take("--chaos")?
+                        .parse()
+                        .map_err(|_| "--chaos: expected an integer seed".to_string())?,
+                );
+            }
+            "--max-fail-frac" => {
+                args.max_fail_frac = fraction("--max-fail-frac", take("--max-fail-frac")?)?;
+            }
             other => return Err(format!("unknown flag {other} (see the module docs)")),
         }
     }
@@ -153,30 +181,6 @@ fn parse_args() -> Args {
     }
 }
 
-/// Folds a reply into the running bit-level checksum: XOR of the bits of
-/// every float the client would see, salted with the market the reply
-/// belongs to. Order-sensitive enough to catch any drift in the served
-/// sequence, cheap enough to be free.
-fn checksum(acc: u64, market: u64, reply: &Reply) -> u64 {
-    let mut acc = acc.rotate_left(1) ^ market.wrapping_mul(0x9E37_79B9_7F4A_7C15);
-    match reply {
-        Reply::Updated { value, .. } => acc ^= value.to_bits(),
-        Reply::Equilibrium { snap, .. } => {
-            for s in snap.subsidies() {
-                acc ^= s.to_bits();
-            }
-            acc ^= snap.state().phi.to_bits();
-        }
-        Reply::Sensitivity { ds, snap, .. } => {
-            for d in ds {
-                acc ^= d.to_bits();
-            }
-            acc ^= snap.state().phi.to_bits();
-        }
-    }
-    acc
-}
-
 fn print_window(label: &str, samples: &[f64]) {
     match summarize_latencies(samples) {
         Ok(s) => println!(
@@ -186,6 +190,81 @@ fn print_window(label: &str, samples: &[f64]) {
         ),
         Err(e) => println!("latency ({label}): n/a ({e})"),
     }
+}
+
+fn section5_markets(n: usize) -> Vec<(u64, SubsidyGame)> {
+    (0..n as u64)
+        .map(|id| (id, SubsidyGame::new(section5_system(), 0.6, 0.8).expect("§5 market is valid")))
+        .collect()
+}
+
+/// The deterministic failure-summary section: totals by typed error
+/// kind, then by market — or a single `failures: none` line.
+fn print_failures(by_kind: &BTreeMap<&'static str, usize>, by_market: &BTreeMap<u64, usize>) {
+    if by_kind.is_empty() {
+        println!("failures: none");
+        return;
+    }
+    let total: usize = by_kind.values().sum();
+    let kinds: Vec<String> =
+        by_kind.iter().map(|(kind, count)| format!("{count} {kind}")).collect();
+    println!("failures: {total} total ({})", kinds.join(", "));
+    let markets: Vec<String> =
+        by_market.iter().map(|(market, count)| format!("market {market}: {count}")).collect();
+    println!("failures by market: {}", markets.join(", "));
+}
+
+/// Exits by the failure-fraction gate shared by both modes.
+fn exit_by_fail_frac(failed: usize, total: usize, max_fail_frac: f64) -> ! {
+    let frac = failed as f64 / (total as f64).max(1.0);
+    if frac > max_fail_frac {
+        eprintln!(
+            "serve_market: failure fraction {frac:.4} exceeds --max-fail-frac {max_fail_frac}"
+        );
+        std::process::exit(1);
+    }
+    std::process::exit(0);
+}
+
+/// The `--chaos` mode: run the deterministic fault harness over the same
+/// workload and print the fault-inclusive replay report. Everything
+/// printed here is deterministic — two runs with equal flags (any shard
+/// count) are byte-identical.
+fn run_chaos_mode(args: &Args, load: &LoadGenConfig, chaos_seed: u64) -> ! {
+    let report = run_chaos(
+        &section5_markets(args.markets),
+        &ChaosConfig {
+            shards: args.shards,
+            pool: args.pool,
+            cache: args.cache,
+            load: *load,
+            chaos_seed,
+        },
+    )
+    .unwrap_or_else(|e| {
+        eprintln!("serve_market: chaos harness failed: {e}");
+        std::process::exit(2);
+    });
+    println!(
+        "chaos: seed {chaos_seed}, {} scheduled fault events over {} requests",
+        report.injected, report.requests
+    );
+    println!("chaos served: {} ok, {} failed (typed)", report.ok, report.failed);
+    println!(
+        "chaos recovery: {} shard restarts, {} market rebuilds",
+        report.shard_restarts, report.market_rebuilds
+    );
+    print_failures(
+        &report.failures_by_kind.iter().copied().collect(),
+        &report.failures_by_market.iter().copied().collect(),
+    );
+    println!("response checksum: {:016x}", report.checksum);
+    println!("unrecovered markets: {}", report.unrecovered.len());
+    if !report.unrecovered.is_empty() {
+        eprintln!("serve_market: unrecovered markets after heal sweep: {:?}", report.unrecovered);
+        std::process::exit(1);
+    }
+    exit_by_fail_frac(report.failed, report.requests, args.max_fail_frac);
 }
 
 fn main() {
@@ -207,36 +286,35 @@ fn main() {
         args.warmup
     );
 
-    let markets: Vec<(u64, SubsidyGame)> = (0..args.markets as u64)
-        .map(|id| (id, SubsidyGame::new(section5_system(), 0.6, 0.8).expect("§5 market is valid")))
-        .collect();
+    let load = LoadGenConfig {
+        requests: args.requests,
+        seed: args.seed,
+        read_fraction: args.read_frac,
+        sensitivity_fraction: args.sens_frac,
+        hot_keys: args.keys,
+        skew: args.skew,
+    };
+    if let Some(chaos_seed) = args.chaos {
+        run_chaos_mode(&args, &load, chaos_seed);
+    }
+
     let mut server = ShardedServer::new(
-        markets,
+        section5_markets(args.markets),
         &ShardedConfig { shards: args.shards, pool: args.pool, cache: args.cache },
     )
     .unwrap_or_else(|e| {
         eprintln!("serve_market: {e}");
         std::process::exit(2);
     });
-    let stream = generate_multi(
-        &LoadGenConfig {
-            requests: args.requests,
-            seed: args.seed,
-            read_fraction: args.read_frac,
-            sensitivity_fraction: args.sens_frac,
-            hot_keys: args.keys,
-            skew: args.skew,
-        },
-        args.markets,
-    )
-    .unwrap_or_else(|e| {
+    let stream = generate_multi(&load, args.markets).unwrap_or_else(|e| {
         eprintln!("serve_market: {e}");
         std::process::exit(2);
     });
 
     let mut sum = 0u64;
-    let mut failures = 0usize;
-    let mut sources = [0usize; 5]; // lock-free, cache-hit, tangent, warm, cold
+    let mut fail_kinds: BTreeMap<&'static str, usize> = BTreeMap::new();
+    let mut fail_markets: BTreeMap<u64, usize> = BTreeMap::new();
+    let mut sources = [0usize; 6]; // lock-free, cache-hit, tangent, warm, cold, partial
     let mut latencies = Vec::with_capacity(stream.len());
     let start = Instant::now();
     for (market, req) in &stream {
@@ -245,9 +323,9 @@ fn main() {
             Ok(reply) => {
                 latencies.push(t0.elapsed().as_nanos() as f64);
                 let source = match &reply {
-                    Reply::Equilibrium { source, .. } | Reply::Sensitivity { source, .. } => {
-                        Some(*source)
-                    }
+                    Reply::Equilibrium { source, .. }
+                    | Reply::Sensitivity { source, .. }
+                    | Reply::Degenerate { source, .. } => Some(*source),
                     Reply::Updated { .. } => None,
                 };
                 if let Some(source) = source {
@@ -257,18 +335,20 @@ fn main() {
                         Source::Tangent => 2,
                         Source::Warm => 3,
                         Source::Cold => 4,
+                        Source::Partial => 5,
                     }] += 1;
                 }
-                sum = checksum(sum, *market, &reply);
+                sum = fold_reply(sum, *market, &reply);
             }
             Err(e) => {
                 latencies.push(t0.elapsed().as_nanos() as f64);
-                eprintln!("serve_market: request failed: {e}");
-                failures += 1;
+                *fail_kinds.entry(error_kind(&e)).or_insert(0) += 1;
+                *fail_markets.entry(*market).or_insert(0) += 1;
             }
         }
     }
     let elapsed = start.elapsed();
+    let failures: usize = fail_kinds.values().sum();
 
     let reports = server.shard_reports().unwrap_or_else(|e| {
         eprintln!("serve_market: {e}");
@@ -287,8 +367,8 @@ fn main() {
         failures
     );
     println!(
-        "answer sources: {} lock-free, {} cache-hit, {} tangent, {} warm, {} cold",
-        sources[0], sources[1], sources[2], sources[3], sources[4]
+        "answer sources: {} lock-free, {} cache-hit, {} tangent, {} warm, {} cold, {} partial",
+        sources[0], sources[1], sources[2], sources[3], sources[4], sources[5]
     );
     println!(
         "cache (all shards): {} hits, {} misses, {} insertions, {} evictions, {}/{} resident",
@@ -301,19 +381,22 @@ fn main() {
     );
     for r in &reports {
         println!(
-            "shard {}: markets={}, {} updates, {} equilibria, {} sensitivities, \
-             {} cache-hit, {} tangent, {} warm, {} cold",
+            "shard {}: markets={}, quarantined={}, {} updates, {} equilibria, {} sensitivities, \
+             {} cache-hit, {} tangent, {} warm, {} cold, {} partial",
             r.shard,
             r.markets,
+            r.quarantined,
             r.stats.updates,
             r.stats.equilibria,
             r.stats.sensitivities,
             r.stats.cache_hits,
             r.stats.tangent_solves,
             r.stats.warm_solves,
-            r.stats.cold_solves
+            r.stats.cold_solves,
+            r.stats.partial_solves
         );
     }
+    print_failures(&fail_kinds, &fail_markets);
     println!("response checksum: {sum:016x}");
     let measured = &latencies[args.warmup.min(latencies.len())..];
     print_window("steady state", measured);
@@ -322,9 +405,7 @@ fn main() {
         elapsed.as_secs_f64(),
         stream.len() as f64 / elapsed.as_secs_f64().max(1e-9)
     );
-    if failures > 0 {
-        std::process::exit(1);
-    }
+    exit_by_fail_frac(failures, stream.len(), args.max_fail_frac);
 }
 
 #[cfg(test)]
@@ -347,6 +428,9 @@ mod tests {
         assert!(parse(&["--skew", "inf"]).is_err());
         assert!(parse(&["--pool"]).is_err());
         assert!(parse(&["--cache", "-1"]).is_err());
+        assert!(parse(&["--chaos", "x"]).is_err());
+        assert!(parse(&["--max-fail-frac", "1.5"]).is_err());
+        assert!(parse(&["--max-fail-frac", "-0.1"]).is_err());
         assert!(parse(&["--wat", "1"]).is_err());
         for bad in [parse(&["--keys", "0"]).unwrap_err(), parse(&["--skew", "-1"]).unwrap_err()] {
             assert!(!bad.contains('\n'), "multi-line usage error: {bad:?}");
@@ -402,7 +486,16 @@ mod tests {
         assert_eq!(defaults.cache, 64);
         assert_eq!(defaults.markets, 1);
         assert_eq!(defaults.shards, 1);
+        assert_eq!(defaults.chaos, None);
+        assert_eq!(defaults.max_fail_frac, 0.0);
         // Capacity 0 is the documented always-miss configuration.
         assert_eq!(parse(&["--cache", "0"]).unwrap().cache, 0);
+    }
+
+    #[test]
+    fn chaos_and_fail_frac_flags_parse() {
+        let args = parse(&["--chaos", "42", "--max-fail-frac", "0.25"]).unwrap();
+        assert_eq!(args.chaos, Some(42));
+        assert_eq!(args.max_fail_frac, 0.25);
     }
 }

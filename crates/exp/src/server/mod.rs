@@ -28,6 +28,7 @@
 //! [`fingerprint`]: fingerprint::fingerprint
 
 pub mod cache;
+pub mod faults;
 pub mod fingerprint;
 pub mod loadgen;
 pub mod sharded;
@@ -35,15 +36,66 @@ pub mod sharded;
 use std::sync::Arc;
 use subcomp_core::game::{Axis, SubsidyGame};
 use subcomp_core::nash::{NashSolver, WarmStart};
-use subcomp_core::sensitivity::Sensitivity;
+use subcomp_core::sensitivity::{ActiveSet, Sensitivity};
 use subcomp_core::snapshot::{EqSnapshot, TangentPolicy};
-use subcomp_core::workspace::SolveWorkspace;
+use subcomp_core::workspace::{SolveBudget, SolveWorkspace};
 use subcomp_num::error::{NumError, NumResult};
 
 pub use cache::{CacheStats, EqCache};
+pub use faults::{
+    error_kind, fold_error, fold_reply, poison_game, run_chaos, ChaosConfig, ChaosReport,
+    FaultEvent, FaultKind, FaultPlan,
+};
 pub use fingerprint::fingerprint;
 pub use loadgen::{generate, generate_multi, LoadGenConfig};
-pub use sharded::{ShardReport, ShardedConfig, ShardedServer};
+pub use sharded::{Sabotage, ShardReport, ShardedConfig, ShardedServer};
+
+/// Convenience alias for the serving layer's fallible entry points.
+pub type ServeResult<T> = Result<T, ServeError>;
+
+/// A typed serving failure. Every variant is *recoverable* from the
+/// client's perspective: the server stays resident and keeps answering
+/// subsequent requests.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServeError {
+    /// The owning shard died while this request was in flight; it has
+    /// been respawned and its markets rehydrated, but this request was
+    /// lost. Retrying is safe.
+    ShardRestarted {
+        /// The shard that was restarted.
+        shard: usize,
+    },
+    /// The market is quarantined after repeated budget blowouts; reads
+    /// are refused until a [`EquilibriumServer::submit`] heals it.
+    Quarantined {
+        /// Consecutive budget blowouts recorded when quarantine tripped.
+        strikes: u32,
+    },
+    /// The underlying numerical/validation error.
+    Num(NumError),
+}
+
+impl From<NumError> for ServeError {
+    fn from(err: NumError) -> ServeError {
+        ServeError::Num(err)
+    }
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::ShardRestarted { shard } => {
+                write!(f, "shard {shard} restarted while the request was in flight")
+            }
+            ServeError::Quarantined { strikes } => {
+                write!(f, "market quarantined after {strikes} budget blowouts (submit to heal)")
+            }
+            ServeError::Num(err) => write!(f, "{err}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
 
 /// One request in a client stream.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -78,6 +130,10 @@ pub enum Source {
     Warm,
     /// Solved from the zero profile.
     Cold,
+    /// A [`SolveBudget`] fired before convergence: the answer is the best
+    /// iterate with its residual (see the snapshot's
+    /// [`stats`](EqSnapshot::stats)), never cached, never published.
+    Partial,
 }
 
 /// A server reply, paired with the [`Request`] variant that caused it.
@@ -106,6 +162,19 @@ pub enum Reply {
         /// Which path produced the equilibrium.
         source: Source,
     },
+    /// A sensitivity read landed on a *degenerate* equilibrium (a pinned
+    /// provider with `u_i ≈ 0`): no one-sided derivative is served, but
+    /// the request succeeds with the equilibrium and its active-set
+    /// partition — the typed, recoverable form of what used to be a
+    /// failed request.
+    Degenerate {
+        /// The `N⁻ / Ñ / N⁺` partition at the answered equilibrium.
+        active_set: ActiveSet,
+        /// The (degenerate) equilibrium itself.
+        snap: Arc<EqSnapshot>,
+        /// Which path produced the equilibrium.
+        source: Source,
+    },
 }
 
 /// Per-source answer counts and request totals.
@@ -125,6 +194,8 @@ pub struct ServerStats {
     pub warm_solves: u64,
     /// Solves from the zero profile.
     pub cold_solves: u64,
+    /// Budget-limited solves answered as [`Source::Partial`].
+    pub partial_solves: u64,
 }
 
 /// A stored sensitivity that may seed the next solve along its axis.
@@ -157,7 +228,17 @@ pub struct EquilibriumServer {
     base: Option<u64>,
     dirty: Dirty,
     stats: ServerStats,
+    /// Deterministic per-solve sweep budget (unlimited by default).
+    budget: SolveBudget,
+    /// Consecutive budget blowouts since the last full answer.
+    strikes: u32,
+    /// Strikes at which the market quarantines itself.
+    quarantine_after: u32,
+    quarantined: bool,
 }
+
+/// Consecutive budget blowouts before a market quarantines itself.
+pub const QUARANTINE_AFTER: u32 = 3;
 
 impl std::fmt::Debug for EquilibriumServer {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
@@ -187,6 +268,10 @@ impl EquilibriumServer {
             base: None,
             dirty: Dirty::Many,
             stats: ServerStats::default(),
+            budget: SolveBudget::unlimited(),
+            strikes: 0,
+            quarantine_after: QUARANTINE_AFTER,
+            quarantined: false,
         }
     }
 
@@ -200,6 +285,34 @@ impl EquilibriumServer {
     pub fn with_tangent_policy(mut self, policy: TangentPolicy) -> EquilibriumServer {
         self.tangent = policy;
         self
+    }
+
+    /// Replaces the per-solve sweep budget (builder style).
+    pub fn with_budget(mut self, budget: SolveBudget) -> EquilibriumServer {
+        self.budget = budget;
+        self
+    }
+
+    /// Replaces the per-solve sweep budget in place. Healing a starved
+    /// budget does **not** lift an existing quarantine — only
+    /// [`EquilibriumServer::submit`] does.
+    pub fn set_budget(&mut self, budget: SolveBudget) {
+        self.budget = budget;
+    }
+
+    /// The per-solve sweep budget in force.
+    pub fn budget(&self) -> SolveBudget {
+        self.budget
+    }
+
+    /// Whether the market is quarantined (reads refused until a submit).
+    pub fn is_quarantined(&self) -> bool {
+        self.quarantined
+    }
+
+    /// Consecutive budget blowouts since the last full answer.
+    pub fn strikes(&self) -> u32 {
+        self.strikes
     }
 
     /// The resident market as currently parameterized.
@@ -217,8 +330,12 @@ impl EquilibriumServer {
         self.cache.stats()
     }
 
-    /// Dispatches one request.
-    pub fn serve(&mut self, req: Request) -> NumResult<Reply> {
+    /// Dispatches one request. A quarantined market refuses every request
+    /// with [`ServeError::Quarantined`] until a submit heals it.
+    pub fn serve(&mut self, req: Request) -> ServeResult<Reply> {
+        if self.quarantined {
+            return Err(ServeError::Quarantined { strikes: self.strikes });
+        }
         match req {
             Request::Update { axis, value } => {
                 self.update(axis, value)?;
@@ -228,11 +345,33 @@ impl EquilibriumServer {
                 let (snap, source) = self.equilibrium()?;
                 Ok(Reply::Equilibrium { snap, source })
             }
-            Request::Sensitivity { axis } => {
-                let (ds, snap, source) = self.sensitivity(axis)?;
-                Ok(Reply::Sensitivity { ds, snap, source })
-            }
+            Request::Sensitivity { axis } => Ok(self.serve_sensitivity(axis)?),
         }
+    }
+
+    /// The sensitivity read with the full degradation ladder: a partial
+    /// equilibrium degrades to the plain equilibrium reply (no derivative
+    /// of a non-converged iterate), a degenerate equilibrium answers its
+    /// active-set partition, and only a regular equilibrium is
+    /// differentiated.
+    fn serve_sensitivity(&mut self, axis: Axis) -> NumResult<Reply> {
+        let (snap, source) = self.equilibrium()?;
+        if source == Source::Partial {
+            return Ok(Reply::Equilibrium { snap, source });
+        }
+        if let Some(active_set) = Sensitivity::degeneracy(&self.game, snap.subsidies())? {
+            self.stats.sensitivities += 1;
+            return Ok(Reply::Degenerate { active_set, snap, source });
+        }
+        let ds = Sensitivity::directional(&self.game, snap.subsidies(), axis)?;
+        self.stats.sensitivities += 1;
+        self.seed = Some(TangentSeed {
+            axis,
+            at: axis.value(&self.game),
+            ds: ds.clone(),
+            base_key: self.base.expect("equilibrium just answered"),
+        });
+        Ok(Reply::Sensitivity { ds, snap, source })
     }
 
     /// Applies a validated axis write to the resident market. No solve
@@ -251,11 +390,17 @@ impl EquilibriumServer {
     /// Replaces the resident market wholesale (a full-game submission).
     /// Workspace shapes adapt on the next solve; the cache is kept — a
     /// submission that fingerprints to a cached market stays O(lookup).
+    ///
+    /// A submit also **heals**: it clears the strike counter and lifts any
+    /// quarantine before solving, so a fresh (fixed) game always gets a
+    /// chance to answer.
     pub fn submit(&mut self, game: SubsidyGame) -> NumResult<(Arc<EqSnapshot>, Source)> {
         self.game = game;
         self.seed = None;
         self.base = None;
         self.dirty = Dirty::Many;
+        self.strikes = 0;
+        self.quarantined = false;
         self.equilibrium()
     }
 
@@ -265,6 +410,7 @@ impl EquilibriumServer {
         self.stats.equilibria += 1;
         if let Some(snap) = self.cache.get(key) {
             self.stats.cache_hits += 1;
+            self.strikes = 0;
             self.base = Some(key);
             self.dirty = Dirty::Clean;
             return Ok((snap, Source::CacheHit));
@@ -294,18 +440,34 @@ impl EquilibriumServer {
             }
             None => (WarmStart::Zero, Source::Cold),
         };
-        let stats = self.solver.solve_into(&self.game, start, ws)?;
+        let stats = self.solver.solve_into_budgeted(&self.game, start, ws, self.budget)?;
         if !stats.converged {
-            return Err(NumError::MaxIterations {
-                max_iter: stats.iterations,
-                residual: stats.residual,
-            });
+            // Only a finite budget can land here (the unlimited budget
+            // defers to the MaxIterations error inside the solver):
+            // degrade to a partial answer at the best iterate. Partial
+            // answers are never cached and never trusted as warm state —
+            // the next read re-solves from scratch, so repeated
+            // starvation produces *identical* partial replies and a
+            // deterministic strike count.
+            self.stats.partial_solves += 1;
+            self.strikes += 1;
+            if self.strikes >= self.quarantine_after {
+                self.quarantined = true;
+            }
+            self.slot_state[slot] = None;
+            self.base = None;
+            let mut arc = self.cache.blank();
+            Arc::get_mut(&mut arc)
+                .expect("blank snapshots are unique")
+                .capture_into(&self.game, ws, stats);
+            return Ok((arc, Source::Partial));
         }
         match source {
             Source::Tangent => self.stats.tangent_solves += 1,
             Source::Warm => self.stats.warm_solves += 1,
             _ => self.stats.cold_solves += 1,
         }
+        self.strikes = 0;
         let mut arc = self.cache.blank();
         Arc::get_mut(&mut arc)
             .expect("blank snapshots are unique")
@@ -355,6 +517,23 @@ impl EquilibriumServer {
     pub fn peek_current(&self) -> Option<Arc<EqSnapshot>> {
         let key = fingerprint(&self.game).ok()?;
         self.cache.peek(key)
+    }
+
+    /// The fingerprint of the last answered (full) equilibrium, if the
+    /// parameterization has not been written since — the key the sharded
+    /// tier publishes snapshots under, so a respawned shard can preload
+    /// the same (key, snapshot) pair via [`EquilibriumServer::preload`].
+    pub fn current_key(&self) -> Option<u64> {
+        self.base
+    }
+
+    /// Seeds the fingerprint cache with an externally held answer (the
+    /// supervision layer's rehydration path: the last *published* snapshot
+    /// of a market whose shard died). The snapshot is inserted as-is; a
+    /// subsequent read whose parameterization fingerprints to `key` is a
+    /// bit-identical cache hit instead of a fresh solve.
+    pub fn preload(&mut self, key: u64, snap: Arc<EqSnapshot>) {
+        self.cache.insert(key, snap);
     }
 }
 

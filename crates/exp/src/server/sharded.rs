@@ -1,11 +1,11 @@
 //! Sharded multi-market serving: session multiplexing over resident
-//! markets with a lock-free read path.
+//! markets with a lock-free read path and supervised fault recovery.
 //!
 //! [`ShardedServer`] hosts many resident markets on `S` worker shards,
 //! each shard a thread owning a full [`EquilibriumServer`] per market it
 //! is pinned to — resident [`SubsidyGame`], warm workspace pool,
 //! fingerprint cache, tangent ladder, all of it. The router in front
-//! does two things:
+//! does three things:
 //!
 //! * **Pins each market/session id to a shard by stable hash** (FNV-1a
 //!   over the id, mod `S`), and serves every request for a market
@@ -17,13 +17,35 @@
 //!   nothing more).
 //! * **Serves pure reads of already-published equilibria lock-free**:
 //!   after a shard answers an equilibrium or sensitivity read, it
-//!   publishes the answering snapshot into a shared
-//!   [`SnapshotIndex`] (and retracts the market on any write) *before*
-//!   replying. A later `Request::Equilibrium` for that market is then
-//!   answered by the router as an `Arc` clone out of the index —
+//!   publishes the answering snapshot (keyed by its fingerprint) into a
+//!   shared [`SnapshotIndex`] (and retracts the market on any write)
+//!   *before* replying. A later `Request::Equilibrium` for that market is
+//!   then answered by the router as an `Arc` clone out of the index —
 //!   [`Source::LockFree`], one atomic generation check plus a hash
 //!   lookup, never touching the owning shard's solver state or its
 //!   queue.
+//! * **Supervises its shards.** Each request is served under
+//!   `catch_unwind`: a panic confined to one request drops that market's
+//!   resident server, retracts its published answer, and rebuilds the
+//!   market from the router's mirror — the in-flight request fails with
+//!   the typed [`ServeError::ShardRestarted`], never a hung channel. A
+//!   panic that kills the whole shard thread (detected as a channel
+//!   failure) triggers a full restart: the dead thread is reaped, its
+//!   published entries retracted, the shard respawned, and **every**
+//!   market rehydrated from its mirror plus its last published
+//!   `EqSnapshot` (cold-solve fallback when nothing is published).
+//!
+//! **Recovery canonicalization.** A whole-shard kill rehydrates *all*
+//! markets, not just the dead shard's. This is deliberate: which markets
+//! share a shard depends on the shard count, so a recovery that rebuilt
+//! only the dead shard's markets would leave different warm state at
+//! different `S` — and the post-recovery reply stream would stop being
+//! bit-identical across shard counts. Rehydrating everything resets every
+//! market to the same canonical state — a pure function of its mirror
+//! game and its last published (fingerprint, snapshot) pair, both of
+//! which are shard-count-invariant — so the determinism contract
+//! survives the fault. A per-request panic needs no such sweep: it
+//! rebuilds exactly one market, which is invariant by itself.
 //!
 //! The lock-free path is **deterministic** under the synchronous serve
 //! discipline: publication happens before the shard's reply is sent, the
@@ -50,9 +72,12 @@ use std::thread::JoinHandle;
 
 use subcomp_core::game::SubsidyGame;
 use subcomp_core::snapshot::{EqSnapshot, SnapshotIndex, SnapshotReader};
+use subcomp_core::workspace::SolveBudget;
 use subcomp_num::error::{NumError, NumResult};
 
-use super::{CacheStats, EquilibriumServer, Reply, Request, ServerStats, Source};
+use super::{
+    CacheStats, EquilibriumServer, Reply, Request, ServeError, ServeResult, ServerStats, Source,
+};
 
 const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
 const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
@@ -86,6 +111,22 @@ impl Default for ShardedConfig {
     }
 }
 
+/// Injected misbehaviour riding on a single serve call — the fault
+/// harness's hook into the shard loop. [`Sabotage::Panic`] panics
+/// *inside* the per-request `catch_unwind` guard (market-scoped
+/// recovery); [`Sabotage::Kill`] panics *outside* it, taking the whole
+/// shard thread down (channel-failure recovery).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Sabotage {
+    /// No fault: serve normally.
+    #[default]
+    None,
+    /// Panic while serving this request, inside the per-request guard.
+    Panic,
+    /// Kill the shard thread before serving this request.
+    Kill,
+}
+
 /// One shard's aggregate view for the deterministic report: how many
 /// markets it hosts and the sums of their server/cache counters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -94,6 +135,8 @@ pub struct ShardReport {
     pub shard: usize,
     /// Resident markets pinned to this shard.
     pub markets: usize,
+    /// Markets currently quarantined on this shard.
+    pub quarantined: usize,
     /// Request/answer counters summed over the shard's markets.
     pub stats: ServerStats,
     /// Cache counters summed over the shard's markets (`len`/`capacity`
@@ -102,19 +145,45 @@ pub struct ShardReport {
 }
 
 /// Commands the router sends a shard. Every command gets exactly one
-/// reply on the shard's response channel.
+/// reply on the shard's response channel (unless the command kills the
+/// shard, which the router observes as a channel failure).
 enum ShardCmd {
-    Serve { market: u64, req: Request },
+    Serve { market: u64, req: Request, sabotage: Sabotage },
+    Submit { market: u64, game: Box<SubsidyGame> },
+    SetBudget { market: u64, budget: SolveBudget },
+    Rehydrate(Box<Rehydrate>),
     Peek { market: u64 },
     Report,
     Shutdown,
 }
 
+/// The rehydration payload: everything a shard needs to rebuild one
+/// resident market to its canonical post-fault state.
+struct Rehydrate {
+    market: u64,
+    game: SubsidyGame,
+    budget: SolveBudget,
+    /// The market's last published (fingerprint, snapshot), if any — the
+    /// rebuilt server preloads its cache with it so unchanged
+    /// parameterizations stay bit-identical cache hits.
+    published: Option<(u64, Arc<EqSnapshot>)>,
+}
+
 /// Shard → router replies, matched 1:1 with commands.
 enum ShardReply {
-    Served(NumResult<Reply>),
+    Served(ServeResult<Reply>),
+    /// The request panicked inside the per-request guard; the market's
+    /// resident server was dropped and its published entry retracted.
+    Panicked,
+    Configured,
+    Rehydrated,
     Peeked(Option<Arc<EqSnapshot>>),
-    Reported { markets: usize, stats: ServerStats, cache: CacheStats },
+    Reported {
+        markets: usize,
+        quarantined: usize,
+        stats: ServerStats,
+        cache: CacheStats,
+    },
     Stopping,
 }
 
@@ -124,6 +193,16 @@ struct ShardHandle {
     thread: Option<JoinHandle<()>>,
 }
 
+/// The router's authoritative record of one market, independent of any
+/// shard thread's fate: the game as currently parameterized (updated on
+/// every acknowledged write/submit) and the budget in force. Recovery
+/// rebuilds resident servers from exactly this.
+struct MarketMirror {
+    shard: usize,
+    game: SubsidyGame,
+    budget: SolveBudget,
+}
+
 fn closed(context: &'static str) -> NumError {
     NumError::Empty { what: context }
 }
@@ -131,18 +210,25 @@ fn closed(context: &'static str) -> NumError {
 /// The sharded multi-market service. See the module docs for the design.
 pub struct ShardedServer {
     shards: Vec<ShardHandle>,
-    /// market id → shard index, fixed at construction.
-    pinning: HashMap<u64, usize>,
+    /// market id → mirror (pinning + canonical game + budget).
+    markets: HashMap<u64, MarketMirror>,
+    index: SnapshotIndex,
     reader: SnapshotReader,
     lockfree_hits: u64,
+    pool: usize,
+    cache: usize,
+    shard_restarts: u64,
+    market_rebuilds: u64,
 }
 
 impl std::fmt::Debug for ShardedServer {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("ShardedServer")
             .field("shards", &self.shards.len())
-            .field("markets", &self.pinning.len())
+            .field("markets", &self.markets.len())
             .field("lockfree_hits", &self.lockfree_hits)
+            .field("shard_restarts", &self.shard_restarts)
+            .field("market_rebuilds", &self.market_rebuilds)
             .finish()
     }
 }
@@ -158,12 +244,14 @@ impl ShardedServer {
         if markets.is_empty() {
             return Err(NumError::Empty { what: "sharded server: markets" });
         }
-        let mut pinning = HashMap::with_capacity(markets.len());
+        let mut mirrors: HashMap<u64, MarketMirror> = HashMap::with_capacity(markets.len());
         let mut per_shard: Vec<Vec<(u64, EquilibriumServer)>> =
             (0..cfg.shards).map(|_| Vec::new()).collect();
         for (id, game) in markets {
             let shard = shard_of_market(id, cfg.shards);
-            if pinning.insert(id, shard).is_some() {
+            let mirror =
+                MarketMirror { shard, game: game.clone(), budget: SolveBudget::unlimited() };
+            if mirrors.insert(id, mirror).is_some() {
                 return Err(NumError::Domain {
                     what: "sharded server: duplicate market id",
                     value: id as f64,
@@ -174,9 +262,21 @@ impl ShardedServer {
 
         let index = SnapshotIndex::new();
         let reader = index.reader();
-        let shards =
-            per_shard.into_iter().map(|servers| spawn_shard(servers, index.clone())).collect();
-        Ok(ShardedServer { shards, pinning, reader, lockfree_hits: 0 })
+        let shards = per_shard
+            .into_iter()
+            .map(|servers| spawn_shard(servers, index.clone(), cfg.pool, cfg.cache))
+            .collect();
+        Ok(ShardedServer {
+            shards,
+            markets: mirrors,
+            index,
+            reader,
+            lockfree_hits: 0,
+            pool: cfg.pool,
+            cache: cfg.cache,
+            shard_restarts: 0,
+            market_rebuilds: 0,
+        })
     }
 
     /// Number of worker shards.
@@ -186,12 +286,12 @@ impl ShardedServer {
 
     /// Number of resident markets across all shards.
     pub fn markets(&self) -> usize {
-        self.pinning.len()
+        self.markets.len()
     }
 
     /// The shard `market` is pinned to, if it is resident.
     pub fn shard_of(&self, market: u64) -> Option<usize> {
-        self.pinning.get(&market).copied()
+        self.markets.get(&market).map(|m| m.shard)
     }
 
     /// Equilibrium reads the router answered lock-free, bypassing shards.
@@ -199,33 +299,101 @@ impl ShardedServer {
         self.lockfree_hits
     }
 
+    /// Whole-shard restarts performed (kill recovery).
+    pub fn shard_restarts(&self) -> u64 {
+        self.shard_restarts
+    }
+
+    /// Resident market servers rebuilt from their mirrors — one per
+    /// per-request panic, plus every market on a whole-shard restart
+    /// (recovery canonicalization; see the module docs).
+    pub fn market_rebuilds(&self) -> u64 {
+        self.market_rebuilds
+    }
+
+    /// A fresh detached reader over the shared snapshot index — the
+    /// retraction/generation test hook.
+    pub fn index_reader(&self) -> SnapshotReader {
+        self.index.reader()
+    }
+
     /// Serves one request for `market`, trying the lock-free snapshot
     /// path first for pure equilibrium reads and falling back to the
     /// owning shard. Per-market order is preserved: the call returns
     /// only after the request is fully answered.
-    pub fn serve(&mut self, market: u64, req: Request) -> NumResult<Reply> {
+    pub fn serve(&mut self, market: u64, req: Request) -> ServeResult<Reply> {
         if matches!(req, Request::Equilibrium) {
             if let Some(snap) = self.reader.get(market) {
                 self.lockfree_hits += 1;
                 return Ok(Reply::Equilibrium { snap, source: Source::LockFree });
             }
         }
-        self.serve_direct(market, req)
+        self.serve_with(market, req, Sabotage::None)
     }
 
     /// Serves one request for `market` through its owning shard,
     /// bypassing the lock-free fast path (benches compare the two).
-    pub fn serve_direct(&mut self, market: u64, req: Request) -> NumResult<Reply> {
+    pub fn serve_direct(&mut self, market: u64, req: Request) -> ServeResult<Reply> {
+        self.serve_with(market, req, Sabotage::None)
+    }
+
+    /// Serves one request with injected sabotage — the fault harness's
+    /// entry point. Always goes to the shard (sabotage must reach the
+    /// request loop, so the lock-free fast path is bypassed).
+    pub fn serve_sabotaged(
+        &mut self,
+        market: u64,
+        req: Request,
+        sabotage: Sabotage,
+    ) -> ServeResult<Reply> {
+        self.serve_with(market, req, sabotage)
+    }
+
+    fn serve_with(&mut self, market: u64, req: Request, sabotage: Sabotage) -> ServeResult<Reply> {
         let shard = self.shard_checked(market)?;
-        let handle = &self.shards[shard];
-        handle
-            .cmd
-            .send(ShardCmd::Serve { market, req })
-            .map_err(|_| closed("sharded server: shard command channel"))?;
-        match handle.resp.recv() {
-            Ok(ShardReply::Served(result)) => result,
-            Ok(_) => Err(closed("sharded server: shard protocol desync")),
-            Err(_) => Err(closed("sharded server: shard reply channel")),
+        match self.roundtrip(shard, ShardCmd::Serve { market, req, sabotage })? {
+            ShardReply::Served(result) => {
+                if let Ok(Reply::Updated { axis, value }) = &result {
+                    // Keep the mirror authoritative: replay the write the
+                    // shard just validated and applied.
+                    let mirror = self.markets.get_mut(&market).expect("pinned market");
+                    axis.apply(&mut mirror.game, *value)
+                        .expect("mirror accepts what its shard accepted");
+                }
+                result
+            }
+            ShardReply::Panicked => {
+                // Market-scoped recovery: the shard survived, the market's
+                // resident server did not. Rebuild it from the mirror
+                // (cold-solve fallback — the panic may have torn the
+                // published answer's provenance, so nothing is trusted).
+                self.market_rebuilds += 1;
+                self.rehydrate(market, None);
+                Err(ServeError::ShardRestarted { shard })
+            }
+            _ => Err(ServeError::Num(closed("sharded server: shard protocol desync"))),
+        }
+    }
+
+    /// Replaces `market`'s resident game wholesale (and heals a
+    /// quarantine). The mirror adopts the game first, so a recovery
+    /// racing this submit still converges on the submitted game.
+    pub fn submit(&mut self, market: u64, game: SubsidyGame) -> ServeResult<Reply> {
+        let shard = self.shard_checked(market)?;
+        self.markets.get_mut(&market).expect("pinned market").game = game.clone();
+        match self.roundtrip(shard, ShardCmd::Submit { market, game: Box::new(game) })? {
+            ShardReply::Served(result) => result,
+            _ => Err(ServeError::Num(closed("sharded server: shard protocol desync"))),
+        }
+    }
+
+    /// Sets `market`'s per-solve sweep budget (mirrored for recovery).
+    pub fn set_budget(&mut self, market: u64, budget: SolveBudget) -> ServeResult<()> {
+        let shard = self.shard_checked(market)?;
+        self.markets.get_mut(&market).expect("pinned market").budget = budget;
+        match self.roundtrip(shard, ShardCmd::SetBudget { market, budget })? {
+            ShardReply::Configured => Ok(()),
+            _ => Err(ServeError::Num(closed("sharded server: shard protocol desync"))),
         }
     }
 
@@ -240,47 +408,103 @@ impl ShardedServer {
     /// parameterized (counterless introspection via
     /// [`EquilibriumServer::peek_current`]) — identity tests compare it
     /// with [`ShardedServer::read_cached`] by `Arc::ptr_eq`.
-    pub fn peek_shard_cache(&self, market: u64) -> NumResult<Option<Arc<EqSnapshot>>> {
+    pub fn peek_shard_cache(&mut self, market: u64) -> ServeResult<Option<Arc<EqSnapshot>>> {
         let shard = self.shard_checked(market)?;
-        let handle = &self.shards[shard];
-        handle
-            .cmd
-            .send(ShardCmd::Peek { market })
-            .map_err(|_| closed("sharded server: shard command channel"))?;
-        match handle.resp.recv() {
-            Ok(ShardReply::Peeked(snap)) => Ok(snap),
-            Ok(_) => Err(closed("sharded server: shard protocol desync")),
-            Err(_) => Err(closed("sharded server: shard reply channel")),
+        match self.roundtrip(shard, ShardCmd::Peek { market })? {
+            ShardReply::Peeked(snap) => Ok(snap),
+            _ => Err(ServeError::Num(closed("sharded server: shard protocol desync"))),
         }
     }
 
     /// Per-shard aggregate counters, in shard order — the deterministic
     /// per-shard section of the `serve_market` report.
-    pub fn shard_reports(&self) -> NumResult<Vec<ShardReport>> {
-        self.shards
-            .iter()
-            .enumerate()
-            .map(|(shard, handle)| {
-                handle
-                    .cmd
-                    .send(ShardCmd::Report)
-                    .map_err(|_| closed("sharded server: shard command channel"))?;
-                match handle.resp.recv() {
-                    Ok(ShardReply::Reported { markets, stats, cache }) => {
-                        Ok(ShardReport { shard, markets, stats, cache })
-                    }
-                    Ok(_) => Err(closed("sharded server: shard protocol desync")),
-                    Err(_) => Err(closed("sharded server: shard reply channel")),
+    pub fn shard_reports(&mut self) -> ServeResult<Vec<ShardReport>> {
+        (0..self.shards.len())
+            .map(|shard| match self.roundtrip(shard, ShardCmd::Report)? {
+                ShardReply::Reported { markets, quarantined, stats, cache } => {
+                    Ok(ShardReport { shard, markets, quarantined, stats, cache })
                 }
+                _ => Err(ServeError::Num(closed("sharded server: shard protocol desync"))),
             })
             .collect()
     }
 
-    fn shard_checked(&self, market: u64) -> NumResult<usize> {
-        self.shard_of(market).ok_or(NumError::Domain {
+    /// One synchronous command/reply exchange with `shard`. A channel
+    /// failure means the shard thread is dead: the router restarts it,
+    /// rehydrates the fleet (see the module docs on canonicalization),
+    /// and reports the in-flight request as [`ServeError::ShardRestarted`].
+    fn roundtrip(&mut self, shard: usize, cmd: ShardCmd) -> ServeResult<ShardReply> {
+        let sent = self.shards[shard].cmd.send(cmd).is_ok();
+        let reply = if sent { self.shards[shard].resp.recv().ok() } else { None };
+        match reply {
+            Some(reply) => Ok(reply),
+            None => {
+                self.restart_shard(shard);
+                Err(ServeError::ShardRestarted { shard })
+            }
+        }
+    }
+
+    /// Kill recovery: reap the dead thread, retract its published
+    /// answers, respawn the shard empty, then rehydrate **every** market
+    /// (sorted by id, so recovery work is deterministic) from its mirror
+    /// plus its last published snapshot.
+    fn restart_shard(&mut self, dead: usize) {
+        self.shard_restarts += 1;
+        if let Some(thread) = self.shards[dead].thread.take() {
+            // Reap the worker; a panic payload is expected and discarded.
+            let _ = thread.join();
+        }
+        let mut ids: Vec<u64> = self.markets.keys().copied().collect();
+        ids.sort_unstable();
+        // Capture rehydration sources before retracting anything.
+        let sources: Vec<(u64, Option<(u64, Arc<EqSnapshot>)>)> =
+            ids.iter().map(|&id| (id, self.index.published(id))).collect();
+        // The dead shard's published answers go first: no reader may be
+        // served an equilibrium whose host no longer exists.
+        for &id in &ids {
+            if self.markets[&id].shard == dead {
+                self.index.retract(id);
+            }
+        }
+        self.shards[dead] = spawn_shard(Vec::new(), self.index.clone(), self.pool, self.cache);
+        for (id, published) in sources {
+            self.market_rebuilds += 1;
+            self.rehydrate(id, published);
+        }
+    }
+
+    /// Rebuilds one market's resident server on its owning shard from the
+    /// mirror, preloading `published` when given. Best-effort: if the
+    /// shard dies *during* rehydration (only a genuine bug can cause
+    /// that — sabotage rides exclusively on serve commands), the shard is
+    /// respawned empty and the market stays recoverable via submit.
+    fn rehydrate(&mut self, market: u64, published: Option<(u64, Arc<EqSnapshot>)>) {
+        let mirror = &self.markets[&market];
+        let shard = mirror.shard;
+        let cmd = ShardCmd::Rehydrate(Box::new(Rehydrate {
+            market,
+            game: mirror.game.clone(),
+            budget: mirror.budget,
+            published,
+        }));
+        let handle = &self.shards[shard];
+        let ok = handle.cmd.send(cmd).is_ok()
+            && matches!(handle.resp.recv(), Ok(ShardReply::Rehydrated));
+        if !ok {
+            if let Some(thread) = self.shards[shard].thread.take() {
+                let _ = thread.join();
+            }
+            self.index.retract(market);
+            self.shards[shard] = spawn_shard(Vec::new(), self.index.clone(), self.pool, self.cache);
+        }
+    }
+
+    fn shard_checked(&self, market: u64) -> ServeResult<usize> {
+        self.shard_of(market).ok_or(ServeError::Num(NumError::Domain {
             what: "sharded server: unknown market id",
             value: market as f64,
-        })
+        }))
     }
 }
 
@@ -304,45 +528,143 @@ impl Drop for ShardedServer {
 /// synchronously, so depth 1 never blocks, and sends move only the
 /// fixed-size command/reply values — no allocation per request on the
 /// router side.
-fn spawn_shard(servers: Vec<(u64, EquilibriumServer)>, index: SnapshotIndex) -> ShardHandle {
+fn spawn_shard(
+    servers: Vec<(u64, EquilibriumServer)>,
+    index: SnapshotIndex,
+    pool: usize,
+    cache: usize,
+) -> ShardHandle {
     let (cmd_tx, cmd_rx) = std::sync::mpsc::sync_channel::<ShardCmd>(1);
     let (resp_tx, resp_rx) = std::sync::mpsc::sync_channel::<ShardReply>(1);
-    let thread = std::thread::spawn(move || shard_loop(servers, index, cmd_rx, resp_tx));
+    let thread =
+        std::thread::spawn(move || shard_loop(servers, index, pool, cache, cmd_rx, resp_tx));
     ShardHandle { cmd: cmd_tx, resp: resp_rx, thread: Some(thread) }
+}
+
+/// Publishes or retracts `market`'s index entry to match `result` — the
+/// one place the publish/retract discipline lives. Successful full reads
+/// publish under the server's current fingerprint; writes, errors and
+/// partial answers retract.
+fn sync_index(index: &SnapshotIndex, market: u64, result: &ServeResult<Reply>, key: Option<u64>) {
+    match result {
+        Ok(Reply::Equilibrium { source: Source::Partial, .. })
+        | Ok(Reply::Updated { .. })
+        | Err(_) => index.retract(market),
+        Ok(Reply::Equilibrium { snap, .. })
+        | Ok(Reply::Sensitivity { snap, .. })
+        | Ok(Reply::Degenerate { snap, .. }) => match key {
+            Some(fp) => index.publish(market, fp, Arc::clone(snap)),
+            None => index.retract(market),
+        },
+    }
 }
 
 /// The shard event loop: serve, publish/retract, reply — in that order,
 /// so a published snapshot is visible to the router before the reply
-/// that acknowledges the request it answered.
+/// that acknowledges the request it answered. Each serve runs under a
+/// per-request `catch_unwind`; a caught panic drops the market's server
+/// (its invariants may be torn mid-panic) and answers
+/// [`ShardReply::Panicked`] so the router can rebuild from its mirror.
 fn shard_loop(
     servers: Vec<(u64, EquilibriumServer)>,
     index: SnapshotIndex,
+    pool: usize,
+    cache: usize,
     cmd_rx: Receiver<ShardCmd>,
     resp_tx: SyncSender<ShardReply>,
 ) {
     let mut servers: HashMap<u64, EquilibriumServer> = servers.into_iter().collect();
     while let Ok(cmd) = cmd_rx.recv() {
         let reply = match cmd {
-            ShardCmd::Serve { market, req } => {
-                let result = match servers.get_mut(&market) {
-                    Some(server) => server.serve(req),
-                    None => Err(NumError::Domain {
+            ShardCmd::Serve { market, req, sabotage } => {
+                if sabotage == Sabotage::Kill {
+                    // Outside the per-request guard: the thread dies and
+                    // the router recovers via the channel-failure path.
+                    panic!("fault injection: shard kill");
+                }
+                let outcome = match servers.get_mut(&market) {
+                    Some(server) => {
+                        // AssertUnwindSafe is sound here because a caught
+                        // panic drops the server below — no state torn
+                        // mid-panic ever serves again.
+                        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                            if sabotage == Sabotage::Panic {
+                                panic!("fault injection: request panic");
+                            }
+                            server.serve(req)
+                        }))
+                    }
+                    None => Ok(Err(ServeError::Num(NumError::Domain {
                         what: "sharded server: market not on this shard",
                         value: market as f64,
-                    }),
+                    }))),
                 };
-                match &result {
-                    // Any write (or failure) invalidates the published
-                    // entry: the router must stop serving the old answer.
-                    Ok(Reply::Updated { .. }) | Err(_) => index.retract(market),
-                    // A served read publishes its snapshot — the answer
-                    // for this market's *current* parameterization, kept
-                    // until the next write retracts it.
-                    Ok(Reply::Equilibrium { snap, .. }) | Ok(Reply::Sensitivity { snap, .. }) => {
-                        index.publish(market, Arc::clone(snap));
+                match outcome {
+                    Ok(result) => {
+                        let key = servers.get(&market).and_then(|s| s.current_key());
+                        sync_index(&index, market, &result, key);
+                        ShardReply::Served(result)
+                    }
+                    Err(_) => {
+                        servers.remove(&market);
+                        index.retract(market);
+                        ShardReply::Panicked
                     }
                 }
+            }
+            ShardCmd::Submit { market, game } => {
+                let result = match servers.get_mut(&market) {
+                    Some(server) => server.submit(*game),
+                    None => {
+                        // A market lost to a failed rehydration: a submit
+                        // re-provisions it from scratch — the universal
+                        // heal.
+                        let mut server = EquilibriumServer::new(*game, pool, cache);
+                        let r = server.equilibrium();
+                        servers.insert(market, server);
+                        r
+                    }
+                };
+                let result: ServeResult<Reply> = result
+                    .map(|(snap, source)| Reply::Equilibrium { snap, source })
+                    .map_err(ServeError::from);
+                let key = servers.get(&market).and_then(|s| s.current_key());
+                sync_index(&index, market, &result, key);
                 ShardReply::Served(result)
+            }
+            ShardCmd::SetBudget { market, budget } => {
+                if let Some(server) = servers.get_mut(&market) {
+                    server.set_budget(budget);
+                }
+                ShardReply::Configured
+            }
+            ShardCmd::Rehydrate(rehydrate) => {
+                let Rehydrate { market, game, budget, published } = *rehydrate;
+                let mut server = EquilibriumServer::new(game, pool, cache).with_budget(budget);
+                match published {
+                    Some((fp, snap)) => {
+                        // The published answer is only present when no
+                        // write followed the read that produced it, so it
+                        // answers the mirror's current parameterization:
+                        // preload it and republish the same allocation.
+                        server.preload(fp, Arc::clone(&snap));
+                        index.publish(market, fp, snap);
+                    }
+                    None => {
+                        // Cold-solve fallback. `current_key` is None for
+                        // partial answers, so starved or failing markets
+                        // publish nothing and stay resident-but-erroring
+                        // until a submit heals them.
+                        index.retract(market);
+                        if let Ok((snap, _)) = server.equilibrium() {
+                            if let Some(fp) = server.current_key() {
+                                index.publish(market, fp, snap);
+                            }
+                        }
+                    }
+                }
+                servers.insert(market, server);
+                ShardReply::Rehydrated
             }
             ShardCmd::Peek { market } => {
                 ShardReply::Peeked(servers.get(&market).and_then(|s| s.peek_current()))
@@ -350,6 +672,7 @@ fn shard_loop(
             ShardCmd::Report => {
                 let mut stats = ServerStats::default();
                 let mut cache = CacheStats::default();
+                let mut quarantined = 0usize;
                 // Deterministic order for the *sums* is automatic
                 // (addition commutes); iterate however the map likes.
                 for server in servers.values() {
@@ -361,6 +684,7 @@ fn shard_loop(
                     stats.tangent_solves += s.tangent_solves;
                     stats.warm_solves += s.warm_solves;
                     stats.cold_solves += s.cold_solves;
+                    stats.partial_solves += s.partial_solves;
                     let c = server.cache_stats();
                     cache.hits += c.hits;
                     cache.misses += c.misses;
@@ -368,8 +692,9 @@ fn shard_loop(
                     cache.evictions += c.evictions;
                     cache.len += c.len;
                     cache.capacity += c.capacity;
+                    quarantined += usize::from(server.is_quarantined());
                 }
-                ShardReply::Reported { markets: servers.len(), stats, cache }
+                ShardReply::Reported { markets: servers.len(), quarantined, stats, cache }
             }
             ShardCmd::Shutdown => {
                 let _ = resp_tx.send(ShardReply::Stopping);
@@ -424,7 +749,10 @@ mod tests {
     #[test]
     fn unknown_market_is_a_typed_error() {
         let mut server = ShardedServer::new(markets(2), &ShardedConfig::default()).unwrap();
-        assert!(matches!(server.serve(99, Request::Equilibrium), Err(NumError::Domain { .. })));
+        assert!(matches!(
+            server.serve(99, Request::Equilibrium),
+            Err(ServeError::Num(NumError::Domain { .. }))
+        ));
         assert!(server.shard_of(99).is_none());
     }
 
@@ -488,10 +816,45 @@ mod tests {
         let reports = server.shard_reports().unwrap();
         assert_eq!(reports.len(), 4);
         assert_eq!(reports.iter().map(|r| r.markets).sum::<usize>(), 8);
+        assert_eq!(reports.iter().map(|r| r.quarantined).sum::<usize>(), 0);
         let solves: u64 = reports.iter().map(|r| r.stats.cold_solves).sum();
         assert_eq!(solves, 8, "every market paid exactly one cold solve");
         for (i, r) in reports.iter().enumerate() {
             assert_eq!(r.shard, i, "reports arrive in shard order");
         }
+    }
+
+    #[test]
+    fn request_panic_rebuilds_only_that_market() {
+        let mut server =
+            ShardedServer::new(markets(2), &ShardedConfig { shards: 1, ..Default::default() })
+                .unwrap();
+        server.serve(0, Request::Equilibrium).unwrap();
+        server.serve(1, Request::Equilibrium).unwrap();
+        let err = server.serve_sabotaged(0, Request::Equilibrium, Sabotage::Panic);
+        assert!(matches!(err, Err(ServeError::ShardRestarted { shard: 0 })));
+        assert_eq!(server.shard_restarts(), 0, "the shard thread survived");
+        assert_eq!(server.market_rebuilds(), 1);
+        // Both markets keep serving; the rebuilt one republished during
+        // rehydration, so its next read is lock-free again.
+        assert!(server.serve(0, Request::Equilibrium).is_ok());
+        assert!(server.serve(1, Request::Equilibrium).is_ok());
+    }
+
+    #[test]
+    fn shard_kill_restarts_and_rehydrates() {
+        let mut server =
+            ShardedServer::new(markets(2), &ShardedConfig { shards: 1, ..Default::default() })
+                .unwrap();
+        server.serve(0, Request::Equilibrium).unwrap();
+        let err = server.serve_sabotaged(1, Request::Equilibrium, Sabotage::Kill);
+        assert!(matches!(err, Err(ServeError::ShardRestarted { shard: 0 })));
+        assert_eq!(server.shard_restarts(), 1);
+        assert_eq!(server.market_rebuilds(), 2, "fleet-wide canonical reset");
+        // Everything keeps serving after the restart.
+        assert!(server.serve(0, Request::Equilibrium).is_ok());
+        assert!(server.serve(1, Request::Equilibrium).is_ok());
+        let reports = server.shard_reports().unwrap();
+        assert_eq!(reports.iter().map(|r| r.markets).sum::<usize>(), 2);
     }
 }

@@ -310,6 +310,44 @@ fn warm_equilibrium_server_is_allocation_free_after_warmup() {
 }
 
 #[test]
+fn budgeted_warm_serve_is_allocation_free_after_warmup() {
+    // The deadline machinery must be free on the happy path: a budget
+    // generous enough for convergence adds only integer compares inside
+    // the sweep loop (no deadline bookkeeping on the heap), so the warm
+    // re-solve cycle stays at zero allocations exactly like the
+    // unbudgeted one above.
+    use subcomp::exp::server::{EquilibriumServer, Request, Source};
+    use subcomp::game::game::Axis;
+    use subcomp::game::workspace::SolveBudget;
+
+    let game = games().into_iter().next().unwrap();
+    let p0 = Axis::Price.value(&game);
+    let mut server = EquilibriumServer::new(game, 1, 1).with_budget(SolveBudget::sweeps(10_000));
+
+    let cycle = |server: &mut EquilibriumServer, expect: Option<Source>| {
+        for p in [p0, p0 * 1.05] {
+            server.serve(Request::Update { axis: Axis::Price, value: p }).unwrap();
+            let (_, src) = server.equilibrium().unwrap();
+            assert_ne!(src, Source::Partial, "a generous budget must not degrade the answer");
+            if let Some(expect) = expect {
+                assert_eq!(src, expect);
+            }
+        }
+    };
+    cycle(&mut server, None); // warm-up solves size every buffer
+    cycle(&mut server, Some(Source::Warm));
+    let (allocs, ()) = allocations_during(|| {
+        for _ in 0..5 {
+            cycle(&mut server, Some(Source::Warm));
+        }
+    });
+    assert_eq!(
+        allocs, 0,
+        "budget-checked warm solves must not touch the heap, saw {allocs} allocations"
+    );
+}
+
+#[test]
 fn snapshot_index_publish_cycle_is_allocation_free_after_warmup() {
     // The epoch-published snapshot index: once the retired freelist holds
     // a recyclable map buffer for every key-set shape in rotation, a
@@ -333,7 +371,7 @@ fn snapshot_index_publish_cycle_is_allocation_free_after_warmup() {
     let mut reader = index.reader();
     let cycle = |index: &SnapshotIndex, reader: &mut subcomp::game::snapshot::SnapshotReader| {
         for (key, snap) in snaps.iter().enumerate() {
-            index.publish(key as u64, std::sync::Arc::clone(snap));
+            index.publish(key as u64, 0x5eed ^ key as u64, std::sync::Arc::clone(snap));
             let got = reader.get(key as u64).expect("just published");
             assert!(std::sync::Arc::ptr_eq(&got, snap));
         }

@@ -167,6 +167,12 @@ fn checksum(acc: u64, reply: &Reply) -> u64 {
             }
             acc ^= snap.state().phi.to_bits();
         }
+        Reply::Degenerate { active_set, snap, .. } => {
+            for &i in active_set.lower.iter().chain(&active_set.upper) {
+                acc ^= (i as u64 + 1).wrapping_mul(0x517c_c1b7_2722_0a95);
+            }
+            acc ^= snap.state().phi.to_bits();
+        }
     }
     acc
 }
@@ -374,6 +380,46 @@ fn nan_probing_curves_are_failed_requests_not_poisoned_cache_keys() {
     assert_ne!(source, Source::CacheHit);
     let (_, source) = server.equilibrium().unwrap();
     assert_eq!(source, Source::CacheHit);
+}
+
+#[test]
+fn retraction_bumps_the_generation_and_readers_never_serve_dead_snapshots() {
+    // The supervision contract on the index side: a reader detached
+    // before a fault observes every retraction as a generation bump and
+    // can never be handed a snapshot whose market has no valid answer —
+    // not after a failed submit, and not after its host shard died.
+    use subcomp::exp::server::{poison_game, Request, Sabotage, ServeError};
+
+    let markets: Vec<(u64, SubsidyGame)> = (0..2u64).map(|id| (id, section5_game())).collect();
+    let mut server =
+        ShardedServer::new(markets, &ShardedConfig { shards: 1, pool: 2, cache: 16 }).unwrap();
+    server.serve(0, Request::Equilibrium).unwrap();
+    server.serve(1, Request::Equilibrium).unwrap();
+
+    let mut reader = server.index_reader();
+    assert!(reader.get(0).is_some() && reader.get(1).is_some(), "both markets published");
+    let g0 = reader.seen_generation();
+
+    // A failed submit retracts: the reader sees the bump, not the corpse.
+    let poisoned = poison_game(&section5_game()).unwrap();
+    assert!(matches!(server.submit(0, poisoned), Err(ServeError::Num(NumError::NonFinite { .. }))));
+    assert!(reader.get(0).is_none(), "retracted market must not serve a stale snapshot");
+    assert!(reader.get(1).is_some(), "the healthy market is untouched");
+    let g1 = reader.seen_generation();
+    assert!(g1 > g0, "retraction must bump the generation ({g0} → {g1})");
+
+    // Kill the shard. Recovery rehydrates market 1 from its published
+    // answer; market 0's mirror is still poisoned, so its cold-solve
+    // fallback fails and nothing may be republished for it.
+    let err = server.serve_sabotaged(0, Request::Equilibrium, Sabotage::Kill);
+    assert!(matches!(err, Err(ServeError::ShardRestarted { shard: 0 })));
+    assert!(reader.get(0).is_none(), "a dead market must stay retracted after shard death");
+    assert!(reader.get(1).is_some(), "rehydration republishes the surviving answer");
+    assert!(reader.seen_generation() > g1, "restart recovery must bump the generation");
+
+    // The universal heal: a clean submit republishes, the reader follows.
+    server.submit(0, section5_game()).unwrap();
+    assert!(reader.get(0).is_some(), "healed market publishes again");
 }
 
 #[test]
