@@ -87,7 +87,7 @@ fn bench_mu_continuation(c: &mut Criterion) {
             game.set_mu(mus[0]).unwrap();
             sweeps += solver.solve_into(&game, WarmStart::Zero, &mut ws).unwrap().iterations;
             for w in std::hint::black_box(&mus[..]).windows(2) {
-                let ds = Sensitivity::directional(&game, ws.subsidies(), Axis::Mu).unwrap();
+                let ds = Sensitivity::directional(&mut game, ws.subsidies(), Axis::Mu).unwrap();
                 game.set_mu(w[1]).unwrap();
                 let start = WarmStart::Tangent { ds_dtheta: &ds, dtheta: w[1] - w[0] };
                 sweeps += solver.solve_into(&game, start, &mut ws).unwrap().iterations;

@@ -1,10 +1,31 @@
 //! Benchmarks the simulators: flow-level ticks and market days per
-//! second, plus the measurement pipeline.
+//! second, the measurement pipeline, and the SoA adoption engine —
+//! standalone at the million-user scale and inside the closed
+//! simulate → warm-resolve loop through the sharded server.
+//!
+//! The adoption ids:
+//!
+//! * `simulator/adoption/step_1m` — one serial tick of a 1,000,000-user
+//!   population (quick mode: 50k). The headline users-stepped/s is
+//!   `1e9 · N / median`.
+//! * `simulator/adoption/loop_warm` — one closed-loop tick (10k users):
+//!   lock-free externality read, simulate, tangent-seeded µ write,
+//!   warm re-solve.
+//! * `simulator/adoption/loop_cold` — the same tick with every market
+//!   cooled first (warm seeds, tangent seed, cache and published
+//!   snapshot dropped), so the externality read pays a cold solve. The
+//!   warm-vs-cold loop speedup is `loop_cold / loop_warm`.
+//! * `simulator/adoption/served` — the loop tick at 512 users, where
+//!   serving dominates simulation: the per-tick overhead floor of the
+//!   server wiring.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::time::Duration;
 use subcomp_core::game::SubsidyGame;
+use subcomp_exp::adoption::{AdoptionLoop, LoopConfig};
+use subcomp_exp::scenarios::section5_specs;
 use subcomp_model::aggregation::{build_system, ExpCpSpec};
+use subcomp_sim::adoption::{AdoptionParams, Population, TickDrive, TypeSpec};
 use subcomp_sim::flow::{FlowSim, FlowSimConfig, SharingMode};
 use subcomp_sim::market::{MarketSim, MarketSimConfig};
 
@@ -44,9 +65,66 @@ fn bench_market(c: &mut Criterion) {
     g.finish();
 }
 
+fn quick() -> bool {
+    std::env::var("SUBCOMP_BENCH_QUICK").map(|v| v != "0" && !v.is_empty()).unwrap_or(false)
+}
+
+/// The SoA engine standalone: one tick over a million users, serial
+/// (the parallel fan-out is bit-identical by construction, so the
+/// single-lane number is the per-core cost the scaling study divides).
+fn bench_adoption_step(c: &mut Criterion) {
+    let mut g = c.benchmark_group("simulator/adoption");
+    g.sample_size(10);
+    let n_users = if quick() { 50_000 } else { 1_000_000 };
+    let types = [
+        TypeSpec { mass: 1.0, alpha: 2.0 },
+        TypeSpec { mass: 0.8, alpha: 5.0 },
+        TypeSpec { mass: 1.2, alpha: 1.0 },
+    ];
+    let params = AdoptionParams { seed: 7, adopt: 0.5, churn: 0.5, ..Default::default() };
+    let mut pop = Population::build(&types, n_users, 16_384, params).unwrap();
+    let drive = TickDrive::uniform(types.len(), 0.4);
+    g.bench_function("step_1m", |b| {
+        b.iter(|| {
+            pop.step(std::hint::black_box(&drive)).unwrap();
+            pop.adopted_users()
+        })
+    });
+    g.finish();
+}
+
+/// The closed loop through the sharded server, warm vs cooled, plus the
+/// serving-dominated floor at a tiny population.
+fn bench_adoption_loop(c: &mut Criterion) {
+    let mut g = c.benchmark_group("simulator/adoption");
+    g.sample_size(10);
+    let specs = section5_specs();
+    let users = if quick() { 2_000 } else { 10_000 };
+    let build = |users: usize| {
+        let cfg = LoopConfig { seed: 7, users, chunk: 16_384, ..Default::default() };
+        let mut lp = AdoptionLoop::new(&specs, 3.0, 0.6, 0.8, &cfg).unwrap();
+        lp.tick().unwrap(); // prime the resident state and published snapshot
+        lp
+    };
+    let mut warm = build(users);
+    g.bench_function("loop_warm", |b| b.iter(|| warm.tick().unwrap().adopted));
+    let mut cold = build(users);
+    g.bench_function("loop_cold", |b| {
+        b.iter(|| {
+            // Cooling is part of driving the cold regime; its cost (one
+            // channel round-trip) is dwarfed by the cold solve it forces.
+            cold.cool().unwrap();
+            cold.tick().unwrap().adopted
+        })
+    });
+    let mut tiny = build(512.min(users));
+    g.bench_function("served", |b| b.iter(|| tiny.tick().unwrap().adopted));
+    g.finish();
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().warm_up_time(Duration::from_millis(400)).measurement_time(Duration::from_secs(2));
-    targets = bench_flow, bench_market
+    targets = bench_flow, bench_market, bench_adoption_step, bench_adoption_loop
 }
 criterion_main!(benches);

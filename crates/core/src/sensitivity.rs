@@ -21,6 +21,7 @@
 use crate::equilibrium::PIN_TOL;
 use crate::game::{Axis, SubsidyGame};
 use crate::structure::marginal_utility_jacobian;
+use subcomp_model::system::{StateScratch, SystemState};
 use subcomp_num::linalg::lu::LuDecomposition;
 use subcomp_num::{NumError, NumResult};
 
@@ -80,6 +81,28 @@ impl ActiveSet {
     }
 }
 
+/// Reusable buffers for the finite-difference leg of the sensitivity
+/// engine ([`Sensitivity::axis_shift_into`]): the two probe outputs plus
+/// the price/scratch/state buffers the allocation-free marginal-utility
+/// evaluation threads through. After warm-up (one call per game size) a
+/// probe performs zero heap allocation — pinned in `tests/alloc_free.rs`.
+#[derive(Debug, Clone, Default)]
+pub struct FdWorkspace {
+    up: Vec<f64>,
+    um: Vec<f64>,
+    prices: Vec<f64>,
+    scratch: StateScratch,
+    state: SystemState,
+}
+
+impl FdWorkspace {
+    /// Creates an empty workspace; buffers size themselves on first use
+    /// and only ever grow, so one workspace serves games of any size.
+    pub fn new() -> FdWorkspace {
+        FdWorkspace::default()
+    }
+}
+
 /// Theorem 6 sensitivities at an equilibrium.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Sensitivity {
@@ -116,11 +139,16 @@ impl Sensitivity {
             let jac = marginal_utility_jacobian(game, s)?;
             let sub = jac.submatrix(&active.interior)?;
             let lu = LuDecomposition::new(&sub)?;
+            // One clone for the whole call (the caller's game stays
+            // shared); the in-place probe+restore inside `axis_rhs`
+            // keeps it bit-exact across both axes.
+            let mut probe = game.clone();
+            let mut fd = FdWorkspace::new();
 
             // ∂s̃/∂q = −Ψ · (Σ_{j∈N⁺} ∂u_k/∂s_j)_k  — solve instead of
             // invert (the rhs is identically zero when nobody pins at q).
             if !active.upper.is_empty() {
-                let rhs = axis_rhs(game, s, Axis::Cap, &active, &jac)?;
+                let rhs = axis_rhs(&mut probe, s, Axis::Cap, &active, &jac, &mut fd)?;
                 let sol = lu.solve(&rhs)?;
                 for (slot, &i) in active.interior.iter().enumerate() {
                     ds_dq[i] = -sol[slot];
@@ -128,7 +156,7 @@ impl Sensitivity {
             }
 
             // ∂s̃/∂p = −Ψ ∂ũ/∂p with ∂u/∂p by central difference.
-            let rhs = axis_rhs(game, s, Axis::Price, &active, &jac)?;
+            let rhs = axis_rhs(&mut probe, s, Axis::Price, &active, &jac, &mut fd)?;
             let sol = lu.solve(&rhs)?;
             for (slot, &i) in active.interior.iter().enumerate() {
                 ds_dp[i] = -sol[slot];
@@ -155,12 +183,19 @@ impl Sensitivity {
     /// utilities under the in-place reparameterization
     /// ([`SubsidyGame::set_mu`]/[`SubsidyGame::set_profitability`]).
     ///
+    /// The FD leg is **clone-free**: the game is probed in place
+    /// (`θ₀ ± h`) through [`Sensitivity::axis_shift_into`] and restored
+    /// to exactly `θ₀` before returning — which is why the receiver is
+    /// `&mut`. On return the game is bit-identical to what was passed
+    /// in, on error paths included (axis writes are pure parameter
+    /// stores, so the restore is exact).
+    ///
     /// # Errors
     /// A degenerate equilibrium — a pinned provider with `u_i ≈ 0`,
     /// violating strict complementarity — is refused with a domain error
     /// rather than silently differentiated: the one-sided derivative a
     /// continuation step would extrapolate from it is wrong on one side.
-    pub fn directional(game: &SubsidyGame, s: &[f64], axis: Axis) -> NumResult<Vec<f64>> {
+    pub fn directional(game: &mut SubsidyGame, s: &[f64], axis: Axis) -> NumResult<Vec<f64>> {
         game.validate(s)?;
         if let Axis::Profitability(j) = axis {
             if j >= game.n() {
@@ -194,12 +229,86 @@ impl Sensitivity {
         let jac = marginal_utility_jacobian(game, s)?;
         let sub = jac.submatrix(&active.interior)?;
         let lu = LuDecomposition::new(&sub)?;
-        let rhs = axis_rhs(game, s, axis, &active, &jac)?;
+        let mut fd = FdWorkspace::new();
+        let rhs = axis_rhs(game, s, axis, &active, &jac, &mut fd)?;
         let sol = lu.solve(&rhs)?;
         for (slot, &i) in active.interior.iter().enumerate() {
             ds[i] = -sol[slot];
         }
         Ok(ds)
+    }
+
+    /// The finite-difference marginal-utility shift `∂u/∂θ` under the
+    /// in-place reparameterization, written into `out` — the FD
+    /// cross-check leg of [`Sensitivity::directional`], exposed so
+    /// resident engines can pin it. Clone-free probe+restore: the axis
+    /// is written to `θ₀ ± h` in place and **always restored to exactly
+    /// `θ₀`** before returning, error paths included (axis writes are
+    /// pure parameter stores, so the restore is bit-exact). After `ws`
+    /// warm-up the probe performs zero heap allocation (pinned in
+    /// `tests/alloc_free.rs`).
+    ///
+    /// # Errors
+    /// [`Axis::Cap`] is refused — the cap moves the feasible box, not
+    /// the marginal utilities, so it has no FD leg (its Theorem 6
+    /// right-hand side is a Jacobian column sum instead).
+    pub fn axis_shift_into(
+        game: &mut SubsidyGame,
+        s: &[f64],
+        axis: Axis,
+        ws: &mut FdWorkspace,
+        out: &mut Vec<f64>,
+    ) -> NumResult<()> {
+        if axis == Axis::Cap {
+            return Err(NumError::Domain {
+                what: "the cap axis has no finite-difference leg \
+                       (it moves the box, not the marginal utilities)",
+                value: f64::NAN,
+            });
+        }
+        if let Axis::Profitability(j) = axis {
+            if j >= game.n() {
+                return Err(NumError::DimensionMismatch { expected: game.n(), actual: j });
+            }
+        }
+        let theta0 = axis.value(game);
+        // Respect each axis' domain: price/profitability live on
+        // [0, ∞), capacity on (0, ∞).
+        let h = match axis {
+            Axis::Mu => (1e-6 * (1.0 + theta0)).min(0.5 * theta0),
+            _ => 1e-6 * (1.0 + theta0),
+        };
+        let hi = theta0 + h;
+        let lo = (theta0 - h).max(if axis == Axis::Mu { 0.5 * theta0 } else { 0.0 });
+        let probes = (|| {
+            axis.apply(game, hi)?;
+            game.marginal_utilities_into(
+                s,
+                &mut ws.prices,
+                &mut ws.scratch,
+                &mut ws.state,
+                &mut ws.up,
+            )?;
+            axis.apply(game, lo)?;
+            game.marginal_utilities_into(
+                s,
+                &mut ws.prices,
+                &mut ws.scratch,
+                &mut ws.state,
+                &mut ws.um,
+            )
+        })();
+        // Restore θ₀ *before* surfacing any probe error, so the game
+        // comes back unchanged whatever happened.
+        let restored = axis.apply(game, theta0);
+        probes?;
+        restored?;
+        let denom = hi - lo;
+        out.resize(game.n(), 0.0);
+        for (o, (&u, &m)) in out.iter_mut().zip(ws.up.iter().zip(&ws.um)) {
+            *o = (u - m) / denom;
+        }
+        Ok(())
     }
 
     /// Tests the equilibrium `s` for degeneracy *without* differentiating:
@@ -230,15 +339,16 @@ fn degenerate_pin<'a>(active: &'a ActiveSet, u: &[f64]) -> Option<&'a usize> {
 /// [`Sensitivity::directional`] both solve against (the agreement test
 /// pins them bit-identical, so the FD constants live in exactly one
 /// place). For the cap axis this is the pinned-provider column sum
-/// `Σ_{j∈N⁺} ∂u_k/∂s_j` read off the Jacobian; for every other axis a
-/// central difference of the analytic marginal utilities under the
-/// in-place reparameterization (one game clone for both probes).
+/// `Σ_{j∈N⁺} ∂u_k/∂s_j` read off the Jacobian; for every other axis the
+/// clone-free in-place probe+restore [`Sensitivity::axis_shift_into`]
+/// gathered over the interior set.
 fn axis_rhs(
-    game: &SubsidyGame,
+    game: &mut SubsidyGame,
     s: &[f64],
     axis: Axis,
     active: &ActiveSet,
     jac: &subcomp_num::linalg::Matrix,
+    fd: &mut FdWorkspace,
 ) -> NumResult<Vec<f64>> {
     match axis {
         // ∂s̃/∂q: the pinned-at-q providers drag their neighbours.
@@ -248,22 +358,9 @@ fn axis_rhs(
             .map(|&k| active.upper.iter().map(|&j| jac[(k, j)]).sum::<f64>())
             .collect()),
         _ => {
-            let theta0 = axis.value(game);
-            // Respect each axis' domain: price/profitability live on
-            // [0, ∞), capacity on (0, ∞).
-            let h = match axis {
-                Axis::Mu => (1e-6 * (1.0 + theta0)).min(0.5 * theta0),
-                _ => 1e-6 * (1.0 + theta0),
-            };
-            let hi = theta0 + h;
-            let lo = (theta0 - h).max(if axis == Axis::Mu { 0.5 * theta0 } else { 0.0 });
-            let mut probe = game.clone();
-            axis.apply(&mut probe, hi)?;
-            let up = probe.marginal_utilities(s)?;
-            axis.apply(&mut probe, lo)?;
-            let um = probe.marginal_utilities(s)?;
-            let denom = hi - lo;
-            Ok(active.interior.iter().map(|&k| (up[k] - um[k]) / denom).collect())
+            let mut shift = Vec::new();
+            Sensitivity::axis_shift_into(game, s, axis, fd, &mut shift)?;
+            Ok(active.interior.iter().map(|&k| shift[k]).collect())
         }
     }
 }
@@ -427,12 +524,12 @@ mod tests {
 
     #[test]
     fn directional_matches_compute_on_price_and_cap() {
-        let game = paper_game(0.6, 0.35);
+        let mut game = paper_game(0.6, 0.35);
         let s = solve(&game);
         let sens = Sensitivity::compute(&game, &s).unwrap();
         assert!(sens.regular);
-        let dq = Sensitivity::directional(&game, &s, Axis::Cap).unwrap();
-        let dp = Sensitivity::directional(&game, &s, Axis::Price).unwrap();
+        let dq = Sensitivity::directional(&mut game, &s, Axis::Cap).unwrap();
+        let dp = Sensitivity::directional(&mut game, &s, Axis::Price).unwrap();
         // Same Jacobian, same LU, same right-hand sides — bit-identical.
         assert_eq!(dq, sens.ds_dq);
         assert_eq!(dp, sens.ds_dp);
@@ -443,9 +540,9 @@ mod tests {
         // Theorem 1's comparative statics through the Theorem 6 system:
         // the directional derivative along µ must match re-solved
         // equilibria at perturbed capacities.
-        let game = paper_game(0.6, 0.35);
+        let mut game = paper_game(0.6, 0.35);
         let s = solve(&game);
-        let ds = Sensitivity::directional(&game, &s, Axis::Mu).unwrap();
+        let ds = Sensitivity::directional(&mut game, &s, Axis::Mu).unwrap();
         let h = 1e-4;
         let s_hi = solve(&game.with_mu(1.0 + h).unwrap());
         let s_lo = solve(&game.with_mu(1.0 - h).unwrap());
@@ -464,7 +561,7 @@ mod tests {
         // Theorem 5's direction: bump one provider's profitability and
         // compare the whole equilibrium response against the directional
         // derivative ∂s/∂v_j.
-        let game = paper_game(0.6, 0.35);
+        let mut game = paper_game(0.6, 0.35);
         let s = solve(&game);
         let sens = Sensitivity::compute(&game, &s).unwrap();
         let h = 1e-4;
@@ -479,7 +576,7 @@ mod tests {
         }
         assert!(!probes.is_empty(), "test setting must populate at least one probe set");
         for j in probes {
-            let ds = Sensitivity::directional(&game, &s, Axis::Profitability(j)).unwrap();
+            let ds = Sensitivity::directional(&mut game, &s, Axis::Profitability(j)).unwrap();
             let v = game.profitability(j);
             let s_hi = solve(&game.with_profitability(j, v + h).unwrap());
             let s_lo = solve(&game.with_profitability(j, v - h).unwrap());
@@ -504,14 +601,14 @@ mod tests {
         let free = SubsidyGame::new(sys.clone(), 1.0, 2.0).unwrap();
         let s_star = NashSolver::default().with_tol(1e-10).solve(&free).unwrap().subsidies[0];
         assert!(s_star > 0.1 && s_star < 2.0 - 0.1, "interior by construction");
-        let pinned = SubsidyGame::new(sys, 1.0, s_star).unwrap();
+        let mut pinned = SubsidyGame::new(sys, 1.0, s_star).unwrap();
         let s = solve(&pinned);
         assert!((s[0] - s_star).abs() < 1e-6, "the cap now binds exactly at the old optimum");
         // compute() flags it; directional() refuses to differentiate it.
         let sens = Sensitivity::compute(&pinned, &s).unwrap();
         assert!(!sens.regular, "pinned provider with u = 0 must be flagged degenerate");
         for axis in [Axis::Cap, Axis::Price, Axis::Mu, Axis::Profitability(0)] {
-            let err = Sensitivity::directional(&pinned, &s, axis);
+            let err = Sensitivity::directional(&mut pinned, &s, axis);
             assert!(err.is_err(), "degenerate equilibrium must error along {}", axis.describe());
         }
         // degeneracy() agrees with both, returning the partition instead
@@ -527,10 +624,10 @@ mod tests {
 
     #[test]
     fn directional_validates_inputs() {
-        let game = paper_game(0.6, 0.35);
+        let mut game = paper_game(0.6, 0.35);
         let s = solve(&game);
-        assert!(Sensitivity::directional(&game, &s, Axis::Profitability(99)).is_err());
-        assert!(Sensitivity::directional(&game, &[0.0; 3], Axis::Mu).is_err());
+        assert!(Sensitivity::directional(&mut game, &s, Axis::Profitability(99)).is_err());
+        assert!(Sensitivity::directional(&mut game, &[0.0; 3], Axis::Mu).is_err());
     }
 
     #[test]

@@ -31,6 +31,20 @@
 //! Bad arguments (zero threads/lanes/block, an inverted provider range,
 //! a malformed value) exit with a one-line usage error on stderr.
 //!
+//! ## The million-game regime
+//!
+//! `--games 1000000 --lanes 16` is the supported ensemble ceiling,
+//! tracked by the `nash/farm/lanes_1m` id in `BENCH_nash.json`. At the
+//! measured farm medians the lane engine covers 1M games in roughly
+//! 18 minutes single-threaded (~900 games/s, scaling near-linearly
+//! with `--threads`); the scalar engine at ~5.5 µs-per-game-sweep
+//! cost would need about 1.5 hours, which is why only the lane variant
+//! is benchmarked at this scale. Memory stays flat in the game count —
+//! the farm streams blocks through per-worker workspaces and keeps one
+//! `Copy` stat per game — so 1M games is a time budget, not a memory
+//! one. The deterministic aggregate (and its bit-identity across
+//! thread counts) holds unchanged at this scale.
+//!
 //! Everything above the `timing` line is deterministic for a given
 //! `(games, seed, block, lanes, n-min, n-max)` — thread count does not
 //! change a single digit — so the report can be diffed across machines

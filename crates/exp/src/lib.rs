@@ -34,11 +34,15 @@
 //! The [`server`] module turns the batch engines into a resident service:
 //! a long-running in-process equilibrium server over warm workspaces with
 //! a fingerprint cache and a deterministic load generator (the
-//! `serve_market` binary drives it end to end).
+//! `serve_market` binary drives it end to end). The [`adoption`] module
+//! closes the Weber–Guérin feedback loop on top of it: million-user
+//! `sim::adoption` cohorts drive in-place axis/demand writes and warm
+//! re-solves through the sharded server (the `adopt_sim` binary).
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod adoption;
 pub mod corpus;
 pub mod extensions;
 pub mod figures;

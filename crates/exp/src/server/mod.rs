@@ -363,7 +363,7 @@ impl EquilibriumServer {
             self.stats.sensitivities += 1;
             return Ok(Reply::Degenerate { active_set, snap, source });
         }
-        let ds = Sensitivity::directional(&self.game, snap.subsidies(), axis)?;
+        let ds = Sensitivity::directional(&mut self.game, snap.subsidies(), axis)?;
         self.stats.sensitivities += 1;
         self.seed = Some(TangentSeed {
             axis,
@@ -484,7 +484,7 @@ impl EquilibriumServer {
     /// as a tangent seed for subsequent small writes along `axis`.
     pub fn sensitivity(&mut self, axis: Axis) -> NumResult<(Vec<f64>, Arc<EqSnapshot>, Source)> {
         let (snap, source) = self.equilibrium()?;
-        let ds = Sensitivity::directional(&self.game, snap.subsidies(), axis)?;
+        let ds = Sensitivity::directional(&mut self.game, snap.subsidies(), axis)?;
         self.stats.sensitivities += 1;
         self.seed = Some(TangentSeed {
             axis,

@@ -151,6 +151,7 @@ enum ShardCmd {
     Serve { market: u64, req: Request, sabotage: Sabotage },
     Submit { market: u64, game: Box<SubsidyGame> },
     SetBudget { market: u64, budget: SolveBudget },
+    Cool { market: u64 },
     Rehydrate(Box<Rehydrate>),
     Peek { market: u64 },
     Report,
@@ -397,6 +398,20 @@ impl ShardedServer {
         }
     }
 
+    /// Drops every warm-start artifact of `market` — the resident
+    /// server's workspace seeds, tangent seed and fingerprint cache, and
+    /// the router's lock-free index entry — so its next equilibrium
+    /// request solves cold through the full shard path. The benchmark
+    /// control for warm-vs-cold comparisons (the adoption loop's
+    /// `loop_cold` id); the resident game itself is untouched.
+    pub fn cool_market(&mut self, market: u64) -> ServeResult<()> {
+        let shard = self.shard_checked(market)?;
+        match self.roundtrip(shard, ShardCmd::Cool { market })? {
+            ShardReply::Configured => Ok(()),
+            _ => Err(ServeError::Num(closed("sharded server: shard protocol desync"))),
+        }
+    }
+
     /// The pure lock-free read: the published snapshot for `market`, if
     /// any — one atomic generation check plus a hash lookup and an `Arc`
     /// clone, no shard round-trip, no lock in the steady state.
@@ -638,6 +653,17 @@ fn shard_loop(
                 }
                 ShardReply::Configured
             }
+            ShardCmd::Cool { market } => {
+                if let Some(server) = servers.get_mut(&market) {
+                    server.cool();
+                    server.invalidate_cache();
+                }
+                // A cooled market must not keep answering out of the
+                // router's lock-free index either — that would defeat
+                // the point of forcing the next solve cold.
+                index.retract(market);
+                ShardReply::Configured
+            }
             ShardCmd::Rehydrate(rehydrate) => {
                 let Rehydrate { market, game, budget, published } = *rehydrate;
                 let mut server = EquilibriumServer::new(game, pool, cache).with_budget(budget);
@@ -793,6 +819,25 @@ mod tests {
         let Reply::Equilibrium { source, .. } = &reply else { unreachable!() };
         assert_ne!(*source, Source::LockFree);
         assert!(server.read_cached(0).is_some());
+    }
+
+    #[test]
+    fn cool_market_forces_the_next_solve_cold() {
+        let mut server = ShardedServer::new(markets(2), &ShardedConfig::default()).unwrap();
+        server.serve(0, Request::Equilibrium).unwrap();
+        server.serve(1, Request::Equilibrium).unwrap();
+        assert!(server.read_cached(0).is_some());
+        // Cooling drops the published entry, the fingerprint cache and
+        // every warm seed: the next read pays a full cold solve.
+        server.cool_market(0).unwrap();
+        assert!(server.read_cached(0).is_none(), "cool must retract the published snapshot");
+        let reply = server.serve(0, Request::Equilibrium).unwrap();
+        let Reply::Equilibrium { source, .. } = &reply else { unreachable!() };
+        assert_eq!(*source, Source::Cold);
+        // The other market's published answer is untouched.
+        assert!(server.read_cached(1).is_some());
+        // Unknown markets stay a typed error.
+        assert!(matches!(server.cool_market(99), Err(ServeError::Num(NumError::Domain { .. }))));
     }
 
     #[test]

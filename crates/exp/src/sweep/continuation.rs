@@ -601,7 +601,7 @@ impl ContinuationSolver {
                     // equilibrium. A degenerate equilibrium (no derivative)
                     // simply degrades the next start to Previous.
                     have_tangent = match Sensitivity::directional(
-                        &ctx.game,
+                        &mut ctx.game,
                         ctx.ws.subsidies(),
                         self.col_axis,
                     ) {

@@ -1,11 +1,13 @@
 //! Parameter-sweep and batch-solve engine.
 //!
-//! Three workhorses: [`parallel_map`] fans independent work items across OS
+//! Four workhorses: [`parallel_map`] fans independent work items across OS
 //! threads (`std::thread::scope`, no dependency), [`parallel_map_with`]
 //! additionally gives each worker a persistent context (the hook the
 //! allocation-free [`BatchSolver`] hangs one [`SolveWorkspace`] per worker
-//! on), and [`equilibrium_price_sweep`] walks a price grid with
-//! warm-started Nash solves — consecutive equilibria are close (Theorem 6
+//! on), [`parallel_map_mut`] is the `&mut` sibling for owned, disjoint
+//! chunks that are mutated in place (the adoption engine's block fan-out),
+//! and [`equilibrium_price_sweep`] walks a price grid with warm-started
+//! Nash solves — consecutive equilibria are close (Theorem 6
 //! differentiability), so warm starts cut sweep time by roughly the
 //! iteration count ratio.
 //!
@@ -101,6 +103,53 @@ where
             scope.spawn(|| {
                 let mut ctx = init();
                 for (item, cell) in slab.iter().zip(slot.iter_mut()) {
+                    *cell = Some(f(&mut ctx, item));
+                }
+            });
+        }
+    });
+    out.into_iter().map(|c| c.expect("worker filled every slot")).collect()
+}
+
+/// [`parallel_map_with`] over *mutable* items: each worker thread calls
+/// `init` once and applies `f` in place to every item of its contiguous
+/// chunk. Items are disjoint `&mut` borrows (via `chunks_mut`), so no
+/// sharing or locking is involved — the natural driver for engines that
+/// own their per-chunk state, like `sim::adoption`'s blocks.
+///
+/// Order is preserved (results align with `items`). Falls back to a
+/// single context and a sequential pass when `threads <= 1` (including 0)
+/// or there is at most one item. Because each item is mutated by exactly
+/// one worker and `f` receives items in list order within a chunk, the
+/// mutation outcome is **independent of the thread count** whenever `f`
+/// itself is a pure function of the item (plus its per-worker context) —
+/// the property the adoption determinism tier pins.
+///
+/// # Panics
+///
+/// As with [`parallel_map`], a panic in `init` or `f` propagates to the
+/// caller after all in-flight workers finish (`std::thread::scope` joins
+/// every spawned thread before unwinding).
+pub fn parallel_map_mut<T, U, C, I, F>(items: &mut [T], threads: usize, init: I, f: F) -> Vec<U>
+where
+    T: Send,
+    U: Send,
+    I: Fn() -> C + Sync,
+    F: Fn(&mut C, &mut T) -> U + Sync,
+{
+    let n = items.len();
+    if threads <= 1 || n <= 1 {
+        let mut ctx = init();
+        return items.iter_mut().map(|item| f(&mut ctx, item)).collect();
+    }
+    let workers = threads.min(n);
+    let mut out: Vec<Option<U>> = (0..n).map(|_| None).collect();
+    let chunk = n.div_ceil(workers);
+    std::thread::scope(|scope| {
+        for (slab, slot) in items.chunks_mut(chunk).zip(out.chunks_mut(chunk)) {
+            scope.spawn(|| {
+                let mut ctx = init();
+                for (item, cell) in slab.iter_mut().zip(slot.iter_mut()) {
                     *cell = Some(f(&mut ctx, item));
                 }
             });
@@ -424,6 +473,60 @@ mod tests {
     fn parallel_map_zero_threads_is_sequential() {
         let items: Vec<i32> = (0..10).collect();
         assert_eq!(parallel_map(&items, 0, |x| x + 1), (1..11).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn parallel_map_mut_mutates_in_place_and_preserves_order() {
+        let run = |threads: usize| {
+            let mut items: Vec<i64> = (0..101).collect();
+            let out = parallel_map_mut(
+                &mut items,
+                threads,
+                || 10i64,
+                |ctx, x| {
+                    *x += *ctx;
+                    *x * 2
+                },
+            );
+            (items, out)
+        };
+        let (seq_items, seq_out) = run(1);
+        assert_eq!(seq_items, (10..111).collect::<Vec<_>>());
+        assert_eq!(seq_out[3], 26);
+        for threads in [0, 2, 3, 8, 64] {
+            let (items, out) = run(threads);
+            assert_eq!(items, seq_items, "threads {threads}");
+            assert_eq!(out, seq_out, "threads {threads}");
+        }
+    }
+
+    #[test]
+    fn parallel_map_mut_empty_and_single() {
+        let mut empty: Vec<i32> = vec![];
+        assert!(parallel_map_mut(&mut empty, 4, || (), |_, x| *x).is_empty());
+        let mut one = [5];
+        assert_eq!(parallel_map_mut(&mut one, 4, || (), |_, x| *x + 1), vec![6]);
+        assert_eq!(one, [5]);
+    }
+
+    #[test]
+    fn parallel_map_mut_init_runs_once_per_worker() {
+        // With a unit context and a pure `f`, thread count cannot change
+        // results; with a counting context, each worker sees a fresh one.
+        let mut items: Vec<u64> = (0..20).collect();
+        let out = parallel_map_mut(
+            &mut items,
+            4,
+            || 0u64,
+            |seen, x| {
+                *seen += 1;
+                *x + *seen
+            },
+        );
+        // Sequential reference: each chunk restarts its counter at 1.
+        let chunk = 20usize.div_ceil(4);
+        let expect: Vec<u64> = (0..20u64).map(|i| i + (i as usize % chunk) as u64 + 1).collect();
+        assert_eq!(out, expect);
     }
 
     #[test]

@@ -19,6 +19,12 @@
 //!   the usage-based money flows are metered by [`billing`]. Its long-run
 //!   state is compared against the analytic Nash equilibrium of
 //!   `subcomp-core` — the sim-vs-theory experiment (EXPERIMENTS.md, E3).
+//! * [`adoption`] — a million-user **structure-of-arrays adoption engine**
+//!   (Weber–Guérin externality dynamics): per-field user arrays
+//!   counting-sorted by CP type, counter-keyed randomness so ticks are
+//!   bit-identical across thread counts and chunk sizes, zero heap
+//!   allocation per tick. The heavy-traffic demand side of the closed
+//!   simulate → re-solve loop (`subcomp-exp`'s `adoption` module).
 //!
 //! Randomness is deterministic per seed ([`rng`]); traces are recorded by
 //! [`trace`].
@@ -26,6 +32,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod adoption;
 pub mod billing;
 pub mod flow;
 pub mod market;
@@ -35,6 +42,7 @@ pub mod trace;
 
 /// One-stop imports for simulator usage.
 pub mod prelude {
+    pub use crate::adoption::{AdoptionParams, Population, TickDrive, TypeSpec};
     pub use crate::billing::Ledger;
     pub use crate::flow::{FlowSim, FlowSimConfig, FlowSimReport};
     pub use crate::market::{MarketSim, MarketSimConfig, MarketSimReport};

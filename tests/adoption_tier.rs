@@ -1,0 +1,166 @@
+//! Adoption tier: the contracts of the million-user SoA adoption engine
+//! and the closed simulate → warm-resolve loop (see `tests/README.md`
+//! for the tier's tolerance policy).
+//!
+//! Three legs:
+//!
+//! 1. **Determinism** — trajectories are *bit-identical* across thread
+//!    counts, chunk sizes and shard counts, and cohorts are isolated
+//!    (a cohort's trajectory does not depend on which other cohorts run
+//!    beside it). These are exact `assert_eq` checks: the engine splits
+//!    its counter-mode RNG streams per user and aggregates in integer
+//!    adopter counts, so there is no tolerance to negotiate.
+//! 2. **Continuum cross-validation** — in the stationary regime
+//!    (adopt = churn = 1, no exploration/decay) one tick realizes
+//!    `P(adopt) = e^{−α·t_eff/gain}` per type, which is exactly the
+//!    paper's exponential demand curve. A large population discretized
+//!    from a [`ContinuumMarket`] must land on the quadrature value of
+//!    `D(0, p)` within sampling + panel error (relative 2%), and on the
+//!    per-type closed form within relative 2% + an absolute floor for
+//!    near-extinct types.
+//! 3. **Closed loop** — the loop over the sharded server stays on the
+//!    warm paths (one cold solve per cohort, tangent/warm re-solves,
+//!    lock-free externality reads) and replays byte-identically.
+
+use subcomp::exp::adoption::{step_population, AdoptionLoop, LoopConfig};
+use subcomp::exp::scenarios::section5_specs;
+use subcomp::model::continuum::ContinuumMarket;
+use subcomp::sim::adoption::{AdoptionParams, Population, TickDrive, TypeSpec};
+
+fn types() -> Vec<TypeSpec> {
+    vec![
+        TypeSpec { mass: 1.0, alpha: 2.0 },
+        TypeSpec { mass: 0.8, alpha: 5.0 },
+        TypeSpec { mass: 1.2, alpha: 1.0 },
+    ]
+}
+
+#[test]
+fn stepping_is_bit_identical_across_threads_and_chunks() {
+    let params = AdoptionParams { seed: 42, adopt: 0.6, churn: 0.3, ..Default::default() };
+    let drive = TickDrive::uniform(3, 0.4);
+    let run = |chunk: usize, threads: usize| {
+        let mut pop = Population::build(&types(), 50_000, chunk, params).unwrap();
+        for _ in 0..8 {
+            step_population(&mut pop, threads, &drive).unwrap();
+        }
+        (pop.adopted_users(), pop.masses().to_vec())
+    };
+    let reference = run(16_384, 1);
+    for (chunk, threads) in [(16_384, 4), (16_384, 13), (512, 1), (512, 8), (4_999, 3)] {
+        assert_eq!(
+            run(chunk, threads),
+            reference,
+            "chunk {chunk} x threads {threads} changed the trajectory"
+        );
+    }
+}
+
+#[test]
+fn stationary_population_matches_the_continuum_demand() {
+    // A smooth continuum of types, discretized into the engine's panel.
+    let market = ContinuumMarket::new(
+        1.0,
+        (0.0, 1.0),
+        |w| 1.0 + 0.5 * w,
+        |w| 1.0 + 3.0 * w,
+        |_| 0.0, // no congestion: the engine is driven at phi = 0
+        |_| 1.0,
+    )
+    .unwrap();
+    let p = 0.45;
+    let demand = market.aggregate_demand(0.0, p).unwrap();
+    let specs = market.discretize(16).unwrap();
+    let types: Vec<TypeSpec> =
+        specs.iter().map(|s| TypeSpec { mass: s.m0, alpha: s.alpha }).collect();
+
+    // Stationary hazards: adopt/churn both certain, so a single tick
+    // realizes the indicator demand curve exactly.
+    let params = AdoptionParams { seed: 9, ..Default::default() };
+    let n_users = 400_000;
+    let mut pop = Population::build(&types, n_users, 16_384, params).unwrap();
+    let drive = TickDrive::uniform(types.len(), p);
+    pop.step(&drive).unwrap();
+
+    let total: f64 = pop.masses().iter().sum();
+    let rel = (total - demand).abs() / demand;
+    assert!(
+        rel < 0.02,
+        "sampled stationary demand {total} vs continuum quadrature {demand} (rel {rel:.4})"
+    );
+
+    // Per-type agreement with the closed form, and a fixed point: the
+    // stationary regime re-derives every user's state from scratch each
+    // tick, so a second tick with the same drive moves nothing.
+    let expected = pop.stationary_masses(&drive);
+    for ((m, e), t) in pop.masses().iter().zip(&expected).zip(&types) {
+        let tol = 0.02 * t.mass + 0.005 * pop.unit_mass() * (n_users as f64).sqrt();
+        assert!((m - e).abs() < tol, "type mass {m} vs closed form {e} (tol {tol})");
+    }
+    let first: Vec<f64> = pop.masses().to_vec();
+    pop.step(&drive).unwrap();
+    assert_eq!(pop.masses(), &first[..], "the stationary regime must be a fixed point");
+}
+
+#[test]
+fn closed_loop_replays_bit_identically_whatever_the_parallelism() {
+    let specs = section5_specs();
+    let base = LoopConfig {
+        seed: 3,
+        cohorts: 2,
+        users: 4_000,
+        chunk: 1_024,
+        threads: 1,
+        demand_every: 4,
+        ..Default::default()
+    };
+    let run = |cfg: &LoopConfig| {
+        let mut lp = AdoptionLoop::new(&specs, 3.0, 0.6, 0.8, cfg).unwrap();
+        lp.run(9).unwrap()
+    };
+    let reference = run(&base);
+    assert_eq!(run(&base), reference, "same config must replay byte-identically");
+    for cfg in [
+        LoopConfig { threads: 4, ..base.clone() },
+        LoopConfig { threads: 32, ..base.clone() },
+        LoopConfig { chunk: 333, ..base.clone() },
+        LoopConfig { chunk: 7, ..base.clone() },
+        LoopConfig { shards: 2, ..base.clone() },
+        LoopConfig { threads: 4, chunk: 333, shards: 3, ..base.clone() },
+    ] {
+        assert_eq!(run(&cfg).checksum, reference.checksum, "parallelism leaked into {cfg:?}");
+    }
+}
+
+#[test]
+fn cohorts_do_not_observe_each_other() {
+    let specs = section5_specs();
+    let base = LoopConfig { seed: 11, cohorts: 1, users: 3_000, chunk: 512, ..Default::default() };
+    let wide = LoopConfig { cohorts: 4, ..base.clone() };
+    let mut solo = AdoptionLoop::new(&specs, 3.0, 0.6, 0.8, &base).unwrap();
+    let mut crowd = AdoptionLoop::new(&specs, 3.0, 0.6, 0.8, &wide).unwrap();
+    solo.run(6).unwrap();
+    crowd.run(6).unwrap();
+    assert_eq!(
+        solo.cohort_masses(0),
+        crowd.cohort_masses(0),
+        "cohort 0's trajectory depends on its neighbours"
+    );
+}
+
+#[test]
+fn the_loop_rides_the_warm_paths() {
+    let specs = section5_specs();
+    let cfg = LoopConfig { seed: 5, cohorts: 2, users: 2_000, chunk: 512, ..Default::default() };
+    let mut lp = AdoptionLoop::new(&specs, 3.0, 0.6, 0.8, &cfg).unwrap();
+    let report = lp.run(6).unwrap();
+    let s = report.sources;
+    // One cold solve per cohort primes the resident state; everything
+    // after rides the tangent/warm ladder, and every tick's externality
+    // read after the first is absorbed lock-free by the router.
+    assert_eq!(s.cold, 2, "exactly one cold solve per cohort: {s:?}");
+    assert!(s.tangent + s.warm >= 10, "re-solves must stay warm: {s:?}");
+    assert!(s.lockfree >= 10, "externality reads must go lock-free: {s:?}");
+    assert_eq!(s.partial, 0, "no budget starvation in this tier: {s:?}");
+    assert!(report.final_adopted > 0, "somebody should adopt");
+}

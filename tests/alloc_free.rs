@@ -445,6 +445,87 @@ fn sharded_router_warm_serve_is_allocation_free_after_warmup() {
 }
 
 #[test]
+fn fd_axis_shift_is_allocation_free_after_warmup() {
+    // The clone-free finite-difference leg of the sensitivity engine:
+    // `Sensitivity::axis_shift_into` probes the game in place (apply
+    // θ±h, evaluate marginal utilities into workspace buffers, restore
+    // θ bit-exactly) instead of cloning the game per probe. After one
+    // warm-up call per axis sizes the `FdWorkspace` and the output
+    // buffer, repeated shifts across every supported axis stay off the
+    // heap — and the game parameter really is restored, so back-to-back
+    // calls keep producing identical derivatives.
+    use subcomp::game::game::Axis;
+    use subcomp::game::sensitivity::{FdWorkspace, Sensitivity};
+
+    let mut game = games().into_iter().next().unwrap();
+    let solver = NashSolver::default().with_tol(1e-8);
+    let mut ws = SolveWorkspace::new();
+    solver.solve_into(&game, WarmStart::Zero, &mut ws).unwrap();
+    let s: Vec<f64> = ws.subsidies().to_vec();
+    let axes = [Axis::Mu, Axis::Price, Axis::Profitability(0), Axis::Profitability(2)];
+
+    let mut fd = FdWorkspace::new();
+    let mut out = Vec::new();
+    let mut reference = Vec::new();
+    for &axis in &axes {
+        Sensitivity::axis_shift_into(&mut game, &s, axis, &mut fd, &mut out).unwrap();
+        reference.push(out.clone());
+    }
+    let (allocs, ()) = allocations_during(|| {
+        for _ in 0..5 {
+            for (&axis, reference) in axes.iter().zip(&reference) {
+                Sensitivity::axis_shift_into(&mut game, &s, axis, &mut fd, &mut out).unwrap();
+                assert_eq!(&out, reference, "in-place probe+restore must be deterministic");
+            }
+        }
+    });
+    assert_eq!(allocs, 0, "warm FD axis shifts must not touch the heap, saw {allocs} allocations");
+}
+
+#[test]
+fn warm_adoption_loop_tick_is_allocation_free_after_warmup() {
+    // The closed adoption loop's resident tick: lock-free externality
+    // read, SoA simulation over the owned blocks, in-place µ write and
+    // warm re-solve through the sharded router. On the documented
+    // resident configuration — serial block fan-out, no tangent
+    // seeding, no demand write-back — a tick performs zero allocations
+    // on the driving thread after warm-up (shard-thread work is
+    // invisible to the thread-local counter and is pinned by the
+    // server cases above).
+    use subcomp::exp::adoption::{AdoptionLoop, LoopConfig};
+    use subcomp::exp::scenarios::section5_specs;
+
+    let cfg = LoopConfig {
+        seed: 7,
+        cohorts: 1,
+        users: 2_000,
+        chunk: 512,
+        threads: 1,
+        demand_every: 0,
+        seed_tangent: false,
+        shards: 1,
+        ..Default::default()
+    };
+    let mut lp = AdoptionLoop::new(&section5_specs(), 3.0, 0.6, 0.8, &cfg).unwrap();
+    for _ in 0..3 {
+        lp.tick().unwrap(); // warm-up: sizes shard buffers and the snapshot freelist
+    }
+    let (allocs, adopted) = allocations_during(|| {
+        let mut adopted = 0;
+        for _ in 0..5 {
+            adopted = lp.tick().unwrap().adopted;
+        }
+        adopted
+    });
+    assert!(adopted > 0, "the warm loop must keep simulating");
+    assert_eq!(
+        allocs, 0,
+        "a warm adoption tick must not allocate on the driving thread, \
+         saw {allocs} allocations"
+    );
+}
+
+#[test]
 fn counter_actually_counts() {
     // Sanity check on the harness itself: an allocating closure must be
     // visible, otherwise the zero assertions above are vacuous.

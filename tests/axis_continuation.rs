@@ -191,7 +191,7 @@ fn tangent_warm_start_corrects_to_the_cold_equilibrium() {
 
     game.set_mu(1.0).unwrap();
     solver.solve_into(&game, WarmStart::Zero, &mut ws).unwrap();
-    let ds = Sensitivity::directional(&game, ws.subsidies(), Axis::Mu).unwrap();
+    let ds = Sensitivity::directional(&mut game, ws.subsidies(), Axis::Mu).unwrap();
 
     let dmu = 0.15;
     game.set_mu(1.0 + dmu).unwrap();
